@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Float Fun List Manetsec Option Printf Util

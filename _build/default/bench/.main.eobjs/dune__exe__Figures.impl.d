@@ -1,0 +1,1 @@
+bench/figures.ml: Array Format Hashtbl Int64 List Manetsec Printf String Util

@@ -1,0 +1,670 @@
+(* E1-E6: the simulation evaluation.  The paper publishes no measurement
+   tables, so these are the community-standard experiments for
+   secure-MANET-routing papers of its era (delivery/overhead/latency
+   under attack), as laid out in DESIGN.md; EXPERIMENTS.md records the
+   qualitative expectations next to the measured numbers. *)
+
+module Prng = Manetsec.Crypto.Prng
+module Address = Manetsec.Ipv6.Address
+module Engine = Manetsec.Sim.Engine
+module Stats = Manetsec.Sim.Stats
+module Net = Manetsec.Sim.Net
+module Mobility = Manetsec.Sim.Mobility
+module Identity = Manetsec.Proto.Identity
+module Directory = Manetsec.Proto.Directory
+module Adversary = Manetsec.Adversary
+module Credit = Manetsec.Credit
+module Scenario = Manetsec.Scenario
+
+let stat s name = Stats.get (Scenario.stats s) name
+
+(* Pick [k] adversary indices deterministically, avoiding node 0 (DNS)
+   and the flow endpoints. *)
+let pick_adversaries ~seed ~n ~k ~protect =
+  let g = Prng.create ~seed:(seed * 7919) in
+  let candidates =
+    Array.of_list
+      (List.filter (fun x -> not (List.mem x protect)) (List.init (n - 1) (fun x -> x + 1)))
+  in
+  Prng.shuffle g candidates;
+  Array.to_list (Array.sub candidates 0 k)
+
+let standard_flows ~n ~seed ~count =
+  let g = Prng.create ~seed:(seed * 31 + 17) in
+  List.init count (fun _ ->
+      let a = 1 + Prng.int g (n - 1) in
+      let rec pick_b () =
+        let b = 1 + Prng.int g (n - 1) in
+        if b = a then pick_b () else b
+      in
+      (a, pick_b ()))
+
+(* --- E1: delivery ratio vs black-hole fraction -------------------------- *)
+
+type e1_variant = {
+  v_name : string;
+  v_protocol : Scenario.protocol;
+  v_use_acks : bool;
+  v_credits : bool;
+  v_probes : bool;
+  v_forge : bool;  (* do the black holes also forge route replies? *)
+}
+
+let e1_variants =
+  [
+    { v_name = "DSR, silent droppers"; v_protocol = Scenario.Plain_dsr; v_use_acks = false; v_credits = false; v_probes = false; v_forge = false };
+    { v_name = "DSR, forging black holes"; v_protocol = Scenario.Plain_dsr; v_use_acks = false; v_credits = false; v_probes = false; v_forge = true };
+    { v_name = "secure, forging black holes"; v_protocol = Scenario.Secure; v_use_acks = true; v_credits = true; v_probes = true; v_forge = true };
+    { v_name = "secure droppers, credits off"; v_protocol = Scenario.Secure; v_use_acks = true; v_credits = false; v_probes = false; v_forge = false };
+    { v_name = "secure droppers, credits+probes"; v_protocol = Scenario.Secure; v_use_acks = true; v_credits = true; v_probes = true; v_forge = false };
+  ]
+
+let e1_run ~seed ~fraction variant =
+  let n = 36 in
+  let flows = standard_flows ~n ~seed ~count:8 in
+  let protect = List.concat_map (fun (a, b) -> [ a; b ]) flows in
+  let k = int_of_float (Float.round (fraction *. float_of_int n)) in
+  (* The §3.4 black hole: with [v_forge] it also advertises fake routes;
+     without, it participates honestly in discovery and silently drops
+     the data it attracts. *)
+  let behavior = { Adversary.blackhole with forge_rrep = variant.v_forge } in
+  let adversaries =
+    List.map (fun idx -> (idx, behavior)) (pick_adversaries ~seed ~n ~k ~protect)
+  in
+  let params =
+    {
+      Scenario.default_params with
+      n;
+      seed;
+      range = 250.0;
+      topology = Scenario.Random { width = 900.0; height = 900.0 };
+      (* Mobility keeps discovery active, which is where route choice
+         (credits) matters. *)
+      mobility =
+        Mobility.Random_waypoint { min_speed = 1.0; max_speed = 10.0; pause = 2.0 };
+      protocol = variant.v_protocol;
+      adversaries;
+      dsr_config =
+        { Scenario.default_params.Scenario.dsr_config with use_acks = variant.v_use_acks };
+      secure_config =
+        {
+          Scenario.default_params.Scenario.secure_config with
+          use_credits = variant.v_credits;
+          probe_on_timeout = variant.v_probes;
+        };
+    }
+  in
+  let s = Scenario.create params in
+  Scenario.start_cbr s ~flows ~interval:0.5 ~duration:60.0 ();
+  Scenario.run s ~until:120.0;
+  let timeouts =
+    float_of_int (stat s "data.timeout")
+    /. float_of_int (max 1 (stat s "data.delivered"))
+  in
+  (Scenario.delivery_ratio s, timeouts)
+
+let e1 () =
+  Util.heading "E1 -- delivery ratio vs fraction of black-hole nodes";
+  print_endline
+    "(36 nodes, random 900x900 field, random-waypoint mobility, 8 CBR flows,
+    \ 60 s, mean of 3 seeds; 'timeouts' = silently lost transmissions per
+    \ delivered packet, the cost retries pay to keep delivery up)";
+  let fractions = [ 0.0; 0.1; 0.2; 0.3; 0.4 ] in
+  let cells =
+    List.map
+      (fun variant ->
+        List.map
+          (fun fr ->
+            let runs = List.map (fun seed -> e1_run ~seed ~fraction:fr variant) [ 1; 2; 3 ] in
+            ( Util.mean (List.map fst runs), Util.mean (List.map snd runs) ))
+          fractions)
+      e1_variants
+  in
+  let header =
+    "variant" :: List.map (fun f -> Printf.sprintf "%d%%" (int_of_float (f *. 100.))) fractions
+  in
+  print_endline "delivery ratio:";
+  Util.print_table ~header
+    (List.map2
+       (fun variant row -> variant.v_name :: List.map (fun (d, _) -> Util.f2 d) row)
+       e1_variants cells);
+  print_endline "timeouts per delivered packet:";
+  Util.print_table ~header
+    (List.map2
+       (fun variant row -> variant.v_name :: List.map (fun (_, t) -> Util.f2 t) row)
+       e1_variants cells)
+
+(* --- E2: routing overhead vs network size ------------------------------- *)
+
+let e2_run ~n ~protocol ~suite =
+  let flows = standard_flows ~n ~seed:5 ~count:6 in
+  let params =
+    {
+      Scenario.default_params with
+      n;
+      seed = 5;
+      range = 250.0;
+      topology =
+        Scenario.Random
+          { width = 200.0 *. sqrt (float_of_int n); height = 200.0 *. sqrt (float_of_int n) };
+      protocol;
+      suite;
+    }
+  in
+  let s = Scenario.create params in
+  Scenario.start_cbr s ~flows ~interval:0.5 ~duration:30.0 ();
+  Scenario.run s ~until:90.0;
+  let delivered = max 1 (stat s "data.delivered") in
+  let signs, verifies = Scenario.crypto_ops s in
+  ( Scenario.delivery_ratio s,
+    float_of_int (Scenario.control_bytes s) /. float_of_int delivered,
+    float_of_int (Scenario.control_packets s) /. float_of_int delivered,
+    float_of_int (signs + verifies) /. float_of_int delivered )
+
+let e2 () =
+  Util.heading "E2 -- routing overhead vs network size";
+  print_endline "(density-held random fields, 6 CBR flows, 30 s; per delivered packet)";
+  let sizes = [ 10; 20; 40; 60; 80 ] in
+  let rows =
+    List.concat_map
+      (fun n ->
+        let d1, b1, p1, _ = e2_run ~n ~protocol:Scenario.Plain_dsr ~suite:Scenario.Mock_suite in
+        let ds, bs, ps, _ = e2_run ~n ~protocol:Scenario.Srp_protocol ~suite:Scenario.Mock_suite in
+        let d2, b2, p2, c2 = e2_run ~n ~protocol:Scenario.Secure ~suite:Scenario.Mock_suite in
+        let rsa_row =
+          if n <= 40 then begin
+            let d3, b3, p3, c3 = e2_run ~n ~protocol:Scenario.Secure ~suite:(Scenario.Rsa_suite 256) in
+            [ [ Util.i n; "secure+rsa256"; Util.f2 d3; Util.f1 b3; Util.f2 p3; Util.f2 c3 ] ]
+          end
+          else []
+        in
+        [
+          [ Util.i n; "DSR"; Util.f2 d1; Util.f1 b1; Util.f2 p1; "-" ];
+          [ Util.i n; "SRP-style"; Util.f2 ds; Util.f1 bs; Util.f2 ps; "-" ];
+          [ Util.i n; "secure"; Util.f2 d2; Util.f1 b2; Util.f2 p2; Util.f2 c2 ];
+        ]
+        @ rsa_row)
+      sizes
+  in
+  Util.print_table
+    ~header:[ "nodes"; "protocol"; "delivery"; "ctl bytes/pkt"; "ctl pkts/pkt"; "crypto ops/pkt" ]
+    rows
+
+(* --- E3: route discovery latency vs path length -------------------------- *)
+
+let e3_run ~hops ~protocol ~use_cache_replies ~suite =
+  (* A chain of hops+1 nodes; discovery from end to end. *)
+  let n = hops + 1 in
+  let params =
+    {
+      Scenario.default_params with
+      n;
+      seed = 5;
+      range = 150.0;
+      topology = Scenario.Chain { spacing = 100.0 };
+      protocol;
+      suite;
+      with_dns = false;
+      secure_config =
+        { Scenario.default_params.Scenario.secure_config with use_cache_replies };
+      dsr_config =
+        { Scenario.default_params.Scenario.dsr_config with use_cache_replies };
+    }
+  in
+  let s = Scenario.create params in
+  let t0 = Engine.now (Scenario.engine s) in
+  let done_at = ref None in
+  Scenario.discover s ~src:0 ~dst:(n - 1) (fun r ->
+      if r <> None then done_at := Some (Engine.now (Scenario.engine s)));
+  Scenario.run s ~until:30.0;
+  match !done_at with
+  | Some t1 ->
+      (* Then measure one data packet's one-way latency. *)
+      Scenario.send s ~src:0 ~dst:(n - 1) ();
+      Scenario.run s ~until:60.0;
+      let lat = Option.value ~default:nan (Scenario.mean_latency s) in
+      (Some ((t1 -. t0) *. 1000.0), lat *. 1000.0)
+  | None -> (None, nan)
+
+let e3 () =
+  Util.heading "E3 -- route discovery latency vs path length";
+  print_endline "(chain topologies, end-to-end discovery; milliseconds)";
+  let rows =
+    List.map
+      (fun hops ->
+        let fmt = function Some v -> Util.f1 v | None -> "fail" in
+        let d_dsr, l_dsr = e3_run ~hops ~protocol:Scenario.Plain_dsr ~use_cache_replies:true ~suite:Scenario.Mock_suite in
+        let d_sec, l_sec = e3_run ~hops ~protocol:Scenario.Secure ~use_cache_replies:true ~suite:Scenario.Mock_suite in
+        let d_rsa, _ = e3_run ~hops ~protocol:Scenario.Secure ~use_cache_replies:true ~suite:(Scenario.Rsa_suite 256) in
+        [
+          Util.i hops;
+          fmt d_dsr;
+          Util.f1 l_dsr;
+          fmt d_sec;
+          Util.f1 l_sec;
+          fmt d_rsa;
+        ])
+      [ 2; 3; 4; 5; 6; 8; 10 ]
+  in
+  Util.print_table
+    ~header:
+      [ "hops"; "DSR disc ms"; "DSR data ms"; "secure disc ms"; "secure data ms"; "secure+rsa256 disc ms" ]
+    rows;
+  (* CREP ablation (DESIGN.md section 5): a second requester's discovery
+     with and without cached-route replies. *)
+  Util.subheading "CREP ablation: second requester's discovery latency";
+  let crep_run ~hops ~use_cache_replies =
+    let n = hops + 1 in
+    let params =
+      {
+        Scenario.default_params with
+        n; seed = 5; range = 150.0;
+        topology = Scenario.Chain { spacing = 100.0 };
+        with_dns = false;
+        secure_config =
+          { Scenario.default_params.Scenario.secure_config with use_cache_replies };
+      }
+    in
+    let s = Scenario.create params in
+    (* First requester warms the mid-chain caches. *)
+    let r1 = ref None in
+    Scenario.discover s ~src:1 ~dst:(n - 1) (fun r -> r1 := Some r);
+    Scenario.run s ~until:10.0;
+    let t0 = Engine.now (Scenario.engine s) in
+    let done_at = ref None in
+    Scenario.discover s ~src:0 ~dst:(n - 1) (fun r ->
+        if r <> None then done_at := Some (Engine.now (Scenario.engine s)));
+    Scenario.run s ~until:30.0;
+    match !done_at with
+    | Some t1 -> Some ((t1 -. t0) *. 1000.0)
+    | None -> None
+  in
+  let rows =
+    List.map
+      (fun hops ->
+        let fmt = function Some v -> Util.f1 v | None -> "fail" in
+        [
+          Util.i hops;
+          fmt (crep_run ~hops ~use_cache_replies:true);
+          fmt (crep_run ~hops ~use_cache_replies:false);
+        ])
+      [ 4; 6; 8; 10 ]
+  in
+  Util.print_table ~header:[ "hops"; "CREP on (ms)"; "CREP off (ms)" ] rows
+
+(* --- E4: attack-resistance matrix (§4) ----------------------------------- *)
+
+type e4_result = { attacked : bool; succeeded : bool; evidence : string }
+
+let e4_grid ~protocol ~adversaries ~flows ~seed =
+  let params =
+    {
+      Scenario.default_params with
+      n = 9;
+      seed;
+      range = 150.0;
+      topology = Scenario.Grid { cols = 3; spacing = 100.0 };
+      protocol;
+      adversaries;
+      dsr_config =
+        { Scenario.default_params.Scenario.dsr_config with use_acks = false };
+    }
+  in
+  let s = Scenario.create params in
+  Scenario.start_cbr s ~flows ~interval:0.5 ~duration:20.0 ();
+  Scenario.run s ~until:80.0;
+  s
+
+let e4_blackhole protocol =
+  let s = e4_grid ~protocol ~adversaries:[ (4, Adversary.blackhole) ] ~flows:[ (0, 8) ] ~seed:11 in
+  let dr = Scenario.delivery_ratio s in
+  {
+    attacked = stat s "attack.rrep_forged" >= 1;
+    succeeded = dr < 0.5;
+    evidence = Printf.sprintf "delivery %.2f, swallowed %d" dr (stat s "attack.data_dropped");
+  }
+
+let e4_impersonation protocol =
+  let params_probe =
+    { Scenario.default_params with n = 9; seed = 11; range = 150.0;
+      topology = Scenario.Grid { cols = 3; spacing = 100.0 }; protocol }
+  in
+  let probe = Scenario.create params_probe in
+  let victim = Scenario.address_of probe 3 in
+  (* The victim sleeps, so a route naming it is pure fabrication. *)
+  let s =
+    e4_grid ~protocol
+      ~adversaries:[ (4, Adversary.impersonator victim); (3, Adversary.sleeper) ]
+      ~flows:[ (1, 7) ] ~seed:11
+  in
+  (* success = a route containing the victim's forged presence was accepted *)
+  let has_victim routes = List.exists (List.exists (Address.equal victim)) routes in
+  let poisoned_accepted =
+    match (Scenario.node s 1).Scenario.routing with
+    | Scenario.Dsr_agent agent ->
+        has_victim (Manetsec.Dsr.cached_routes agent ~dst:(Scenario.address_of s 7))
+    | Scenario.Secure_agent agent ->
+        has_victim
+          (Manetsec.Secure_routing.cached_routes agent ~dst:(Scenario.address_of s 7))
+    | Scenario.Srp_agent agent ->
+        has_victim (Manetsec.Srp.cached_routes agent ~dst:(Scenario.address_of s 7))
+  in
+  {
+    attacked = stat s "attack.impersonations" >= 1;
+    succeeded = poisoned_accepted;
+    evidence =
+      Printf.sprintf "poisoned route cached: %b, rreq rejected: %d" poisoned_accepted
+        (stat s "secure.rreq_rejected");
+  }
+
+let e4_replay protocol =
+  let params =
+    { Scenario.default_params with n = 5; seed = 7; range = 150.0;
+      topology = Scenario.Chain { spacing = 100.0 }; protocol;
+      adversaries = [ (2, Adversary.replayer) ];
+      secure_config =
+        { Scenario.default_params.Scenario.secure_config with use_cache_replies = false };
+      dsr_config =
+        { Scenario.default_params.Scenario.dsr_config with use_cache_replies = false } }
+  in
+  let s = Scenario.create params in
+  let r1 = ref None and r2 = ref None in
+  Scenario.discover s ~src:1 ~dst:4 (fun r -> r1 := Some r);
+  Scenario.run s ~until:10.0;
+  Scenario.discover s ~src:0 ~dst:4 (fun r -> r2 := Some r);
+  Scenario.run s ~until:30.0;
+  let rejected = stat s "secure.rrep_rejected" + stat s "srp.rrep_rejected" in
+  {
+    attacked = stat s "attack.replayed" >= 1;
+    (* success = the stale reply was swallowed without rejection *)
+    succeeded = stat s "attack.replayed" >= 1 && rejected = 0;
+    evidence = Printf.sprintf "replays %d, rejected %d" (stat s "attack.replayed") rejected;
+  }
+
+let e4_rerr_forgery protocol =
+  let params =
+    { Scenario.default_params with n = 4; seed = 7; range = 150.0;
+      topology = Scenario.Chain { spacing = 100.0 }; protocol;
+      adversaries = [ (2, Adversary.rerr_spammer ~every:0.4) ] }
+  in
+  let s = Scenario.create params in
+  Scenario.start_cbr s ~flows:[ (1, 3) ] ~interval:0.5 ~duration:30.0 ();
+  Scenario.run s ~until:60.0;
+  let suspected = stat s "secure.hostile_suspected" in
+  {
+    attacked = stat s "attack.rerr_forged" >= 3;
+    (* The paper accepts that an on-route reporter can lie; success for
+       the attacker means lying *without ever being identified*. *)
+    succeeded = stat s "attack.rerr_forged" >= 3 && suspected = 0;
+    evidence =
+      Printf.sprintf "forged %d, reporter flagged %d times" (stat s "attack.rerr_forged") suspected;
+  }
+
+let e4_churn protocol =
+  let s =
+    e4_grid ~protocol
+      ~adversaries:[ (4, Adversary.identity_churner ~every:8.0) ]
+      ~flows:[ (1, 7) ] ~seed:13
+  in
+  let changes = stat s "attack.identity_changes" in
+  (* success for the churner = escaping blame while still dropping
+     traffic: under credits each new identity stays at zero standing, so
+     we count it defeated when the source's traffic still flows. *)
+  let dr = Scenario.delivery_ratio s in
+  {
+    attacked = changes >= 2;
+    succeeded = dr < 0.5;
+    evidence = Printf.sprintf "%d identities, delivery %.2f" changes dr;
+  }
+
+let e4 () =
+  Util.heading "E4 -- attack-resistance matrix (the Section 4 analysis, executed)";
+  let attacks =
+    [
+      ("black hole", e4_blackhole);
+      ("impersonation", e4_impersonation);
+      ("replayed RREP", e4_replay);
+      ("forged RERR", e4_rerr_forgery);
+      ("identity churn", e4_churn);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, f) ->
+        List.map
+          (fun (pname, protocol) ->
+            let r = f protocol in
+            [
+              name;
+              pname;
+              (if r.attacked then "yes" else "NO");
+              (if r.succeeded then "SUCCEEDS" else "defeated");
+              r.evidence;
+            ])
+          [
+            ("plain DSR", Scenario.Plain_dsr);
+            ("SRP-style", Scenario.Srp_protocol);
+            ("secure", Scenario.Secure);
+          ])
+      attacks
+  in
+  Util.print_table
+    ~header:[ "attack"; "protocol"; "attempted"; "outcome"; "evidence" ]
+    rows
+
+(* --- E5: credit convergence over time ------------------------------------ *)
+
+let e5 () =
+  Util.heading "E5 -- credit convergence and routing around hostiles";
+  print_endline
+    "(3x4 grid, black hole at node 5 = the unique shortest relay between\n\
+    \ the endpoints of flow 0<->10; per-10 s windows)";
+  let adversaries = [ (5, { Adversary.blackhole with forge_rrep = false }) ] in
+  let params =
+    {
+      Scenario.default_params with
+      n = 12;
+      seed = 3;
+      range = 150.0;
+      topology = Scenario.Grid { cols = 4; spacing = 100.0 };
+      adversaries;
+    }
+  in
+  let s = Scenario.create params in
+  Scenario.start_cbr s ~flows:[ (0, 10); (10, 0) ] ~interval:0.25 ~duration:80.0 ();
+  let bh = Scenario.address_of s 5 in
+  let source_credits () =
+    match (Scenario.node s 0).Scenario.routing with
+    | Scenario.Secure_agent agent -> Manetsec.Secure_routing.credits agent
+    | _ -> assert false
+  in
+  let last = ref 0 in
+  let rows = ref [] in
+  for w = 1 to 8 do
+    Scenario.run s ~until:(float_of_int w *. 10.0);
+    let d = stat s "data.delivered" in
+    let window = d - !last in
+    last := d;
+    let credits = source_credits () in
+    let best_honest =
+      List.fold_left
+        (fun acc (a, v) -> if Address.equal a bh then acc else max acc v)
+        0.0 (Credit.snapshot credits)
+    in
+    rows :=
+      [
+        Printf.sprintf "%d-%ds" ((w - 1) * 10) (w * 10);
+        Util.i window;
+        Util.f1 (Credit.get credits bh);
+        Util.f1 best_honest;
+        Util.i (stat s "secure.hostile_suspected");
+      ]
+      :: !rows
+  done;
+  Util.print_table
+    ~header:[ "window"; "delivered"; "blackhole credit"; "best honest credit"; "suspected" ]
+    (List.rev !rows);
+  Printf.printf "final delivery ratio: %.2f\n" (Scenario.delivery_ratio s)
+
+(* --- E6: secure DAD cost and correctness ---------------------------------- *)
+
+let e6_run ~n ~seed ~force_collision =
+  let params =
+    {
+      Scenario.default_params with
+      n;
+      seed;
+      range = 250.0;
+      topology =
+        Scenario.Random
+          { width = 180.0 *. sqrt (float_of_int n); height = 180.0 *. sqrt (float_of_int n) };
+    }
+  in
+  let s = Scenario.create params in
+  if force_collision then begin
+    (* The last node joins with the first host's address. *)
+    let victim = Scenario.address_of s 1 in
+    let joiner = Scenario.node s (n - 1) in
+    let dir = joiner.Scenario.ctx.Manetsec.Proto.Node_ctx.directory in
+    Directory.unregister dir (Scenario.address_of s (n - 1)) (n - 1);
+    joiner.Scenario.identity.Identity.address <- victim;
+    Directory.register dir victim (n - 1)
+  end;
+  let t0 = Engine.now (Scenario.engine s) in
+  Scenario.bootstrap ~stagger:0.3 s;
+  let t1 = Engine.now (Scenario.engine s) in
+  ( stat s "dad.configured",
+    stat s "tx.areq",
+    stat s "dad.collision",
+    stat s "dns.registered",
+    t1 -. t0 )
+
+let e6 () =
+  Util.heading "E6 -- secure DAD cost and duplicate detection";
+  print_endline "(staggered joins, 0.3 s apart; AREQ transmissions count every relay)";
+  let rows =
+    List.map
+      (fun n ->
+        let configured, areqs, _, registered, _ = e6_run ~n ~seed:9 ~force_collision:false in
+        let _, _, collisions, _, _ = e6_run ~n ~seed:9 ~force_collision:true in
+        [
+          Util.i n;
+          Util.i configured;
+          Util.i areqs;
+          Util.f1 (float_of_int areqs /. float_of_int (max 1 configured));
+          Util.i registered;
+          (if collisions >= 1 then "detected" else "MISSED");
+        ])
+      [ 10; 20; 40; 80 ]
+  in
+  Util.print_table
+    ~header:
+      [ "nodes"; "configured"; "AREQ tx"; "AREQ tx per join"; "names registered"; "forced duplicate" ]
+    rows
+
+(* --- E7: beyond source routing -- AODV / SAODV comparison ---------------- *)
+
+module Aodv_world = Manetsec.Aodv_world
+module Aodv_adversary = Manetsec.Aodv_adversary
+
+let e7_aodv_run ~seed ~fraction ~secure ~forge =
+  let n = 36 in
+  let g = Prng.create ~seed:(seed * 131) in
+  let flows =
+    List.init 8 (fun _ ->
+        let a = Prng.int g n in
+        let rec other () = let b = Prng.int g n in if b = a then other () else b in
+        (a, other ()))
+  in
+  let protect = List.concat_map (fun (a, b) -> [ a; b ]) flows in
+  let k = int_of_float (Float.round (fraction *. float_of_int n)) in
+  let behavior =
+    if forge then Aodv_adversary.blackhole else Aodv_adversary.silent_dropper
+  in
+  let adversaries =
+    List.filter (fun x -> not (List.mem x protect)) (List.init n Fun.id)
+    |> (fun pool ->
+         let arr = Array.of_list pool in
+         Prng.shuffle g arr;
+         Array.to_list (Array.sub arr 0 (min k (Array.length arr))))
+    |> List.map (fun i -> (i, behavior))
+  in
+  let w =
+    Aodv_world.create
+      {
+        Aodv_world.default_params with
+        n;
+        seed;
+        range = 250.0;
+        secure;
+        topology = `Random (900.0, 900.0);
+        adversaries;
+      }
+  in
+  Aodv_world.start_cbr w ~flows ~interval:0.5 ~duration:60.0 ();
+  Aodv_world.run w ~until:120.0;
+  Aodv_world.delivery_ratio w
+
+let e7_secure_dsr_run ~seed ~fraction ~forge =
+  let variant =
+    { v_name = ""; v_protocol = Scenario.Secure; v_use_acks = true;
+      v_credits = true; v_probes = true; v_forge = forge }
+  in
+  (* reuse the E1 machinery but on a static field, like the AODV runs *)
+  ignore variant;
+  let n = 36 in
+  let flows = standard_flows ~n ~seed ~count:8 in
+  let protect = List.concat_map (fun (a, b) -> [ a; b ]) flows in
+  let k = int_of_float (Float.round (fraction *. float_of_int n)) in
+  let behavior = { Adversary.blackhole with forge_rrep = forge } in
+  let adversaries =
+    List.map (fun idx -> (idx, behavior)) (pick_adversaries ~seed ~n ~k ~protect)
+  in
+  let params =
+    {
+      Scenario.default_params with
+      n; seed; range = 250.0;
+      topology = Scenario.Random { width = 900.0; height = 900.0 };
+      adversaries;
+    }
+  in
+  let s = Scenario.create params in
+  Scenario.start_cbr s ~flows ~interval:0.5 ~duration:60.0 ();
+  Scenario.run s ~until:120.0;
+  (Scenario.delivery_ratio s, stat s "secure.hostile_suspected")
+
+let e7 () =
+  Util.heading "E7 -- beyond source routing: AODV vs SAODV vs secure DSR";
+  print_endline
+    "(36 nodes, static random field, 8 CBR flows, 20% adversaries, mean of 3\n\
+    \ seeds.  'names culprits' = the protocol can identify which host\n\
+    \ misbehaved -- the tracking capability the paper keeps by choosing\n\
+    \ source routing, and loses in a distance-vector translation.)";
+  let seeds = [ 1; 2; 3 ] in
+  let fraction = 0.2 in
+  let mean f = Util.mean (List.map f seeds) in
+  let aodv_forge = mean (fun seed -> e7_aodv_run ~seed ~fraction ~secure:false ~forge:true) in
+  let saodv_forge = mean (fun seed -> e7_aodv_run ~seed ~fraction ~secure:true ~forge:true) in
+  let aodv_drop = mean (fun seed -> e7_aodv_run ~seed ~fraction ~secure:false ~forge:false) in
+  let saodv_drop = mean (fun seed -> e7_aodv_run ~seed ~fraction ~secure:true ~forge:false) in
+  let dsr_forge = List.map (fun seed -> e7_secure_dsr_run ~seed ~fraction ~forge:true) seeds in
+  let dsr_drop = List.map (fun seed -> e7_secure_dsr_run ~seed ~fraction ~forge:false) seeds in
+  let mean_fst l = Util.mean (List.map fst l) in
+  let any_suspects l = List.exists (fun (_, s) -> s > 0) l in
+  Util.print_table
+    ~header:[ "protocol"; "forging black holes"; "silent droppers"; "names culprits" ]
+    [
+      [ "AODV"; Util.f2 aodv_forge; Util.f2 aodv_drop; "no" ];
+      [ "SAODV-style"; Util.f2 saodv_forge; Util.f2 saodv_drop; "no" ];
+      [ "secure DSR (paper)"; Util.f2 (mean_fst dsr_forge); Util.f2 (mean_fst dsr_drop);
+        (if any_suspects dsr_forge || any_suspects dsr_drop then "yes" else "no") ];
+    ]
+
+let run () =
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ()

@@ -1,0 +1,36 @@
+(* Shared helpers for the experiment harness: aligned text tables and
+   scenario shorthands. *)
+
+let heading title =
+  let bar = String.make (String.length title) '=' in
+  Printf.printf "\n%s\n%s\n" title bar
+
+let subheading title = Printf.printf "\n--- %s ---\n" title
+
+(* Print rows as an aligned table; every row must have the header's
+   arity. *)
+let print_table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c cell -> Printf.printf "%-*s  " (List.nth widths c) cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let f2 v = Printf.sprintf "%.2f" v
+let f1 v = Printf.sprintf "%.1f" v
+let i v = string_of_int v
+
+let mean l =
+  match l with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)

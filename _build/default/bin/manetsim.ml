@@ -1,0 +1,278 @@
+(* manetsim: command-line front end for the simulator.
+
+     manetsim run --nodes 30 --blackholes 3 --duration 60
+     manetsim run --protocol dsr --mobility waypoint --trace
+     manetsim dad --nodes 12 --collide
+     manetsim attacks --nodes 16
+
+   Prints scenario metrics; --trace additionally dumps the protocol
+   event trace. *)
+
+module Scenario = Manetsec.Scenario
+module Engine = Manetsec.Sim.Engine
+module Stats = Manetsec.Sim.Stats
+module Trace = Manetsec.Sim.Trace
+module Mobility = Manetsec.Sim.Mobility
+module Address = Manetsec.Ipv6.Address
+module Adversary = Manetsec.Adversary
+module Prng = Manetsec.Crypto.Prng
+
+open Cmdliner
+
+(* --- shared flags ------------------------------------------------------- *)
+
+let nodes_t =
+  Arg.(value & opt int 20 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let protocol_t =
+  let chosen_conv =
+    Arg.enum [ ("secure", Scenario.Secure); ("dsr", Scenario.Plain_dsr) ]
+  in
+  Arg.(
+    value & opt chosen_conv Scenario.Secure
+    & info [ "protocol" ] ~docv:"PROTO" ~doc:"Routing protocol: secure or dsr.")
+
+let suite_t =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "mock" -> Ok Scenario.Mock_suite
+    | s -> (
+        match String.split_on_char '-' s with
+        | [ "rsa"; bits ] -> (
+            match int_of_string_opt bits with
+            | Some b when b >= 64 -> Ok (Scenario.Rsa_suite b)
+            | _ -> Error (`Msg "rsa-<bits> with bits >= 64"))
+        | _ -> Error (`Msg "expected mock or rsa-<bits>"))
+  in
+  let print fmt = function
+    | Scenario.Mock_suite -> Format.pp_print_string fmt "mock"
+    | Scenario.Rsa_suite b -> Format.fprintf fmt "rsa-%d" b
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Scenario.Mock_suite
+    & info [ "suite" ] ~docv:"SUITE" ~doc:"Signature suite: mock or rsa-<bits>.")
+
+let mobility_t =
+  let chosen_conv =
+    Arg.enum
+      [
+        ("static", Mobility.Static);
+        ( "waypoint",
+          Mobility.Random_waypoint { min_speed = 1.0; max_speed = 10.0; pause = 2.0 } );
+        ("walk", Mobility.Random_walk { speed = 5.0; turn_interval = 4.0 });
+      ]
+  in
+  Arg.(
+    value & opt chosen_conv Mobility.Static
+    & info [ "mobility" ] ~docv:"MODEL" ~doc:"Mobility: static, waypoint or walk.")
+
+let blackholes_t =
+  Arg.(
+    value & opt int 0
+    & info [ "blackholes" ] ~docv:"K" ~doc:"Number of black-hole adversaries.")
+
+let spammers_t =
+  Arg.(
+    value & opt int 0
+    & info [ "rerr-spammers" ] ~docv:"K" ~doc:"Number of RERR-fabricating adversaries.")
+
+let duration_t =
+  Arg.(
+    value & opt float 60.0
+    & info [ "duration" ] ~docv:"SECONDS" ~doc:"Traffic duration (simulated).")
+
+let flows_t =
+  Arg.(
+    value & opt int 6 & info [ "flows" ] ~docv:"K" ~doc:"Number of CBR flows.")
+
+let trace_t =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Dump the protocol event trace.")
+
+let make_params ~nodes ~seed ~protocol ~suite ~mobility ~blackholes ~spammers =
+  let g = Prng.create ~seed:(seed + 7777) in
+  let pool = Array.init (nodes - 1) (fun i -> i + 1) in
+  Prng.shuffle g pool;
+  let take k off = Array.to_list (Array.sub pool off (min k (nodes - 1 - off))) in
+  let adversaries =
+    List.map (fun i -> (i, Adversary.blackhole)) (take blackholes 0)
+    @ List.map
+        (fun i -> (i, Adversary.rerr_spammer ~every:1.0))
+        (take spammers blackholes)
+  in
+  {
+    Scenario.default_params with
+    n = nodes;
+    seed;
+    protocol;
+    suite;
+    mobility;
+    adversaries;
+    topology =
+      Scenario.Random
+        {
+          width = 220.0 *. sqrt (float_of_int nodes);
+          height = 220.0 *. sqrt (float_of_int nodes);
+        };
+  }
+
+let report s =
+  let st = Scenario.stats s in
+  Printf.printf "\n-- results ------------------------------------------\n";
+  Printf.printf "delivery ratio      %.3f\n" (Scenario.delivery_ratio s);
+  Printf.printf "ack ratio           %.3f\n" (Scenario.ack_ratio s);
+  Printf.printf "offered/delivered   %d / %d\n"
+    (Stats.get st "data.offered")
+    (Stats.get st "data.delivered");
+  (match Scenario.mean_latency s with
+  | Some l -> Printf.printf "mean latency        %.1f ms\n" (l *. 1000.0)
+  | None -> ());
+  Printf.printf "control overhead    %d bytes, %d packets\n"
+    (Scenario.control_bytes s) (Scenario.control_packets s);
+  let signs, verifies = Scenario.crypto_ops s in
+  Printf.printf "crypto operations   %d sign, %d verify\n" signs verifies;
+  Printf.printf "route discoveries   %d (failed %d)\n"
+    (Stats.get st "route.discoveries")
+    (Stats.get st "route.discovery_failed");
+  Printf.printf "route errors        %d received\n" (Stats.get st "rerr.received");
+  List.iter
+    (fun key ->
+      let v = Stats.get st key in
+      if v > 0 then Printf.printf "%-19s %d\n" key v)
+    [
+      "secure.rreq_rejected"; "secure.rrep_rejected"; "secure.rerr_rejected";
+      "secure.hostile_suspected"; "probe.sent"; "attack.data_dropped";
+      "attack.rrep_forged"; "attack.rerr_forged";
+    ]
+
+(* --- run ----------------------------------------------------------------- *)
+
+let run_cmd nodes seed protocol suite mobility blackholes spammers duration flows trace =
+  let params =
+    make_params ~nodes ~seed ~protocol ~suite ~mobility ~blackholes ~spammers
+  in
+  let s = Scenario.create params in
+  if trace then Trace.enable (Engine.trace (Scenario.engine s));
+  Printf.printf "bootstrapping %d nodes...\n%!" nodes;
+  Scenario.bootstrap s;
+  let g = Prng.create ~seed:(seed + 99) in
+  let flow_list =
+    List.init flows (fun _ ->
+        let a = 1 + Prng.int g (nodes - 1) in
+        let rec other () =
+          let b = 1 + Prng.int g (nodes - 1) in
+          if b = a then other () else b
+        in
+        (a, other ()))
+  in
+  Printf.printf "flows: %s\n"
+    (String.concat ", "
+       (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) flow_list));
+  Scenario.start_cbr s ~flows:flow_list ~interval:0.5 ~duration ();
+  Scenario.run s ~until:(Engine.now (Scenario.engine s) +. duration +. 30.0);
+  report s;
+  if trace then begin
+    Printf.printf "\n-- trace --------------------------------------------\n";
+    print_string (Trace.render (Engine.trace (Scenario.engine s)))
+  end
+
+let run_term =
+  Term.(
+    const run_cmd $ nodes_t $ seed_t $ protocol_t $ suite_t $ mobility_t
+    $ blackholes_t $ spammers_t $ duration_t $ flows_t $ trace_t)
+
+(* --- dad ------------------------------------------------------------------ *)
+
+let dad_cmd nodes seed collide trace =
+  let params =
+    make_params ~nodes ~seed ~protocol:Scenario.Secure ~suite:Scenario.Mock_suite
+      ~mobility:Mobility.Static ~blackholes:0 ~spammers:0
+  in
+  let s = Scenario.create params in
+  if collide && nodes >= 3 then begin
+    (* Give the last node the first host's address before it joins. *)
+    let victim = Scenario.address_of s 1 in
+    let joiner = Scenario.node s (nodes - 1) in
+    let dir = joiner.Scenario.ctx.Manetsec.Proto.Node_ctx.directory in
+    Manetsec.Proto.Directory.unregister dir (Scenario.address_of s (nodes - 1)) (nodes - 1);
+    joiner.Scenario.identity.Manetsec.Proto.Identity.address <- victim;
+    Manetsec.Proto.Directory.register dir victim (nodes - 1);
+    Printf.printf "forced duplicate: node %d joins with node 1's address %s\n"
+      (nodes - 1) (Address.to_string victim)
+  end;
+  if trace then Trace.enable (Engine.trace (Scenario.engine s));
+  Scenario.bootstrap s;
+  let st = Scenario.stats s in
+  Printf.printf "configured %d, collisions detected %d, names registered %d\n"
+    (Stats.get st "dad.configured")
+    (Stats.get st "dad.collision")
+    (Stats.get st "dns.registered");
+  Array.iter
+    (fun node ->
+      Printf.printf "  node %-3d %s\n" node.Scenario.index
+        (Address.to_string (Scenario.address_of s node.Scenario.index)))
+    (Scenario.nodes s);
+  if trace then print_string (Trace.render (Engine.trace (Scenario.engine s)))
+
+let collide_t =
+  Arg.(value & flag & info [ "collide" ] ~doc:"Force an address collision.")
+
+let dad_term = Term.(const dad_cmd $ nodes_t $ seed_t $ collide_t $ trace_t)
+
+(* --- attacks --------------------------------------------------------------- *)
+
+let attacks_cmd nodes seed =
+  (* Run each canned attack against both protocols and summarize. *)
+  List.iter
+    (fun (name, behavior) ->
+      List.iter
+        (fun (pname, protocol) ->
+          let params =
+            make_params ~nodes ~seed ~protocol ~suite:Scenario.Mock_suite
+              ~mobility:Mobility.Static ~blackholes:0 ~spammers:0
+          in
+          let params = { params with Scenario.adversaries = [ (2, behavior) ] } in
+          let s = Scenario.create params in
+          Scenario.bootstrap s;
+          Scenario.start_cbr s
+            ~flows:[ (1, nodes - 1); (nodes - 1, 1) ]
+            ~interval:0.5 ~duration:30.0 ();
+          Scenario.run s ~until:(Engine.now (Scenario.engine s) +. 60.0);
+          Printf.printf "%-16s vs %-7s delivery %.2f  suspected %d  rejected %d\n"
+            name pname (Scenario.delivery_ratio s)
+            (Stats.get (Scenario.stats s) "secure.hostile_suspected")
+            (Stats.get (Scenario.stats s) "secure.rreq_rejected"
+            + Stats.get (Scenario.stats s) "secure.rrep_rejected"))
+        [ ("dsr", Scenario.Plain_dsr); ("secure", Scenario.Secure) ])
+    [
+      ("blackhole", Adversary.blackhole);
+      ("grayhole-50", Adversary.grayhole 0.5);
+      ("rerr-spam", Adversary.rerr_spammer ~every:1.0);
+      ("churn", Adversary.identity_churner ~every:10.0);
+    ]
+
+let attacks_term = Term.(const attacks_cmd $ nodes_t $ seed_t)
+
+(* --- command tree ----------------------------------------------------------- *)
+
+let cmds =
+  [
+    Cmd.v
+      (Cmd.info "run" ~doc:"Bootstrap a MANET and run CBR traffic, with optional adversaries.")
+      run_term;
+    Cmd.v
+      (Cmd.info "dad" ~doc:"Run secure bootstrapping only; optionally force a duplicate address.")
+      dad_term;
+    Cmd.v
+      (Cmd.info "attacks" ~doc:"Run the canned attack behaviours against both protocols.")
+      attacks_term;
+  ]
+
+let () =
+  let info =
+    Cmd.info "manetsim" ~version:"1.0.0"
+      ~doc:"Secure bootstrapping and routing in an IPv6-based ad hoc network (simulator)"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

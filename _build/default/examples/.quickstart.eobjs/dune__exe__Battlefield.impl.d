@@ -1,0 +1,1 @@
+examples/battlefield.ml: List Manetsec Printf

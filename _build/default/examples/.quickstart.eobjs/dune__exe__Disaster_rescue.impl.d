@@ -1,0 +1,1 @@
+examples/disaster_rescue.ml: List Manetsec Printf

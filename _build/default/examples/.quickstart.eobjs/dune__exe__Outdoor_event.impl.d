@@ -1,0 +1,1 @@
+examples/outdoor_event.ml: Array Float List Manetsec Option Printf

@@ -1,0 +1,1 @@
+examples/outdoor_event.mli:

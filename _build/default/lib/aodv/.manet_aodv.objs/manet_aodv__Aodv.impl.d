@@ -1,0 +1,1 @@
+lib/aodv/aodv.ml: Hashtbl List Manet_crypto Manet_ipv6 Manet_proto Manet_sim Option Queue String

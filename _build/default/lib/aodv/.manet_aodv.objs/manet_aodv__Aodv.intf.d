@@ -1,0 +1,1 @@
+lib/aodv/aodv.mli: Manet_crypto Manet_ipv6 Manet_proto Manet_sim

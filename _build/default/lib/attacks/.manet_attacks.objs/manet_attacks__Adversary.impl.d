@@ -1,0 +1,1 @@
+lib/attacks/adversary.ml: Hashtbl List Manet_crypto Manet_ipv6 Manet_proto Manet_sim

@@ -1,0 +1,1 @@
+lib/attacks/adversary.mli: Manet_ipv6 Manet_proto

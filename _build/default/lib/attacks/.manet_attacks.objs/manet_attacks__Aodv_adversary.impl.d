@@ -1,0 +1,1 @@
+lib/attacks/aodv_adversary.ml: Hashtbl Manet_aodv Manet_crypto Manet_ipv6 Manet_sim

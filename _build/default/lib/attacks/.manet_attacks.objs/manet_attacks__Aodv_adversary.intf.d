@@ -1,0 +1,1 @@
+lib/attacks/aodv_adversary.mli: Manet_aodv Manet_crypto Manet_ipv6

@@ -1,0 +1,1 @@
+lib/attacks/aodv_world.ml: Aodv_adversary Array Hashtbl List Manet_aodv Manet_crypto Manet_ipv6 Manet_proto Manet_sim

@@ -1,0 +1,1 @@
+lib/attacks/aodv_world.mli: Aodv_adversary Manet_aodv Manet_ipv6 Manet_sim

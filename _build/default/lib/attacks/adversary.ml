@@ -1,0 +1,299 @@
+module Address = Manet_ipv6.Address
+module Prng = Manet_crypto.Prng
+module Messages = Manet_proto.Messages
+module Codec = Manet_proto.Codec
+module Ctx = Manet_proto.Node_ctx
+module Directory = Manet_proto.Directory
+module Identity = Manet_proto.Identity
+module Engine = Manet_sim.Engine
+
+type behavior = {
+  drop_data : [ `Never | `Always | `Prob of float ];
+  forge_rrep : bool;
+  impersonate : Address.t option;
+  replay_rrep : bool;
+  rerr_spam_interval : float option;
+  churn_interval : float option;
+  answer_probes : bool;
+  drop_probes : bool;
+  mute : bool;
+}
+
+let honest =
+  {
+    drop_data = `Never;
+    forge_rrep = false;
+    impersonate = None;
+    replay_rrep = false;
+    rerr_spam_interval = None;
+    churn_interval = None;
+    answer_probes = true;
+    drop_probes = false;
+    mute = false;
+  }
+
+let sleeper = { honest with mute = true }
+
+let blackhole =
+  { honest with drop_data = `Always; forge_rrep = true; drop_probes = true }
+
+let grayhole p = { honest with drop_data = `Prob p }
+let impersonator victim = { honest with impersonate = Some victim }
+let replayer = { honest with replay_rrep = true }
+let rerr_spammer ~every = { honest with rerr_spam_interval = Some every }
+
+let identity_churner ~every =
+  { honest with churn_interval = Some every; drop_data = `Always }
+
+type captured_rrep = {
+  c_rr : Address.t list;
+  c_sig : string;
+  c_dpk : string;
+  c_drn : int64;
+}
+
+type t = {
+  ctx : Ctx.t;
+  behavior : behavior;
+  secure : bool;
+  delegate : src:int -> Messages.t -> unit;
+  seen_rreq : (string, unit) Hashtbl.t;
+  captured : (string, captured_rrep) Hashtbl.t; (* by destination address *)
+  flows : (string, Address.t * Address.t list) Hashtbl.t; (* data flows relayed *)
+  mutable running : bool;
+}
+
+let create ?(behavior = honest) ~secure ctx ~delegate =
+  {
+    ctx;
+    behavior;
+    secure;
+    delegate;
+    seen_rreq = Hashtbl.create 64;
+    captured = Hashtbl.create 16;
+    flows = Hashtbl.create 16;
+    running = false;
+  }
+
+let address t = Ctx.address t.ctx
+let identity t = t.ctx.Ctx.identity
+
+(* --- periodic behaviours ------------------------------------------------ *)
+
+let split_route_at route me =
+  let rec go before = function
+    | [] -> None
+    | x :: rest when Address.equal x me -> Some (List.rev before, rest)
+    | x :: rest -> go (x :: before) rest
+  in
+  go [] route
+
+let spam_rerrs t =
+  (* For every flow we relay, fabricate a break of our next hop.  We are
+     genuinely on the route, so even the secure protocol must accept the
+     report (§4) — until frequency tracking blames us. *)
+  Hashtbl.iter
+    (fun _ (src, route) ->
+      let me = address t in
+      match split_route_at route me with
+      | Some (before, after) ->
+          let broken_next =
+            match after with a :: _ -> a | [] -> src (* claim dst itself *)
+          in
+          let back = List.rev before @ [ src ] in
+          let sig_, pk, rn =
+            if t.secure then
+              let id = identity t in
+              ( Identity.sign id (Codec.rerr_payload ~reporter:me ~broken_next),
+                Identity.pk_bytes id,
+                id.Identity.rn )
+            else ("", "", 0L)
+          in
+          Ctx.stat t.ctx "attack.rerr_forged";
+          Ctx.send_along t.ctx ~path:back
+            (Messages.Rerr
+               { reporter = me; broken_next; dst = src; remaining = back; sig_; pk; rn })
+      | None -> ())
+    t.flows
+
+let churn_identity t =
+  let ctx = t.ctx in
+  let id = identity t in
+  Directory.unregister ctx.Ctx.directory id.Identity.address (Ctx.node_id ctx);
+  Identity.refresh_address id ctx.Ctx.rng;
+  Directory.register ctx.Ctx.directory id.Identity.address (Ctx.node_id ctx);
+  Ctx.stat ctx "attack.identity_changes";
+  Ctx.log ctx ~event:"attack.churn" ~detail:(Address.to_string id.Identity.address)
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    (* An impersonator also claims the victim's address at the link
+       layer (it answers frames sent to that address), which the shared
+       directory models as a second claim on the address. *)
+    (match t.behavior.impersonate with
+    | Some victim ->
+        Directory.register t.ctx.Ctx.directory victim (Ctx.node_id t.ctx)
+    | None -> ());
+    (match t.behavior.rerr_spam_interval with
+    | Some every ->
+        let rec tick () =
+          if t.running then begin
+            spam_rerrs t;
+            Engine.schedule t.ctx.Ctx.engine ~delay:every tick
+          end
+        in
+        Engine.schedule t.ctx.Ctx.engine ~delay:every tick
+    | None -> ());
+    match t.behavior.churn_interval with
+    | Some every ->
+        let rec tick () =
+          if t.running then begin
+            churn_identity t;
+            Engine.schedule t.ctx.Ctx.engine ~delay:every tick
+          end
+        in
+        Engine.schedule t.ctx.Ctx.engine ~delay:every tick
+    | None -> ()
+  end
+
+(* --- message interception ------------------------------------------------ *)
+
+let fkey a seq = Address.to_bytes a ^ Codec.u32 seq
+
+let forge_rrep t ~sip ~dip ~seq ~rr =
+  (* Claim the destination is our direct neighbour: route S -> ... -> me
+     -> D.  Under the secure protocol we cannot produce D's signature, so
+     we attach junk; the baseline carries no signature at all. *)
+  Ctx.stat t.ctx "attack.rrep_forged";
+  let claimed_rr = rr @ [ address t ] in
+  let back = List.rev rr @ [ sip ] in
+  ignore seq;
+  let sig_, dpk, drn =
+    if t.secure then
+      ( Prng.bytes t.ctx.Ctx.rng 32,
+        Prng.bytes t.ctx.Ctx.rng 32,
+        Prng.bits64 t.ctx.Ctx.rng )
+    else ("", "", 0L)
+  in
+  Ctx.send_along t.ctx ~path:back
+    (Messages.Rrep { sip; dip; rr = claimed_rr; remaining = back; sig_; dpk; drn })
+
+let impersonate_relay t victim ~rreq =
+  match rreq with
+  | Messages.Rreq { sip; dip; seq; srr; sig_; spk; srn } ->
+      (* Append the victim's address instead of our own.  We cannot know
+         the victim's private key, so in secure mode we sign with our own
+         key and attach our own key material — the CGA check at the
+         destination is what catches the mismatch. *)
+      Ctx.stat t.ctx "attack.impersonations";
+      let entry =
+        if t.secure then begin
+          let id = identity t in
+          {
+            Messages.ip = victim;
+            sig_ = Identity.sign id (Codec.srr_entry_payload ~iip:victim ~seq);
+            pk = Identity.pk_bytes id;
+            rn = id.Identity.rn;
+          }
+        end
+        else { Messages.ip = victim; sig_ = ""; pk = ""; rn = 0L }
+      in
+      Ctx.broadcast t.ctx
+        (Messages.Rreq { sip; dip; seq; srr = srr @ [ entry ]; sig_; spk; srn })
+  | _ -> ()
+
+let replay_captured t ~sip ~dip ~rr =
+  match Hashtbl.find_opt t.captured (Address.to_bytes dip) with
+  | None -> false
+  | Some c ->
+      (* Replay the old signed reply to the new requester, back along the
+         live route record so it actually arrives.  The stale sequence
+         binding is what the secure verification catches. *)
+      Ctx.stat t.ctx "attack.replayed";
+      let back = List.rev rr @ [ sip ] in
+      Ctx.send_along t.ctx ~path:back
+        (Messages.Rrep
+           { sip; dip; rr = c.c_rr; remaining = back; sig_ = c.c_sig; dpk = c.c_dpk; drn = c.c_drn });
+      true
+
+let should_drop t =
+  match t.behavior.drop_data with
+  | `Never -> false
+  | `Always -> true
+  | `Prob p -> Prng.float t.ctx.Ctx.rng 1.0 < p
+
+(* Is this message transiting through us (we are the head of remaining
+   and more hops follow)? *)
+let transit_tail t msg =
+  match Messages.remaining msg with
+  | Some (head :: (_ :: _ as tail)) when Address.equal head (address t) -> Some tail
+  | _ -> None
+
+(* Frames whose next hop is the impersonated victim are processed by the
+   adversary as if it were the victim: it pops the victim's address and
+   forwards (subject to its drop policy) — traffic flows through the
+   adversary while the route record blames the victim. *)
+let impersonated_transit t msg =
+  match (t.behavior.impersonate, Messages.remaining msg) with
+  | Some victim, Some (head :: tail) when Address.equal head victim ->
+      (match (msg, tail) with
+      | _, [] -> Some `Consumed (* addressed to the victim itself: swallow *)
+      | Messages.Data _, _ when should_drop t -> Some `Consumed
+      | _, _ ->
+          Ctx.stat t.ctx "attack.mitm_forwarded";
+          Ctx.send_along t.ctx ~path:tail (Messages.with_remaining msg tail);
+          Some `Forwarded)
+  | _ -> None
+
+let handle t ~src msg =
+  if t.behavior.mute then ()
+  else if impersonated_transit t msg <> None then ()
+  else
+  match msg with
+  | Messages.Rreq { sip; dip; seq; srr; _ } ->
+      let key = fkey sip seq in
+      if Hashtbl.mem t.seen_rreq key then ()
+      else begin
+        Hashtbl.replace t.seen_rreq key ();
+        let me = address t in
+        let rr = List.map (fun e -> e.Messages.ip) srr in
+        if Address.equal dip me then t.delegate ~src msg
+        else if Address.equal sip me || List.exists (Address.equal me) rr then ()
+        else begin
+          (* Replaying is additive: the adversary still relays so as not
+             to give itself away by killing the flood. *)
+          if t.behavior.replay_rrep then
+            ignore (replay_captured t ~sip ~dip ~rr);
+          if t.behavior.forge_rrep then forge_rrep t ~sip ~dip ~seq ~rr
+          else begin
+            match t.behavior.impersonate with
+            | Some victim -> impersonate_relay t victim ~rreq:msg
+            | None -> t.delegate ~src msg
+          end
+        end
+      end
+  | Messages.Rrep { dip; rr; sig_; dpk; drn; _ } ->
+      if t.behavior.replay_rrep then
+        Hashtbl.replace t.captured (Address.to_bytes dip)
+          { c_rr = rr; c_sig = sig_; c_dpk = dpk; c_drn = drn };
+      t.delegate ~src msg
+  | Messages.Data { src = flow_src; route; _ } -> (
+      match transit_tail t msg with
+      | Some _ ->
+          (* Transit data: remember the flow (for RERR fabrication), then
+             apply the drop policy. *)
+          Hashtbl.replace t.flows (Address.to_bytes flow_src) (flow_src, route);
+          if should_drop t then Ctx.stat t.ctx "attack.data_dropped"
+          else t.delegate ~src msg
+      | None -> t.delegate ~src msg)
+  | Messages.Probe { target; _ } -> (
+      match transit_tail t msg with
+      | Some _ ->
+          if t.behavior.drop_probes then Ctx.stat t.ctx "attack.probes_dropped"
+          else t.delegate ~src msg
+      | None ->
+          if Address.equal target (address t) && not t.behavior.answer_probes
+          then Ctx.stat t.ctx "attack.probes_dropped"
+          else t.delegate ~src msg)
+  | _ -> t.delegate ~src msg

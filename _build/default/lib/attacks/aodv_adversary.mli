@@ -1,0 +1,36 @@
+(** Black-hole behaviour against AODV / SAODV.
+
+    The AODV black hole answers any overheard route request with a
+    fabricated route reply claiming a very fresh destination sequence
+    number at one hop — in plain AODV the freshness rule makes that
+    reply beat every honest one.  Against SAODV the forged reply cannot
+    carry the destination's signature and is rejected.  Either way the
+    adversary silently drops the data it attracts; unlike the secure-DSR
+    case there is no per-hop identity for the victimized source to blame
+    (experiment E7). *)
+
+module Address = Manet_ipv6.Address
+
+type behavior = {
+  forge_rrep : bool;
+  drop_data : bool;
+}
+
+val blackhole : behavior
+val silent_dropper : behavior
+(** Participates honestly in discovery, drops transit data. *)
+
+type t
+
+val create :
+  ?behavior:behavior ->
+  delegate:Manet_aodv.Aodv.t ->
+  rng:Manet_crypto.Prng.t ->
+  unit ->
+  t
+(** Wraps the honest agent (which supplies identity, tables and the
+    radio); deviations are implemented by interception. *)
+
+val handle : t -> src:int -> Manet_aodv.Aodv.msg -> unit
+
+(** Stats: [attack.rrep_forged], [attack.data_dropped]. *)

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array Hashtbl List Manet_attacks Manet_crypto Manet_dad Manet_dns Manet_dsr Manet_ipv6 Manet_proto Manet_secure Manet_sim Option Printf String

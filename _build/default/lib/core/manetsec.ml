@@ -1,0 +1,40 @@
+(** Public facade: one namespace over every subsystem of the
+    reproduction.
+
+    - {!Crypto}: PRNG, bignums, SHA-256, HMAC, RSA and the signature
+      suite abstraction.
+    - {!Ipv6}: addresses and cryptographically generated addresses
+      (CGA, Figure 1).
+    - {!Sim}: the discrete-event engine, topologies, mobility, the
+      simulated radio, stats and traces.
+    - {!Proto}: Table 1 message types, wire-size model, node identity.
+    - {!Dad}: secure duplicate address detection (§3.1).
+    - {!Dns} / {!Dns_client}: the DNS server and host-side services
+      (§3.2).
+    - {!Dsr} / {!Route_cache}: the plain DSR baseline.
+    - {!Secure_routing} / {!Credit}: the paper's secure routing and
+      credit management (§3.3-3.4).
+    - {!Adversary}: the §4 attack behaviours.
+    - {!Aodv} / {!Aodv_adversary} / {!Aodv_world}: the AODV and
+      SAODV-style comparison substrate (the paper's "other routing
+      protocols" future work).
+    - {!Scenario}: whole-network orchestration for experiments and
+      examples. *)
+
+module Crypto = Manet_crypto
+module Ipv6 = Manet_ipv6
+module Sim = Manet_sim
+module Proto = Manet_proto
+module Dad = Manet_dad.Dad
+module Dns = Manet_dns.Dns
+module Dns_client = Manet_dns.Client
+module Dsr = Manet_dsr.Dsr
+module Route_cache = Manet_dsr.Route_cache
+module Secure_routing = Manet_secure.Secure_routing
+module Credit = Manet_secure.Credit
+module Srp = Manet_secure.Srp
+module Adversary = Manet_attacks.Adversary
+module Aodv = Manet_aodv.Aodv
+module Aodv_adversary = Manet_attacks.Aodv_adversary
+module Aodv_world = Manet_attacks.Aodv_world
+module Scenario = Scenario

@@ -1,0 +1,147 @@
+(** Scenario orchestration: build a whole simulated MANET in one call.
+
+    A scenario wires together everything the lower layers provide — the
+    event engine, a topology with optional mobility, the lossy radio, one
+    identity per node, the DAD bootstrapping agents, the DNS server on
+    node 0, a routing agent per node (plain DSR or the paper's secure
+    protocol), and any adversaries — and exposes the traffic generators
+    and metric readers the experiments and examples need.
+
+    Typical use:
+    {[
+      let s = Scenario.create { Scenario.default_params with n = 50 } in
+      Scenario.bootstrap s;                     (* secure DAD for all   *)
+      Scenario.start_cbr s ~flows:[ (3, 17) ] ~interval:0.25 ~duration:60.0 ();
+      Scenario.run s ~until:120.0;
+      Printf.printf "delivery %.2f\n" (Scenario.delivery_ratio s)
+    ]} *)
+
+module Address = Manet_ipv6.Address
+module Engine = Manet_sim.Engine
+module Stats = Manet_sim.Stats
+module Mobility = Manet_sim.Mobility
+module Identity = Manet_proto.Identity
+
+type topology_spec =
+  | Chain of { spacing : float }
+  | Grid of { cols : int; spacing : float }
+  | Random of { width : float; height : float }
+      (** resampled until connected at the configured radio range *)
+
+type suite_spec =
+  | Mock_suite  (** idealized signatures; large sweeps *)
+  | Rsa_suite of int  (** real RSA with the given modulus bits *)
+
+type protocol =
+  | Plain_dsr
+  | Secure
+  | Srp_protocol
+      (** SRP-style comparison: end-to-end MACs under pre-established
+          pairwise associations, no per-hop verification *)
+
+type params = {
+  n : int;  (** node count, including the DNS server at node 0 *)
+  seed : int;
+  range : float;
+  loss : float;
+  promiscuous : bool;  (** radios overhear unicasts (route shortening) *)
+  topology : topology_spec;
+  mobility : Mobility.model;
+  protocol : protocol;
+  suite : suite_spec;
+  with_dns : bool;  (** host the DNS server on node 0 *)
+  adversaries : (int * Manet_attacks.Adversary.behavior) list;
+      (** node index to behaviour; indices must not be 0 when [with_dns] *)
+  dsr_config : Manet_dsr.Dsr.config;
+  secure_config : Manet_secure.Secure_routing.config;
+  dad_config : Manet_dad.Dad.config;
+}
+
+val default_params : params
+(** 20 nodes, seed 1, 250 range, no loss, random 1000x1000 field, static,
+    secure protocol, mock suite, DNS on node 0, no adversaries. *)
+
+type routing_agent =
+  | Dsr_agent of Manet_dsr.Dsr.t
+  | Secure_agent of Manet_secure.Secure_routing.t
+  | Srp_agent of Manet_secure.Srp.t
+
+type node = {
+  index : int;
+  identity : Identity.t;
+  ctx : Manet_proto.Node_ctx.t;
+  dad : Manet_dad.Dad.t;
+  dns_client : Manet_dns.Client.t;
+  routing : routing_agent;
+  adversary : Manet_attacks.Adversary.t option;
+}
+
+type t
+
+val create : params -> t
+
+val engine : t -> Engine.t
+val net : t -> Manet_proto.Messages.t Manet_sim.Net.t
+(** The shared radio — exposed for failure injection (downing nodes) in
+    tests and experiments. *)
+
+val stats : t -> Stats.t
+val params : t -> params
+val node : t -> int -> node
+val nodes : t -> node array
+val dns_server : t -> Manet_dns.Dns.t option
+val suite : t -> Manet_crypto.Suite.t
+
+val address_of : t -> int -> Address.t
+
+val bootstrap : ?stagger:float -> t -> unit
+(** Run secure DAD for every non-DNS node, started [stagger] seconds
+    apart (default 0.5), then run the engine until the network is quiet.
+    Also starts mobility and adversary timers. *)
+
+val start : t -> unit
+(** Start mobility and adversary timers without DAD (addresses were
+    assigned at creation); for experiments that skip bootstrap. *)
+
+val send : t -> src:int -> dst:int -> ?size:int -> unit -> unit
+(** Offer one data packet from node [src] to node [dst]'s current
+    address. *)
+
+val start_cbr :
+  t ->
+  flows:(int * int) list ->
+  interval:float ->
+  ?size:int ->
+  ?start_at:float ->
+  duration:float ->
+  unit ->
+  unit
+(** Constant-bit-rate flows: each (src, dst) pair offers a packet every
+    [interval] seconds from [start_at] (default: now) for [duration]. *)
+
+val discover : t -> src:int -> dst:int -> (Address.t list option -> unit) -> unit
+
+val run : ?until:float -> t -> unit
+(** Drive the engine ([until] is absolute simulated time). *)
+
+(* --- metric readers ---------------------------------------------------- *)
+
+val delivery_ratio : t -> float
+(** delivered / offered; 1.0 when nothing was offered. *)
+
+val ack_ratio : t -> float
+
+val control_bytes : t -> int
+(** Bytes of all non-data, non-ack transmissions (route discovery,
+    replies, errors, probes, bootstrap, DNS). *)
+
+val control_packets : t -> int
+
+val crypto_ops : t -> int * int
+(** (signatures made, verifications performed) across all nodes. *)
+
+val mean_latency : t -> float option
+(** Mean one-way data latency in seconds. *)
+
+val latency_percentile : t -> float -> float option
+(** [latency_percentile t 0.95] is the p95 one-way data latency. *)

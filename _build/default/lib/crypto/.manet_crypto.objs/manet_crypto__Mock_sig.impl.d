@@ -1,0 +1,1 @@
+lib/crypto/mock_sig.ml: Hashtbl Hmac Prng Sha256

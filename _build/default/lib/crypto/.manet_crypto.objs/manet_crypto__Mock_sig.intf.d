@@ -1,0 +1,1 @@
+lib/crypto/mock_sig.mli: Prng

@@ -1,0 +1,1 @@
+lib/crypto/suite.ml: Mock_sig Printf Rsa

@@ -1,0 +1,1 @@
+lib/crypto/suite.mli: Prng

@@ -1,0 +1,718 @@
+(* Sign-magnitude bignums over 26-bit limbs stored little-endian in int
+   arrays.  26 bits keeps every intermediate product (2^52) and the
+   double-limb dividends of Knuth division well inside OCaml's 63-bit
+   native integers. *)
+
+let base_bits = 26
+let base = 1 lsl base_bits
+let limb_mask = base - 1
+
+type t = { sign : int; mag : int array }
+(* Invariants: sign is -1, 0 or 1; mag has no trailing (high-order) zero
+   limb; sign = 0 iff mag is empty. *)
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize sign mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do decr n done;
+  if !n = 0 then zero
+  else if !n = Array.length mag then { sign; mag }
+  else { sign; mag = Array.sub mag 0 !n }
+
+let of_int i =
+  if i = 0 then zero
+  else begin
+    let sign = if i < 0 then -1 else 1 in
+    let v = ref (abs i) in
+    let limbs = ref [] in
+    while !v > 0 do
+      limbs := (!v land limb_mask) :: !limbs;
+      v := !v lsr base_bits
+    done;
+    { sign; mag = Array.of_list (List.rev !limbs) }
+  end
+
+let one = of_int 1
+let two = of_int 2
+
+let sign n = n.sign
+let numbits_of_limb l =
+  let rec go l acc = if l = 0 then acc else go (l lsr 1) (acc + 1) in
+  go l 0
+
+let numbits n =
+  let len = Array.length n.mag in
+  if len = 0 then 0
+  else ((len - 1) * base_bits) + numbits_of_limb n.mag.(len - 1)
+
+let to_int_opt n =
+  if numbits n <= 62 then begin
+    let v = ref 0 in
+    for i = Array.length n.mag - 1 downto 0 do
+      v := (!v lsl base_bits) lor n.mag.(i)
+    done;
+    Some (n.sign * !v)
+  end
+  else None
+
+(* --- magnitude primitives ------------------------------------------- *)
+
+let compare_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let r = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land limb_mask;
+    carry := s lsr base_bits
+  done;
+  r.(n) <- !carry;
+  r
+
+(* requires |a| >= |b| *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+    else begin r.(i) <- d; borrow := 0 end
+  done;
+  assert (!borrow = 0);
+  r
+
+let mul_mag_school a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let v = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- v land limb_mask;
+        carry := v lsr base_bits
+      done;
+      (* Propagate the final carry; it can exceed one limb only when the
+         accumulated column overflows, which a single limb absorbs here
+         because ai*bj + r + carry < 2^52 + 2^27. *)
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let v = r.(!k) + !carry in
+        r.(!k) <- v land limb_mask;
+        carry := v lsr base_bits;
+        incr k
+      done
+    done;
+    r
+  end
+
+let karatsuba_threshold = 32
+
+let rec mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else if min la lb < karatsuba_threshold then mul_mag_school a b
+  else begin
+    (* Karatsuba: split at half of the shorter operand's partner. *)
+    let m = max la lb / 2 in
+    let lo x = Array.sub x 0 (min m (Array.length x)) in
+    let hi x =
+      if Array.length x <= m then [||] else Array.sub x m (Array.length x - m)
+    in
+    let a0 = lo a and a1 = hi a and b0 = lo b and b1 = hi b in
+    let z0 = mul_mag a0 b0 in
+    let z2 = mul_mag a1 b1 in
+    let s_a = add_mag a0 a1 and s_b = add_mag b0 b1 in
+    let z1 = mul_mag s_a s_b in
+    (* z1 := z1 - z0 - z2 *)
+    let z1 = sub_mag z1 z0 in
+    let z1 = sub_mag z1 z2 in
+    let r = Array.make (la + lb + 1) 0 in
+    let accumulate dst off src =
+      let carry = ref 0 in
+      Array.iteri
+        (fun i v ->
+          let s = dst.(off + i) + v + !carry in
+          dst.(off + i) <- s land limb_mask;
+          carry := s lsr base_bits)
+        src;
+      let k = ref (off + Array.length src) in
+      while !carry <> 0 do
+        let s = dst.(!k) + !carry in
+        dst.(!k) <- s land limb_mask;
+        carry := s lsr base_bits;
+        incr k
+      done
+    in
+    accumulate r 0 z0;
+    accumulate r m z1;
+    accumulate r (2 * m) z2;
+    r
+  end
+
+let shift_left_mag a s =
+  (* s arbitrary non-negative bit count *)
+  if Array.length a = 0 then [||]
+  else begin
+    let limb_shift = s / base_bits and bit_shift = s mod base_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limb_shift + 1) 0 in
+    if bit_shift = 0 then Array.blit a 0 r limb_shift la
+    else begin
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let v = (a.(i) lsl bit_shift) lor !carry in
+        r.(i + limb_shift) <- v land limb_mask;
+        carry := v lsr base_bits
+      done;
+      r.(la + limb_shift) <- !carry
+    end;
+    r
+  end
+
+let shift_right_mag a s =
+  let limb_shift = s / base_bits and bit_shift = s mod base_bits in
+  let la = Array.length a in
+  if limb_shift >= la then [||]
+  else begin
+    let n = la - limb_shift in
+    let r = Array.make n 0 in
+    if bit_shift = 0 then Array.blit a limb_shift r 0 n
+    else
+      for i = 0 to n - 1 do
+        let lo = a.(i + limb_shift) lsr bit_shift in
+        let hi =
+          if i + limb_shift + 1 < la then
+            (a.(i + limb_shift + 1) lsl (base_bits - bit_shift)) land limb_mask
+          else 0
+        in
+        r.(i) <- lo lor hi
+      done;
+    r
+  end
+
+(* Knuth TAOCP vol 2, algorithm D, with the exposition of Hacker's
+   Delight's divmnu.  Requires |u| >= |v| and |v| >= 2 limbs.  Returns
+   (quotient, remainder) magnitudes. *)
+let divmod_mag_knuth u v =
+  let n = Array.length v in
+  let m = Array.length u in
+  (* Normalize so the divisor's top limb has its high bit set. *)
+  let s = base_bits - numbits_of_limb v.(n - 1) in
+  let vn = shift_right_mag (shift_left_mag v s) 0 in
+  let vn = if Array.length vn > n then Array.sub vn 0 n else vn in
+  let un = shift_left_mag u s in
+  let un =
+    (* ensure un has exactly m+1 limbs *)
+    if Array.length un >= m + 1 then Array.sub un 0 (m + 1)
+    else begin
+      let r = Array.make (m + 1) 0 in
+      Array.blit un 0 r 0 (Array.length un);
+      r
+    end
+  in
+  let q = Array.make (m - n + 1) 0 in
+  for j = m - n downto 0 do
+    let num = (un.(j + n) * base) + un.(j + n - 1) in
+    let qhat = ref (num / vn.(n - 1)) in
+    let rhat = ref (num mod vn.(n - 1)) in
+    let adjust = ref true in
+    while !adjust do
+      if !qhat >= base || !qhat * vn.(n - 2) > (!rhat * base) + un.(j + n - 2)
+      then begin
+        decr qhat;
+        rhat := !rhat + vn.(n - 1);
+        if !rhat >= base then adjust := false
+      end
+      else adjust := false
+    done;
+    (* Multiply and subtract. *)
+    let k = ref 0 in
+    let t = ref 0 in
+    for i = 0 to n - 1 do
+      let p = !qhat * vn.(i) in
+      t := un.(i + j) - !k - (p land limb_mask);
+      un.(i + j) <- !t land limb_mask;
+      k := (p lsr base_bits) - (!t asr base_bits)
+    done;
+    t := un.(j + n) - !k;
+    un.(j + n) <- !t land limb_mask;
+    q.(j) <- !qhat;
+    if !t < 0 then begin
+      (* qhat was one too large: add the divisor back. *)
+      q.(j) <- q.(j) - 1;
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let w = un.(i + j) + vn.(i) + !carry in
+        un.(i + j) <- w land limb_mask;
+        carry := w lsr base_bits
+      done;
+      un.(j + n) <- (un.(j + n) + !carry) land limb_mask
+    end
+  done;
+  let r = shift_right_mag (Array.sub un 0 n) s in
+  (q, r)
+
+let divmod_mag_single u v0 =
+  let lu = Array.length u in
+  let q = Array.make lu 0 in
+  let r = ref 0 in
+  for i = lu - 1 downto 0 do
+    let cur = (!r * base) + u.(i) in
+    q.(i) <- cur / v0;
+    r := cur mod v0
+  done;
+  (q, [| !r |])
+
+let divmod_mag u v =
+  if Array.length v = 0 then raise Division_by_zero
+  else if compare_mag u v < 0 then ([||], u)
+  else if Array.length v = 1 then divmod_mag_single u v.(0)
+  else divmod_mag_knuth u v
+
+(* --- signed operations ----------------------------------------------- *)
+
+let neg n = if n.sign = 0 then n else { n with sign = -n.sign }
+let abs n = if n.sign < 0 then neg n else n
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then compare_mag a.mag b.mag
+  else compare_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let rec add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then normalize a.sign (add_mag a.mag b.mag)
+  else begin
+    match compare_mag a.mag b.mag with
+    | 0 -> zero
+    | c when c > 0 -> normalize a.sign (sub_mag a.mag b.mag)
+    | _ -> normalize b.sign (sub_mag b.mag a.mag)
+  end
+
+and sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else normalize (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let q_mag, r_mag = divmod_mag a.mag b.mag in
+  let q = normalize (a.sign * b.sign) q_mag in
+  let r = normalize a.sign r_mag in
+  (q, r)
+
+let rem a b = snd (divmod a b)
+
+let mod_ a m =
+  if m.sign <= 0 then invalid_arg "Bignum.mod_: modulus must be positive";
+  let r = rem a m in
+  if r.sign < 0 then add r m else r
+
+let shift_left n s =
+  if s < 0 then invalid_arg "Bignum.shift_left";
+  if n.sign = 0 then zero else normalize n.sign (shift_left_mag n.mag s)
+
+let shift_right n s =
+  if s < 0 then invalid_arg "Bignum.shift_right";
+  if n.sign = 0 then zero else normalize n.sign (shift_right_mag n.mag s)
+
+let testbit n i =
+  let limb = i / base_bits and bit = i mod base_bits in
+  limb < Array.length n.mag && (n.mag.(limb) lsr bit) land 1 = 1
+
+(* --- conversions ------------------------------------------------------ *)
+
+let of_bytes_be s =
+  let acc = ref zero in
+  String.iter
+    (fun c -> acc := add (shift_left !acc 8) (of_int (Char.code c)))
+    s;
+  !acc
+
+let to_bytes_be ?(pad = 0) n =
+  let nb = numbits n in
+  let len = max pad ((nb + 7) / 8) in
+  let len = max len 1 in
+  let b = Bytes.make len '\000' in
+  for i = 0 to len - 1 do
+    let bit = (len - 1 - i) * 8 in
+    let byte = ref 0 in
+    for j = 7 downto 0 do
+      byte := (!byte lsl 1) lor (if testbit n (bit + j) then 1 else 0)
+    done;
+    Bytes.set b i (Char.chr !byte)
+  done;
+  Bytes.unsafe_to_string b
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bignum.of_string: empty";
+  let negative = s.[0] = '-' in
+  let start = if negative || s.[0] = '+' then 1 else 0 in
+  if start = len then invalid_arg "Bignum.of_string: no digits";
+  let acc = ref zero in
+  let ten = of_int 10 in
+  for i = start to len - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bignum.of_string: bad digit";
+    acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+  done;
+  if negative then neg !acc else !acc
+
+let to_string n =
+  if n.sign = 0 then "0"
+  else begin
+    (* Peel 7 decimal digits at a time with single-limb division. *)
+    let chunk = 10_000_000 in
+    let buf = Buffer.create 32 in
+    let mag = ref (abs n) in
+    let parts = ref [] in
+    while !mag.sign <> 0 do
+      let q, r = divmod_mag !mag.mag [| chunk |] in
+      let r0 = if Array.length r = 0 then 0 else r.(0) in
+      parts := r0 :: !parts;
+      mag := normalize 1 q
+    done;
+    (match !parts with
+    | [] -> ()
+    | first :: rest ->
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun p -> Buffer.add_string buf (Printf.sprintf "%07d" p)) rest);
+    (if n.sign < 0 then "-" else "") ^ Buffer.contents buf
+  end
+
+let of_hex s =
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      let v =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> invalid_arg "Bignum.of_hex: bad digit"
+      in
+      acc := add (shift_left !acc 4) (of_int v))
+    s;
+  !acc
+
+let to_hex n =
+  if n.sign = 0 then "0"
+  else begin
+    let nb = numbits n in
+    let digits = (nb + 3) / 4 in
+    let buf = Buffer.create digits in
+    for i = digits - 1 downto 0 do
+      let v = ref 0 in
+      for j = 3 downto 0 do
+        v := (!v lsl 1) lor (if testbit n ((i * 4) + j) then 1 else 0)
+      done;
+      Buffer.add_char buf "0123456789abcdef".[!v]
+    done;
+    Buffer.contents buf
+  end
+
+let pp fmt n = Format.pp_print_string fmt (to_string n)
+
+(* --- number theory ---------------------------------------------------- *)
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if b.sign = 0 then a else gcd b (rem a b)
+
+let egcd a b =
+  (* Iterative extended Euclid on non-negative inputs. *)
+  if a.sign < 0 || b.sign < 0 then invalid_arg "Bignum.egcd: negative input";
+  let r0 = ref a and r1 = ref b in
+  let x0 = ref one and x1 = ref zero in
+  let y0 = ref zero and y1 = ref one in
+  while !r1.sign <> 0 do
+    let q, r = divmod !r0 !r1 in
+    r0 := !r1;
+    r1 := r;
+    let nx = sub !x0 (mul q !x1) in
+    x0 := !x1;
+    x1 := nx;
+    let ny = sub !y0 (mul q !y1) in
+    y0 := !y1;
+    y1 := ny
+  done;
+  (!r0, !x0, !y0)
+
+let mod_inverse a m =
+  if m.sign <= 0 then invalid_arg "Bignum.mod_inverse: modulus must be positive";
+  let g, x, _ = egcd (mod_ a m) m in
+  if equal g one then Some (mod_ x m) else None
+
+let mod_pow_generic b e m =
+  if equal m one then zero
+  else begin
+    let result = ref one in
+    let acc = ref (mod_ b m) in
+    let bits = numbits e in
+    for i = 0 to bits - 1 do
+      if testbit e i then result := mod_ (mul !result !acc) m;
+      if i < bits - 1 then acc := mod_ (mul !acc !acc) m
+    done;
+    !result
+  end
+
+(* Montgomery exponentiation (CIOS), used for odd moduli — the RSA case.
+   Operands live as little-endian limb arrays of the modulus's width; the
+   accumulator never exceeds 2^52 + 2^27, well inside a 63-bit int. *)
+module Mont = struct
+  type ctx = {
+    n_limbs : int array;
+    k : int;
+    n0' : int; (* -n[0]^-1 mod base *)
+    r2 : int array; (* R^2 mod n, R = base^k *)
+    modulus : t;
+  }
+
+  let limbs_of k v =
+    let a = Array.make k 0 in
+    Array.blit v.mag 0 a 0 (Array.length v.mag);
+    a
+
+  let inv_limb n0 =
+    (* Hensel lifting: x <- x * (2 - n0 * x) doubles correct low bits. *)
+    let x = ref 1 in
+    for _ = 1 to 5 do
+      x := !x * (2 - (n0 * !x)) land limb_mask
+    done;
+    !x land limb_mask
+
+  let create m =
+    if m.sign <= 0 || not (testbit m 0) then None
+    else begin
+      let k = Array.length m.mag in
+      let n_limbs = limbs_of k m in
+      let n0' = base - inv_limb n_limbs.(0) in
+      let r2 = mod_ (shift_left one (2 * k * base_bits)) m in
+      Some { n_limbs; k; n0'; r2 = limbs_of k r2; modulus = m }
+    end
+
+  (* acc := MontMul(a, b) — both k-limb arrays; result k limbs. *)
+  let mont_mul ctx a b =
+    let k = ctx.k in
+    let n = ctx.n_limbs in
+    let acc = Array.make (k + 2) 0 in
+    for i = 0 to k - 1 do
+      let ai = a.(i) in
+      let c = ref 0 in
+      for j = 0 to k - 1 do
+        let t = acc.(j) + (ai * b.(j)) + !c in
+        acc.(j) <- t land limb_mask;
+        c := t lsr base_bits
+      done;
+      let t = acc.(k) + !c in
+      acc.(k) <- t land limb_mask;
+      acc.(k + 1) <- acc.(k + 1) + (t lsr base_bits);
+      let m0 = acc.(0) * ctx.n0' land limb_mask in
+      let c = ref ((acc.(0) + (m0 * n.(0))) lsr base_bits) in
+      for j = 1 to k - 1 do
+        let t = acc.(j) + (m0 * n.(j)) + !c in
+        acc.(j - 1) <- t land limb_mask;
+        c := t lsr base_bits
+      done;
+      let t = acc.(k) + !c in
+      acc.(k - 1) <- t land limb_mask;
+      acc.(k) <- acc.(k + 1) + (t lsr base_bits);
+      acc.(k + 1) <- 0
+    done;
+    let out = Array.sub acc 0 k in
+    (* Conditional subtraction: the result is < 2n. *)
+    let ge =
+      acc.(k) > 0
+      ||
+      let rec cmp i =
+        if i < 0 then true
+        else if out.(i) <> n.(i) then out.(i) > n.(i)
+        else cmp (i - 1)
+      in
+      cmp (k - 1)
+    in
+    if ge then begin
+      let borrow = ref 0 in
+      for i = 0 to k - 1 do
+        let d = out.(i) - n.(i) - !borrow in
+        if d < 0 then begin
+          out.(i) <- d + base;
+          borrow := 1
+        end
+        else begin
+          out.(i) <- d;
+          borrow := 0
+        end
+      done
+    end;
+    out
+
+  let mod_pow ctx b e =
+    let k = ctx.k in
+    let b = mod_ b ctx.modulus in
+    let b_mont = mont_mul ctx (limbs_of k b) ctx.r2 in
+    (* 1 in Montgomery form: R mod n = MontMul(1, R^2). *)
+    let one_limbs = Array.make k 0 in
+    one_limbs.(0) <- 1;
+    let result = ref (mont_mul ctx one_limbs ctx.r2) in
+    let acc = ref b_mont in
+    let bits = numbits e in
+    for i = 0 to bits - 1 do
+      if testbit e i then result := mont_mul ctx !result !acc;
+      if i < bits - 1 then acc := mont_mul ctx !acc !acc
+    done;
+    let plain = mont_mul ctx !result one_limbs in
+    normalize 1 plain
+end
+
+let mod_pow b e m =
+  if m.sign <= 0 then invalid_arg "Bignum.mod_pow: modulus must be positive";
+  if e.sign < 0 then invalid_arg "Bignum.mod_pow: negative exponent";
+  if equal m one then zero
+  else if testbit m 0 && Array.length m.mag >= 2 then begin
+    match Mont.create m with
+    | Some ctx -> Mont.mod_pow ctx b e
+    | None -> mod_pow_generic b e m
+  end
+  else mod_pow_generic b e m
+
+let random g ~bits =
+  if bits <= 0 then invalid_arg "Bignum.random: bits <= 0";
+  let nbytes = (bits + 7) / 8 in
+  let s = Prng.bytes g nbytes in
+  let excess = (nbytes * 8) - bits in
+  let b = Bytes.of_string s in
+  if excess > 0 then
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) land (0xFF lsr excess)));
+  of_bytes_be (Bytes.unsafe_to_string b)
+
+let random_below g n =
+  if n.sign <= 0 then invalid_arg "Bignum.random_below: bound <= 0";
+  let bits = numbits n in
+  let rec loop () =
+    let candidate = random g ~bits in
+    if compare candidate n < 0 then candidate else loop ()
+  in
+  loop ()
+
+let small_primes =
+  (* Primes below 1000, enough trial division to reject most candidates
+     before a Miller-Rabin round. *)
+  let limit = 1000 in
+  let sieve = Array.make (limit + 1) true in
+  sieve.(0) <- false;
+  sieve.(1) <- false;
+  for i = 2 to limit do
+    if sieve.(i) then begin
+      let j = ref (i * i) in
+      while !j <= limit do
+        sieve.(!j) <- false;
+        j := !j + i
+      done
+    end
+  done;
+  let out = ref [] in
+  for i = limit downto 2 do
+    if sieve.(i) then out := i :: !out
+  done;
+  Array.of_list !out
+
+let is_probable_prime ?(rounds = 24) g n =
+  let n = abs n in
+  match to_int_opt n with
+  | Some v when v < 2 -> false
+  | Some v when v <= small_primes.(Array.length small_primes - 1) ->
+      Array.exists (fun p -> p = v) small_primes
+  | _ ->
+      let divisible_by_small =
+        Array.exists
+          (fun p ->
+            let r = rem n (of_int p) in
+            r.sign = 0)
+          small_primes
+      in
+      if divisible_by_small then false
+      else begin
+        (* n - 1 = d * 2^s with d odd *)
+        let n1 = sub n one in
+        let s = ref 0 in
+        let d = ref n1 in
+        while not (testbit !d 0) do
+          d := shift_right !d 1;
+          incr s
+        done;
+        let witness a =
+          let x = ref (mod_pow a !d n) in
+          if equal !x one || equal !x n1 then false
+          else begin
+            let composite = ref true in
+            (try
+               for _ = 1 to !s - 1 do
+                 x := mod_ (mul !x !x) n;
+                 if equal !x n1 then begin
+                   composite := false;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            !composite
+          end
+        in
+        let rec rounds_loop k =
+          if k = 0 then true
+          else begin
+            let a = add two (random_below g (sub n (of_int 4))) in
+            if witness a then false else rounds_loop (k - 1)
+          end
+        in
+        rounds_loop rounds
+      end
+
+let generate_prime g ~bits =
+  if bits < 2 then invalid_arg "Bignum.generate_prime: bits < 2";
+  let rec attempt () =
+    let candidate = random g ~bits in
+    (* Force the top bit (exact width) and the low bit (odd). *)
+    let candidate = add candidate (shift_left one (bits - 1)) in
+    let candidate =
+      if testbit candidate bits then
+        (* Carry overflowed the width: retry. *)
+        zero
+      else if testbit candidate 0 then candidate
+      else add candidate one
+    in
+    if candidate.sign = 0 || numbits candidate <> bits then attempt ()
+    else begin
+      (* March odd numbers forward until prime, staying within the width. *)
+      let rec march c tries =
+        if tries > 4096 || numbits c <> bits then attempt ()
+        else if is_probable_prime g c then c
+        else march (add c two) (tries + 1)
+      in
+      march candidate 0
+    end
+  in
+  attempt ()

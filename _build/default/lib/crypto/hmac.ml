@@ -1,0 +1,24 @@
+let block_size = 64
+
+let hmac_sha256 ~key msg =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let pad fill =
+    let b = Bytes.make block_size fill in
+    String.iteri
+      (fun i c -> Bytes.set b i (Char.chr (Char.code c lxor Char.code fill)))
+      key;
+    Bytes.unsafe_to_string b
+  in
+  let inner = Sha256.digest (pad '\x36' ^ msg) in
+  Sha256.digest (pad '\x5c' ^ inner)
+
+let verify ~key msg ~tag =
+  let expected = hmac_sha256 ~key msg in
+  if String.length expected <> String.length tag then false
+  else begin
+    let acc = ref 0 in
+    String.iteri
+      (fun i c -> acc := !acc lor (Char.code c lxor Char.code tag.[i]))
+      expected;
+    !acc = 0
+  end

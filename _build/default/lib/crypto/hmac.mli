@@ -1,0 +1,10 @@
+(** HMAC-SHA256 (RFC 2104).
+
+    Used by the idealized {!Mock_sig} signature scheme and available for
+    end-to-end payload protection in the examples. *)
+
+val hmac_sha256 : key:string -> string -> string
+(** [hmac_sha256 ~key msg] is the 32-byte HMAC-SHA256 tag of [msg]. *)
+
+val verify : key:string -> string -> tag:string -> bool
+(** Constant-time comparison of a computed tag against [tag]. *)

@@ -1,0 +1,20 @@
+type registry = (string, string) Hashtbl.t
+type private_key = { secret : string; pk_bytes : string }
+
+let create_registry () = Hashtbl.create 64
+
+let generate reg g =
+  let secret = Prng.bytes g 32 in
+  let pk_bytes = Sha256.digest secret in
+  Hashtbl.replace reg pk_bytes secret;
+  (pk_bytes, { secret; pk_bytes })
+
+let sign sk msg = Hmac.hmac_sha256 ~key:sk.secret msg
+
+let verify reg ~pk_bytes ~msg ~signature =
+  match Hashtbl.find_opt reg pk_bytes with
+  | None -> false
+  | Some secret -> Hmac.verify ~key:secret msg ~tag:signature
+
+let signature_size = 32
+let public_key_size = 32

@@ -1,0 +1,30 @@
+(** An idealized signature scheme for large simulations.
+
+    RSA dominates the runtime of thousand-node sweeps, so experiments that
+    study *protocol* behaviour (delivery ratio, overhead counts, credit
+    dynamics) can swap in this scheme: public keys are hashes of random
+    secrets, signing is HMAC-SHA256 under the secret, and verification
+    consults a per-registry table mapping public keys back to secrets.
+    This models an ideal EUF-CMA signature oracle — an adversary without
+    the secret cannot produce a valid tag, and a fabricated public key
+    verifies nothing — while costing two hash compressions per operation.
+    Experiments state which scheme they ran (see DESIGN.md §4.2). *)
+
+type registry
+(** The verification oracle: one per simulated world, so tests do not
+    observe each other's keys. *)
+
+type private_key
+
+val create_registry : unit -> registry
+
+val generate : registry -> Prng.t -> string * private_key
+(** [generate reg g] is [(pk_bytes, sk)]; the key is recorded in [reg]. *)
+
+val sign : private_key -> string -> string
+(** 32-byte tag. *)
+
+val verify : registry -> pk_bytes:string -> msg:string -> signature:string -> bool
+
+val signature_size : int
+val public_key_size : int

@@ -1,0 +1,108 @@
+(* xoshiro256** by Blackman & Vigna, seeded via splitmix64.  Both are
+   public-domain reference algorithms, transcribed for OCaml's boxed
+   int64. *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let ( +% ) = Int64.add
+let ( *% ) = Int64.mul
+let ( ^% ) = Int64.logxor
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* splitmix64: a one-off mixer used only to spread a small seed over the
+   256-bit xoshiro state. *)
+let splitmix64 state =
+  state := !state +% 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = (z ^% Int64.shift_right_logical z 30) *% 0xBF58476D1CE4E5B9L in
+  let z = (z ^% Int64.shift_right_logical z 27) *% 0x94D049BB133111EBL in
+  z ^% Int64.shift_right_logical z 31
+
+let create ~seed =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let bits64 g =
+  let result = rotl (g.s1 *% 5L) 7 *% 9L in
+  let t = Int64.shift_left g.s1 17 in
+  g.s2 <- g.s2 ^% g.s0;
+  g.s3 <- g.s3 ^% g.s1;
+  g.s1 <- g.s1 ^% g.s2;
+  g.s0 <- g.s0 ^% g.s3;
+  g.s2 <- g.s2 ^% t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g =
+  let st = ref (bits64 g) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+let int64 g bound =
+  if Int64.compare bound 0L <= 0 then invalid_arg "Prng.int64: bound <= 0";
+  (* Rejection sampling over the top 63 bits to avoid modulo bias. *)
+  let rec loop () =
+    let raw = Int64.shift_right_logical (bits64 g) 1 in
+    let v = Int64.rem raw bound in
+    if Int64.compare (Int64.sub raw v) (Int64.sub (Int64.sub Int64.max_int bound) 1L) <= 0
+    then v
+    else loop ()
+  in
+  loop ()
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0";
+  Int64.to_int (int64 g (Int64.of_int bound))
+
+let float g bound =
+  (* 53 random bits scaled into [0, 1). *)
+  let raw = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float raw /. 9007199254740992.0 *. bound
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let bytes g n =
+  let b = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    let v = ref (bits64 g) in
+    let k = min 8 (n - !i) in
+    for j = 0 to k - 1 do
+      Bytes.set b (!i + j) (Char.chr (Int64.to_int (Int64.logand !v 0xFFL)));
+      v := Int64.shift_right_logical !v 8
+    done;
+    i := !i + k
+  done;
+  Bytes.unsafe_to_string b
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let exponential g ~mean =
+  let u = float g 1.0 in
+  (* 1 - u is in (0, 1], so log is finite. *)
+  -.mean *. log (1.0 -. u)

@@ -1,0 +1,72 @@
+type keypair = { pk_bytes : string; sign : string -> string }
+
+type t = {
+  scheme_name : string;
+  generate : unit -> keypair;
+  verify : pk_bytes:string -> msg:string -> signature:string -> bool;
+  signature_size : int;
+  public_key_size : int;
+  mutable sign_count : int;
+  mutable verify_count : int;
+}
+
+let rsa ?(bits = 512) prng =
+  let rec suite =
+    {
+      scheme_name = Printf.sprintf "rsa-%d" bits;
+      generate =
+        (fun () ->
+          let pub, priv = Rsa.generate prng ~bits in
+          {
+            pk_bytes = Rsa.public_key_to_bytes pub;
+            sign =
+              (fun msg ->
+                suite.sign_count <- suite.sign_count + 1;
+                Rsa.sign priv msg);
+          });
+      verify =
+        (fun ~pk_bytes ~msg ~signature ->
+          suite.verify_count <- suite.verify_count + 1;
+          match Rsa.public_key_of_bytes pk_bytes with
+          | None -> false
+          | Some pk -> Rsa.verify pk ~msg ~signature);
+      (* n is [bits] bits and e = 65537: 3 bytes, plus two 2-byte length
+         prefixes. *)
+      signature_size = (bits + 7) / 8;
+      public_key_size = ((bits + 7) / 8) + 3 + 4;
+      sign_count = 0;
+      verify_count = 0;
+    }
+  in
+  suite
+
+let mock prng =
+  let registry = Mock_sig.create_registry () in
+  let rec suite =
+    {
+      scheme_name = "mock-hmac";
+      generate =
+        (fun () ->
+          let pk_bytes, sk = Mock_sig.generate registry prng in
+          {
+            pk_bytes;
+            sign =
+              (fun msg ->
+                suite.sign_count <- suite.sign_count + 1;
+                Mock_sig.sign sk msg);
+          });
+      verify =
+        (fun ~pk_bytes ~msg ~signature ->
+          suite.verify_count <- suite.verify_count + 1;
+          Mock_sig.verify registry ~pk_bytes ~msg ~signature);
+      signature_size = Mock_sig.signature_size;
+      public_key_size = Mock_sig.public_key_size;
+      sign_count = 0;
+      verify_count = 0;
+    }
+  in
+  suite
+
+let reset_counters t =
+  t.sign_count <- 0;
+  t.verify_count <- 0

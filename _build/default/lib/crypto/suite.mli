@@ -1,0 +1,35 @@
+(** A signature suite: the bundle of cryptographic operations every
+    protocol module is written against.
+
+    Public keys travel as opaque byte strings ([pk_bytes]) because the
+    protocol hashes them into CGA addresses and attaches them to messages
+    verbatim; only [verify] needs to understand their structure.  The
+    suite also keeps running counters of sign/verify operations, which the
+    overhead experiments (E2) report as "crypto ops per delivered
+    packet". *)
+
+type keypair = {
+  pk_bytes : string;  (** serialized public key, as carried on the wire *)
+  sign : string -> string;  (** sign a message with the private key *)
+}
+
+type t = {
+  scheme_name : string;
+  generate : unit -> keypair;
+  verify : pk_bytes:string -> msg:string -> signature:string -> bool;
+  signature_size : int;  (** wire bytes per signature *)
+  public_key_size : int;  (** wire bytes per public key *)
+  mutable sign_count : int;
+  mutable verify_count : int;
+}
+
+val rsa : ?bits:int -> Prng.t -> t
+(** RSA suite (default 512-bit moduli).  Key generation draws from the
+    given PRNG stream, so a seeded suite is fully reproducible. *)
+
+val mock : Prng.t -> t
+(** Idealized fast suite backed by {!Mock_sig}; its registry is private to
+    the returned suite value. *)
+
+val reset_counters : t -> unit
+(** Zero the sign/verify counters before a measured run. *)

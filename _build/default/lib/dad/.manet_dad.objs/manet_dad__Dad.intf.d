@@ -1,0 +1,1 @@
+lib/dad/dad.mli: Manet_ipv6 Manet_proto

@@ -1,0 +1,270 @@
+module Address = Manet_ipv6.Address
+module Cga = Manet_ipv6.Cga
+module Prng = Manet_crypto.Prng
+module Suite = Manet_crypto.Suite
+module Messages = Manet_proto.Messages
+module Codec = Manet_proto.Codec
+module Ctx = Manet_proto.Node_ctx
+module Directory = Manet_proto.Directory
+module Identity = Manet_proto.Identity
+module Engine = Manet_sim.Engine
+
+type config = {
+  arep_wait : float;
+  flood_jitter : float;
+  max_attempts : int;
+  auto_rename : bool;
+}
+
+let default_config =
+  { arep_wait = 2.0; flood_jitter = 0.02; max_attempts = 4; auto_rename = true }
+
+type outcome =
+  | Configured of { address : Address.t; name : string option }
+  | Failed of string
+
+type pending = {
+  p_ch : int64;
+  p_seq : int;
+  p_dn : string option;
+  p_attempt : int;
+  mutable p_resolved : bool;
+}
+
+type t = {
+  ctx : Ctx.t;
+  config : config;
+  dns_address : Address.t;
+  dns_pk : string;
+  mutable pending : pending option;
+  mutable configured : bool;
+  mutable seq : int;
+  mutable on_complete : outcome -> unit;
+  (* Flood dedup.  AREQ key: (sip, seq, ch) — seq alone can collide when
+     two initiators contest the same address.  Warning-AREP key: the
+     signature bytes, unique per (signer, sip, ch). *)
+  seen_areq : (string, unit) Hashtbl.t;
+  seen_warning : (string, unit) Hashtbl.t;
+  mutable areq_observer : Messages.t -> unit;
+  mutable warning_sink : Messages.t -> unit;
+}
+
+let create ?(config = default_config) ?(dns_address = Address.dns_server_1)
+    ~dns_pk ctx =
+  {
+    ctx;
+    config;
+    dns_address;
+    dns_pk;
+    pending = None;
+    configured = false;
+    seq = 0;
+    on_complete = (fun _ -> ());
+    seen_areq = Hashtbl.create 64;
+    seen_warning = Hashtbl.create 16;
+    areq_observer = (fun _ -> ());
+    warning_sink = (fun _ -> ());
+  }
+
+let identity t = t.ctx.Ctx.identity
+let address t = (identity t).Identity.address
+let is_configured t = t.configured
+
+let set_areq_observer t f = t.areq_observer <- f
+let set_warning_sink t f = t.warning_sink <- f
+
+let areq_key ~sip ~seq ~ch = Codec.addr sip ^ Codec.u32 seq ^ Codec.u64 ch
+
+let rec begin_attempt t ~attempt ~dn =
+  let ctx = t.ctx in
+  t.seq <- t.seq + 1;
+  let ch = Prng.bits64 ctx.Ctx.rng in
+  let sip = address t in
+  (* Tentative registration: stands in for the last-hop broadcast of the
+     returning AREP (the initiator has no legal address yet). *)
+  Directory.register ctx.Ctx.directory sip (Ctx.node_id ctx);
+  let pending = { p_ch = ch; p_seq = t.seq; p_dn = dn; p_attempt = attempt; p_resolved = false } in
+  t.pending <- Some pending;
+  (* Ignore echoes of our own flood. *)
+  Hashtbl.replace t.seen_areq (areq_key ~sip ~seq:t.seq ~ch) ();
+  Ctx.log ctx ~event:"dad.start"
+    ~detail:
+      (Printf.sprintf "sip=%s dn=%s attempt=%d" (Address.to_string sip)
+         (Option.value ~default:"-" dn)
+         attempt);
+  Ctx.broadcast ctx (Messages.Areq { sip; seq = t.seq; dn; ch; rr = [] });
+  Engine.schedule ctx.Ctx.engine ~delay:t.config.arep_wait (fun () ->
+      match t.pending with
+      | Some p when p == pending && not p.p_resolved ->
+          p.p_resolved <- true;
+          t.pending <- None;
+          t.configured <- true;
+          (identity t).Identity.domain_name <- dn;
+          Ctx.stat ctx "dad.configured";
+          Ctx.log ctx ~event:"dad.configured"
+            ~detail:(Address.to_string (address t));
+          t.on_complete (Configured { address = address t; name = dn })
+      | _ -> ())
+
+and retry_with_new_address t p =
+  let ctx = t.ctx in
+  p.p_resolved <- true;
+  t.pending <- None;
+  Ctx.stat ctx "dad.collision";
+  if p.p_attempt + 1 >= t.config.max_attempts then begin
+    Ctx.stat ctx "dad.failed";
+    t.on_complete (Failed "address collisions exhausted retry budget")
+  end
+  else begin
+    Directory.unregister ctx.Ctx.directory (address t) (Ctx.node_id ctx);
+    Identity.refresh_address (identity t) ctx.Ctx.rng;
+    Ctx.log ctx ~event:"dad.retry" ~detail:(Address.to_string (address t));
+    begin_attempt t ~attempt:(p.p_attempt + 1) ~dn:p.p_dn
+  end
+
+and retry_with_new_name t p =
+  let ctx = t.ctx in
+  p.p_resolved <- true;
+  t.pending <- None;
+  Ctx.stat ctx "dad.name_conflict";
+  if not t.config.auto_rename then t.on_complete (Failed "domain name conflict")
+  else if p.p_attempt + 1 >= t.config.max_attempts then begin
+    Ctx.stat ctx "dad.failed";
+    t.on_complete (Failed "domain name conflicts exhausted retry budget")
+  end
+  else begin
+    let dn =
+      Option.map (fun n -> Printf.sprintf "%s-%d" n (p.p_attempt + 2)) p.p_dn
+    in
+    Ctx.log ctx ~event:"dad.rename" ~detail:(Option.value ~default:"-" dn);
+    begin_attempt t ~attempt:(p.p_attempt + 1) ~dn
+  end
+
+let start t ?dn ~on_complete () =
+  if t.pending <> None then invalid_arg "Dad.start: already running";
+  t.on_complete <- on_complete;
+  t.configured <- false;
+  begin_attempt t ~attempt:0 ~dn
+
+(* --- responder/relay side --------------------------------------------- *)
+
+let answer_duplicate t (m : (* areq fields *) Address.t * int64 * Address.t list) =
+  let sip, ch, rr = m in
+  let ctx = t.ctx in
+  let id = identity t in
+  let sig_ = Identity.sign id (Codec.arep_payload ~sip ~ch) in
+  let pk = Identity.pk_bytes id in
+  let rn = id.Identity.rn in
+  Ctx.stat ctx "dad.duplicate_detected";
+  Ctx.log ctx ~event:"dad.duplicate" ~detail:(Address.to_string sip);
+  (* AREP back to the initiator along the reverse route record. *)
+  let back_path = List.rev rr @ [ sip ] in
+  Ctx.send_along ctx ~path:back_path
+    (Messages.Arep { sip; rr; remaining = back_path; sig_; pk; rn });
+  (* Warning AREP to the DNS, flooded because no route to the DNS is
+     known this early (DESIGN.md §4). *)
+  let warning =
+    Messages.Arep { sip; rr = []; remaining = [ t.dns_address ]; sig_; pk; rn }
+  in
+  Hashtbl.replace t.seen_warning sig_ ();
+  Ctx.stat ctx "dad.warning_sent";
+  Ctx.broadcast ctx warning
+
+let handle_areq t msg =
+  match msg with
+  | Messages.Areq { sip; seq; dn; ch; rr } ->
+      let ctx = t.ctx in
+      let key = areq_key ~sip ~seq ~ch in
+      if not (Hashtbl.mem t.seen_areq key) then begin
+        Hashtbl.replace t.seen_areq key ();
+        t.areq_observer msg;
+        if Address.equal sip (address t) then answer_duplicate t (sip, ch, rr);
+        (* Relay: every host rebroadcasts once (§3.1) — including a
+           duplicate owner, which may sit on the only path to the DNS —
+           with our address appended to RR, after a small jitter to
+           de-synchronize the flood. *)
+        let rr' = rr @ [ address t ] in
+        let delay = Prng.float ctx.Ctx.rng t.config.flood_jitter in
+        Engine.schedule ctx.Ctx.engine ~delay (fun () ->
+            Ctx.broadcast ctx (Messages.Areq { sip; seq; dn; ch; rr = rr' }))
+      end
+  | _ -> ()
+
+(* --- initiator verification ------------------------------------------- *)
+
+let verify_arep t ~sip ~sig_ ~pk ~rn ~ch =
+  let suite = Ctx.suite t.ctx in
+  (* Check 1: R generated SIP by the CGA rule. *)
+  Cga.verify sip ~pk_bytes:pk ~rn
+  (* Check 2: R owns the private key — it answered our challenge. *)
+  && suite.Suite.verify ~pk_bytes:pk
+       ~msg:(Codec.arep_payload ~sip ~ch)
+       ~signature:sig_
+
+let consume_arep t msg =
+  match msg with
+  | Messages.Arep { sip; sig_; pk; rn; _ } -> (
+      match t.pending with
+      | Some p
+        when (not p.p_resolved) && Address.equal sip (address t)
+             && verify_arep t ~sip ~sig_ ~pk ~rn ~ch:p.p_ch ->
+          retry_with_new_address t p
+      | Some p when (not p.p_resolved) && Address.equal sip (address t) ->
+          (* An AREP for our pending address that fails verification is
+             a forgery or replay: ignore it (§4). *)
+          Ctx.stat t.ctx "dad.arep_rejected";
+          Ctx.log t.ctx ~event:"dad.arep_rejected" ~detail:(Address.to_string sip)
+      | _ ->
+          (* Not ours: if we host the DNS this is a duplicate warning. *)
+          t.warning_sink msg)
+  | _ -> ()
+
+let consume_drep t msg =
+  match msg with
+  | Messages.Drep { dn; sig_; _ } -> (
+      match t.pending with
+      | Some p when (not p.p_resolved) && p.p_dn = Some dn ->
+          let suite = Ctx.suite t.ctx in
+          if
+            suite.Suite.verify ~pk_bytes:t.dns_pk
+              ~msg:(Codec.drep_payload ~dn ~ch:p.p_ch)
+              ~signature:sig_
+          then retry_with_new_name t p
+          else begin
+            Ctx.stat t.ctx "dad.drep_rejected";
+            Ctx.log t.ctx ~event:"dad.drep_rejected" ~detail:dn
+          end
+      | _ -> ())
+  | _ -> ()
+
+(* --- reception dispatch ------------------------------------------------ *)
+
+let relay_warning t msg =
+  (* A flooded warning AREP overheard in transit: rebroadcast once unless
+     we are its DNS target. *)
+  match msg with
+  | Messages.Arep { remaining = [ target ]; sig_; _ }
+    when Address.equal target t.dns_address
+         && not (Address.equal (address t) t.dns_address) ->
+      if not (Hashtbl.mem t.seen_warning sig_) then begin
+        Hashtbl.replace t.seen_warning sig_ ();
+        let delay = Prng.float t.ctx.Ctx.rng t.config.flood_jitter in
+        Engine.schedule t.ctx.Ctx.engine ~delay (fun () ->
+            Ctx.broadcast t.ctx msg)
+      end
+  | _ -> ()
+
+let handle t ~src msg =
+  match msg with
+  | Messages.Areq _ -> handle_areq t msg
+  | Messages.Arep _ ->
+      Ctx.deliver_up t.ctx ~src msg
+        ~consume:(fun m -> consume_arep t m)
+        ~forward:(fun ~next m -> Ctx.send_along t.ctx ~path:next m)
+        ~not_mine:(fun m -> relay_warning t m)
+  | Messages.Drep _ ->
+      Ctx.deliver_up t.ctx ~src msg
+        ~consume:(fun m -> consume_drep t m)
+        ~forward:(fun ~next m -> Ctx.send_along t.ctx ~path:next m)
+        ~not_mine:(fun _ -> ())
+  | _ -> ()

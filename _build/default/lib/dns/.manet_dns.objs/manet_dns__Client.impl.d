@@ -1,0 +1,1 @@
+lib/dns/client.ml: Hashtbl Manet_crypto Manet_ipv6 Manet_proto String

@@ -1,0 +1,1 @@
+lib/dns/client.mli: Manet_ipv6 Manet_proto

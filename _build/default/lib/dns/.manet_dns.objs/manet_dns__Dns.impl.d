@@ -1,0 +1,1 @@
+lib/dns/dns.ml: Hashtbl List Manet_crypto Manet_dad Manet_ipv6 Manet_proto Manet_sim Printf String

@@ -1,0 +1,1 @@
+lib/dns/dns.mli: Manet_dad Manet_ipv6 Manet_proto

@@ -1,0 +1,41 @@
+(** Host-side DNS operations of §3.2.
+
+    A host that already discovered a route to the DNS server (routing is
+    a separate concern) can:
+
+    - resolve a name with a challenge-response query, verifying the
+      reply's signature under the pre-distributed DNS public key — this
+      is the "stronger security demand" path of §1, where a host checks
+      a server's address with the DNS before communicating;
+    - change its IP address while keeping its key pair: the DNS
+      challenges, the host proves ownership of both old and new CGAs by
+      signing [(old, new, ch)], and on acceptance the host rebinds its
+      identity and directory entries. *)
+
+module Address = Manet_ipv6.Address
+module Messages = Manet_proto.Messages
+
+type t
+
+val create :
+  dns_pk:string -> ?dns_address:Address.t -> Manet_proto.Node_ctx.t -> t
+
+val query :
+  t ->
+  route:Address.t list ->
+  name:string ->
+  callback:(Address.t option -> unit) ->
+  unit
+(** [query t ~route ~name ~callback] sends a [Name_query] along [route]
+    (intermediates only).  [callback] fires with the verified result —
+    or is never called if the reply fails verification or is lost. *)
+
+val request_ip_change :
+  t -> route:Address.t list -> callback:(bool -> unit) -> unit
+(** Draw a fresh CGA for this node, then run the §3.2 challenge-response
+    against the DNS.  On acceptance the node's identity and directory
+    bindings switch to the new address before [callback true]. *)
+
+val handle : t -> src:int -> Messages.t -> unit
+(** Feed [Name_reply], [Ip_change_challenge] and [Ip_change_ack]
+    messages (with forwarding when this node is an intermediate hop). *)

@@ -1,0 +1,1 @@
+lib/dsr/dsr.mli: Manet_ipv6 Manet_proto

@@ -1,0 +1,1 @@
+lib/dsr/route_cache.ml: Hashtbl List Manet_ipv6 Option

@@ -1,0 +1,531 @@
+module Address = Manet_ipv6.Address
+module Prng = Manet_crypto.Prng
+module Messages = Manet_proto.Messages
+module Codec = Manet_proto.Codec
+module Ctx = Manet_proto.Node_ctx
+module Engine = Manet_sim.Engine
+
+type config = {
+  discovery_timeout : float;
+  max_discovery_attempts : int;
+  use_cache_replies : bool;
+  ack_timeout : float;
+  max_send_retries : int;
+  cache_capacity_per_dst : int;
+  flood_jitter : float;
+  use_acks : bool;
+  salvage : bool;
+  route_shortening : bool;
+}
+
+let default_config =
+  {
+    discovery_timeout = 1.0;
+    max_discovery_attempts = 3;
+    use_cache_replies = true;
+    ack_timeout = 1.5;
+    max_send_retries = 2;
+    cache_capacity_per_dst = 4;
+    flood_jitter = 0.01;
+    use_acks = true;
+    salvage = true;
+    route_shortening = false;
+  }
+
+type packet = {
+  p_dst : Address.t;
+  p_size : int;
+  p_seq : int;
+  p_first_sent : float;
+  mutable p_retries : int;
+}
+
+type pending_discovery = {
+  d_dst : Address.t;
+  mutable d_attempts : int;
+  mutable d_resolved : bool;
+  d_started : float;
+}
+
+type t = {
+  ctx : Ctx.t;
+  config : config;
+  cache : unit Route_cache.t;
+  mutable rreq_seq : int;
+  mutable data_seq : int;
+  pending : (string, pending_discovery) Hashtbl.t; (* by dst *)
+  queue : (string, packet Queue.t) Hashtbl.t; (* packets awaiting a route *)
+  waiters : (string, (Address.t list option -> unit) list ref) Hashtbl.t;
+  seen_rreq : (string, unit) Hashtbl.t; (* sip + seq *)
+  reply_counts : (string, int) Hashtbl.t; (* replies sent per request, for route diversity *)
+  in_flight : (string, packet) Hashtbl.t; (* dst + seq *)
+  seen_data : (string, unit) Hashtbl.t; (* delivered (src, seq): retries must not double-count *)
+}
+
+let akey = Address.to_bytes
+let fkey dst seq = akey dst ^ Codec.u32 seq
+
+let create ?(config = default_config) ctx =
+  {
+    ctx;
+    config;
+    cache = Route_cache.create ~capacity_per_dst:config.cache_capacity_per_dst ();
+    rreq_seq = 0;
+    data_seq = 0;
+    pending = Hashtbl.create 16;
+    queue = Hashtbl.create 16;
+    waiters = Hashtbl.create 8;
+    seen_rreq = Hashtbl.create 256;
+    reply_counts = Hashtbl.create 64;
+    in_flight = Hashtbl.create 32;
+    seen_data = Hashtbl.create 64;
+  }
+
+let address t = Ctx.address t.ctx
+let now t = Ctx.now t.ctx
+
+let cached_route t ~dst =
+  (* Prefer the shortest known route, as DSR does. *)
+  Option.map
+    (fun e -> e.Route_cache.route)
+    (Route_cache.best t.cache ~dst ~score:(fun e ->
+         -.float_of_int (List.length e.Route_cache.route)))
+
+let cached_routes t ~dst =
+  List.map (fun e -> e.Route_cache.route) (Route_cache.entries t.cache ~dst)
+
+let invalidate_route t ~dst ~route = Route_cache.remove_route t.cache ~dst ~route
+
+(* --- data transmission ------------------------------------------------ *)
+
+let queue_for t dst =
+  let k = akey dst in
+  match Hashtbl.find_opt t.queue k with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.add t.queue k q;
+      q
+
+let rec transmit t packet route =
+  let dst = packet.p_dst in
+  Hashtbl.replace t.in_flight (fkey dst packet.p_seq) packet;
+  let path = route @ [ dst ] in
+  let msg =
+    Messages.Data
+      {
+        src = address t;
+        dst;
+        seq = packet.p_seq;
+        route;
+        remaining = path;
+        payload_size = packet.p_size;
+        sent_at = packet.p_first_sent;
+      }
+  in
+  Ctx.send_along t.ctx ~path
+    ~on_fail:(fun () ->
+      (* The very first hop is unreachable: purge and let the ack timer
+         drive the retry. *)
+      (match route with
+      | next :: _ ->
+          ignore (Route_cache.remove_link t.cache ~owner:(address t) ~a:(address t) ~b:next)
+      | [] -> ignore (Route_cache.remove_route t.cache ~dst ~route)))
+    msg;
+  if t.config.use_acks then
+    Engine.schedule t.ctx.Ctx.engine ~delay:t.config.ack_timeout (fun () ->
+        ack_timeout t packet route)
+
+and ack_timeout t packet route =
+  let k = fkey packet.p_dst packet.p_seq in
+  match Hashtbl.find_opt t.in_flight k with
+  | None -> () (* acked in time *)
+  | Some p when p != packet -> ()
+  | Some _ ->
+      Hashtbl.remove t.in_flight k;
+      Ctx.stat t.ctx "data.timeout";
+      (* This route failed silently (black hole or stale cache): forget
+         it and retry over whatever is left. *)
+      Route_cache.remove_route t.cache ~dst:packet.p_dst ~route;
+      if packet.p_retries < t.config.max_send_retries then begin
+        packet.p_retries <- packet.p_retries + 1;
+        dispatch t packet
+      end
+      else Ctx.stat t.ctx "data.dropped"
+
+and dispatch t packet =
+  match cached_route t ~dst:packet.p_dst with
+  | Some route -> transmit t packet route
+  | None ->
+      Queue.push packet (queue_for t packet.p_dst);
+      start_discovery t packet.p_dst
+
+(* --- route discovery --------------------------------------------------- *)
+
+and start_discovery t dst =
+  let k = akey dst in
+  if not (Hashtbl.mem t.pending k) then begin
+    let d = { d_dst = dst; d_attempts = 0; d_resolved = false; d_started = now t } in
+    Hashtbl.add t.pending k d;
+    send_rreq t d
+  end
+
+and send_rreq t d =
+  t.rreq_seq <- t.rreq_seq + 1;
+  let seq = t.rreq_seq in
+  d.d_attempts <- d.d_attempts + 1;
+  Ctx.stat t.ctx "route.discoveries";
+  (* Plain DSR: route record carried in the SRR field with empty
+     authentication. *)
+  Hashtbl.replace t.seen_rreq (fkey (address t) seq) ();
+  Ctx.broadcast t.ctx
+    (Messages.Rreq
+       { sip = address t; dip = d.d_dst; seq; srr = []; sig_ = ""; spk = ""; srn = 0L });
+  Engine.schedule t.ctx.Ctx.engine ~delay:t.config.discovery_timeout (fun () ->
+      if not d.d_resolved then begin
+        if d.d_attempts < t.config.max_discovery_attempts then send_rreq t d
+        else discovery_failed t d
+      end)
+
+and discovery_failed t d =
+  let k = akey d.d_dst in
+  d.d_resolved <- true;
+  Hashtbl.remove t.pending k;
+  Ctx.stat t.ctx "route.discovery_failed";
+  (match Hashtbl.find_opt t.queue k with
+  | None -> ()
+  | Some q ->
+      Queue.iter (fun _ -> Ctx.stat t.ctx "data.dropped") q;
+      Queue.clear q);
+  notify_waiters t d.d_dst None
+
+and notify_waiters t dst result =
+  match Hashtbl.find_opt t.waiters (akey dst) with
+  | None -> ()
+  | Some l ->
+      let callbacks = !l in
+      Hashtbl.remove t.waiters (akey dst);
+      List.iter (fun cb -> cb result) callbacks
+
+and route_found t ~dst ~route =
+  let k = akey dst in
+  Route_cache.insert t.cache ~dst ~route ~meta:() ~now:(now t);
+  (match Hashtbl.find_opt t.pending k with
+  | Some d when not d.d_resolved ->
+      d.d_resolved <- true;
+      Hashtbl.remove t.pending k;
+      Ctx.observe t.ctx "route.discovery_time" (now t -. d.d_started);
+      Ctx.observe t.ctx "route.hops" (float_of_int (List.length route + 1))
+  | _ -> ());
+  (* Flush queued packets over the fresh route. *)
+  (match Hashtbl.find_opt t.queue k with
+  | None -> ()
+  | Some q ->
+      let packets = List.of_seq (Queue.to_seq q) in
+      Queue.clear q;
+      List.iter (fun p -> dispatch t p) packets);
+  notify_waiters t dst (Some route)
+
+let send t ~dst ?(size = 512) () =
+  t.data_seq <- t.data_seq + 1;
+  Ctx.stat t.ctx "data.offered";
+  dispatch t
+    {
+      p_dst = dst;
+      p_size = size;
+      p_seq = t.data_seq;
+      p_first_sent = now t;
+      p_retries = 0;
+    }
+
+let discover t ~dst ~on_route =
+  match cached_route t ~dst with
+  | Some route -> on_route (Some route)
+  | None ->
+      let k = akey dst in
+      let l =
+        match Hashtbl.find_opt t.waiters k with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.add t.waiters k l;
+            l
+      in
+      l := on_route :: !l;
+      start_discovery t dst
+
+(* --- RREQ handling (flood side) ---------------------------------------- *)
+
+let srr_ips srr = List.map (fun e -> e.Messages.ip) srr
+
+let answer_as_destination t ~sip ~seq:_ ~rr =
+  Ctx.stat t.ctx "route.replies";
+  let back = List.rev rr @ [ sip ] in
+  Ctx.send_along t.ctx ~path:back
+    (Messages.Rrep
+       { sip; dip = address t; rr; remaining = back; sig_ = ""; dpk = ""; drn = 0L })
+
+let answer_from_cache t ~sip ~seq ~dip ~rr cached =
+  Ctx.stat t.ctx "route.cache_replies";
+  let back = List.rev rr @ [ sip ] in
+  Ctx.send_along t.ctx ~path:back
+    (Messages.Crep
+       {
+         requester = sip;
+         cacher = address t;
+         dip;
+         requester_seq = seq;
+         cacher_seq = 0;
+         rr_to_cacher = rr;
+         rr_to_dest = cached;
+         remaining = back;
+         sig_cacher = "";
+         cacher_pk = "";
+         cacher_rn = 0L;
+         sig_dest = "";
+         dest_pk = "";
+         dest_rn = 0L;
+       })
+
+(* DSR destinations answer several copies of the same request (each
+   arrives over a different path), giving the source route diversity. *)
+let max_replies_per_request = 3
+
+let handle_rreq t msg =
+  match msg with
+  | Messages.Rreq { sip; dip; seq; srr; _ } ->
+      let key = fkey sip seq in
+      let me = address t in
+      let rr = srr_ips srr in
+      if Address.equal dip me then begin
+        if not (Address.equal sip me || List.exists (Address.equal me) rr) then begin
+          let sent = Option.value ~default:0 (Hashtbl.find_opt t.reply_counts key) in
+          if sent < max_replies_per_request then begin
+            Hashtbl.replace t.reply_counts key (sent + 1);
+            answer_as_destination t ~sip ~seq ~rr
+          end
+        end
+      end
+      else if not (Hashtbl.mem t.seen_rreq key) then begin
+        Hashtbl.replace t.seen_rreq key ();
+        if Address.equal sip me || List.exists (Address.equal me) rr then ()
+        else begin
+          match
+            if t.config.use_cache_replies then cached_route t ~dst:dip else None
+          with
+          | Some cached
+            when (not (List.exists (Address.equal sip) cached))
+                 && not (List.exists (fun a -> List.exists (Address.equal a) rr) cached) ->
+              answer_from_cache t ~sip ~seq ~dip ~rr cached
+          | _ ->
+              let entry = { Messages.ip = me; sig_ = ""; pk = ""; rn = 0L } in
+              let relayed =
+                Messages.Rreq
+                  { sip; dip; seq; srr = srr @ [ entry ]; sig_ = ""; spk = ""; srn = 0L }
+              in
+              let delay = Prng.float t.ctx.Ctx.rng t.config.flood_jitter in
+              Engine.schedule t.ctx.Ctx.engine ~delay (fun () ->
+                  Ctx.broadcast t.ctx relayed)
+        end
+      end
+  | _ -> ()
+
+(* --- source-routed message handling ------------------------------------ *)
+
+let consume_rrep t msg =
+  match msg with
+  | Messages.Rrep { dip; rr; _ } -> route_found t ~dst:dip ~route:rr
+  | _ -> ()
+
+let consume_crep t msg =
+  match msg with
+  | Messages.Crep { cacher; dip; rr_to_cacher; rr_to_dest; _ } ->
+      (* Splice: requester -> ... -> cacher -> ... -> destination. *)
+      let route = rr_to_cacher @ (cacher :: rr_to_dest) in
+      route_found t ~dst:dip ~route
+  | _ -> ()
+
+let split_route_at route me =
+  (* Position of [me] in the intermediate list: hops before / after. *)
+  let rec go before = function
+    | [] -> None
+    | x :: rest when Address.equal x me -> Some (List.rev before, rest)
+    | x :: rest -> go (x :: before) rest
+  in
+  go [] route
+
+(* DSR packet salvaging: an intermediate whose next hop died may push the
+   packet over its own cached route instead of dropping it (the RERR is
+   still sent so the source stops using the dead link). *)
+let try_salvage t msg =
+  match msg with
+  | Messages.Data ({ dst; _ } as d) when t.config.salvage -> (
+      match cached_route t ~dst with
+      | Some route
+        when not (List.exists (Address.equal (address t)) route) ->
+          Ctx.stat t.ctx "data.salvaged";
+          let path = route @ [ dst ] in
+          Ctx.send_along t.ctx ~path
+            (Messages.Data { d with route; remaining = path });
+          true
+      | _ -> false)
+  | _ -> false
+
+let forward_data t ~next msg =
+  match msg with
+  | Messages.Data { src; route; _ } ->
+      Ctx.stat t.ctx "data.forwarded";
+      Ctx.send_along t.ctx ~path:next msg ~on_fail:(fun () ->
+          (* Link break: report back to the source (§3.4 / DSR route
+             maintenance). *)
+          let me = address t in
+          let broken_next = List.hd next in
+          let back =
+            match split_route_at route me with
+            | Some (before, _) -> List.rev before @ [ src ]
+            | None -> [ src ]
+          in
+          Ctx.stat t.ctx "rerr.sent";
+          Ctx.send_along t.ctx ~path:back
+            (Messages.Rerr
+               {
+                 reporter = me;
+                 broken_next;
+                 dst = src;
+                 remaining = back;
+                 sig_ = "";
+                 pk = "";
+                 rn = 0L;
+               });
+          ignore (try_salvage t msg))
+  | _ -> ()
+
+let consume_data t msg =
+  match msg with
+  | Messages.Data { src; seq; route; sent_at; _ } ->
+      (* Retransmissions of an already-delivered packet are re-acked but
+         not re-counted. *)
+      let k = fkey src seq in
+      if not (Hashtbl.mem t.seen_data k) then begin
+        Hashtbl.replace t.seen_data k ();
+        Ctx.stat t.ctx "data.delivered";
+        Ctx.observe t.ctx "data.latency" (now t -. sent_at)
+      end;
+      if t.config.use_acks then begin
+      let back_route = List.rev route in
+      let path = back_route @ [ src ] in
+      Ctx.send_along t.ctx ~path
+        (Messages.Ack
+           {
+             src = address t;
+             dst = src;
+             data_seq = seq;
+             route = back_route;
+             remaining = path;
+             sent_at;
+           })
+      end
+  | _ -> ()
+
+let consume_ack t msg =
+  match msg with
+  | Messages.Ack { src = acker; data_seq; sent_at; _ } -> (
+      (* The acker is the data's destination, so the in-flight key is
+         (acker, data_seq). *)
+      let k = fkey acker data_seq in
+      match Hashtbl.find_opt t.in_flight k with
+      | Some _ ->
+          Hashtbl.remove t.in_flight k;
+          Ctx.stat t.ctx "data.acked";
+          Ctx.observe t.ctx "data.rtt" (now t -. sent_at)
+      | None -> Ctx.stat t.ctx "ack.unmatched")
+  | _ -> ()
+
+(* DSR automatic route shortening: on a promiscuous radio we may
+   overhear a data frame whose remaining hops include us further down the
+   line — the hops between the transmitter and us are unnecessary.  Tell
+   the source with a gratuitous route reply carrying the shortened
+   route. *)
+let overheard_data t msg =
+  match msg with
+  | Messages.Data { src; dst; route; remaining; _ }
+    when t.config.route_shortening -> (
+      let me = address t in
+      match remaining with
+      | head :: (_ :: _ as tail)
+        when (not (Address.equal head me)) && List.exists (Address.equal me) tail
+        -> (
+          (* Shortened full route: drop everything between the hop before
+             [head] and us. *)
+          match split_route_at route me with
+          | Some (_, after_me) ->
+              let upto =
+                (* intermediates the packet already passed: route minus
+                   remaining, i.e. those before [head] *)
+                let rec before acc = function
+                  | [] -> List.rev acc
+                  | x :: _ when Address.equal x head -> List.rev acc
+                  | x :: rest -> before (x :: acc) rest
+                in
+                before [] route
+              in
+              let shortened = upto @ (me :: after_me) in
+              if List.length shortened < List.length route then begin
+                Ctx.stat t.ctx "route.shortened";
+                (* Back to the source through the hops the packet already
+                   used (we are in range of the last of them). *)
+                let back = List.rev upto @ [ src ] in
+                Ctx.send_along t.ctx ~path:back
+                  (Messages.Rrep
+                     {
+                       sip = src;
+                       dip = dst;
+                       rr = shortened;
+                       remaining = back;
+                       sig_ = "";
+                       dpk = "";
+                       drn = 0L;
+                     })
+              end
+          | None -> ())
+      | _ -> ())
+  | _ -> ()
+
+let consume_rerr t msg =
+  match msg with
+  | Messages.Rerr { reporter; broken_next; _ } ->
+      Ctx.stat t.ctx "rerr.received";
+      (* Plain DSR believes any error report. *)
+      ignore
+        (Route_cache.remove_link t.cache ~owner:(address t) ~a:reporter ~b:broken_next)
+  | _ -> ()
+
+let handle t ~src msg =
+  match msg with
+  | Messages.Rreq _ -> handle_rreq t msg
+  | Messages.Rrep _ ->
+      Ctx.deliver_up t.ctx ~src msg ~consume:(consume_rrep t)
+        ~forward:(fun ~next m -> Ctx.send_along t.ctx ~path:next m)
+        ~not_mine:(fun _ -> ())
+  | Messages.Crep _ ->
+      Ctx.deliver_up t.ctx ~src msg ~consume:(consume_crep t)
+        ~forward:(fun ~next m -> Ctx.send_along t.ctx ~path:next m)
+        ~not_mine:(fun _ -> ())
+  | Messages.Data _ ->
+      Ctx.deliver_up t.ctx ~src msg ~consume:(consume_data t)
+        ~forward:(fun ~next m -> forward_data t ~next m)
+        ~not_mine:(fun m -> overheard_data t m)
+  | Messages.Ack _ ->
+      Ctx.deliver_up t.ctx ~src msg ~consume:(consume_ack t)
+        ~forward:(fun ~next m -> Ctx.send_along t.ctx ~path:next m)
+        ~not_mine:(fun _ -> ())
+  | Messages.Rerr _ ->
+      Ctx.deliver_up t.ctx ~src msg ~consume:(consume_rerr t)
+        ~forward:(fun ~next m -> Ctx.send_along t.ctx ~path:next m)
+        ~not_mine:(fun _ -> ())
+  | Messages.Probe _ | Messages.Probe_reply _ | Messages.Name_query _
+  | Messages.Name_reply _ | Messages.Ip_change_request _
+  | Messages.Ip_change_challenge _ | Messages.Ip_change_proof _
+  | Messages.Ip_change_ack _ ->
+      Ctx.forward_transit t.ctx ~src msg
+  | Messages.Areq _ | Messages.Arep _ | Messages.Drep _ -> ()

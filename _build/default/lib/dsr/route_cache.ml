@@ -1,0 +1,110 @@
+module Address = Manet_ipv6.Address
+
+type 'a entry = {
+  route : Address.t list;
+  meta : 'a;
+  added_at : float;
+  mutable last_used : float;
+}
+
+type 'a t = {
+  by_dst : (string, (Address.t * 'a entry list ref)) Hashtbl.t;
+  capacity_per_dst : int;
+}
+
+let key = Address.to_bytes
+
+let create ?(capacity_per_dst = 4) () =
+  { by_dst = Hashtbl.create 32; capacity_per_dst }
+
+let same_route r1 r2 =
+  List.length r1 = List.length r2 && List.for_all2 Address.equal r1 r2
+
+let insert t ~dst ~route ~meta ~now =
+  let k = key dst in
+  let _, entries =
+    match Hashtbl.find_opt t.by_dst k with
+    | Some pair -> pair
+    | None ->
+        let pair = (dst, ref []) in
+        Hashtbl.add t.by_dst k pair;
+        pair
+  in
+  match List.find_opt (fun e -> same_route e.route route) !entries with
+  | Some e -> e.last_used <- now
+  | None ->
+      let e = { route; meta; added_at = now; last_used = now } in
+      let kept =
+        if List.length !entries >= t.capacity_per_dst then begin
+          (* Evict the least recently used. *)
+          let sorted =
+            List.sort (fun a b -> compare b.last_used a.last_used) !entries
+          in
+          List.filteri (fun i _ -> i < t.capacity_per_dst - 1) sorted
+        end
+        else !entries
+      in
+      entries := e :: kept
+
+let entries t ~dst =
+  match Hashtbl.find_opt t.by_dst (key dst) with
+  | None -> []
+  | Some (_, l) -> List.sort (fun a b -> compare b.last_used a.last_used) !l
+
+let best t ~dst ~score =
+  match entries t ~dst with
+  | [] -> None
+  | all ->
+      let best =
+        List.fold_left
+          (fun acc e ->
+            match acc with
+            | None -> Some (e, score e)
+            | Some (_, s) ->
+                let s' = score e in
+                if s' > s then Some (e, s') else acc)
+          None all
+      in
+      Option.map fst best
+
+let dests t =
+  Hashtbl.fold
+    (fun _ (dst, l) acc -> if !l <> [] then dst :: acc else acc)
+    t.by_dst []
+  |> List.sort Address.compare
+
+let filter_entries t keep =
+  (* Apply [keep dst entry] to every entry; count removals. *)
+  let removed = ref 0 in
+  Hashtbl.iter
+    (fun _ (dst, l) ->
+      let kept = List.filter (fun e -> keep dst e) !l in
+      removed := !removed + (List.length !l - List.length kept);
+      l := kept)
+    t.by_dst;
+  !removed
+
+let path_has_link ~owner ~dst route ~a ~b =
+  let full = (owner :: route) @ [ dst ] in
+  let rec scan = function
+    | x :: (y :: _ as rest) ->
+        if Address.equal x a && Address.equal y b then true else scan rest
+    | _ -> false
+  in
+  scan full
+
+let remove_link t ~owner ~a ~b =
+  filter_entries t (fun dst e -> not (path_has_link ~owner ~dst e.route ~a ~b))
+
+let remove_containing t addr =
+  filter_entries t (fun dst e ->
+      not (Address.equal dst addr || List.exists (Address.equal addr) e.route))
+
+let remove_route t ~dst ~route =
+  match Hashtbl.find_opt t.by_dst (key dst) with
+  | None -> ()
+  | Some (_, l) -> l := List.filter (fun e -> not (same_route e.route route)) !l
+
+let size t = Hashtbl.fold (fun _ (_, l) acc -> acc + List.length !l) t.by_dst 0
+
+let clear t = Hashtbl.reset t.by_dst

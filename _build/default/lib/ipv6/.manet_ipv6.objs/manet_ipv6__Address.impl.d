@@ -1,0 +1,1 @@
+lib/ipv6/address.ml: Array Buffer Bytes Char Format Int64 List Printf String

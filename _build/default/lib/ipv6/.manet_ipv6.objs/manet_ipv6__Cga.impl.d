@@ -1,0 +1,1 @@
+lib/ipv6/cga.ml: Address Char Int64 Manet_crypto String

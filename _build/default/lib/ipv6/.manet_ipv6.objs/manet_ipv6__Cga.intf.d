@@ -1,0 +1,1 @@
+lib/ipv6/cga.mli: Address Manet_crypto

@@ -1,0 +1,64 @@
+(** 128-bit IPv6 addresses.
+
+    Stored as two 64-bit halves.  Textual forms follow RFC 4291 syntax and
+    RFC 5952 canonical output (longest zero-run compression, leftmost on
+    ties, lower-case hex, IPv4-mapped tail rendered dotted-quad).  The
+    module also carries the protocol's well-known constants: the
+    [fec0::/10] site-local prefix the paper builds CGAs under and the
+    three reserved DNS-discovery addresses of §2.4. *)
+
+type t = { hi : int64; lo : int64 }
+(** [hi] covers bytes 0-7 (network order), [lo] bytes 8-15. *)
+
+val make : hi:int64 -> lo:int64 -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val unspecified : t
+(** [::] — the source of a host that does not yet have an address. *)
+
+val loopback : t
+(** [::1]. *)
+
+val of_groups : int array -> t
+(** [of_groups g] builds an address from eight 16-bit groups.
+    Raises [Invalid_argument] unless [g] has length 8 with all values in
+    [0, 0xffff]. *)
+
+val to_groups : t -> int array
+
+val of_bytes : string -> t
+(** [of_bytes s] for a 16-byte network-order string. *)
+
+val to_bytes : t -> string
+
+val of_string : string -> (t, string) result
+(** Parses RFC 4291 text (full form, [::] compression, IPv4-mapped
+    dotted-quad tail).  Returns [Error reason] on malformed input. *)
+
+val of_string_exn : string -> t
+(** Like {!of_string}; raises [Invalid_argument]. *)
+
+val to_string : t -> string
+(** RFC 5952 canonical form. *)
+
+val pp : Format.formatter -> t -> unit
+
+val site_local_prefix : t
+(** [fec0::] — the 10-bit prefix of the paper's Figure 1 layout. *)
+
+val is_site_local : t -> bool
+(** True when the top 10 bits are [1111 1110 11]. *)
+
+val matches_prefix : t -> prefix:t -> len:int -> bool
+(** [matches_prefix a ~prefix ~len] checks the first [len] bits. *)
+
+val dns_server_1 : t
+(** [fec0:0:0:ffff::1], the first well-known DNS discovery address. *)
+
+val dns_server_2 : t
+val dns_server_3 : t
+
+val interface_id : t -> int64
+(** The low 64 bits — the CGA hash field of Figure 1. *)

@@ -1,0 +1,41 @@
+module Sha256 = Manet_crypto.Sha256
+module Prng = Manet_crypto.Prng
+
+let rn_bytes rn =
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical rn ((7 - i) * 8)) 0xFFL)))
+
+let interface_id ~pk_bytes ~rn =
+  let digest = Sha256.digest (pk_bytes ^ rn_bytes rn) in
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code digest.[i]))
+  done;
+  !v
+
+(* fec0::/10 with the 38-bit zero field and zero subnet ID: the high half
+   is exactly 0xfec0_0000_0000_0000. *)
+let site_local_hi = 0xFEC0_0000_0000_0000L
+
+let generate ~pk_bytes ~rn =
+  Address.make ~hi:site_local_hi ~lo:(interface_id ~pk_bytes ~rn)
+
+let fresh g ~pk_bytes =
+  let rn = Prng.bits64 g in
+  (rn, generate ~pk_bytes ~rn)
+
+let verify addr ~pk_bytes ~rn =
+  Int64.equal addr.Address.hi site_local_hi
+  && Int64.equal addr.Address.lo (interface_id ~pk_bytes ~rn)
+
+let generate_under ~hi ~pk_bytes ~rn =
+  Address.make ~hi ~lo:(interface_id ~pk_bytes ~rn)
+
+let verify_under ~hi addr ~pk_bytes ~rn =
+  Int64.equal addr.Address.hi hi
+  && Int64.equal addr.Address.lo (interface_id ~pk_bytes ~rn)
+
+let global_hi ~routing_prefix ~subnet =
+  if subnet < 0 || subnet > 0xFFFF then invalid_arg "Cga.global_hi: subnet";
+  let top48 = Int64.logand routing_prefix.Address.hi 0xFFFF_FFFF_FFFF_0000L in
+  Int64.logor top48 (Int64.of_int subnet)

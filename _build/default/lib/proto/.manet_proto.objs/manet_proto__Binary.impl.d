@@ -1,0 +1,1 @@
+lib/proto/binary.ml: Buffer Char Int64 List Manet_ipv6 Messages Option Printf String

@@ -1,0 +1,1 @@
+lib/proto/codec.ml: Char Int64 List Manet_ipv6 String

@@ -1,0 +1,1 @@
+lib/proto/directory.ml: Hashtbl List Manet_ipv6 Option

@@ -1,0 +1,1 @@
+lib/proto/directory.mli: Manet_ipv6

@@ -1,0 +1,1 @@
+lib/proto/identity.ml: Manet_crypto Manet_ipv6

@@ -1,0 +1,1 @@
+lib/proto/identity.mli: Manet_crypto Manet_ipv6

@@ -1,0 +1,1 @@
+lib/proto/messages.ml: Format List Manet_ipv6 Option String

@@ -1,0 +1,1 @@
+lib/proto/messages.mli: Format Manet_ipv6

@@ -1,0 +1,1 @@
+lib/proto/node_ctx.ml: Directory Format Identity List Manet_crypto Manet_ipv6 Manet_sim Messages Wire

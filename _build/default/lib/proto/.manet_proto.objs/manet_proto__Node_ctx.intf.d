@@ -1,0 +1,1 @@
+lib/proto/node_ctx.mli: Directory Identity Manet_crypto Manet_ipv6 Manet_sim Messages

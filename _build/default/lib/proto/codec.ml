@@ -1,0 +1,40 @@
+module Address = Manet_ipv6.Address
+
+let addr = Address.to_bytes
+
+let u32 v =
+  String.init 4 (fun i -> Char.chr ((v lsr ((3 - i) * 8)) land 0xFF))
+
+let u64 v =
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v ((7 - i) * 8)) 0xFFL)))
+
+let lstring s =
+  let len = String.length s in
+  if len > 0xFFFF then invalid_arg "Codec.lstring: too long";
+  String.init 2 (fun i -> Char.chr ((len lsr ((1 - i) * 8)) land 0xFF)) ^ s
+
+let route rr = u32 (List.length rr) ^ String.concat "" (List.map addr rr)
+
+let arep_payload ~sip ~ch = "AREP|" ^ addr sip ^ u64 ch
+let drep_payload ~dn ~ch = "DREP|" ^ lstring dn ^ u64 ch
+let rreq_source_payload ~sip ~seq = "RREQ|" ^ addr sip ^ u32 seq
+let srr_entry_payload ~iip ~seq = "SRRE|" ^ addr iip ^ u32 seq
+let rrep_payload ~sip ~seq ~rr = "RREP|" ^ addr sip ^ u32 seq ^ route rr
+
+let crep_cacher_payload ~requester ~seq ~rr =
+  "CREP|" ^ addr requester ^ u32 seq ^ route rr
+
+let rerr_payload ~reporter ~broken_next =
+  "RERR|" ^ addr reporter ^ addr broken_next
+
+let probe_reply_payload ~responder ~origin ~seq =
+  "PRBR|" ^ addr responder ^ addr origin ^ u32 seq
+
+let name_reply_payload ~name ~result ~ch =
+  "NAMR|" ^ lstring name
+  ^ (match result with None -> "\x00" | Some a -> "\x01" ^ addr a)
+  ^ u64 ch
+
+let ip_change_payload ~old_ip ~new_ip ~ch =
+  "IPCH|" ^ addr old_ip ^ addr new_ip ^ u64 ch

@@ -1,0 +1,37 @@
+(** Address-to-node resolution for the simulated link layer.
+
+    Real MANETs resolve a next-hop IPv6 address to a radio neighbour with
+    NDP; the simulator models that resolved state as a shared table from
+    address to simulator node ids, updated whenever a node (re)configures
+    an address.  Forwarding consults it to turn "unicast to the next
+    address in the source route" into a link transmission.
+
+    An address can be *contested*: during DAD two nodes hold the same
+    tentative/configured address, and an impersonation adversary may
+    claim a victim's address outright.  The table therefore binds an
+    address to a {e set} of nodes; delivery to a contested address
+    reaches all claimants, as a link-layer broadcast would.  Lying about
+    one's address thus remains entirely possible at the protocol layer,
+    so no attack the paper considers is blocked by this abstraction. *)
+
+module Address = Manet_ipv6.Address
+
+type t
+
+val create : unit -> t
+
+val register : t -> Address.t -> int -> unit
+(** Bind [addr] to a node (idempotent per node). *)
+
+val unregister : t -> Address.t -> int -> unit
+(** Remove one node's claim to [addr]. *)
+
+val lookup_all : t -> Address.t -> int list
+(** Every node currently claiming [addr], ascending id; [] if none. *)
+
+val lookup : t -> Address.t -> int option
+(** The first claimant, if any. *)
+
+val addresses_of : t -> int -> Address.t list
+(** All addresses currently bound to a node (an identity-churning
+    adversary holds several over time). *)

@@ -1,0 +1,29 @@
+module Address = Manet_ipv6.Address
+module Cga = Manet_ipv6.Cga
+module Suite = Manet_crypto.Suite
+module Prng = Manet_crypto.Prng
+
+type t = {
+  node_id : int;
+  suite : Suite.t;
+  keypair : Suite.keypair;
+  mutable rn : int64;
+  mutable address : Address.t;
+  mutable domain_name : string option;
+}
+
+let create ?address ?name suite g ~node_id =
+  let keypair = suite.Suite.generate () in
+  let rn, cga = Cga.fresh g ~pk_bytes:keypair.Suite.pk_bytes in
+  let address = match address with Some a -> a | None -> cga in
+  { node_id; suite; keypair; rn; address; domain_name = name }
+
+let refresh_address t g =
+  let rn, addr = Cga.fresh g ~pk_bytes:t.keypair.Suite.pk_bytes in
+  t.rn <- rn;
+  t.address <- addr
+
+let sign t msg = t.keypair.Suite.sign msg
+let pk_bytes t = t.keypair.Suite.pk_bytes
+
+let verify_cga _t addr ~pk_bytes ~rn = Cga.verify addr ~pk_bytes ~rn

@@ -1,0 +1,78 @@
+module Address = Manet_ipv6.Address
+module Engine = Manet_sim.Engine
+module Net = Manet_sim.Net
+module Stats = Manet_sim.Stats
+module Prng = Manet_crypto.Prng
+module Suite = Manet_crypto.Suite
+
+type t = {
+  engine : Engine.t;
+  net : Messages.t Net.t;
+  directory : Directory.t;
+  identity : Identity.t;
+  rng : Prng.t;
+}
+
+let create net directory identity rng =
+  { engine = Net.engine net; net; directory; identity; rng }
+
+let address t = t.identity.Identity.address
+let node_id t = t.identity.Identity.node_id
+let suite t = t.identity.Identity.suite
+let now t = Engine.now t.engine
+
+let size_of _t msg = Wire.size_of msg
+
+let stat t name = Stats.incr (Engine.stats t.engine) name
+let stat_by t name by = Stats.incr ~by (Engine.stats t.engine) name
+let observe t name v = Stats.observe (Engine.stats t.engine) name v
+let log t ~event ~detail = Engine.log t.engine ~node:(node_id t) ~event ~detail
+
+let broadcast t msg =
+  let tag = Messages.tag msg in
+  let size = size_of t msg in
+  stat t ("tx." ^ tag);
+  stat_by t ("txbytes." ^ tag) size;
+  log t ~event:("tx." ^ tag) ~detail:(Format.asprintf "broadcast %a" Messages.pp msg);
+  Net.broadcast t.net ~src:(node_id t) ~size msg
+
+let send_along t ~path ?(on_fail = fun () -> ()) msg =
+  match path with
+  | [] -> invalid_arg "Node_ctx.send_along: empty path"
+  | next :: _ -> (
+      let msg = Messages.with_remaining msg path in
+      let tag = Messages.tag msg in
+      stat t ("tx." ^ tag);
+      stat_by t ("txbytes." ^ tag) (size_of t msg);
+      log t ~event:("tx." ^ tag)
+        ~detail:(Format.asprintf "to %a: %a" Address.pp next Messages.pp msg);
+      match Directory.lookup_all t.directory next with
+      | [] ->
+          (* The next-hop address resolves to nobody: the neighbour is
+             gone (address changed or node left).  Behaves like a MAC
+             failure after the retries' worth of time. *)
+          Engine.schedule t.engine ~delay:0.01 on_fail
+      | claimants ->
+          let size = size_of t msg in
+          List.iter
+            (fun dst ->
+              Net.unicast t.net ~src:(node_id t) ~dst ~size ~on_fail msg)
+            claimants)
+
+let rec forward_transit t ~src msg =
+  deliver_up t ~src msg
+    ~consume:(fun _ -> ())
+    ~forward:(fun ~next m -> send_along t ~path:next m)
+    ~not_mine:(fun _ -> ())
+
+and deliver_up t ~src:_ msg ~consume ~forward ~not_mine =
+  match Messages.remaining msg with
+  | None -> not_mine msg
+  | Some [] -> consume msg
+  | Some (head :: tail) ->
+      if Address.equal head (address t) then begin
+        match tail with
+        | [] -> consume (Messages.with_remaining msg [])
+        | _ -> forward ~next:tail (Messages.with_remaining msg tail)
+      end
+      else not_mine msg

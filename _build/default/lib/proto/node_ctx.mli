@@ -1,0 +1,75 @@
+(** Per-node protocol context: the bundle every protocol agent (DAD, DNS,
+    DSR, secure routing) needs — the engine, the shared radio, the
+    address directory, this node's identity, and a private PRNG stream —
+    plus the source-route transmission helpers.
+
+    Source-route convention: a message's [remaining] field lists the hops
+    still to visit {e including the next receiver}: a node transmitting
+    along path [\[a; b; c\]] unicasts to [a] a message with
+    [remaining = \[a; b; c\]]; [a] finds itself at the head, pops it, and
+    either consumes the message ([tail = \[\]]) or forwards it to [b].
+    Delivery to a contested address reaches every claimant (see
+    {!Directory}). *)
+
+module Address = Manet_ipv6.Address
+module Engine = Manet_sim.Engine
+module Net = Manet_sim.Net
+module Prng = Manet_crypto.Prng
+module Suite = Manet_crypto.Suite
+
+type t = {
+  engine : Engine.t;
+  net : Messages.t Net.t;
+  directory : Directory.t;
+  identity : Identity.t;
+  rng : Prng.t;
+}
+
+val create : Messages.t Net.t -> Directory.t -> Identity.t -> Prng.t -> t
+
+val address : t -> Address.t
+val node_id : t -> int
+val suite : t -> Suite.t
+val now : t -> float
+
+val size_of : t -> Messages.t -> int
+(** Wire size of the message (see {!Wire.size_of}): exactly what the
+    binary codec would put on the air — empty signature fields cost only
+    their length prefixes, so the baseline is charged honestly. *)
+
+val stat : t -> string -> unit
+(** Increment a named counter in the engine's stats. *)
+
+val stat_by : t -> string -> int -> unit
+val observe : t -> string -> float -> unit
+val log : t -> event:string -> detail:string -> unit
+
+val broadcast : t -> Messages.t -> unit
+(** One radio broadcast from this node, size-accounted. *)
+
+val send_along :
+  t -> path:Address.t list -> ?on_fail:(unit -> unit) -> Messages.t -> unit
+(** Transmit toward the head of [path] with [remaining = path].  The
+    head must resolve in the directory; if it does not (stale route),
+    [on_fail] fires after a MAC-timeout's worth of delay.  Delivery goes
+    to every claimant of the head address. *)
+
+val forward_transit : t -> src:int -> Messages.t -> unit
+(** Pure transit behaviour: pop this node from the source route and pass
+    the message to the next hop; consume and overheard traffic are
+    dropped.  Used for message kinds a node relays but does not
+    interpret. *)
+
+val deliver_up :
+  t ->
+  src:int ->
+  Messages.t ->
+  consume:(Messages.t -> unit) ->
+  forward:(next:Address.t list -> Messages.t -> unit) ->
+  not_mine:(Messages.t -> unit) ->
+  unit
+(** Source-route reception step.  Pops this node's address from the head
+    of [remaining] and dispatches: [consume] when this node is the final
+    destination, [forward ~next] when hops remain ([next] includes the
+    new next hop at its head), and [not_mine] when the head is not this
+    node's address (overheard or flood-relayed traffic). *)

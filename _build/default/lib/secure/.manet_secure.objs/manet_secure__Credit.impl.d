@@ -1,0 +1,1 @@
+lib/secure/credit.ml: Hashtbl List Manet_ipv6 Option

@@ -1,0 +1,1 @@
+lib/secure/credit.mli: Manet_ipv6

@@ -1,0 +1,1 @@
+lib/secure/secure_routing.ml: Array Credit Hashtbl List Manet_crypto Manet_dsr Manet_ipv6 Manet_proto Manet_sim Option Queue String

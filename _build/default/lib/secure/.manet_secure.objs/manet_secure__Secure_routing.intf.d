@@ -1,0 +1,1 @@
+lib/secure/secure_routing.mli: Credit Manet_ipv6 Manet_proto

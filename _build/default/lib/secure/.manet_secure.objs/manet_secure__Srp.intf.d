@@ -1,0 +1,1 @@
+lib/secure/srp.mli: Manet_ipv6 Manet_proto

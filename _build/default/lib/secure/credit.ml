@@ -1,0 +1,66 @@
+module Address = Manet_ipv6.Address
+
+type config = {
+  initial : float;
+  reward : float;
+  penalty : float;
+  rerr_window : float;
+  rerr_threshold : int;
+}
+
+let default_config =
+  { initial = 0.0; reward = 1.0; penalty = 100.0; rerr_window = 30.0; rerr_threshold = 5 }
+
+type t = {
+  config : config;
+  scores : (string, float) Hashtbl.t;
+  rerrs : (string, float list ref) Hashtbl.t; (* recent report times *)
+  addrs : (string, Address.t) Hashtbl.t; (* for snapshots *)
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    scores = Hashtbl.create 64;
+    rerrs = Hashtbl.create 16;
+    addrs = Hashtbl.create 64;
+  }
+
+let key = Address.to_bytes
+
+let note_addr t a = Hashtbl.replace t.addrs (key a) a
+
+let get t a =
+  match Hashtbl.find_opt t.scores (key a) with
+  | Some v -> v
+  | None -> t.config.initial
+
+let set t a v =
+  note_addr t a;
+  Hashtbl.replace t.scores (key a) v
+
+let reward_route t route =
+  List.iter (fun a -> set t a (get t a +. t.config.reward)) route
+
+let slash t a = set t a (get t a -. t.config.penalty)
+
+let record_rerr t reporter ~now =
+  let k = key reporter in
+  note_addr t reporter;
+  let times =
+    match Hashtbl.find_opt t.rerrs k with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.add t.rerrs k l;
+        l
+  in
+  times := now :: List.filter (fun w -> now -. w <= t.config.rerr_window) !times;
+  List.length !times > t.config.rerr_threshold
+
+let min_credit t route =
+  List.fold_left (fun acc a -> min acc (get t a)) infinity route
+
+let snapshot t =
+  Hashtbl.fold (fun k a acc -> (a, Option.value ~default:t.config.initial (Hashtbl.find_opt t.scores k)) :: acc) t.addrs []
+  |> List.sort (fun (a, _) (b, _) -> Address.compare a b)

@@ -1,0 +1,809 @@
+module Address = Manet_ipv6.Address
+module Cga = Manet_ipv6.Cga
+module Prng = Manet_crypto.Prng
+module Suite = Manet_crypto.Suite
+module Messages = Manet_proto.Messages
+module Codec = Manet_proto.Codec
+module Ctx = Manet_proto.Node_ctx
+module Identity = Manet_proto.Identity
+module Engine = Manet_sim.Engine
+module Route_cache = Manet_dsr.Route_cache
+
+type config = {
+  discovery_timeout : float;
+  max_discovery_attempts : int;
+  use_cache_replies : bool;
+  ack_timeout : float;
+  max_send_retries : int;
+  cache_capacity_per_dst : int;
+  flood_jitter : float;
+  use_credits : bool;
+  probe_on_timeout : bool;
+  probe_timeout : float;
+  verify_at_destination : bool;
+  salvage : bool;
+  credit : Credit.config;
+}
+
+let default_config =
+  {
+    discovery_timeout = 1.0;
+    max_discovery_attempts = 3;
+    use_cache_replies = true;
+    ack_timeout = 1.5;
+    max_send_retries = 2;
+    cache_capacity_per_dst = 4;
+    flood_jitter = 0.01;
+    use_credits = true;
+    probe_on_timeout = true;
+    probe_timeout = 1.0;
+    verify_at_destination = true;
+    salvage = true;
+    credit = Credit.default_config;
+  }
+
+type endorsement = { e_sig : string; e_pk : string; e_rn : int64; e_seq : int }
+(* The destination's [SIP, seq, RR]_DSK over a route this node
+   discovered: replayed in CREPs as proof of provenance. *)
+
+type packet = {
+  p_dst : Address.t;
+  p_size : int;
+  p_seq : int;
+  p_first_sent : float;
+  mutable p_retries : int;
+}
+
+type pending_discovery = {
+  d_dst : Address.t;
+  mutable d_seq : int; (* seq of the current attempt, binds the RREP *)
+  mutable d_attempts : int;
+  mutable d_resolved : bool;
+  d_started : float;
+}
+
+type probe_session = {
+  pr_route : Address.t array;
+  pr_replies : bool array;
+  pr_packet : packet;
+  mutable pr_done : bool;
+}
+
+type t = {
+  ctx : Ctx.t;
+  config : config;
+  cache : endorsement option Route_cache.t;
+  credits : Credit.t;
+  mutable rreq_seq : int;
+  mutable data_seq : int;
+  mutable probe_seq : int;
+  pending : (string, pending_discovery) Hashtbl.t;
+  queue : (string, packet Queue.t) Hashtbl.t;
+  waiters : (string, (Address.t list option -> unit) list ref) Hashtbl.t;
+  seen_rreq : (string, unit) Hashtbl.t;
+  reply_counts : (string, int) Hashtbl.t; (* replies per request, for route diversity *)
+  in_flight : (string, packet) Hashtbl.t;
+  seen_data : (string, unit) Hashtbl.t; (* delivered (src, seq): retries must not double-count *)
+  last_rreq_seq : (string, int) Hashtbl.t; (* per-source replay window *)
+  probes : (int, probe_session * int) Hashtbl.t;
+  (* Pre-distributed (address, public key) bindings.  The paper's only
+     such binding is the DNS server: its well-known address is not a CGA,
+     but every host holds its public key before joining, which identifies
+     it just as strongly. *)
+  trusted : (string, string) Hashtbl.t;
+}
+
+let akey = Address.to_bytes
+let fkey dst seq = akey dst ^ Codec.u32 seq
+
+let create ?(config = default_config) ?(trusted = []) ctx =
+  let trusted_tbl = Hashtbl.create 4 in
+  List.iter
+    (fun (addr, pk) -> Hashtbl.replace trusted_tbl (Address.to_bytes addr) pk)
+    trusted;
+  {
+    ctx;
+    config;
+    cache = Route_cache.create ~capacity_per_dst:config.cache_capacity_per_dst ();
+    credits = Credit.create ~config:config.credit ();
+    rreq_seq = 0;
+    data_seq = 0;
+    probe_seq = 0;
+    pending = Hashtbl.create 16;
+    queue = Hashtbl.create 16;
+    waiters = Hashtbl.create 8;
+    seen_rreq = Hashtbl.create 256;
+    reply_counts = Hashtbl.create 64;
+    in_flight = Hashtbl.create 32;
+    seen_data = Hashtbl.create 64;
+    last_rreq_seq = Hashtbl.create 32;
+    probes = Hashtbl.create 16;
+    trusted = trusted_tbl;
+  }
+
+let address t = Ctx.address t.ctx
+let now t = Ctx.now t.ctx
+let credits t = t.credits
+let identity t = t.ctx.Ctx.identity
+let suite t = Ctx.suite t.ctx
+
+let verify t ~pk_bytes ~msg ~signature =
+  (suite t).Suite.verify ~pk_bytes ~msg ~signature
+
+let verify_host t ~ip ~pk ~rn ~payload ~signature =
+  (* The two checks of §3: the address-to-key binding and the
+     challenge/sequence signature.  The binding is the CGA rule for
+     ordinary hosts; for pre-distributed identities (the DNS server) it
+     is exact equality with the known public key. *)
+  let binding_ok =
+    match Hashtbl.find_opt t.trusted (Address.to_bytes ip) with
+    | Some known_pk -> String.equal known_pk pk
+    | None -> Cga.verify ip ~pk_bytes:pk ~rn
+  in
+  binding_ok && verify t ~pk_bytes:pk ~msg:payload ~signature
+
+let route_score t e =
+  let len = float_of_int (List.length e.Route_cache.route) in
+  if t.config.use_credits then
+    let mc = Credit.min_credit t.credits e.Route_cache.route in
+    let mc = if mc = infinity then 1e9 else mc in
+    mc -. (0.001 *. len)
+  else -.len
+
+let cached_route t ~dst =
+  Option.map
+    (fun e -> e.Route_cache.route)
+    (Route_cache.best t.cache ~dst ~score:(route_score t))
+
+let cached_entry t ~dst = Route_cache.best t.cache ~dst ~score:(route_score t)
+
+let cached_routes t ~dst =
+  List.map (fun e -> e.Route_cache.route) (Route_cache.entries t.cache ~dst)
+
+(* --- data transmission ------------------------------------------------ *)
+
+let queue_for t dst =
+  let k = akey dst in
+  match Hashtbl.find_opt t.queue k with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.add t.queue k q;
+      q
+
+let rec transmit t packet route =
+  let dst = packet.p_dst in
+  Hashtbl.replace t.in_flight (fkey dst packet.p_seq) packet;
+  let path = route @ [ dst ] in
+  let msg =
+    Messages.Data
+      {
+        src = address t;
+        dst;
+        seq = packet.p_seq;
+        route;
+        remaining = path;
+        payload_size = packet.p_size;
+        sent_at = packet.p_first_sent;
+      }
+  in
+  Ctx.send_along t.ctx ~path
+    ~on_fail:(fun () ->
+      match route with
+      | next :: _ ->
+          ignore
+            (Route_cache.remove_link t.cache ~owner:(address t) ~a:(address t)
+               ~b:next)
+      | [] -> ignore (Route_cache.remove_route t.cache ~dst ~route))
+    msg;
+  Engine.schedule t.ctx.Ctx.engine ~delay:t.config.ack_timeout (fun () ->
+      ack_timeout t packet route)
+
+and ack_timeout t packet route =
+  let k = fkey packet.p_dst packet.p_seq in
+  match Hashtbl.find_opt t.in_flight k with
+  | None -> ()
+  | Some p when p != packet -> ()
+  | Some _ ->
+      Hashtbl.remove t.in_flight k;
+      Ctx.stat t.ctx "data.timeout";
+      Route_cache.remove_route t.cache ~dst:packet.p_dst ~route;
+      if t.config.probe_on_timeout && route <> [] then start_probe t packet route
+      else retry_packet t packet
+
+and retry_packet t packet =
+  if packet.p_retries < t.config.max_send_retries then begin
+    packet.p_retries <- packet.p_retries + 1;
+    dispatch t packet
+  end
+  else Ctx.stat t.ctx "data.dropped"
+
+(* §3.4: traverse the silent route and test the integrity of each host.
+   One probe per hop prefix; the first hop that returns no verifiable
+   signed reply is the suspect. *)
+and start_probe t packet route =
+  let hops = Array.of_list route in
+  let session =
+    {
+      pr_route = hops;
+      pr_replies = Array.make (Array.length hops) false;
+      pr_packet = packet;
+      pr_done = false;
+    }
+  in
+  Array.iteri
+    (fun i target ->
+      t.probe_seq <- t.probe_seq + 1;
+      let seq = t.probe_seq in
+      Hashtbl.replace t.probes seq (session, i);
+      let prefix = Array.to_list (Array.sub hops 0 i) in
+      let path = prefix @ [ target ] in
+      Ctx.stat t.ctx "probe.sent";
+      Ctx.send_along t.ctx ~path
+        (Messages.Probe
+           { origin = address t; target; seq; route = prefix; remaining = path }))
+    hops;
+  Engine.schedule t.ctx.Ctx.engine ~delay:t.config.probe_timeout (fun () ->
+      finish_probe t session)
+
+and finish_probe t session =
+  if not session.pr_done then begin
+    session.pr_done <- true;
+    let n = Array.length session.pr_route in
+    let rec first_missing i = if i >= n then None else if session.pr_replies.(i) then first_missing (i + 1) else Some i in
+    (match first_missing 0 with
+    | Some i ->
+        let suspect = session.pr_route.(i) in
+        Ctx.stat t.ctx "probe.suspect_found";
+        Ctx.stat t.ctx "secure.hostile_suspected";
+        Ctx.log t.ctx ~event:"secure.suspect" ~detail:(Address.to_string suspect);
+        Credit.slash t.credits suspect;
+        ignore (Route_cache.remove_containing t.cache suspect);
+        (* The hop before the suspect may be the one silently dropping;
+           under credits it simply stops earning until proven useful. *)
+        if i > 0 then Credit.slash t.credits session.pr_route.(i - 1)
+    | None ->
+        (* Every hop answered the probe, yet the destination never acked
+           and nobody reported a broken link.  The prime suspect is the
+           last hop: it accepted the data and claims a working link to
+           the destination (this is also how a one-hop forged route is
+           caught — the forger happily proves its own liveness). *)
+        if n > 0 then begin
+          let suspect = session.pr_route.(n - 1) in
+          Ctx.stat t.ctx "probe.last_hop_suspected";
+          Ctx.stat t.ctx "secure.hostile_suspected";
+          Ctx.log t.ctx ~event:"secure.suspect" ~detail:(Address.to_string suspect);
+          Credit.slash t.credits suspect;
+          ignore (Route_cache.remove_containing t.cache suspect)
+        end);
+    retry_packet t session.pr_packet
+  end
+
+and dispatch t packet =
+  match cached_route t ~dst:packet.p_dst with
+  | Some route -> transmit t packet route
+  | None ->
+      Queue.push packet (queue_for t packet.p_dst);
+      start_discovery t packet.p_dst
+
+(* --- route discovery --------------------------------------------------- *)
+
+and start_discovery t dst =
+  let k = akey dst in
+  (* Resolved entries are kept so sibling replies of the same discovery
+     can still be verified and cached; a fresh discovery replaces them. *)
+  match Hashtbl.find_opt t.pending k with
+  | Some d when not d.d_resolved -> ()
+  | _ ->
+      let d =
+        { d_dst = dst; d_seq = 0; d_attempts = 0; d_resolved = false; d_started = now t }
+      in
+      Hashtbl.replace t.pending k d;
+      send_rreq t d
+
+and send_rreq t d =
+  t.rreq_seq <- t.rreq_seq + 1;
+  let seq = t.rreq_seq in
+  d.d_seq <- seq;
+  d.d_attempts <- d.d_attempts + 1;
+  Ctx.stat t.ctx "route.discoveries";
+  let id = identity t in
+  let sip = address t in
+  let sig_ = Identity.sign id (Codec.rreq_source_payload ~sip ~seq) in
+  Hashtbl.replace t.seen_rreq (fkey sip seq) ();
+  Ctx.broadcast t.ctx
+    (Messages.Rreq
+       {
+         sip;
+         dip = d.d_dst;
+         seq;
+         srr = [];
+         sig_;
+         spk = Identity.pk_bytes id;
+         srn = id.Identity.rn;
+       });
+  Engine.schedule t.ctx.Ctx.engine ~delay:t.config.discovery_timeout (fun () ->
+      if not d.d_resolved then begin
+        if d.d_attempts < t.config.max_discovery_attempts then send_rreq t d
+        else discovery_failed t d
+      end)
+
+and discovery_failed t d =
+  let k = akey d.d_dst in
+  d.d_resolved <- true;
+  ignore k;
+  Ctx.stat t.ctx "route.discovery_failed";
+  (match Hashtbl.find_opt t.queue k with
+  | None -> ()
+  | Some q ->
+      Queue.iter (fun _ -> Ctx.stat t.ctx "data.dropped") q;
+      Queue.clear q);
+  notify_waiters t d.d_dst None
+
+and notify_waiters t dst result =
+  match Hashtbl.find_opt t.waiters (akey dst) with
+  | None -> ()
+  | Some l ->
+      let callbacks = !l in
+      Hashtbl.remove t.waiters (akey dst);
+      List.iter (fun cb -> cb result) callbacks
+
+and route_found t ~dst ~route ~endorsement =
+  let k = akey dst in
+  Route_cache.insert t.cache ~dst ~route ~meta:endorsement ~now:(now t);
+  (match Hashtbl.find_opt t.pending k with
+  | Some d when not d.d_resolved ->
+      d.d_resolved <- true;
+      Ctx.observe t.ctx "route.discovery_time" (now t -. d.d_started);
+      Ctx.observe t.ctx "route.hops" (float_of_int (List.length route + 1))
+  | _ -> ());
+  (match Hashtbl.find_opt t.queue k with
+  | None -> ()
+  | Some q ->
+      let packets = List.of_seq (Queue.to_seq q) in
+      Queue.clear q;
+      List.iter (fun p -> dispatch t p) packets);
+  notify_waiters t dst (Some route)
+
+let send t ~dst ?(size = 512) () =
+  t.data_seq <- t.data_seq + 1;
+  Ctx.stat t.ctx "data.offered";
+  dispatch t
+    {
+      p_dst = dst;
+      p_size = size;
+      p_seq = t.data_seq;
+      p_first_sent = now t;
+      p_retries = 0;
+    }
+
+let discover t ~dst ~on_route =
+  match cached_route t ~dst with
+  | Some route -> on_route (Some route)
+  | None ->
+      let k = akey dst in
+      let l =
+        match Hashtbl.find_opt t.waiters k with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.add t.waiters k l;
+            l
+      in
+      l := on_route :: !l;
+      start_discovery t dst
+
+(* --- RREQ handling ------------------------------------------------------ *)
+
+let srr_ips srr = List.map (fun e -> e.Messages.ip) srr
+
+(* §3.3 verification at the destination: source first, then every hop. *)
+let verify_rreq t ~sip ~seq ~srr ~sig_ ~spk ~srn =
+  let source_ok =
+    verify_host t ~ip:sip ~pk:spk ~rn:srn
+      ~payload:(Codec.rreq_source_payload ~sip ~seq)
+      ~signature:sig_
+  in
+  if not source_ok then false
+  else if not t.config.verify_at_destination then true
+  else
+    List.for_all
+      (fun e ->
+        verify_host t ~ip:e.Messages.ip ~pk:e.Messages.pk ~rn:e.Messages.rn
+          ~payload:(Codec.srr_entry_payload ~iip:e.Messages.ip ~seq)
+          ~signature:e.Messages.sig_)
+      srr
+
+let answer_as_destination t ~sip ~seq ~rr =
+  Ctx.stat t.ctx "route.replies";
+  let id = identity t in
+  let sig_ = Identity.sign id (Codec.rrep_payload ~sip ~seq ~rr) in
+  let back = List.rev rr @ [ sip ] in
+  Ctx.send_along t.ctx ~path:back
+    (Messages.Rrep
+       {
+         sip;
+         dip = address t;
+         rr;
+         remaining = back;
+         sig_;
+         dpk = Identity.pk_bytes id;
+         drn = id.Identity.rn;
+       })
+
+let answer_from_cache t ~sip ~seq ~dip ~rr entry endo =
+  Ctx.stat t.ctx "route.cache_replies";
+  let id = identity t in
+  let sig_cacher =
+    Identity.sign id (Codec.crep_cacher_payload ~requester:sip ~seq ~rr)
+  in
+  let back = List.rev rr @ [ sip ] in
+  Ctx.send_along t.ctx ~path:back
+    (Messages.Crep
+       {
+         requester = sip;
+         cacher = address t;
+         dip;
+         requester_seq = seq;
+         cacher_seq = endo.e_seq;
+         rr_to_cacher = rr;
+         rr_to_dest = entry.Route_cache.route;
+         remaining = back;
+         sig_cacher;
+         cacher_pk = Identity.pk_bytes id;
+         cacher_rn = id.Identity.rn;
+         sig_dest = endo.e_sig;
+         dest_pk = endo.e_pk;
+         dest_rn = endo.e_rn;
+       })
+
+let fresh_rreq_for_destination t ~sip ~seq =
+  (* Monotone per-source sequence numbers close the replay window at the
+     destination even across cache resets.  Copies of the *current*
+     request (seq equal to the newest seen) are allowed: they arrive over
+     distinct paths and earn distinct replies. *)
+  match Hashtbl.find_opt t.last_rreq_seq (akey sip) with
+  | Some last when seq < last ->
+      Ctx.stat t.ctx "secure.replayed_rreq";
+      false
+  | _ -> true
+
+(* Like DSR, the destination answers several copies of a request for
+   route diversity. *)
+let max_replies_per_request = 3
+
+let note_rreq_seq t ~sip ~seq =
+  (* Recorded only after the request verified: a forger must not be able
+     to burn a victim's sequence space with junk requests. *)
+  Hashtbl.replace t.last_rreq_seq (akey sip) seq
+
+let handle_rreq t msg =
+  match msg with
+  | Messages.Rreq { sip; dip; seq; srr; sig_; spk; srn } ->
+      let key = fkey sip seq in
+      let me = address t in
+      let rr = srr_ips srr in
+      if Address.equal dip me then begin
+        (* Destination: every copy is considered (up to the diversity
+           bound), each verified independently — a rushed poisoned copy
+           must not mask an honest one. *)
+        if not (Address.equal sip me || List.exists (Address.equal me) rr) then begin
+          let sent = Option.value ~default:0 (Hashtbl.find_opt t.reply_counts key) in
+          if sent < max_replies_per_request && fresh_rreq_for_destination t ~sip ~seq
+          then begin
+            if verify_rreq t ~sip ~seq ~srr ~sig_ ~spk ~srn then begin
+              note_rreq_seq t ~sip ~seq;
+              Hashtbl.replace t.reply_counts key (sent + 1);
+              answer_as_destination t ~sip ~seq ~rr
+            end
+            else Ctx.stat t.ctx "secure.rreq_rejected"
+          end
+        end
+      end
+      else if not (Hashtbl.mem t.seen_rreq key) then begin
+        Hashtbl.replace t.seen_rreq key ();
+        if Address.equal sip me || List.exists (Address.equal me) rr then ()
+        else begin
+          let cache_answer =
+            if t.config.use_cache_replies then
+              match cached_entry t ~dst:dip with
+              | Some ({ Route_cache.meta = Some endo; _ } as entry)
+                when (not (List.exists (Address.equal sip) entry.Route_cache.route))
+                     && not
+                          (List.exists
+                             (fun a -> List.exists (Address.equal a) rr)
+                             entry.Route_cache.route) ->
+                  Some (entry, endo)
+              | _ -> None
+            else None
+          in
+          match cache_answer with
+          | Some (entry, endo) -> answer_from_cache t ~sip ~seq ~dip ~rr entry endo
+          | None ->
+              let id = identity t in
+              let entry =
+                {
+                  Messages.ip = me;
+                  sig_ = Identity.sign id (Codec.srr_entry_payload ~iip:me ~seq);
+                  pk = Identity.pk_bytes id;
+                  rn = id.Identity.rn;
+                }
+              in
+              let relayed =
+                Messages.Rreq { sip; dip; seq; srr = srr @ [ entry ]; sig_; spk; srn }
+              in
+              let delay = Prng.float t.ctx.Ctx.rng t.config.flood_jitter in
+              Engine.schedule t.ctx.Ctx.engine ~delay (fun () ->
+                  Ctx.broadcast t.ctx relayed)
+        end
+      end
+  | _ -> ()
+
+(* --- replies ------------------------------------------------------------ *)
+
+let consume_rrep t msg =
+  match msg with
+  | Messages.Rrep { dip; rr; sig_; dpk; drn; _ } -> (
+      (* Replies verify against the sequence number of our latest
+         discovery for that destination; sibling copies of an
+         already-resolved discovery still count (route diversity). *)
+      match Hashtbl.find_opt t.pending (akey dip) with
+      | Some d ->
+          let payload = Codec.rrep_payload ~sip:(address t) ~seq:d.d_seq ~rr in
+          if verify_host t ~ip:dip ~pk:dpk ~rn:drn ~payload ~signature:sig_ then
+            route_found t ~dst:dip ~route:rr
+              ~endorsement:(Some { e_sig = sig_; e_pk = dpk; e_rn = drn; e_seq = d.d_seq })
+          else Ctx.stat t.ctx "secure.rrep_rejected"
+      | None ->
+          (* No discovery ever asked for this: unsolicited or replayed,
+             so reject (§4). *)
+          Ctx.stat t.ctx "secure.rrep_rejected")
+  | _ -> ()
+
+let consume_crep t msg =
+  match msg with
+  | Messages.Crep
+      {
+        requester = _;
+        cacher;
+        dip;
+        requester_seq;
+        cacher_seq;
+        rr_to_cacher;
+        rr_to_dest;
+        sig_cacher;
+        cacher_pk;
+        cacher_rn;
+        sig_dest;
+        dest_pk;
+        dest_rn;
+        _;
+      } -> (
+      match Hashtbl.find_opt t.pending (akey dip) with
+      | Some d when d.d_seq = requester_seq ->
+          let me = address t in
+          let cacher_ok =
+            verify_host t ~ip:cacher ~pk:cacher_pk ~rn:cacher_rn
+              ~payload:
+                (Codec.crep_cacher_payload ~requester:me ~seq:requester_seq
+                   ~rr:rr_to_cacher)
+              ~signature:sig_cacher
+          in
+          let dest_ok =
+            verify_host t ~ip:dip ~pk:dest_pk ~rn:dest_rn
+              ~payload:
+                (Codec.rrep_payload ~sip:cacher ~seq:cacher_seq ~rr:rr_to_dest)
+              ~signature:sig_dest
+          in
+          if cacher_ok && dest_ok then begin
+            let route = rr_to_cacher @ (cacher :: rr_to_dest) in
+            route_found t ~dst:dip ~route ~endorsement:None
+          end
+          else Ctx.stat t.ctx "secure.crep_rejected"
+      | _ -> Ctx.stat t.ctx "secure.crep_rejected")
+  | _ -> ()
+
+(* --- data plane ---------------------------------------------------------- *)
+
+let split_route_at route me =
+  let rec go before = function
+    | [] -> None
+    | x :: rest when Address.equal x me -> Some (List.rev before, rest)
+    | x :: rest -> go (x :: before) rest
+  in
+  go [] route
+
+(* Salvaging, as in the baseline: push the stuck packet over our own
+   cached (verified) route after reporting the break. *)
+let try_salvage t msg =
+  match msg with
+  | Messages.Data ({ dst; _ } as d) when t.config.salvage -> (
+      match cached_route t ~dst with
+      | Some route
+        when not (List.exists (Address.equal (address t)) route) ->
+          Ctx.stat t.ctx "data.salvaged";
+          let path = route @ [ dst ] in
+          Ctx.send_along t.ctx ~path
+            (Messages.Data { d with route; remaining = path });
+          true
+      | _ -> false)
+  | _ -> false
+
+let forward_data t ~next msg =
+  match msg with
+  | Messages.Data { src; route; _ } ->
+      Ctx.stat t.ctx "data.forwarded";
+      Ctx.send_along t.ctx ~path:next msg ~on_fail:(fun () ->
+          let me = address t in
+          let id = identity t in
+          let broken_next = List.hd next in
+          let back =
+            match split_route_at route me with
+            | Some (before, _) -> List.rev before @ [ src ]
+            | None -> [ src ]
+          in
+          Ctx.stat t.ctx "rerr.sent";
+          Ctx.send_along t.ctx ~path:back
+            (Messages.Rerr
+               {
+                 reporter = me;
+                 broken_next;
+                 dst = src;
+                 remaining = back;
+                 sig_ =
+                   Identity.sign id
+                     (Codec.rerr_payload ~reporter:me ~broken_next);
+                 pk = Identity.pk_bytes id;
+                 rn = id.Identity.rn;
+               });
+          ignore (try_salvage t msg))
+  | _ -> ()
+
+let consume_data t msg =
+  match msg with
+  | Messages.Data { src; seq; route; sent_at; _ } ->
+      (* Retransmissions of an already-delivered packet are re-acked but
+         not re-counted. *)
+      let k = fkey src seq in
+      if not (Hashtbl.mem t.seen_data k) then begin
+        Hashtbl.replace t.seen_data k ();
+        Ctx.stat t.ctx "data.delivered";
+        Ctx.observe t.ctx "data.latency" (now t -. sent_at)
+      end;
+      let back_route = List.rev route in
+      let path = back_route @ [ src ] in
+      Ctx.send_along t.ctx ~path
+        (Messages.Ack
+           {
+             src = address t;
+             dst = src;
+             data_seq = seq;
+             route = back_route;
+             remaining = path;
+             sent_at;
+           })
+  | _ -> ()
+
+let consume_ack t msg =
+  match msg with
+  | Messages.Ack { src = acker; data_seq; sent_at; route; _ } -> (
+      let k = fkey acker data_seq in
+      match Hashtbl.find_opt t.in_flight k with
+      | Some _ ->
+          Hashtbl.remove t.in_flight k;
+          Ctx.stat t.ctx "data.acked";
+          Ctx.observe t.ctx "data.rtt" (now t -. sent_at);
+          (* §3.4: every relay on the acknowledged route earns credit. *)
+          Credit.reward_route t.credits route
+      | None -> Ctx.stat t.ctx "ack.unmatched")
+  | _ -> ()
+
+let consume_rerr t msg =
+  match msg with
+  | Messages.Rerr { reporter; broken_next; sig_; pk; rn; _ } ->
+      Ctx.stat t.ctx "rerr.received";
+      let authentic =
+        verify_host t ~ip:reporter ~pk ~rn
+          ~payload:(Codec.rerr_payload ~reporter ~broken_next)
+          ~signature:sig_
+      in
+      if not authentic then Ctx.stat t.ctx "secure.rerr_rejected"
+      else begin
+        (* Source routing lets us check plausibility: the reported link
+           must lie on a route we actually hold. *)
+        let removed =
+          Route_cache.remove_link t.cache ~owner:(address t) ~a:reporter
+            ~b:broken_next
+        in
+        if removed = 0 then Ctx.stat t.ctx "secure.rerr_implausible";
+        (* Track reporting frequency; §3.4 treats chronic reporters (or
+           their successors) as hostile. *)
+        if Credit.record_rerr t.credits reporter ~now:(now t) then begin
+          Ctx.stat t.ctx "secure.hostile_suspected";
+          Credit.slash t.credits reporter;
+          ignore (Route_cache.remove_containing t.cache reporter)
+        end
+      end
+  | _ -> ()
+
+(* --- probes --------------------------------------------------------------- *)
+
+let consume_probe t msg =
+  match msg with
+  | Messages.Probe { origin; target; seq; route; _ } ->
+      if Address.equal target (address t) then begin
+        let id = identity t in
+        let back = List.rev route @ [ origin ] in
+        Ctx.send_along t.ctx ~path:back
+          (Messages.Probe_reply
+             {
+               responder = address t;
+               origin;
+               seq;
+               remaining = back;
+               sig_ =
+                 Identity.sign id
+                   (Codec.probe_reply_payload ~responder:(address t) ~origin ~seq);
+               pk = Identity.pk_bytes id;
+               rn = id.Identity.rn;
+             })
+      end
+  | _ -> ()
+
+let consume_probe_reply t msg =
+  match msg with
+  | Messages.Probe_reply { responder; origin; seq; sig_; pk; rn; _ } -> (
+      match Hashtbl.find_opt t.probes seq with
+      | Some (session, i) when not session.pr_done ->
+          if
+            Address.equal origin (address t)
+            && Address.equal responder session.pr_route.(i)
+            && verify_host t ~ip:responder ~pk ~rn
+                 ~payload:
+                   (Codec.probe_reply_payload ~responder ~origin:(address t) ~seq)
+                 ~signature:sig_
+          then begin
+            session.pr_replies.(i) <- true;
+            Hashtbl.remove t.probes seq;
+            Ctx.stat t.ctx "probe.replied"
+          end
+          else Ctx.stat t.ctx "probe.reply_rejected"
+      | _ -> ())
+  | _ -> ()
+
+let handle t ~src msg =
+  match msg with
+  | Messages.Rreq _ -> handle_rreq t msg
+  | Messages.Rrep _ ->
+      Ctx.deliver_up t.ctx ~src msg ~consume:(consume_rrep t)
+        ~forward:(fun ~next m -> Ctx.send_along t.ctx ~path:next m)
+        ~not_mine:(fun _ -> ())
+  | Messages.Crep _ ->
+      Ctx.deliver_up t.ctx ~src msg ~consume:(consume_crep t)
+        ~forward:(fun ~next m -> Ctx.send_along t.ctx ~path:next m)
+        ~not_mine:(fun _ -> ())
+  | Messages.Data _ ->
+      Ctx.deliver_up t.ctx ~src msg ~consume:(consume_data t)
+        ~forward:(fun ~next m -> forward_data t ~next m)
+        ~not_mine:(fun _ -> ())
+  | Messages.Ack _ ->
+      Ctx.deliver_up t.ctx ~src msg ~consume:(consume_ack t)
+        ~forward:(fun ~next m -> Ctx.send_along t.ctx ~path:next m)
+        ~not_mine:(fun _ -> ())
+  | Messages.Rerr _ ->
+      Ctx.deliver_up t.ctx ~src msg ~consume:(consume_rerr t)
+        ~forward:(fun ~next m -> Ctx.send_along t.ctx ~path:next m)
+        ~not_mine:(fun _ -> ())
+  | Messages.Probe _ ->
+      Ctx.deliver_up t.ctx ~src msg ~consume:(consume_probe t)
+        ~forward:(fun ~next m -> Ctx.send_along t.ctx ~path:next m)
+        ~not_mine:(fun _ -> ())
+  | Messages.Probe_reply _ ->
+      Ctx.deliver_up t.ctx ~src msg ~consume:(consume_probe_reply t)
+        ~forward:(fun ~next m -> Ctx.send_along t.ctx ~path:next m)
+        ~not_mine:(fun _ -> ())
+  | Messages.Name_query _ | Messages.Name_reply _ | Messages.Ip_change_request _
+  | Messages.Ip_change_challenge _ | Messages.Ip_change_proof _
+  | Messages.Ip_change_ack _ ->
+      Ctx.forward_transit t.ctx ~src msg
+  | Messages.Areq _ | Messages.Arep _ | Messages.Drep _ -> ()

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Heap Manet_crypto Stats Trace

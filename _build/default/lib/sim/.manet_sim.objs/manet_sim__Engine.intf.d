@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Manet_crypto Stats Trace

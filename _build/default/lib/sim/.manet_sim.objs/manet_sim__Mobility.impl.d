@@ -1,0 +1,1 @@
+lib/sim/mobility.ml: Array Engine Float Manet_crypto Topology

@@ -1,0 +1,1 @@
+lib/sim/mobility.mli: Engine Manet_crypto Topology

@@ -1,0 +1,62 @@
+module Prng = Manet_crypto.Prng
+
+type t = {
+  mutable now : float;
+  queue : (unit -> unit) Heap.t;
+  rng : Prng.t;
+  stats : Stats.t;
+  trace : Trace.t;
+  mutable processed : int;
+}
+
+let create ~seed () =
+  {
+    now = 0.0;
+    queue = Heap.create ();
+    rng = Prng.create ~seed;
+    stats = Stats.create ();
+    trace = Trace.create ();
+    processed = 0;
+  }
+
+let now t = t.now
+let rng t = t.rng
+let stats t = t.stats
+let trace t = t.trace
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  Heap.push t.queue (t.now +. delay) f
+
+let schedule_at t ~time f =
+  if time < t.now then invalid_arg "Engine.schedule_at: time in the past";
+  Heap.push t.queue time f
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with Some n -> n | None -> max_int) in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some (time, _) -> (
+        match until with
+        | Some limit when time > limit ->
+            (* Leave future events queued; advance the clock to the
+               horizon so repeated bounded runs make progress. *)
+            t.now <- limit;
+            continue := false
+        | _ -> (
+            match Heap.pop t.queue with
+            | None -> continue := false
+            | Some (time, f) ->
+                t.now <- time;
+                t.processed <- t.processed + 1;
+                decr budget;
+                f ()))
+  done
+
+let pending t = Heap.size t.queue
+let events_processed t = t.processed
+
+let log t ~node ~event ~detail =
+  Trace.log t.trace ~time:t.now ~node ~event ~detail

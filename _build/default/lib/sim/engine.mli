@@ -1,0 +1,39 @@
+(** The discrete-event simulation engine.
+
+    Time is a float in seconds.  Events are closures ordered by firing
+    time (FIFO among equal times).  The engine owns the run's PRNG root,
+    the {!Stats} registry and the {!Trace} buffer so every protocol
+    module can reach them through the one engine value. *)
+
+type t
+
+val create : seed:int -> unit -> t
+(** Fresh engine at time 0 with a PRNG derived from [seed]. *)
+
+val now : t -> float
+val rng : t -> Manet_crypto.Prng.t
+(** The engine's own stream; subsystems should {!Manet_crypto.Prng.split}
+    it rather than share it. *)
+
+val stats : t -> Stats.t
+val trace : t -> Trace.t
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t +. delay].
+    Raises [Invalid_argument] on negative delay. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Absolute-time variant; [time] must not be in the past. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Process events in order until the queue is empty, simulated time
+    would pass [until], or [max_events] have fired.  Events scheduled
+    beyond [until] remain queued, so [run] can be called again. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val events_processed : t -> int
+
+val log : t -> node:int -> event:string -> detail:string -> unit
+(** Convenience: trace at the current simulated time. *)

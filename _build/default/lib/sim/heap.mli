@@ -1,0 +1,22 @@
+(** A binary min-heap keyed by float priority.
+
+    The event queue of the discrete-event engine.  Entries with equal
+    priority pop in insertion order (a monotone sequence number breaks
+    ties), which keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h p v] inserts [v] with priority [p]. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Smallest priority without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the smallest-priority entry. *)
+
+val clear : 'a t -> unit

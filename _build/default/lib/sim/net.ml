@@ -1,0 +1,142 @@
+module Prng = Manet_crypto.Prng
+
+type config = {
+  range : float;
+  loss : float;
+  bit_rate : float;
+  prop_delay : float;
+  jitter : float;
+  mac_retries : int;
+  promiscuous : bool;
+}
+
+let default_config =
+  {
+    range = 250.0;
+    loss = 0.0;
+    bit_rate = 2_000_000.0;
+    prop_delay = 5e-6;
+    jitter = 1e-4;
+    mac_retries = 3;
+    promiscuous = false;
+  }
+
+type 'msg t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  cfg : config;
+  rng : Prng.t;
+  handlers : (src:int -> 'msg -> unit) array;
+  down : bool array;
+  mutable bytes_sent : int;
+  mutable transmissions : int;
+  mutable deliveries : int;
+  mutable unicast_failures : int;
+}
+
+let create ?(config = default_config) engine topo =
+  let n = Topology.size topo in
+  {
+    engine;
+    topo;
+    cfg = config;
+    rng = Prng.split (Engine.rng engine);
+    handlers = Array.make n (fun ~src:_ _ -> ());
+    down = Array.make n false;
+    bytes_sent = 0;
+    transmissions = 0;
+    deliveries = 0;
+    unicast_failures = 0;
+  }
+
+let config t = t.cfg
+let topology t = t.topo
+let engine t = t.engine
+let size t = Array.length t.handlers
+let set_handler t i f = t.handlers.(i) <- f
+let set_down t i b = t.down.(i) <- b
+let is_down t i = t.down.(i)
+
+let tx_time t size = float_of_int (size * 8) /. t.cfg.bit_rate
+
+let deliver t ~src ~dst msg delay =
+  Engine.schedule t.engine ~delay (fun () ->
+      if not t.down.(dst) then begin
+        t.deliveries <- t.deliveries + 1;
+        t.handlers.(dst) ~src msg
+      end)
+
+let broadcast t ~src ~size msg =
+  if not t.down.(src) then begin
+    t.bytes_sent <- t.bytes_sent + size;
+    t.transmissions <- t.transmissions + 1;
+    let base = tx_time t size +. t.cfg.prop_delay in
+    List.iter
+      (fun dst ->
+        if (not t.down.(dst)) && Prng.float t.rng 1.0 >= t.cfg.loss then
+          deliver t ~src ~dst msg (base +. Prng.float t.rng t.cfg.jitter))
+      (Topology.neighbors t.topo ~range:t.cfg.range src)
+  end
+
+let unicast t ~src ~dst ~size ?(on_fail = fun () -> ()) msg =
+  if t.down.(src) then ()
+  else begin
+    let reachable =
+      (not t.down.(dst)) && Topology.in_range t.topo ~range:t.cfg.range src dst
+    in
+    let attempts = 1 + t.cfg.mac_retries in
+    (* Decide up front which attempt (if any) gets through; each attempt
+       is an independent Bernoulli draw. *)
+    let winning =
+      if not reachable then None
+      else begin
+        let rec find k =
+          if k >= attempts then None
+          else if Prng.float t.rng 1.0 >= t.cfg.loss then Some k
+          else find (k + 1)
+        in
+        find 0
+      end
+    in
+    match winning with
+    | Some k ->
+        let used = k + 1 in
+        t.bytes_sent <- t.bytes_sent + (size * used);
+        t.transmissions <- t.transmissions + used;
+        let delay =
+          (float_of_int used *. tx_time t size)
+          +. t.cfg.prop_delay
+          +. Prng.float t.rng t.cfg.jitter
+        in
+        deliver t ~src ~dst msg delay;
+        (* Promiscuous radios overhear unicast frames addressed to
+           others (each overhearing subject to the loss probability). *)
+        if t.cfg.promiscuous then
+          List.iter
+            (fun other ->
+              if
+                other <> dst && (not t.down.(other))
+                && Prng.float t.rng 1.0 >= t.cfg.loss
+              then deliver t ~src ~dst:other msg (delay +. Prng.float t.rng t.cfg.jitter))
+            (Topology.neighbors t.topo ~range:t.cfg.range src)
+    | None ->
+        t.bytes_sent <- t.bytes_sent + (size * attempts);
+        t.transmissions <- t.transmissions + attempts;
+        t.unicast_failures <- t.unicast_failures + 1;
+        let delay =
+          (float_of_int attempts *. (tx_time t size +. (2.0 *. t.cfg.prop_delay)))
+          +. Prng.float t.rng t.cfg.jitter
+        in
+        Engine.schedule t.engine ~delay on_fail
+  end
+
+let bytes_sent t = t.bytes_sent
+let transmissions t = t.transmissions
+let deliveries t = t.deliveries
+let unicast_failures t = t.unicast_failures
+
+let reset_counters t =
+  t.bytes_sent <- 0;
+  t.transmissions <- 0;
+  t.deliveries <- 0;
+  t.unicast_failures <- 0

@@ -1,0 +1,69 @@
+(** The simulated radio: unit-disk broadcast medium with loss, delay and
+    MAC-level retry for unicast frames.
+
+    Nodes are integer ids into a {!Topology}.  Each node registers one
+    receive handler; the network invokes it with the link-layer sender.
+    Messages are an arbitrary type ['msg]; their wire size is supplied per
+    send so that the overhead experiments can account bytes honestly
+    without the simulator serializing anything.
+
+    Semantics:
+    - [broadcast] reaches every node currently within range, each
+      delivery independently subject to the loss probability.
+    - [unicast] models a MAC with link-level acknowledgements: up to
+      [1 + mac_retries] attempts; if every attempt is lost or the target
+      is out of range or down, the sender's [on_fail] callback fires
+      after the attempts' worth of time — this is how DSR's route
+      maintenance learns a link broke. *)
+
+type 'msg t
+
+type config = {
+  range : float;  (** unit-disk radio range *)
+  loss : float;  (** per-delivery loss probability in [0,1) *)
+  bit_rate : float;  (** bits per second; sets transmission delay *)
+  prop_delay : float;  (** per-hop propagation delay, seconds *)
+  jitter : float;  (** uniform extra delivery delay, seconds *)
+  mac_retries : int;  (** extra unicast attempts after the first *)
+  promiscuous : bool;
+      (** neighbours overhear unicast frames addressed to others — the
+          radio mode DSR's automatic route shortening relies on *)
+}
+
+val default_config : config
+(** 250 m range, no loss, 2 Mb/s, 5 us propagation, 0.1 ms jitter,
+    3 retries, promiscuous off. *)
+
+val create : ?config:config -> Engine.t -> Topology.t -> 'msg t
+
+val config : 'msg t -> config
+val topology : 'msg t -> Topology.t
+val engine : 'msg t -> Engine.t
+val size : 'msg t -> int
+
+val set_handler : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
+(** Replace node [i]'s receive handler (default: drop). *)
+
+val set_down : 'msg t -> int -> bool -> unit
+(** A down node neither sends, receives, nor acknowledges. *)
+
+val is_down : 'msg t -> int -> bool
+
+val broadcast : 'msg t -> src:int -> size:int -> 'msg -> unit
+(** One radio transmission of [size] bytes to all current neighbours. *)
+
+val unicast :
+  'msg t -> src:int -> dst:int -> size:int -> ?on_fail:(unit -> unit) ->
+  'msg -> unit
+(** Link-layer unicast to a (supposed) neighbour. *)
+
+val bytes_sent : 'msg t -> int
+(** Total bytes put on the air, including retries. *)
+
+val transmissions : 'msg t -> int
+(** Number of radio transmissions (retries counted). *)
+
+val deliveries : 'msg t -> int
+val unicast_failures : 'msg t -> int
+
+val reset_counters : 'msg t -> unit

@@ -1,0 +1,124 @@
+(* Reservoir size for percentile estimation: exact below the cap,
+   uniform-sample approximation above it. *)
+let reservoir_cap = 1024
+
+type acc = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+  reservoir : float array;
+  mutable stored : int;
+  (* Deterministic LCG for reservoir replacement (keeps runs replayable
+     without threading a PRNG through every observe call). *)
+  mutable lcg : int;
+}
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  accs : (string, acc) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; accs = Hashtbl.create 32 }
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let get t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let observe t name x =
+  let acc =
+    match Hashtbl.find_opt t.accs name with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            count = 0;
+            mean = 0.0;
+            m2 = 0.0;
+            min = infinity;
+            max = neg_infinity;
+            reservoir = Array.make reservoir_cap 0.0;
+            stored = 0;
+            lcg = 0x2545F491 + (Hashtbl.hash name land 0xFFFF);
+          }
+        in
+        Hashtbl.add t.accs name a;
+        a
+  in
+  acc.count <- acc.count + 1;
+  let delta = x -. acc.mean in
+  acc.mean <- acc.mean +. (delta /. float_of_int acc.count);
+  acc.m2 <- acc.m2 +. (delta *. (x -. acc.mean));
+  if x < acc.min then acc.min <- x;
+  if x > acc.max then acc.max <- x;
+  (* Algorithm R reservoir update. *)
+  if acc.stored < reservoir_cap then begin
+    acc.reservoir.(acc.stored) <- x;
+    acc.stored <- acc.stored + 1
+  end
+  else begin
+    acc.lcg <- ((acc.lcg * 1103515245) + 12345) land max_int;
+    let j = acc.lcg mod acc.count in
+    if j < reservoir_cap then acc.reservoir.(j) <- x
+  end
+
+let summary_of_acc (a : acc) =
+  {
+    count = a.count;
+    mean = a.mean;
+    stddev = (if a.count < 2 then 0.0 else sqrt (a.m2 /. float_of_int (a.count - 1)));
+    min = a.min;
+    max = a.max;
+  }
+
+let summary t name =
+  match Hashtbl.find_opt t.accs name with
+  | Some a when a.count > 0 -> Some (summary_of_acc a)
+  | _ -> None
+
+let summaries t =
+  Hashtbl.fold (fun k a acc -> (k, summary_of_acc a) :: acc) t.accs []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let percentile t name q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile: q outside [0,1]";
+  match Hashtbl.find_opt t.accs name with
+  | Some a when a.stored > 0 ->
+      let sorted = Array.sub a.reservoir 0 a.stored in
+      Array.sort compare sorted;
+      let idx =
+        int_of_float (Float.round (q *. float_of_int (a.stored - 1)))
+      in
+      Some sorted.(idx)
+  | _ -> None
+
+let clear t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.accs
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun (k, v) -> Format.fprintf fmt "%-40s %d@," k v) (counters t);
+  List.iter
+    (fun (k, s) ->
+      Format.fprintf fmt "%-40s n=%d mean=%.4f sd=%.4f min=%.4f max=%.4f@," k
+        s.count s.mean s.stddev s.min s.max)
+    (summaries t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,47 @@
+(** Metric collection for simulation runs.
+
+    Two kinds of metrics: named integer counters (packets sent, signatures
+    checked, ...) and named summaries of float observations (latencies,
+    hop counts, ...) maintained with Welford's online algorithm so no
+    sample buffer is needed. *)
+
+type t
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** [incr t name] adds [by] (default 1) to counter [name], creating it
+    at zero first if needed. *)
+
+val get : t -> string -> int
+(** Counter value; 0 when never incremented. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val observe : t -> string -> float -> unit
+(** Add one sample to summary [name]. *)
+
+val summary : t -> string -> summary option
+(** [None] when no sample was ever observed under [name]. *)
+
+val summaries : t -> (string * summary) list
+
+val percentile : t -> string -> float -> float option
+(** [percentile t name q] estimates the [q]-quantile ([0..1]) of the
+    samples observed under [name]: exact below 1024 samples, a
+    uniform-reservoir estimate beyond.  [None] when nothing was
+    observed. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Render every counter and summary, for debugging and reports. *)

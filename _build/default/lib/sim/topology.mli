@@ -1,0 +1,44 @@
+(** Node placement on a 2-D plane.
+
+    Positions are mutable (mobility models update them); neighbourhood is
+    the unit-disk model: two nodes hear each other iff their distance is
+    at most the radio range. *)
+
+type t
+
+val create : n:int -> width:float -> height:float -> t
+(** [n] nodes, all at the origin, on a [width] x [height] field. *)
+
+val random : Manet_crypto.Prng.t -> n:int -> width:float -> height:float -> t
+(** Uniformly random placement. *)
+
+val chain : n:int -> spacing:float -> t
+(** Nodes in a line at [spacing] intervals: node [i] at [(i*spacing, 0)].
+    With range in [(spacing, 2*spacing)) this forces an [n-1]-hop path. *)
+
+val grid : rows:int -> cols:int -> spacing:float -> t
+(** Row-major grid placement; node [r*cols + c] at [(c*s, r*s)]. *)
+
+val size : t -> int
+val width : t -> float
+val height : t -> float
+
+val position : t -> int -> float * float
+val set_position : t -> int -> float * float -> unit
+
+val distance : t -> int -> int -> float
+
+val neighbors : t -> range:float -> int -> int list
+(** Nodes within [range] of the given node (excluding itself), in
+    ascending id order. *)
+
+val in_range : t -> range:float -> int -> int -> bool
+
+val is_connected : t -> range:float -> bool
+(** Whether the unit-disk graph over all nodes is a single component. *)
+
+val random_connected :
+  Manet_crypto.Prng.t -> n:int -> width:float -> height:float -> range:float -> t
+(** Resamples random placements until connected (up to a bounded number
+    of attempts; raises [Failure] if the parameters make connectivity
+    overwhelmingly unlikely). *)

@@ -1,0 +1,37 @@
+type entry = { time : float; node : int; event : string; detail : string }
+
+type t = {
+  mutable enabled : bool;
+  capacity : int;
+  buf : entry Queue.t;
+}
+
+let create ?(capacity = 100_000) () =
+  { enabled = false; capacity; buf = Queue.create () }
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let is_enabled t = t.enabled
+
+let log t ~time ~node ~event ~detail =
+  if t.enabled then begin
+    if Queue.length t.buf >= t.capacity then ignore (Queue.pop t.buf);
+    Queue.push { time; node; event; detail } t.buf
+  end
+
+let entries t = List.of_seq (Queue.to_seq t.buf)
+let find t ~event = List.filter (fun e -> String.equal e.event event) (entries t)
+let clear t = Queue.clear t.buf
+let length t = Queue.length t.buf
+
+let pp_entry fmt e =
+  if e.node >= 0 then
+    Format.fprintf fmt "%10.4f  node %-3d  %-18s %s" e.time e.node e.event e.detail
+  else Format.fprintf fmt "%10.4f  %-27s %s" e.time e.event e.detail
+
+let render t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e -> Buffer.add_string buf (Format.asprintf "%a@." pp_entry e))
+    (entries t);
+  Buffer.contents buf

@@ -1,0 +1,40 @@
+(** Structured event traces.
+
+    The Figure 2 / Figure 3 reproductions are *traces*: the benchmark
+    harness runs the protocol scenario and prints the recorded message
+    sequence so it can be compared against the paper's diagrams.  Tracing
+    is off by default; experiments that need it switch it on. *)
+
+type entry = {
+  time : float;
+  node : int;  (** acting node, or -1 for global events *)
+  event : string;  (** short tag, e.g. ["areq.flood"] *)
+  detail : string;  (** free-form context *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] caps memory use; the oldest entries are dropped beyond it
+    (default 100_000). *)
+
+val enable : t -> unit
+val disable : t -> unit
+val is_enabled : t -> bool
+
+val log : t -> time:float -> node:int -> event:string -> detail:string -> unit
+(** No-op while disabled. *)
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val find : t -> event:string -> entry list
+(** Entries whose [event] tag equals the argument, oldest first. *)
+
+val clear : t -> unit
+val length : t -> int
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val render : t -> string
+(** Whole trace, one line per entry. *)

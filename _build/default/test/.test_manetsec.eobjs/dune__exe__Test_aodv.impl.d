@@ -1,0 +1,1 @@
+test/test_aodv.ml: Alcotest Manet_crypto Manet_ipv6 Manet_sim Manetsec Printf String

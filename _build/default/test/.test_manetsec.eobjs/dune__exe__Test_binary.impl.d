@@ -1,0 +1,1 @@
+test/test_binary.ml: Alcotest Buffer Bytes Char Format List Manet_crypto Manet_ipv6 Manet_proto QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bytes Char Fun Int64 List Manet_crypto Printf QCheck QCheck_alcotest String

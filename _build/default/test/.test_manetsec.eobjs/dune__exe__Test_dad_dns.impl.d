@@ -1,0 +1,1 @@
+test/test_dad_dns.ml: Alcotest Array List Manet_crypto Manet_dad Manet_dns Manet_ipv6 Manet_proto Manet_sim Option Printf

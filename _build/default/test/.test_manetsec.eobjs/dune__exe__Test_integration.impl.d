@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List Manet_crypto Manet_ipv6 Manet_sim Manetsec Printf QCheck QCheck_alcotest

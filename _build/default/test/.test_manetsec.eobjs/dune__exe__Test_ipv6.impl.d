@@ -1,0 +1,1 @@
+test/test_ipv6.ml: Alcotest Array Hashtbl List Manet_crypto Manet_ipv6 QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Array List Manet_crypto Manet_ipv6 Manet_proto Manet_sim Manetsec QCheck QCheck_alcotest String

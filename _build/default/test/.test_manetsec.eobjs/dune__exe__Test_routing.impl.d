@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Float List Manet_crypto Manet_ipv6 Manet_sim Manetsec Printf

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List Manet_crypto Manet_sim Option QCheck QCheck_alcotest

@@ -1,0 +1,199 @@
+(* Property and unit tests for the binary wire codec. *)
+
+module Prng = Manet_crypto.Prng
+module Address = Manet_ipv6.Address
+module Messages = Manet_proto.Messages
+module Binary = Manet_proto.Binary
+
+let qtest ?(count = 500) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* --- random message generator ----------------------------------------- *)
+
+let gen_message =
+  QCheck.Gen.(
+    let* seed = int in
+    let g = Prng.create ~seed in
+    let addr () =
+      Address.of_bytes (Prng.bytes g 16)
+    in
+    let route () = List.init (Prng.int g 5) (fun _ -> addr ()) in
+    let str () = Prng.bytes g (Prng.int g 40) in
+    let srr () =
+      List.init (Prng.int g 4) (fun _ ->
+          { Messages.ip = addr (); sig_ = str (); pk = str (); rn = Prng.bits64 g })
+    in
+    let opt f = if Prng.bool g then Some (f ()) else None in
+    let i32 () = Prng.int g 1000000 in
+    let f () = Prng.float g 1000.0 in
+    return
+      (match Prng.int g 17 with
+      | 0 ->
+          Messages.Areq
+            { sip = addr (); seq = i32 (); dn = opt str; ch = Prng.bits64 g; rr = route () }
+      | 1 ->
+          Messages.Arep
+            { sip = addr (); rr = route (); remaining = route (); sig_ = str ();
+              pk = str (); rn = Prng.bits64 g }
+      | 2 ->
+          Messages.Drep
+            { sip = addr (); dn = str (); rr = route (); remaining = route (); sig_ = str () }
+      | 3 ->
+          Messages.Rreq
+            { sip = addr (); dip = addr (); seq = i32 (); srr = srr (); sig_ = str ();
+              spk = str (); srn = Prng.bits64 g }
+      | 4 ->
+          Messages.Rrep
+            { sip = addr (); dip = addr (); rr = route (); remaining = route ();
+              sig_ = str (); dpk = str (); drn = Prng.bits64 g }
+      | 5 ->
+          Messages.Crep
+            { requester = addr (); cacher = addr (); dip = addr ();
+              requester_seq = i32 (); cacher_seq = i32 (); rr_to_cacher = route ();
+              rr_to_dest = route (); remaining = route (); sig_cacher = str ();
+              cacher_pk = str (); cacher_rn = Prng.bits64 g; sig_dest = str ();
+              dest_pk = str (); dest_rn = Prng.bits64 g }
+      | 6 ->
+          Messages.Rerr
+            { reporter = addr (); broken_next = addr (); dst = addr ();
+              remaining = route (); sig_ = str (); pk = str (); rn = Prng.bits64 g }
+      | 7 ->
+          Messages.Data
+            { src = addr (); dst = addr (); seq = i32 (); route = route ();
+              remaining = route (); payload_size = i32 (); sent_at = f () }
+      | 8 ->
+          Messages.Ack
+            { src = addr (); dst = addr (); data_seq = i32 (); route = route ();
+              remaining = route (); sent_at = f () }
+      | 9 ->
+          Messages.Probe
+            { origin = addr (); target = addr (); seq = i32 (); route = route ();
+              remaining = route () }
+      | 10 ->
+          Messages.Probe_reply
+            { responder = addr (); origin = addr (); seq = i32 ();
+              remaining = route (); sig_ = str (); pk = str (); rn = Prng.bits64 g }
+      | 11 ->
+          Messages.Name_query
+            { requester = addr (); name = str (); ch = Prng.bits64 g;
+              route = route (); remaining = route () }
+      | 12 ->
+          Messages.Name_reply
+            { requester = addr (); name = str (); result = opt addr;
+              ch = Prng.bits64 g; remaining = route (); sig_ = str () }
+      | 13 ->
+          Messages.Ip_change_request
+            { old_ip = addr (); new_ip = addr (); route = route (); remaining = route () }
+      | 14 ->
+          Messages.Ip_change_challenge
+            { old_ip = addr (); new_ip = addr (); ch = Prng.bits64 g; remaining = route () }
+      | 15 ->
+          Messages.Ip_change_proof
+            { old_ip = addr (); new_ip = addr (); old_rn = Prng.bits64 g;
+              new_rn = Prng.bits64 g; pk = str (); sig_ = str (); route = route ();
+              remaining = route () }
+      | _ ->
+          Messages.Ip_change_ack
+            { old_ip = addr (); new_ip = addr (); accepted = Prng.bool g;
+              remaining = route () }))
+
+let arb_message =
+  QCheck.make ~print:(fun m -> Format.asprintf "%a" Messages.pp m) gen_message
+
+let prop_roundtrip =
+  qtest "binary: decode (encode m) = m" arb_message (fun m ->
+      match Binary.decode (Binary.encode m) with
+      | Ok m' -> Binary.equal_message m m'
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+let prop_truncation_rejected =
+  qtest ~count:200 "binary: every strict prefix is rejected"
+    QCheck.(pair arb_message (float_bound_exclusive 1.0))
+    (fun (m, frac) ->
+      let enc = Binary.encode m in
+      let n = int_of_float (frac *. float_of_int (String.length enc)) in
+      QCheck.assume (n < String.length enc);
+      match Binary.decode (String.sub enc 0 n) with
+      | Error _ -> true
+      | Ok m' ->
+          (* A prefix that still parses must not silently equal the
+             original (it can only happen if we truncated zero bytes). *)
+          not (Binary.equal_message m m'))
+
+let prop_trailing_garbage_rejected =
+  qtest ~count:200 "binary: trailing bytes are rejected" arb_message (fun m ->
+      match Binary.decode (Binary.encode m ^ "\x00") with
+      | Error _ -> true
+      | Ok _ -> false)
+
+let prop_random_bytes_never_crash =
+  (* The decoder must be total: arbitrary byte strings either decode to
+     some message or return Error, never raise. *)
+  qtest ~count:2000 "binary: decoding random bytes never raises"
+    QCheck.(string_of_size QCheck.Gen.(int_bound 200))
+    (fun s ->
+      match Binary.decode s with Ok _ | Error _ -> true)
+
+let prop_bitflip_detected_or_valid =
+  (* Flipping one byte of a valid encoding must yield Error or a
+     *different* well-formed message (never a silent identical parse). *)
+  qtest ~count:300 "binary: single byte flips never alias the original"
+    QCheck.(pair arb_message (pair small_nat small_nat))
+    (fun (m, (pos0, delta0)) ->
+      let enc = Bytes.of_string (Binary.encode m) in
+      let pos = pos0 mod Bytes.length enc in
+      let delta = 1 + (delta0 mod 255) in
+      Bytes.set enc pos
+        (Char.chr ((Char.code (Bytes.get enc pos) + delta) land 0xFF));
+      match Binary.decode (Bytes.unsafe_to_string enc) with
+      | Error _ -> true
+      | Ok m' -> not (Binary.equal_message m m'))
+
+let test_unknown_tag_rejected () =
+  (match Binary.decode "\xff" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tag 255 accepted");
+  match Binary.decode "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty input accepted"
+
+let test_oversized_route_rejected () =
+  (* tag 10 (Probe) with a route count beyond the cap *)
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf '\x0a';
+  Buffer.add_string buf (String.make 32 '\x00');
+  (* seq *)
+  Buffer.add_string buf "\x00\x00\x00\x01";
+  (* route count = 65535 *)
+  Buffer.add_string buf "\xff\xff";
+  match Binary.decode (Buffer.contents buf) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized route accepted"
+
+let test_known_encoding_stable () =
+  (* Pin one concrete encoding so accidental format changes are caught. *)
+  let a = Address.of_string_exn "fec0::1" in
+  let b = Address.of_string_exn "fec0::2" in
+  let m =
+    Messages.Ip_change_challenge { old_ip = a; new_ip = b; ch = 0x1122L; remaining = [ a ] }
+  in
+  let enc = Binary.encode m in
+  Alcotest.(check int) "length" (1 + 16 + 16 + 8 + 2 + 16) (String.length enc);
+  Alcotest.(check char) "tag" '\x0f' enc.[0];
+  Alcotest.(check string) "ch bytes" "\x00\x00\x00\x00\x00\x00\x11\x22"
+    (String.sub enc 33 8)
+
+let suites =
+  [
+    ( "proto.binary",
+      [
+        prop_roundtrip;
+        prop_truncation_rejected;
+        prop_trailing_garbage_rejected;
+        prop_random_bytes_never_crash;
+        prop_bitflip_detected_or_valid;
+        Alcotest.test_case "unknown tag" `Quick test_unknown_tag_rejected;
+        Alcotest.test_case "oversized route" `Quick test_oversized_route_rejected;
+        Alcotest.test_case "stable encoding" `Quick test_known_encoding_stable;
+      ] );
+  ]

@@ -1,0 +1,380 @@
+(* Unit tests for the protocol substrate: canonical signing payloads,
+   the wire-size model, the address directory, identities, and the
+   source-route transmission helpers. *)
+
+module Prng = Manet_crypto.Prng
+module Suite = Manet_crypto.Suite
+module Address = Manet_ipv6.Address
+module Cga = Manet_ipv6.Cga
+module Engine = Manet_sim.Engine
+module Topology = Manet_sim.Topology
+module Net = Manet_sim.Net
+module Messages = Manet_proto.Messages
+module Codec = Manet_proto.Codec
+module Wire = Manet_proto.Wire
+module Directory = Manet_proto.Directory
+module Identity = Manet_proto.Identity
+module Ctx = Manet_proto.Node_ctx
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let addr s = Address.of_string_exn s
+let a1 = addr "fec0::1"
+let a2 = addr "fec0::2"
+let a3 = addr "fec0::3"
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_codec_primitives () =
+  Alcotest.(check string) "u32" "\x00\x00\x01\x02" (Codec.u32 0x102);
+  Alcotest.(check string) "u64" "\x00\x00\x00\x00\x00\x00\x01\x02" (Codec.u64 0x102L);
+  Alcotest.(check string) "lstring" "\x00\x03abc" (Codec.lstring "abc");
+  Alcotest.(check int) "addr is 16 bytes" 16 (String.length (Codec.addr a1));
+  Alcotest.(check string) "route counts" (Codec.u32 2 ^ Codec.addr a1 ^ Codec.addr a2)
+    (Codec.route [ a1; a2 ])
+
+let all_payloads () =
+  [
+    Codec.arep_payload ~sip:a1 ~ch:7L;
+    Codec.drep_payload ~dn:"x" ~ch:7L;
+    Codec.rreq_source_payload ~sip:a1 ~seq:7;
+    Codec.srr_entry_payload ~iip:a1 ~seq:7;
+    Codec.rrep_payload ~sip:a1 ~seq:7 ~rr:[ a2 ];
+    Codec.crep_cacher_payload ~requester:a1 ~seq:7 ~rr:[ a2 ];
+    Codec.rerr_payload ~reporter:a1 ~broken_next:a2;
+    Codec.probe_reply_payload ~responder:a1 ~origin:a2 ~seq:7;
+    Codec.name_reply_payload ~name:"x" ~result:(Some a1) ~ch:7L;
+    Codec.ip_change_payload ~old_ip:a1 ~new_ip:a2 ~ch:7L;
+  ]
+
+let test_codec_domain_separation () =
+  (* No two payload kinds over "the same" fields may collide: a
+     signature for one context must not verify in another. *)
+  let payloads = all_payloads () in
+  let distinct = List.sort_uniq compare payloads in
+  Alcotest.(check int) "all payloads distinct" (List.length payloads)
+    (List.length distinct)
+
+let test_codec_field_sensitivity () =
+  Alcotest.(check bool) "ch matters" false
+    (String.equal (Codec.arep_payload ~sip:a1 ~ch:1L) (Codec.arep_payload ~sip:a1 ~ch:2L));
+  Alcotest.(check bool) "sip matters" false
+    (String.equal (Codec.arep_payload ~sip:a1 ~ch:1L) (Codec.arep_payload ~sip:a2 ~ch:1L));
+  Alcotest.(check bool) "rr matters" false
+    (String.equal
+       (Codec.rrep_payload ~sip:a1 ~seq:1 ~rr:[ a2 ])
+       (Codec.rrep_payload ~sip:a1 ~seq:1 ~rr:[ a3 ]));
+  Alcotest.(check bool) "seq matters" false
+    (String.equal
+       (Codec.rrep_payload ~sip:a1 ~seq:1 ~rr:[ a2 ])
+       (Codec.rrep_payload ~sip:a1 ~seq:2 ~rr:[ a2 ]));
+  (* name_reply: None vs Some must differ even with crafted names *)
+  Alcotest.(check bool) "result option matters" false
+    (String.equal
+       (Codec.name_reply_payload ~name:"x" ~result:None ~ch:1L)
+       (Codec.name_reply_payload ~name:"x" ~result:(Some a1) ~ch:1L))
+
+let prop_route_injective =
+  qtest "codec: route encoding is injective on lengths"
+    QCheck.(pair (int_bound 10) (int_bound 10))
+    (fun (n, m) ->
+      let mk k = List.init k (fun i -> Cga.generate ~pk_bytes:(string_of_int i) ~rn:0L) in
+      n = m || not (String.equal (Codec.route (mk n)) (Codec.route (mk m))))
+
+(* ------------------------------------------------------------------ *)
+(* Wire model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_monotone_in_route_length () =
+  let mk hops =
+    Messages.Areq
+      { sip = a1; seq = 1; dn = None; ch = 1L; rr = List.init hops (fun _ -> a2) }
+  in
+  let size h = Wire.size_of (mk h) in
+  Alcotest.(check bool) "grows" true (size 5 > size 1);
+  Alcotest.(check int) "16 bytes per extra hop" 16 (size 2 - size 1)
+
+let test_wire_rreq_srr_cost () =
+  let sig_size = 64 and pk_size = 71 in
+  let entry =
+    { Messages.ip = a2; sig_ = String.make sig_size 's';
+      pk = String.make pk_size 'p'; rn = 1L }
+  in
+  let mk hops =
+    Messages.Rreq
+      { sip = a1; dip = a2; seq = 1; srr = List.init hops (fun _ -> entry);
+        sig_ = ""; spk = ""; srn = 0L }
+  in
+  let s1 = Wire.size_of (mk 1) in
+  let s2 = Wire.size_of (mk 2) in
+  Alcotest.(check int) "per-hop SRR cost matches model"
+    (Wire.srr_entry_size ~sig_size ~pk_size)
+    (s2 - s1)
+
+let test_wire_crypto_fields_scale () =
+  let mk ~sig_size ~pk_size =
+    Messages.Rrep
+      { sip = a1; dip = a2; rr = []; remaining = [];
+        sig_ = String.make sig_size 's'; dpk = String.make pk_size 'p'; drn = 0L }
+  in
+  let plain = Wire.size_of (mk ~sig_size:0 ~pk_size:0) in
+  let fat = Wire.size_of (mk ~sig_size:64 ~pk_size:71) in
+  Alcotest.(check int) "sig+pk difference" (64 + 71) (fat - plain)
+
+let test_wire_matches_binary_codec () =
+  (* The size model is by construction the codec's output plus the IPv6
+     header (minus sim metadata); pin that identity for a data packet. *)
+  let msg =
+    Messages.Data
+      { src = a1; dst = a2; seq = 5; route = [ a3 ]; remaining = [ a3; a2 ];
+        payload_size = 100; sent_at = 1.25 }
+  in
+  Alcotest.(check int) "identity"
+    (Wire.ipv6_header + String.length (Manet_proto.Binary.encode msg) - 8)
+    (Wire.size_of msg)
+
+let test_wire_all_messages_positive () =
+  List.iter
+    (fun msg ->
+      let size = Wire.size_of msg in
+      Alcotest.(check bool) (Messages.tag msg) true (size > Wire.ipv6_header))
+    [
+      Messages.Areq { sip = a1; seq = 1; dn = None; ch = 1L; rr = [] };
+      Messages.Arep { sip = a1; rr = []; remaining = []; sig_ = ""; pk = ""; rn = 0L };
+      Messages.Drep { sip = a1; dn = "d"; rr = []; remaining = []; sig_ = "" };
+      Messages.Rreq { sip = a1; dip = a2; seq = 1; srr = []; sig_ = ""; spk = ""; srn = 0L };
+      Messages.Rrep { sip = a1; dip = a2; rr = []; remaining = []; sig_ = ""; dpk = ""; drn = 0L };
+      Messages.Rerr { reporter = a1; broken_next = a2; dst = a3; remaining = []; sig_ = ""; pk = ""; rn = 0L };
+      Messages.Data { src = a1; dst = a2; seq = 1; route = []; remaining = []; payload_size = 64; sent_at = 0.0 };
+      Messages.Ack { src = a1; dst = a2; data_seq = 1; route = []; remaining = []; sent_at = 0.0 };
+      Messages.Probe { origin = a1; target = a2; seq = 1; route = []; remaining = [] };
+      Messages.Probe_reply { responder = a1; origin = a2; seq = 1; remaining = []; sig_ = ""; pk = ""; rn = 0L };
+      Messages.Name_query { requester = a1; name = "n"; ch = 1L; route = []; remaining = [] };
+      Messages.Name_reply { requester = a1; name = "n"; result = None; ch = 1L; remaining = []; sig_ = "" };
+      Messages.Ip_change_request { old_ip = a1; new_ip = a2; route = []; remaining = [] };
+      Messages.Ip_change_challenge { old_ip = a1; new_ip = a2; ch = 1L; remaining = [] };
+      Messages.Ip_change_proof { old_ip = a1; new_ip = a2; old_rn = 0L; new_rn = 0L; pk = ""; sig_ = ""; route = []; remaining = [] };
+      Messages.Ip_change_ack { old_ip = a1; new_ip = a2; accepted = true; remaining = [] };
+    ]
+
+let test_messages_with_remaining () =
+  let msg = Messages.Data { src = a1; dst = a2; seq = 1; route = [ a3 ]; remaining = [ a3; a2 ]; payload_size = 0; sent_at = 0.0 } in
+  (match Messages.remaining (Messages.with_remaining msg [ a2 ]) with
+  | Some [ x ] -> Alcotest.(check bool) "replaced" true (Address.equal x a2)
+  | _ -> Alcotest.fail "unexpected remaining");
+  (* AREQ is flooded: with_remaining is the identity *)
+  let areq = Messages.Areq { sip = a1; seq = 1; dn = None; ch = 1L; rr = [] } in
+  Alcotest.(check bool) "areq unchanged" true (Messages.with_remaining areq [ a1 ] == areq);
+  Alcotest.(check bool) "areq has no remaining" true (Messages.remaining areq = None)
+
+(* ------------------------------------------------------------------ *)
+(* Directory                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_directory_basics () =
+  let d = Directory.create () in
+  Alcotest.(check (option int)) "empty" None (Directory.lookup d a1);
+  Directory.register d a1 5;
+  Directory.register d a1 5;
+  Alcotest.(check (list int)) "idempotent" [ 5 ] (Directory.lookup_all d a1);
+  Directory.register d a1 3;
+  Alcotest.(check (list int)) "contested, sorted" [ 3; 5 ] (Directory.lookup_all d a1);
+  Alcotest.(check (option int)) "first claimant" (Some 3) (Directory.lookup d a1);
+  Directory.unregister d a1 3;
+  Alcotest.(check (list int)) "one left" [ 5 ] (Directory.lookup_all d a1);
+  Directory.unregister d a1 5;
+  Alcotest.(check (option int)) "gone" None (Directory.lookup d a1)
+
+let test_directory_addresses_of () =
+  let d = Directory.create () in
+  Directory.register d a1 7;
+  Directory.register d a2 7;
+  Directory.register d a3 8;
+  Alcotest.(check int) "two addresses" 2 (List.length (Directory.addresses_of d 7));
+  Alcotest.(check int) "one address" 1 (List.length (Directory.addresses_of d 8))
+
+(* ------------------------------------------------------------------ *)
+(* Identity                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_identity_cga_binding () =
+  let suite = Suite.mock (Prng.create ~seed:3) in
+  let g = Prng.create ~seed:4 in
+  let id = Identity.create suite g ~node_id:1 in
+  Alcotest.(check bool) "address is own CGA" true
+    (Cga.verify id.Identity.address ~pk_bytes:(Identity.pk_bytes id) ~rn:id.Identity.rn);
+  let before = id.Identity.address in
+  Identity.refresh_address id g;
+  Alcotest.(check bool) "address changed" false (Address.equal before id.Identity.address);
+  Alcotest.(check bool) "still a valid CGA" true
+    (Cga.verify id.Identity.address ~pk_bytes:(Identity.pk_bytes id) ~rn:id.Identity.rn)
+
+let test_identity_sign_roundtrip () =
+  let suite = Suite.mock (Prng.create ~seed:5) in
+  let g = Prng.create ~seed:6 in
+  let id = Identity.create suite g ~node_id:2 in
+  let sig_ = Identity.sign id "payload" in
+  Alcotest.(check bool) "verifies" true
+    (suite.Suite.verify ~pk_bytes:(Identity.pk_bytes id) ~msg:"payload" ~signature:sig_)
+
+(* ------------------------------------------------------------------ *)
+(* Node_ctx source-route transmission                                 *)
+(* ------------------------------------------------------------------ *)
+
+let make_ctx_world () =
+  let engine = Engine.create ~seed:7 () in
+  let topo = Topology.chain ~n:3 ~spacing:100.0 in
+  let net = Net.create ~config:{ Net.default_config with range = 150.0 } engine topo in
+  let directory = Directory.create () in
+  let suite = Suite.mock (Prng.create ~seed:8) in
+  let g = Prng.create ~seed:9 in
+  let ids = Array.init 3 (fun i -> Identity.create suite g ~node_id:i) in
+  Array.iteri (fun i id -> Directory.register directory id.Identity.address i) ids;
+  let ctxs = Array.map (fun id -> Ctx.create net directory id (Prng.create ~seed:10)) ids in
+  (engine, net, ids, ctxs)
+
+let probe_msg target route =
+  Messages.Probe { origin = target; target; seq = 1; route; remaining = [] }
+
+let test_ctx_send_along_and_deliver () =
+  let engine, net, ids, ctxs = make_ctx_world () in
+  let a i = ids.(i).Identity.address in
+  let consumed = ref None and forwarded = ref 0 in
+  let handler i ~src:_ msg =
+    Ctx.deliver_up ctxs.(i) ~src:0 msg
+      ~consume:(fun m -> consumed := Some (i, m))
+      ~forward:(fun ~next m ->
+        incr forwarded;
+        Ctx.send_along ctxs.(i) ~path:next m)
+      ~not_mine:(fun _ -> ())
+  in
+  for i = 0 to 2 do
+    Net.set_handler net i (handler i)
+  done;
+  (* 0 -> 1 -> 2 along the chain *)
+  Ctx.send_along ctxs.(0) ~path:[ a 1; a 2 ] (probe_msg (a 2) []);
+  Engine.run engine;
+  Alcotest.(check int) "one forward" 1 !forwarded;
+  (match !consumed with
+  | Some (2, _) -> ()
+  | Some (i, _) -> Alcotest.failf "consumed at wrong node %d" i
+  | None -> Alcotest.fail "never consumed")
+
+let test_ctx_send_along_unresolvable () =
+  let engine, _net, ids, ctxs = make_ctx_world () in
+  ignore ids;
+  let failed = ref false in
+  let ghost = addr "fec0::dead" in
+  Ctx.send_along ctxs.(0) ~path:[ ghost ] ~on_fail:(fun () -> failed := true)
+    (probe_msg ghost []);
+  Engine.run engine;
+  Alcotest.(check bool) "on_fail fired" true !failed
+
+let test_ctx_empty_path_rejected () =
+  let _engine, _net, _ids, ctxs = make_ctx_world () in
+  Alcotest.check_raises "empty path" (Invalid_argument "Node_ctx.send_along: empty path")
+    (fun () -> Ctx.send_along ctxs.(0) ~path:[] (probe_msg a1 []))
+
+let test_ctx_byte_accounting () =
+  let engine, net, ids, ctxs = make_ctx_world () in
+  ignore net;
+  let a i = ids.(i).Identity.address in
+  let msg = probe_msg (a 1) [] in
+  Ctx.send_along ctxs.(0) ~path:[ a 1 ] msg;
+  Engine.run engine;
+  let st = Engine.stats engine in
+  Alcotest.(check int) "tx.probe counted" 1 (Manet_sim.Stats.get st "tx.probe");
+  Alcotest.(check int) "bytes counted"
+    (Ctx.size_of ctxs.(0) (Messages.with_remaining msg [ a 1 ]))
+    (Manet_sim.Stats.get st "txbytes.probe")
+
+(* ------------------------------------------------------------------ *)
+(* BSAR ablation: verify_at_destination = false                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_bsar_ablation_misses_impersonation () =
+  (* With destination verification off (BSAR checks only the source),
+     the poisoned SRR entry passes: this is precisely the gap the paper
+     claims to close over BSAR. *)
+  let module Scenario = Manetsec.Scenario in
+  let module Adversary = Manetsec.Adversary in
+  let base =
+    {
+      Scenario.default_params with
+      n = 9;
+      seed = 11;
+      range = 150.0;
+      topology = Scenario.Grid { cols = 3; spacing = 100.0 };
+    }
+  in
+  let probe = Scenario.create base in
+  let victim = Scenario.address_of probe 3 in
+  let adversaries = [ (4, Adversary.impersonator victim); (3, Adversary.sleeper) ] in
+  let run ~verify_at_destination =
+    let params =
+      {
+        base with
+        adversaries;
+        secure_config =
+          { base.Scenario.secure_config with verify_at_destination };
+      }
+    in
+    let s = Scenario.create params in
+    let got = ref None in
+    Scenario.discover s ~src:1 ~dst:7 (fun r -> got := Some r);
+    Scenario.run s ~until:20.0;
+    match (Scenario.node s 1).Scenario.routing with
+    | Scenario.Secure_agent agent ->
+        List.exists
+          (List.exists (Address.equal victim))
+          (Manetsec.Secure_routing.cached_routes agent ~dst:(Scenario.address_of s 7))
+    | _ -> Alcotest.fail "expected secure agent"
+  in
+  Alcotest.(check bool) "full protocol rejects" false (run ~verify_at_destination:true);
+  Alcotest.(check bool) "BSAR-style accepts the poison" true
+    (run ~verify_at_destination:false)
+
+let suites =
+  [
+    ( "proto.codec",
+      [
+        Alcotest.test_case "primitives" `Quick test_codec_primitives;
+        Alcotest.test_case "domain separation" `Quick test_codec_domain_separation;
+        Alcotest.test_case "field sensitivity" `Quick test_codec_field_sensitivity;
+        prop_route_injective;
+      ] );
+    ( "proto.wire",
+      [
+        Alcotest.test_case "monotone in route length" `Quick test_wire_monotone_in_route_length;
+        Alcotest.test_case "srr per-hop cost" `Quick test_wire_rreq_srr_cost;
+        Alcotest.test_case "crypto fields scale" `Quick test_wire_crypto_fields_scale;
+        Alcotest.test_case "matches binary codec" `Quick test_wire_matches_binary_codec;
+        Alcotest.test_case "all messages sized" `Quick test_wire_all_messages_positive;
+        Alcotest.test_case "with_remaining" `Quick test_messages_with_remaining;
+      ] );
+    ( "proto.directory",
+      [
+        Alcotest.test_case "basics" `Quick test_directory_basics;
+        Alcotest.test_case "addresses_of" `Quick test_directory_addresses_of;
+      ] );
+    ( "proto.identity",
+      [
+        Alcotest.test_case "cga binding" `Quick test_identity_cga_binding;
+        Alcotest.test_case "sign roundtrip" `Quick test_identity_sign_roundtrip;
+      ] );
+    ( "proto.node_ctx",
+      [
+        Alcotest.test_case "send along and deliver" `Quick test_ctx_send_along_and_deliver;
+        Alcotest.test_case "unresolvable next hop" `Quick test_ctx_send_along_unresolvable;
+        Alcotest.test_case "empty path rejected" `Quick test_ctx_empty_path_rejected;
+        Alcotest.test_case "byte accounting" `Quick test_ctx_byte_accounting;
+      ] );
+    ( "secure.ablation",
+      [
+        Alcotest.test_case "bsar-style misses impersonation" `Quick
+          test_bsar_ablation_misses_impersonation;
+      ] );
+  ]

@@ -1,0 +1,536 @@
+(* Tests for the discrete-event simulator substrate. *)
+
+module Prng = Manet_crypto.Prng
+module Heap = Manet_sim.Heap
+module Stats = Manet_sim.Stats
+module Trace = Manet_sim.Trace
+module Engine = Manet_sim.Engine
+module Topology = Manet_sim.Topology
+module Mobility = Manet_sim.Mobility
+module Net = Manet_sim.Net
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_basic () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.push h 3.0 "c";
+  Heap.push h 1.0 "a";
+  Heap.push h 2.0 "b";
+  Alcotest.(check int) "size" 3 (Heap.size h);
+  Alcotest.(check (option (pair (float 0.0) string))) "peek" (Some (1.0, "a")) (Heap.peek h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop a" (Some (1.0, "a")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop b" (Some (2.0, "b")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop c" (Some (3.0, "c")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop empty" None (Heap.pop h)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h 1.0 v) [ 1; 2; 3; 4; 5 ];
+  let order = List.init 5 (fun _ -> match Heap.pop h with Some (_, v) -> v | None -> -1) in
+  Alcotest.(check (list int)) "insertion order among ties" [ 1; 2; 3; 4; 5 ] order
+
+let prop_heap_sorts =
+  qtest "heap: pops in sorted order"
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun floats ->
+      let h = Heap.create () in
+      List.iter (fun f -> Heap.push h f ()) floats;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (p, ()) -> drain (p :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort compare floats)
+
+let test_heap_interleaved () =
+  (* push/pop interleaving exercises sift-down from mid-states *)
+  let h = Heap.create () in
+  let g = Prng.create ~seed:5 in
+  let reference = ref [] in
+  for _ = 1 to 1000 do
+    if Prng.bool g || !reference = [] then begin
+      let p = Prng.float g 100.0 in
+      Heap.push h p ();
+      reference := List.merge compare [ p ] !reference
+    end
+    else begin
+      match (Heap.pop h, !reference) with
+      | Some (p, ()), r :: rest ->
+          Alcotest.(check (float 0.0)) "min matches" r p;
+          reference := rest
+      | _ -> Alcotest.fail "heap/reference disagree on emptiness"
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_counters () =
+  let s = Stats.create () in
+  Alcotest.(check int) "missing is 0" 0 (Stats.get s "x");
+  Stats.incr s "x";
+  Stats.incr s "x" ~by:4;
+  Stats.incr s "y";
+  Alcotest.(check int) "x" 5 (Stats.get s "x");
+  Alcotest.(check (list (pair string int))) "sorted" [ ("x", 5); ("y", 1) ] (Stats.counters s)
+
+let test_stats_summary () =
+  let s = Stats.create () in
+  Alcotest.(check bool) "missing summary" true (Stats.summary s "lat" = None);
+  List.iter (Stats.observe s "lat") [ 1.0; 2.0; 3.0; 4.0 ];
+  match Stats.summary s "lat" with
+  | None -> Alcotest.fail "expected summary"
+  | Some sm ->
+      Alcotest.(check int) "count" 4 sm.Stats.count;
+      Alcotest.(check (float 1e-9)) "mean" 2.5 sm.Stats.mean;
+      Alcotest.(check (float 1e-9)) "min" 1.0 sm.Stats.min;
+      Alcotest.(check (float 1e-9)) "max" 4.0 sm.Stats.max;
+      (* sample stddev of 1,2,3,4 = sqrt(5/3) *)
+      Alcotest.(check (float 1e-9)) "stddev" (sqrt (5.0 /. 3.0)) sm.Stats.stddev
+
+let prop_stats_welford =
+  qtest ~count:100 "stats: welford mean matches direct sum"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.observe s "v") xs;
+      match Stats.summary s "v" with
+      | None -> false
+      | Some sm ->
+          let direct = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+          abs_float (sm.Stats.mean -. direct) < 1e-6)
+
+let test_stats_percentiles_exact () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.observe s "v" (float_of_int i)
+  done;
+  let p q = Option.get (Stats.percentile s "v" q) in
+  Alcotest.(check (float 1e-9)) "p0 = min" 1.0 (p 0.0);
+  Alcotest.(check (float 1e-9)) "p100 = max" 100.0 (p 1.0);
+  Alcotest.(check (float 1.01)) "median" 50.5 (p 0.5);
+  Alcotest.(check (float 1.01)) "p95" 95.0 (p 0.95);
+  Alcotest.(check bool) "missing name" true (Stats.percentile s "nope" 0.5 = None);
+  Alcotest.check_raises "bad q" (Invalid_argument "Stats.percentile: q outside [0,1]")
+    (fun () -> ignore (Stats.percentile s "v" 1.5))
+
+let test_stats_percentiles_reservoir () =
+  (* Beyond the reservoir cap the estimate stays in the right ballpark. *)
+  let s = Stats.create () in
+  for i = 1 to 50_000 do
+    Stats.observe s "v" (float_of_int (i mod 1000))
+  done;
+  match Stats.percentile s "v" 0.5 with
+  | Some p -> Alcotest.(check bool) "median near 500" true (p > 350.0 && p < 650.0)
+  | None -> Alcotest.fail "no percentile"
+
+let test_stats_clear () =
+  let s = Stats.create () in
+  Stats.incr s "x";
+  Stats.observe s "v" 1.0;
+  Stats.clear s;
+  Alcotest.(check int) "counter gone" 0 (Stats.get s "x");
+  Alcotest.(check bool) "summary gone" true (Stats.summary s "v" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_disabled_by_default () =
+  let t = Trace.create () in
+  Trace.log t ~time:1.0 ~node:0 ~event:"e" ~detail:"d";
+  Alcotest.(check int) "nothing recorded" 0 (Trace.length t)
+
+let test_trace_record_and_find () =
+  let t = Trace.create () in
+  Trace.enable t;
+  Trace.log t ~time:1.0 ~node:0 ~event:"areq" ~detail:"first";
+  Trace.log t ~time:2.0 ~node:1 ~event:"arep" ~detail:"second";
+  Trace.log t ~time:3.0 ~node:2 ~event:"areq" ~detail:"third";
+  Alcotest.(check int) "length" 3 (Trace.length t);
+  let areqs = Trace.find t ~event:"areq" in
+  Alcotest.(check int) "two areqs" 2 (List.length areqs);
+  Alcotest.(check string) "order" "first" (List.hd areqs).Trace.detail
+
+let test_trace_capacity () =
+  let t = Trace.create ~capacity:3 () in
+  Trace.enable t;
+  for i = 1 to 5 do
+    Trace.log t ~time:(float_of_int i) ~node:0 ~event:"e" ~detail:(string_of_int i)
+  done;
+  let details = List.map (fun e -> e.Trace.detail) (Trace.entries t) in
+  Alcotest.(check (list string)) "keeps newest" [ "3"; "4"; "5" ] details
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_ordering () =
+  let e = Engine.create ~seed:1 () in
+  let log = ref [] in
+  Engine.schedule e ~delay:2.0 (fun () -> log := "b" :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := "a" :: !log);
+  Engine.schedule e ~delay:3.0 (fun () -> log := "c" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 3.0 (Engine.now e);
+  Alcotest.(check int) "processed" 3 (Engine.events_processed e)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create ~seed:1 () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      Engine.schedule e ~delay:1.0 (fun () ->
+          incr count;
+          chain (n - 1))
+  in
+  chain 10;
+  Engine.run e;
+  Alcotest.(check int) "all fired" 10 !count;
+  Alcotest.(check (float 1e-9)) "time advanced" 10.0 (Engine.now e)
+
+let test_engine_until () =
+  let e = Engine.create ~seed:1 () in
+  let fired = ref [] in
+  List.iter
+    (fun d -> Engine.schedule e ~delay:d (fun () -> fired := d :: !fired))
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  Engine.run ~until:2.5 e;
+  Alcotest.(check (list (float 1e-9))) "only early events" [ 1.0; 2.0 ] (List.rev !fired);
+  Alcotest.(check (float 1e-9)) "clock at horizon" 2.5 (Engine.now e);
+  Alcotest.(check int) "rest pending" 2 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "drained" 0 (Engine.pending e);
+  Alcotest.(check (list (float 1e-9))) "all events" [ 1.0; 2.0; 3.0; 4.0 ] (List.rev !fired)
+
+let test_engine_max_events () =
+  let e = Engine.create ~seed:1 () in
+  for i = 1 to 10 do
+    Engine.schedule e ~delay:(float_of_int i) (fun () -> ())
+  done;
+  Engine.run ~max_events:4 e;
+  Alcotest.(check int) "only 4 fired" 4 (Engine.events_processed e);
+  Alcotest.(check int) "6 left" 6 (Engine.pending e)
+
+let test_engine_negative_delay () =
+  let e = Engine.create ~seed:1 () in
+  Alcotest.check_raises "negative" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> Engine.schedule e ~delay:(-1.0) (fun () -> ()))
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create ~seed:1 () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+(* ------------------------------------------------------------------ *)
+(* Topology                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_topology_chain () =
+  let t = Topology.chain ~n:5 ~spacing:100.0 in
+  Alcotest.(check int) "size" 5 (Topology.size t);
+  Alcotest.(check (float 1e-9)) "distance" 100.0 (Topology.distance t 0 1);
+  Alcotest.(check (float 1e-9)) "distance 0-4" 400.0 (Topology.distance t 0 4);
+  Alcotest.(check (list int)) "middle neighbors" [ 1; 3 ]
+    (Topology.neighbors t ~range:150.0 2);
+  Alcotest.(check (list int)) "end neighbors" [ 1 ] (Topology.neighbors t ~range:150.0 0);
+  Alcotest.(check bool) "connected at 150" true (Topology.is_connected t ~range:150.0);
+  Alcotest.(check bool) "disconnected at 50" false (Topology.is_connected t ~range:50.0)
+
+let test_topology_grid () =
+  let t = Topology.grid ~rows:3 ~cols:4 ~spacing:10.0 in
+  Alcotest.(check int) "size" 12 (Topology.size t);
+  (* node 5 = row 1, col 1: neighbors at range 10 are 1, 4, 6, 9 *)
+  Alcotest.(check (list int)) "cross neighbors" [ 1; 4; 6; 9 ]
+    (Topology.neighbors t ~range:10.5 5)
+
+let test_topology_random_connected () =
+  let g = Prng.create ~seed:3 in
+  let t = Topology.random_connected g ~n:30 ~width:500.0 ~height:500.0 ~range:150.0 in
+  Alcotest.(check bool) "connected" true (Topology.is_connected t ~range:150.0);
+  for i = 0 to 29 do
+    let x, y = Topology.position t i in
+    Alcotest.(check bool) "in field" true (x >= 0.0 && x < 500.0 && y >= 0.0 && y < 500.0)
+  done
+
+let test_topology_set_position () =
+  let t = Topology.create ~n:2 ~width:10.0 ~height:10.0 in
+  Topology.set_position t 1 (3.0, 4.0);
+  Alcotest.(check (float 1e-9)) "distance 3-4-5" 5.0 (Topology.distance t 0 1);
+  Alcotest.(check bool) "in range" true (Topology.in_range t ~range:5.0 0 1);
+  Alcotest.(check bool) "self never in range" false (Topology.in_range t ~range:5.0 0 0)
+
+(* ------------------------------------------------------------------ *)
+(* Mobility                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let positions topo =
+  Array.init (Topology.size topo) (Topology.position topo)
+
+let test_mobility_static () =
+  let e = Engine.create ~seed:1 () in
+  let g = Prng.create ~seed:2 in
+  let topo = Topology.random g ~n:5 ~width:100.0 ~height:100.0 in
+  let before = positions topo in
+  let m = Mobility.create e topo g Mobility.Static in
+  Mobility.start m;
+  Engine.run ~until:100.0 e;
+  Alcotest.(check bool) "no movement" true (before = positions topo)
+
+let test_mobility_waypoint_moves_and_stays_in_field () =
+  let e = Engine.create ~seed:1 () in
+  let g = Prng.create ~seed:2 in
+  let topo = Topology.random g ~n:10 ~width:100.0 ~height:100.0 in
+  let before = positions topo in
+  let m =
+    Mobility.create e topo g
+      (Mobility.Random_waypoint { min_speed = 1.0; max_speed = 5.0; pause = 0.5 })
+  in
+  Mobility.start m;
+  Engine.run ~until:60.0 e;
+  let after = positions topo in
+  Alcotest.(check bool) "nodes moved" true (before <> after);
+  Array.iter
+    (fun (x, y) ->
+      Alcotest.(check bool) "within field" true
+        (x >= 0.0 && x <= 100.0 && y >= 0.0 && y <= 100.0))
+    after;
+  Mobility.stop m;
+  Engine.run e;
+  Alcotest.(check int) "queue drains after stop" 0 (Engine.pending e)
+
+let test_mobility_walk_bounded () =
+  let e = Engine.create ~seed:7 () in
+  let g = Prng.create ~seed:8 in
+  let topo = Topology.random g ~n:10 ~width:50.0 ~height:50.0 in
+  let m =
+    Mobility.create e topo g (Mobility.Random_walk { speed = 10.0; turn_interval = 2.0 })
+  in
+  Mobility.start m;
+  Engine.run ~until:30.0 e;
+  Array.iter
+    (fun (x, y) ->
+      Alcotest.(check bool) "within field" true
+        (x >= 0.0 && x <= 50.0 && y >= 0.0 && y <= 50.0))
+    (positions topo);
+  Mobility.stop m
+
+let test_mobility_speed_bound () =
+  (* Max displacement per tick must respect the speed limit. *)
+  let e = Engine.create ~seed:9 () in
+  let g = Prng.create ~seed:10 in
+  let topo = Topology.random g ~n:5 ~width:1000.0 ~height:1000.0 in
+  let m =
+    Mobility.create ~tick:1.0 e topo g
+      (Mobility.Random_waypoint { min_speed = 2.0; max_speed = 4.0; pause = 0.0 })
+  in
+  Mobility.start m;
+  let prev = ref (positions topo) in
+  let violations = ref 0 in
+  for _ = 1 to 50 do
+    Engine.run ~until:(Engine.now e +. 1.0) e;
+    let cur = positions topo in
+    Array.iteri
+      (fun i (x, y) ->
+        let px, py = !prev.(i) in
+        let d = sqrt (((x -. px) ** 2.0) +. ((y -. py) ** 2.0)) in
+        if d > 4.0 +. 1e-6 then incr violations)
+      cur;
+    prev := cur
+  done;
+  Mobility.stop m;
+  Alcotest.(check int) "no speed violations" 0 !violations
+
+(* ------------------------------------------------------------------ *)
+(* Net                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let make_net ?(config = Net.default_config) ~n ~spacing () =
+  let e = Engine.create ~seed:11 () in
+  let topo = Topology.chain ~n ~spacing in
+  let net = Net.create ~config e topo in
+  (e, net)
+
+let test_net_broadcast_reaches_neighbors () =
+  let e, net = make_net ~n:5 ~spacing:100.0 () in
+  (* range 250: node 2 reaches 0,1,3,4 *)
+  let received = ref [] in
+  for i = 0 to 4 do
+    Net.set_handler net i (fun ~src msg ->
+        received := (i, src, msg) :: !received)
+  done;
+  Net.broadcast net ~src:2 ~size:100 "hello";
+  Engine.run e;
+  let receivers = List.sort compare (List.map (fun (i, _, _) -> i) !received) in
+  Alcotest.(check (list int)) "neighbors got it" [ 0; 1; 3; 4 ] receivers;
+  List.iter (fun (_, src, msg) ->
+      Alcotest.(check int) "src" 2 src;
+      Alcotest.(check string) "payload" "hello" msg)
+    !received;
+  Alcotest.(check int) "one transmission" 1 (Net.transmissions net);
+  Alcotest.(check int) "bytes counted once" 100 (Net.bytes_sent net)
+
+let test_net_broadcast_range_limited () =
+  let e, net = make_net ~n:5 ~spacing:100.0 () in
+  let cfg = { Net.default_config with range = 150.0 } in
+  let topo = Net.topology net in
+  ignore topo;
+  let e2 = e in
+  ignore e2;
+  (* rebuild with short range *)
+  let e = Engine.create ~seed:12 () in
+  let topo = Topology.chain ~n:5 ~spacing:100.0 in
+  let net = Net.create ~config:cfg e topo in
+  let received = ref [] in
+  for i = 0 to 4 do
+    Net.set_handler net i (fun ~src:_ _ -> received := i :: !received)
+  done;
+  Net.broadcast net ~src:0 ~size:10 "x";
+  Engine.run e;
+  Alcotest.(check (list int)) "only node 1" [ 1 ] !received
+
+let test_net_unicast_success () =
+  let e, net = make_net ~n:3 ~spacing:100.0 () in
+  let got = ref None in
+  Net.set_handler net 1 (fun ~src msg -> got := Some (src, msg));
+  let failed = ref false in
+  Net.unicast net ~src:0 ~dst:1 ~size:50 ~on_fail:(fun () -> failed := true) "data";
+  Engine.run e;
+  Alcotest.(check (option (pair int string))) "delivered" (Some (0, "data")) !got;
+  Alcotest.(check bool) "no failure" false !failed;
+  Alcotest.(check int) "no unicast failures" 0 (Net.unicast_failures net)
+
+let test_net_unicast_out_of_range_fails () =
+  let cfg = { Net.default_config with range = 150.0 } in
+  let e = Engine.create ~seed:13 () in
+  let topo = Topology.chain ~n:3 ~spacing:100.0 in
+  let net = Net.create ~config:cfg e topo in
+  let got = ref false and failed = ref false in
+  Net.set_handler net 2 (fun ~src:_ _ -> got := true);
+  Net.unicast net ~src:0 ~dst:2 ~size:50 ~on_fail:(fun () -> failed := true) "data";
+  Engine.run e;
+  Alcotest.(check bool) "not delivered" false !got;
+  Alcotest.(check bool) "failure reported" true !failed;
+  Alcotest.(check int) "counted" 1 (Net.unicast_failures net)
+
+let test_net_down_node () =
+  let e, net = make_net ~n:3 ~spacing:100.0 () in
+  let got = ref false and failed = ref false in
+  Net.set_handler net 1 (fun ~src:_ _ -> got := true);
+  Net.set_down net 1 true;
+  Alcotest.(check bool) "is_down" true (Net.is_down net 1);
+  Net.unicast net ~src:0 ~dst:1 ~size:50 ~on_fail:(fun () -> failed := true) "data";
+  Engine.run e;
+  Alcotest.(check bool) "down node got nothing" false !got;
+  Alcotest.(check bool) "sender sees failure" true !failed;
+  (* down sender transmits nothing *)
+  Net.set_down net 1 false;
+  Net.set_down net 0 true;
+  Net.reset_counters net;
+  Net.broadcast net ~src:0 ~size:10 "x";
+  Engine.run e;
+  Alcotest.(check int) "no transmission from down node" 0 (Net.transmissions net)
+
+let test_net_loss_retries () =
+  (* loss = 0.5 with 3 retries: most unicasts still get through; failures
+     and retries are both visible in the counters. *)
+  let cfg = { Net.default_config with loss = 0.5; mac_retries = 3 } in
+  let e = Engine.create ~seed:17 () in
+  let topo = Topology.chain ~n:2 ~spacing:100.0 in
+  let net = Net.create ~config:cfg e topo in
+  let delivered = ref 0 and failed = ref 0 in
+  Net.set_handler net 1 (fun ~src:_ _ -> incr delivered);
+  for _ = 1 to 200 do
+    Net.unicast net ~src:0 ~dst:1 ~size:10 ~on_fail:(fun () -> incr failed) "x"
+  done;
+  Engine.run e;
+  Alcotest.(check int) "accounting adds up" 200 (!delivered + !failed);
+  (* P(all 4 attempts lost) = 1/16 -> expect ~12.5 failures of 200. *)
+  Alcotest.(check bool) "mostly delivered" true (!delivered > 160);
+  Alcotest.(check bool) "some failures" true (!failed > 0);
+  Alcotest.(check bool) "retries cost transmissions" true
+    (Net.transmissions net > 200)
+
+let test_net_lossy_broadcast () =
+  let cfg = { Net.default_config with loss = 0.3 } in
+  let e = Engine.create ~seed:19 () in
+  let topo = Topology.chain ~n:2 ~spacing:10.0 in
+  let net = Net.create ~config:cfg e topo in
+  let delivered = ref 0 in
+  Net.set_handler net 1 (fun ~src:_ _ -> incr delivered);
+  for _ = 1 to 1000 do
+    Net.broadcast net ~src:0 ~size:10 "x"
+  done;
+  Engine.run e;
+  (* Expect ~700 deliveries. *)
+  Alcotest.(check bool) "loss rate plausible" true (!delivered > 620 && !delivered < 780)
+
+let suites =
+  [
+    ( "sim.heap",
+      [
+        Alcotest.test_case "basic" `Quick test_heap_basic;
+        Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+        prop_heap_sorts;
+        Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
+      ] );
+    ( "sim.stats",
+      [
+        Alcotest.test_case "counters" `Quick test_stats_counters;
+        Alcotest.test_case "summary" `Quick test_stats_summary;
+        prop_stats_welford;
+        Alcotest.test_case "percentiles exact" `Quick test_stats_percentiles_exact;
+        Alcotest.test_case "percentiles reservoir" `Quick test_stats_percentiles_reservoir;
+        Alcotest.test_case "clear" `Quick test_stats_clear;
+      ] );
+    ( "sim.trace",
+      [
+        Alcotest.test_case "disabled by default" `Quick test_trace_disabled_by_default;
+        Alcotest.test_case "record and find" `Quick test_trace_record_and_find;
+        Alcotest.test_case "capacity" `Quick test_trace_capacity;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "ordering" `Quick test_engine_ordering;
+        Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+        Alcotest.test_case "until" `Quick test_engine_until;
+        Alcotest.test_case "max events" `Quick test_engine_max_events;
+        Alcotest.test_case "negative delay" `Quick test_engine_negative_delay;
+        Alcotest.test_case "same time fifo" `Quick test_engine_same_time_fifo;
+      ] );
+    ( "sim.topology",
+      [
+        Alcotest.test_case "chain" `Quick test_topology_chain;
+        Alcotest.test_case "grid" `Quick test_topology_grid;
+        Alcotest.test_case "random connected" `Quick test_topology_random_connected;
+        Alcotest.test_case "set position" `Quick test_topology_set_position;
+      ] );
+    ( "sim.mobility",
+      [
+        Alcotest.test_case "static" `Quick test_mobility_static;
+        Alcotest.test_case "waypoint in field" `Quick test_mobility_waypoint_moves_and_stays_in_field;
+        Alcotest.test_case "walk bounded" `Quick test_mobility_walk_bounded;
+        Alcotest.test_case "speed bound" `Quick test_mobility_speed_bound;
+      ] );
+    ( "sim.net",
+      [
+        Alcotest.test_case "broadcast reaches neighbors" `Quick test_net_broadcast_reaches_neighbors;
+        Alcotest.test_case "broadcast range limited" `Quick test_net_broadcast_range_limited;
+        Alcotest.test_case "unicast success" `Quick test_net_unicast_success;
+        Alcotest.test_case "unicast out of range" `Quick test_net_unicast_out_of_range_fails;
+        Alcotest.test_case "down node" `Quick test_net_down_node;
+        Alcotest.test_case "loss retries" `Quick test_net_loss_retries;
+        Alcotest.test_case "lossy broadcast" `Quick test_net_lossy_broadcast;
+      ] );
+  ]
