@@ -251,6 +251,9 @@ let handle t ~src msg =
   else if impersonated_transit t msg <> None then ()
   else
   match msg with
+  (* The adversary deliberately skips all verification: it consumes
+     whatever it overhears to mount the §4 forgery/replay attacks. *)
+  (* manetlint: allow security *)
   | Messages.Rreq { sip; dip; seq; srr; _ } ->
       let key = fkey sip seq in
       if Hashtbl.mem t.seen_rreq key then ()
@@ -273,6 +276,8 @@ let handle t ~src msg =
           end
         end
       end
+  (* Captures reply signatures wholesale for later replay (§4). *)
+  (* manetlint: allow security *)
   | Messages.Rrep { dip; rr; sig_; dpk; drn; _ } ->
       if t.behavior.replay_rrep then
         Hashtbl.replace t.captured (Address.to_bytes dip)

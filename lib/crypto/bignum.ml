@@ -60,11 +60,11 @@ let to_int_opt n =
 
 let compare_mag a b =
   let la = Array.length a and lb = Array.length b in
-  if la <> lb then compare la lb
+  if la <> lb then Int.compare la lb
   else begin
     let rec go i =
       if i < 0 then 0
-      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else if a.(i) <> b.(i) then Int.compare a.(i) b.(i)
       else go (i - 1)
     in
     go (la - 1)

@@ -293,6 +293,10 @@ let max_replies_per_request = 3
 
 let handle_rreq t msg =
   match msg with
+  (* Plain DSR is the deliberately unauthenticated baseline (§3.3 uses
+     it as the point of comparison): requests carry signature fields on
+     the wire but this layer never checks them. *)
+  (* manetlint: allow security *)
   | Messages.Rreq { sip; dip; seq; srr; _ } ->
       let key = fkey sip seq in
       let me = address t in
@@ -334,11 +338,15 @@ let handle_rreq t msg =
 
 let consume_rrep t msg =
   match msg with
+  (* Unauthenticated baseline: replies accepted as-is (see handle_rreq). *)
+  (* manetlint: allow security *)
   | Messages.Rrep { dip; rr; _ } -> route_found t ~dst:dip ~route:rr
   | _ -> ()
 
 let consume_crep t msg =
   match msg with
+  (* Unauthenticated baseline: cached replies accepted as-is. *)
+  (* manetlint: allow security *)
   | Messages.Crep { cacher; dip; rr_to_cacher; rr_to_dest; _ } ->
       (* Splice: requester -> ... -> cacher -> ... -> destination. *)
       let route = rr_to_cacher @ (cacher :: rr_to_dest) in
@@ -493,6 +501,9 @@ let overheard_data t msg =
 
 let consume_rerr t msg =
   match msg with
+  (* Plain DSR believes any error report — the exact weakness the §4
+     RERR-forgery adversary exploits and secure routing closes. *)
+  (* manetlint: allow security *)
   | Messages.Rerr { reporter; broken_next; _ } ->
       Ctx.stat t.ctx "rerr.received";
       (* Plain DSR believes any error report. *)

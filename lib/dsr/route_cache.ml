@@ -38,7 +38,7 @@ let insert t ~dst ~route ~meta ~now =
         if List.length !entries >= t.capacity_per_dst then begin
           (* Evict the least recently used. *)
           let sorted =
-            List.sort (fun a b -> compare b.last_used a.last_used) !entries
+            List.sort (fun a b -> Float.compare b.last_used a.last_used) !entries
           in
           List.filteri (fun i _ -> i < t.capacity_per_dst - 1) sorted
         end
@@ -49,7 +49,7 @@ let insert t ~dst ~route ~meta ~now =
 let entries t ~dst =
   match Hashtbl.find_opt t.by_dst (key dst) with
   | None -> []
-  | Some (_, l) -> List.sort (fun a b -> compare b.last_used a.last_used) !l
+  | Some (_, l) -> List.sort (fun a b -> Float.compare b.last_used a.last_used) !l
 
 let best t ~dst ~score =
   match entries t ~dst with

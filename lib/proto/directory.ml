@@ -14,7 +14,7 @@ let create () = Table.create 64
 let register t addr node =
   let existing = Option.value ~default:[] (Table.find_opt t addr) in
   if not (List.mem node existing) then
-    Table.replace t addr (List.sort compare (node :: existing))
+    Table.replace t addr (List.sort Int.compare (node :: existing))
 
 let unregister t addr node =
   match Table.find_opt t addr with

@@ -279,7 +279,9 @@ let handle_rreq t msg =
         if Address.equal sip me || List.exists (Address.equal me) rr then ()
         else begin
           (* Relay with a bare address record: intermediates neither sign
-             nor verify anything under SRP. *)
+             nor verify anything under SRP — this is a designated
+             unsigned site, not a forgotten signature. *)
+          (* manetlint: allow placeholder-sig *)
           let entry = { Messages.ip = me; sig_ = ""; pk = ""; rn = 0L } in
           let relayed =
             Messages.Rreq { sip; dip; seq; srr = srr @ [ entry ]; sig_; spk = ""; srn = 0L }
@@ -328,10 +330,11 @@ let forward_data t ~next msg =
           in
           Ctx.stat t.ctx "rerr.sent";
           (* SRP has no association with intermediates: the error report
-             is necessarily unauthenticated. *)
+             is necessarily unauthenticated (designated unsigned site). *)
           Ctx.send_along t.ctx ~path:back
             (Messages.Rerr
                { reporter = me; broken_next; dst = src; remaining = back;
+                 (* manetlint: allow placeholder-sig *)
                  sig_ = ""; pk = ""; rn = 0L }))
   | _ -> ()
 
@@ -366,6 +369,10 @@ let consume_ack t msg =
 
 let consume_rerr t msg =
   match msg with
+  (* SRP cannot authenticate intermediate error reports (no security
+     association with relays), so it believes them — the documented
+     exposure the paper's full scheme removes. *)
+  (* manetlint: allow security *)
   | Messages.Rerr { reporter; broken_next; _ } ->
       Ctx.stat t.ctx "rerr.received";
       (* Unauthenticated, so believed — SRP's documented exposure. *)

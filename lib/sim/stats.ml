@@ -2,6 +2,17 @@
    uniform-sample approximation above it. *)
 let reservoir_cap = 1024
 
+(* FNV-1a, truncated to 30 bits: a stable per-name seed for the
+   reservoir LCG.  Hashtbl.hash would work too but its value is not
+   specified across OCaml versions, and replayability requires the
+   jitter stream to be identical everywhere. *)
+let fnv1a s =
+  let h = ref 0x811C9DC5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    s;
+  !h
+
 type acc = {
   mutable count : int;
   mutable mean : float;
@@ -56,7 +67,7 @@ let observe t name x =
             max = neg_infinity;
             reservoir = Array.make reservoir_cap 0.0;
             stored = 0;
-            lcg = 0x2545F491 + (Hashtbl.hash name land 0xFFFF);
+            lcg = 0x2545F491 + (fnv1a name land 0xFFFF);
           }
         in
         Hashtbl.add t.accs name a;
@@ -102,7 +113,7 @@ let percentile t name q =
   match Hashtbl.find_opt t.accs name with
   | Some a when a.stored > 0 ->
       let sorted = Array.sub a.reservoir 0 a.stored in
-      Array.sort compare sorted;
+      Array.sort Float.compare sorted;
       let idx =
         int_of_float (Float.round (q *. float_of_int (a.stored - 1)))
       in

@@ -85,13 +85,30 @@ let is_connected t ~range =
   done;
   !count = n
 
+exception
+  No_connected_placement of { n : int; range : float; attempts : int }
+
+let () =
+  Printexc.register_printer (function
+    | No_connected_placement { n; range; attempts } ->
+        Some
+          (Printf.sprintf
+             "Topology.No_connected_placement (n=%d, range=%g, attempts=%d): \
+              no connected placement found; enlarge the radio range or \
+              shrink the field"
+             n range attempts)
+    | _ -> None)
+
+let max_placement_attempts = 1000
+
 let random_connected g ~n ~width ~height ~range =
   let rec attempt k =
     if k = 0 then
-      failwith "Topology.random_connected: could not find a connected placement"
+      raise
+        (No_connected_placement { n; range; attempts = max_placement_attempts })
     else begin
       let t = random g ~n ~width ~height in
       if is_connected t ~range then t else attempt (k - 1)
     end
   in
-  attempt 1000
+  attempt max_placement_attempts

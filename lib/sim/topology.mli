@@ -37,8 +37,17 @@ val in_range : t -> range:float -> int -> int -> bool
 val is_connected : t -> range:float -> bool
 (** Whether the unit-disk graph over all nodes is a single component. *)
 
+exception
+  No_connected_placement of { n : int; range : float; attempts : int }
+(** Raised by {!random_connected} when no connected placement was found:
+    the requested node count / radio range / field size make connectivity
+    overwhelmingly unlikely.  Carries the node count, the radio range,
+    and how many placements were tried. *)
+
+val max_placement_attempts : int
+(** Number of placements {!random_connected} samples before giving up. *)
+
 val random_connected :
   Manet_crypto.Prng.t -> n:int -> width:float -> height:float -> range:float -> t
-(** Resamples random placements until connected (up to a bounded number
-    of attempts; raises [Failure] if the parameters make connectivity
-    overwhelmingly unlikely). *)
+(** Resamples random placements until connected.  Raises
+    {!No_connected_placement} after {!max_placement_attempts} failures. *)

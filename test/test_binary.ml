@@ -1,4 +1,9 @@
-(* Property and unit tests for the binary wire codec. *)
+(* Property and unit tests for the binary wire codec.
+
+   The generator is split per constructor so every Messages.t variant
+   gets its own named roundtrip property (the proto-schema lint rule
+   checks that each constructor is mentioned here or in test_proto.ml),
+   plus whole-space properties over the mixture. *)
 
 module Prng = Manet_crypto.Prng
 module Address = Manet_ipv6.Address
@@ -8,103 +13,174 @@ module Binary = Manet_proto.Binary
 let qtest ?(count = 500) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
 
-(* --- random message generator ----------------------------------------- *)
+(* --- per-variant random generators ------------------------------------- *)
 
+let addr g = Address.of_bytes (Prng.bytes g 16)
+let route g = List.init (Prng.int g 5) (fun _ -> addr g)
+let str g = Prng.bytes g (Prng.int g 40)
+
+let srr g =
+  List.init (Prng.int g 4) (fun _ ->
+      { Messages.ip = addr g; sig_ = str g; pk = str g; rn = Prng.bits64 g })
+
+let opt g f = if Prng.bool g then Some (f g) else None
+let i32 g = Prng.int g 1000000
+let fl g = Prng.float g 1000.0
+
+(* One named generator per constructor; the list is the authoritative
+   per-variant coverage table. *)
+let variant_gens : (string * (Prng.t -> Messages.t)) list =
+  [
+    ( "Areq",
+      fun g ->
+        Messages.Areq
+          { sip = addr g; seq = i32 g; dn = opt g str; ch = Prng.bits64 g;
+            rr = route g } );
+    ( "Arep",
+      fun g ->
+        Messages.Arep
+          { sip = addr g; rr = route g; remaining = route g; sig_ = str g;
+            pk = str g; rn = Prng.bits64 g } );
+    ( "Drep",
+      fun g ->
+        Messages.Drep
+          { sip = addr g; dn = str g; rr = route g; remaining = route g;
+            sig_ = str g } );
+    ( "Rreq",
+      fun g ->
+        Messages.Rreq
+          { sip = addr g; dip = addr g; seq = i32 g; srr = srr g; sig_ = str g;
+            spk = str g; srn = Prng.bits64 g } );
+    ( "Rrep",
+      fun g ->
+        Messages.Rrep
+          { sip = addr g; dip = addr g; rr = route g; remaining = route g;
+            sig_ = str g; dpk = str g; drn = Prng.bits64 g } );
+    ( "Crep",
+      fun g ->
+        Messages.Crep
+          { requester = addr g; cacher = addr g; dip = addr g;
+            requester_seq = i32 g; cacher_seq = i32 g; rr_to_cacher = route g;
+            rr_to_dest = route g; remaining = route g; sig_cacher = str g;
+            cacher_pk = str g; cacher_rn = Prng.bits64 g; sig_dest = str g;
+            dest_pk = str g; dest_rn = Prng.bits64 g } );
+    ( "Rerr",
+      fun g ->
+        Messages.Rerr
+          { reporter = addr g; broken_next = addr g; dst = addr g;
+            remaining = route g; sig_ = str g; pk = str g; rn = Prng.bits64 g }
+    );
+    ( "Data",
+      fun g ->
+        Messages.Data
+          { src = addr g; dst = addr g; seq = i32 g; route = route g;
+            remaining = route g; payload_size = i32 g; sent_at = fl g } );
+    ( "Ack",
+      fun g ->
+        Messages.Ack
+          { src = addr g; dst = addr g; data_seq = i32 g; route = route g;
+            remaining = route g; sent_at = fl g } );
+    ( "Probe",
+      fun g ->
+        Messages.Probe
+          { origin = addr g; target = addr g; seq = i32 g; route = route g;
+            remaining = route g } );
+    ( "Probe_reply",
+      fun g ->
+        Messages.Probe_reply
+          { responder = addr g; origin = addr g; seq = i32 g;
+            remaining = route g; sig_ = str g; pk = str g; rn = Prng.bits64 g }
+    );
+    ( "Name_query",
+      fun g ->
+        Messages.Name_query
+          { requester = addr g; name = str g; ch = Prng.bits64 g;
+            route = route g; remaining = route g } );
+    ( "Name_reply",
+      fun g ->
+        Messages.Name_reply
+          { requester = addr g; name = str g; result = opt g addr;
+            ch = Prng.bits64 g; remaining = route g; sig_ = str g } );
+    ( "Ip_change_request",
+      fun g ->
+        Messages.Ip_change_request
+          { old_ip = addr g; new_ip = addr g; route = route g;
+            remaining = route g } );
+    ( "Ip_change_challenge",
+      fun g ->
+        Messages.Ip_change_challenge
+          { old_ip = addr g; new_ip = addr g; ch = Prng.bits64 g;
+            remaining = route g } );
+    ( "Ip_change_proof",
+      fun g ->
+        Messages.Ip_change_proof
+          { old_ip = addr g; new_ip = addr g; old_rn = Prng.bits64 g;
+            new_rn = Prng.bits64 g; pk = str g; sig_ = str g; route = route g;
+            remaining = route g } );
+    ( "Ip_change_ack",
+      fun g ->
+        Messages.Ip_change_ack
+          { old_ip = addr g; new_ip = addr g; accepted = Prng.bool g;
+            remaining = route g } );
+  ]
+
+let gen_of mk =
+  QCheck.Gen.(
+    let* seed = int in
+    return (mk (Prng.create ~seed)))
+
+let arb_of mk =
+  QCheck.make ~print:(fun m -> Format.asprintf "%a" Messages.pp m) (gen_of mk)
+
+(* Mixture over all variants, for the whole-space properties below. *)
 let gen_message =
   QCheck.Gen.(
     let* seed = int in
     let g = Prng.create ~seed in
-    let addr () =
-      Address.of_bytes (Prng.bytes g 16)
-    in
-    let route () = List.init (Prng.int g 5) (fun _ -> addr ()) in
-    let str () = Prng.bytes g (Prng.int g 40) in
-    let srr () =
-      List.init (Prng.int g 4) (fun _ ->
-          { Messages.ip = addr (); sig_ = str (); pk = str (); rn = Prng.bits64 g })
-    in
-    let opt f = if Prng.bool g then Some (f ()) else None in
-    let i32 () = Prng.int g 1000000 in
-    let f () = Prng.float g 1000.0 in
-    return
-      (match Prng.int g 17 with
-      | 0 ->
-          Messages.Areq
-            { sip = addr (); seq = i32 (); dn = opt str; ch = Prng.bits64 g; rr = route () }
-      | 1 ->
-          Messages.Arep
-            { sip = addr (); rr = route (); remaining = route (); sig_ = str ();
-              pk = str (); rn = Prng.bits64 g }
-      | 2 ->
-          Messages.Drep
-            { sip = addr (); dn = str (); rr = route (); remaining = route (); sig_ = str () }
-      | 3 ->
-          Messages.Rreq
-            { sip = addr (); dip = addr (); seq = i32 (); srr = srr (); sig_ = str ();
-              spk = str (); srn = Prng.bits64 g }
-      | 4 ->
-          Messages.Rrep
-            { sip = addr (); dip = addr (); rr = route (); remaining = route ();
-              sig_ = str (); dpk = str (); drn = Prng.bits64 g }
-      | 5 ->
-          Messages.Crep
-            { requester = addr (); cacher = addr (); dip = addr ();
-              requester_seq = i32 (); cacher_seq = i32 (); rr_to_cacher = route ();
-              rr_to_dest = route (); remaining = route (); sig_cacher = str ();
-              cacher_pk = str (); cacher_rn = Prng.bits64 g; sig_dest = str ();
-              dest_pk = str (); dest_rn = Prng.bits64 g }
-      | 6 ->
-          Messages.Rerr
-            { reporter = addr (); broken_next = addr (); dst = addr ();
-              remaining = route (); sig_ = str (); pk = str (); rn = Prng.bits64 g }
-      | 7 ->
-          Messages.Data
-            { src = addr (); dst = addr (); seq = i32 (); route = route ();
-              remaining = route (); payload_size = i32 (); sent_at = f () }
-      | 8 ->
-          Messages.Ack
-            { src = addr (); dst = addr (); data_seq = i32 (); route = route ();
-              remaining = route (); sent_at = f () }
-      | 9 ->
-          Messages.Probe
-            { origin = addr (); target = addr (); seq = i32 (); route = route ();
-              remaining = route () }
-      | 10 ->
-          Messages.Probe_reply
-            { responder = addr (); origin = addr (); seq = i32 ();
-              remaining = route (); sig_ = str (); pk = str (); rn = Prng.bits64 g }
-      | 11 ->
-          Messages.Name_query
-            { requester = addr (); name = str (); ch = Prng.bits64 g;
-              route = route (); remaining = route () }
-      | 12 ->
-          Messages.Name_reply
-            { requester = addr (); name = str (); result = opt addr;
-              ch = Prng.bits64 g; remaining = route (); sig_ = str () }
-      | 13 ->
-          Messages.Ip_change_request
-            { old_ip = addr (); new_ip = addr (); route = route (); remaining = route () }
-      | 14 ->
-          Messages.Ip_change_challenge
-            { old_ip = addr (); new_ip = addr (); ch = Prng.bits64 g; remaining = route () }
-      | 15 ->
-          Messages.Ip_change_proof
-            { old_ip = addr (); new_ip = addr (); old_rn = Prng.bits64 g;
-              new_rn = Prng.bits64 g; pk = str (); sig_ = str (); route = route ();
-              remaining = route () }
-      | _ ->
-          Messages.Ip_change_ack
-            { old_ip = addr (); new_ip = addr (); accepted = Prng.bool g;
-              remaining = route () }))
+    let _, mk = List.nth variant_gens (Prng.int g (List.length variant_gens)) in
+    return (mk g))
 
 let arb_message =
   QCheck.make ~print:(fun m -> Format.asprintf "%a" Messages.pp m) gen_message
 
+(* --- per-variant roundtrips -------------------------------------------- *)
+
+let roundtrips m =
+  match Binary.decode (Binary.encode m) with
+  | Ok m' -> Binary.equal_message m m'
+  | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e
+
+let per_variant_roundtrips =
+  List.map
+    (fun (name, mk) ->
+      qtest ~count:200
+        (Printf.sprintf "binary: %s roundtrips" name)
+        (arb_of mk) roundtrips)
+    variant_gens
+
+let test_wire_tags_distinct () =
+  (* Every constructor must claim its own wire tag: generate one value
+     per variant and check the leading tag bytes are pairwise distinct. *)
+  let g = Prng.create ~seed:1312 in
+  let tags =
+    List.map (fun (name, mk) -> (name, Char.code (Binary.encode (mk g)).[0]))
+      variant_gens
+  in
+  let distinct =
+    List.sort_uniq Int.compare (List.map snd tags) |> List.length
+  in
+  Alcotest.(check int) "distinct wire tags" (List.length variant_gens) distinct;
+  List.iter
+    (fun (name, tag) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s tag %d in range" name tag)
+        true (tag >= 1 && tag <= 255))
+    tags
+
+(* --- whole-space properties -------------------------------------------- *)
+
 let prop_roundtrip =
-  qtest "binary: decode (encode m) = m" arb_message (fun m ->
-      match Binary.decode (Binary.encode m) with
-      | Ok m' -> Binary.equal_message m m'
-      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+  qtest "binary: decode (encode m) = m" arb_message roundtrips
 
 let prop_truncation_rejected =
   qtest ~count:200 "binary: every strict prefix is rejected"
@@ -186,14 +262,16 @@ let test_known_encoding_stable () =
 let suites =
   [
     ( "proto.binary",
-      [
-        prop_roundtrip;
-        prop_truncation_rejected;
-        prop_trailing_garbage_rejected;
-        prop_random_bytes_never_crash;
-        prop_bitflip_detected_or_valid;
-        Alcotest.test_case "unknown tag" `Quick test_unknown_tag_rejected;
-        Alcotest.test_case "oversized route" `Quick test_oversized_route_rejected;
-        Alcotest.test_case "stable encoding" `Quick test_known_encoding_stable;
-      ] );
+      per_variant_roundtrips
+      @ [
+          Alcotest.test_case "wire tags distinct" `Quick test_wire_tags_distinct;
+          prop_roundtrip;
+          prop_truncation_rejected;
+          prop_trailing_garbage_rejected;
+          prop_random_bytes_never_crash;
+          prop_bitflip_detected_or_valid;
+          Alcotest.test_case "unknown tag" `Quick test_unknown_tag_rejected;
+          Alcotest.test_case "oversized route" `Quick test_oversized_route_rejected;
+          Alcotest.test_case "stable encoding" `Quick test_known_encoding_stable;
+        ] );
   ]

@@ -1,0 +1,423 @@
+(* Self-tests for manetlint: each rule must fire on a synthetic bad
+   input, stay quiet on the matching good input, and honour its
+   suppression annotation. *)
+
+module Lint = Manetlint.Lint
+
+let count rule files =
+  List.length (List.filter (fun f -> f.Lint.rule = rule) (Lint.lint_files files))
+
+let fires name rule files = Alcotest.(check bool) name true (count rule files > 0)
+let clean name rule files = Alcotest.(check int) name 0 (count rule files)
+
+(* --- determinism ------------------------------------------------------- *)
+
+let test_determinism () =
+  fires "gettimeofday in lib" "determinism"
+    [ ("lib/sim/clock.ml", {|let now () = Unix.gettimeofday ()|}) ];
+  clean "same code outside lib" "determinism"
+    [ ("bin/clock.ml", {|let now () = Unix.gettimeofday ()|}) ];
+  fires "Random.self_init" "determinism"
+    [ ("lib/a.ml", {|let () = Random.self_init ()|}) ];
+  fires "Sys.time" "determinism" [ ("lib/a.ml", {|let t = Sys.time ()|}) ];
+  fires "Hashtbl.hash" "determinism"
+    [ ("lib/a.ml", {|let h x = Hashtbl.hash x|}) ];
+  clean "comments are ignored" "determinism"
+    [ ("lib/a.ml", "(* Unix.gettimeofday *)\nlet x = 1\n") ];
+  clean "string literals are ignored" "determinism"
+    [ ("lib/a.ml", {|let s = "Unix.gettimeofday"|}) ]
+
+let test_determinism_suppression () =
+  clean "allow on the line above" "determinism"
+    [ ("lib/a.ml", "(* manetlint: allow determinism *)\nlet t = Sys.time ()\n") ];
+  clean "allow-file" "determinism"
+    [
+      ( "lib/a.ml",
+        "(* manetlint: allow-file determinism *)\n\nlet t = Sys.time ()\n" );
+    ];
+  (* An allow for one rule must not silence another rule on the same line. *)
+  fires "unrelated rule unaffected" "failwith"
+    [
+      ( "lib/a.ml",
+        "(* manetlint: allow determinism *)\nlet f () = failwith (Sys.time ())\n"
+      );
+    ]
+
+(* --- hygiene: obj-magic, catch-all, failwith --------------------------- *)
+
+let test_obj_magic () =
+  fires "Obj.magic" "obj-magic" [ ("bin/a.ml", {|let coerce x = Obj.magic x|}) ];
+  clean "suppressed" "obj-magic"
+    [
+      ("bin/a.ml", "(* manetlint: allow obj-magic *)\nlet coerce x = Obj.magic x\n");
+    ]
+
+let test_catch_all () =
+  fires "try ... with _ ->" "catch-all"
+    [ ("bin/a.ml", {|let f g = try g () with _ -> 0|}) ];
+  fires "with | _ ->" "catch-all"
+    [ ("bin/a.ml", {|let f x = match x with | _ -> 0|}) ];
+  clean "record update is not a catch-all" "catch-all"
+    [ ("bin/a.ml", {|let f d route = { d with route }|}) ];
+  clean "named exception is fine" "catch-all"
+    [ ("bin/a.ml", {|let f g = try g () with Not_found -> 0|}) ];
+  clean "suppressed" "catch-all"
+    [
+      ( "bin/a.ml",
+        "(* manetlint: allow catch-all *)\nlet f g = try g () with _ -> 0\n" );
+    ]
+
+let test_failwith () =
+  fires "failwith in lib" "failwith"
+    [ ("lib/a.ml", {|let f () = failwith "no"|}) ];
+  clean "failwith outside lib" "failwith"
+    [ ("bin/a.ml", {|let f () = failwith "no"|}) ];
+  clean "suppressed" "failwith"
+    [
+      ( "lib/a.ml",
+        "(* manetlint: allow failwith *)\nlet f () = failwith \"no\"\n" );
+    ]
+
+(* --- placeholder-sig --------------------------------------------------- *)
+
+let placeholder_src = {|let entry = { Messages.ip = me; sig_ = ""; pk = "" }|}
+
+let test_placeholder_sig () =
+  fires "empty sig_ in lib/secure" "placeholder-sig"
+    [ ("lib/secure/x.ml", placeholder_src) ];
+  fires "empty sig_ in lib/dad" "placeholder-sig"
+    [ ("lib/dad/x.ml", placeholder_src) ];
+  clean "out of scope in lib/dsr (unauthenticated baseline)" "placeholder-sig"
+    [ ("lib/dsr/x.ml", placeholder_src) ];
+  clean "non-empty signature is fine" "placeholder-sig"
+    [ ("lib/secure/x.ml", {|let entry = { ip = me; sig_ = sign t payload }|}) ];
+  clean "suppressed" "placeholder-sig"
+    [
+      ( "lib/secure/x.ml",
+        "(* manetlint: allow placeholder-sig *)\n" ^ placeholder_src ^ "\n" );
+    ]
+
+(* --- poly-compare ------------------------------------------------------ *)
+
+let test_poly_compare () =
+  fires "bare compare" "poly-compare"
+    [ ("lib/a.ml", {|let sort l = List.sort compare l|}) ];
+  fires "Stdlib.compare" "poly-compare"
+    [ ("lib/a.ml", {|let c = Stdlib.compare|}) ];
+  clean "Int.compare is fine" "poly-compare"
+    [ ("lib/a.ml", {|let sort l = List.sort Int.compare l|}) ];
+  clean "module-local compare used after its definition" "poly-compare"
+    [
+      ( "lib/a.ml",
+        "let compare a b = Int.compare a b\n\nlet sort l = List.sort compare l\n"
+      );
+    ];
+  fires "polymorphic = on address fields" "poly-compare"
+    [ ("lib/a.ml", {|let same a b = a.sip = b.sip|}) ];
+  fires "polymorphic <> on address fields" "poly-compare"
+    [ ("lib/a.ml", {|let differ a b = a.old_ip <> b.new_ip|}) ];
+  clean "record-field binding is not an equality" "poly-compare"
+    [ ("lib/a.ml", {|let mk other = { sip = other.dip; n = 1 }|}) ];
+  clean "out of scope outside lib" "poly-compare"
+    [ ("bin/a.ml", {|let same a b = a.sip = b.sip|}) ];
+  clean "suppressed" "poly-compare"
+    [
+      ( "lib/a.ml",
+        "(* manetlint: allow poly-compare *)\nlet same a b = a.sip = b.sip\n" );
+    ]
+
+(* --- mli coverage ------------------------------------------------------ *)
+
+let test_mli_coverage () =
+  fires "lib module without mli" "mli-coverage"
+    [ ("lib/foo/a.ml", "let x = 1\n") ];
+  clean "lib module with mli" "mli-coverage"
+    [ ("lib/foo/a.ml", "let x = 1\n"); ("lib/foo/a.mli", "val x : int\n") ];
+  clean "bin module needs no mli" "mli-coverage"
+    [ ("bin/a.ml", "let x = 1\n") ];
+  clean "suppressed via allow-file" "mli-coverage"
+    [ ("lib/foo/a.ml", "(* manetlint: allow-file mli-coverage *)\nlet x = 1\n") ]
+
+(* --- security ----------------------------------------------------------- *)
+
+let bad_handler =
+  {|let handle_rrep t msg =
+  match msg with
+  | Messages.Rrep { sip; sig_; _ } -> accept t sip
+  | _ -> ()
+|}
+
+let test_security_fires () =
+  fires "unverified destructuring in a handler" "security"
+    [ ("lib/fake/handler.ml", bad_handler) ];
+  fires "consume_* counts as a handler" "security"
+    [
+      ( "lib/fake/handler.ml",
+        {|let consume_rerr t msg =
+  match msg with
+  | Messages.Rerr { reporter; _ } -> drop_link t reporter
+  | _ -> ()
+|}
+      );
+    ]
+
+let test_security_verified_ok () =
+  clean "verify call in the arm body" "security"
+    [
+      ( "lib/fake/handler.ml",
+        {|let consume_rrep t msg =
+  match msg with
+  | Messages.Rrep { sip; sig_; _ } ->
+      if verify_rrep t sip sig_ then accept t sip
+  | _ -> ()
+|}
+      );
+    ];
+  clean "MAC recomputation in the guard" "security"
+    [
+      ( "lib/fake/handler.ml",
+        {|let handle_rreq t msg =
+  match msg with
+  | Messages.Rreq { sip; srr; _ } when rreq_mac t srr -> relay t sip
+  | _ -> ()
+|}
+      );
+    ];
+  clean "verification via a same-module helper (transitive)" "security"
+    [
+      ( "lib/fake/handler.ml",
+        {|let check_reply t m = Suite.verify t m
+
+let consume_rrep t msg =
+  match msg with
+  | Messages.Rrep { sip; _ } -> check_reply t sip
+  | _ -> ()
+|}
+      );
+    ]
+
+let test_security_scoping () =
+  clean "constructing a signed message is not destructuring" "security"
+    [
+      ( "lib/fake/handler.ml",
+        {|let handle_fwd t msg =
+  match msg with
+  | Data x -> send t (Messages.Rrep { dip = x; rr = [] })
+  | _ -> ()
+|}
+      );
+    ];
+  clean "non-handler functions may destructure freely" "security"
+    [
+      ( "lib/fake/pp.ml",
+        {|let describe msg =
+  match msg with
+  | Messages.Rrep { sip; _ } -> pp sip
+  | _ -> ()
+|}
+      );
+    ];
+  clean "wildcard dispatch is not destructuring" "security"
+    [
+      ( "lib/fake/handler.ml",
+        {|let handle t msg =
+  match msg with
+  | Messages.Rrep _ -> dispatch t msg
+  | _ -> ()
+|}
+      );
+    ]
+
+let test_security_suppression () =
+  clean "annotated arm" "security"
+    [
+      ( "lib/fake/handler.ml",
+        {|let handle_rrep t msg =
+  match msg with
+  (* manetlint: allow security *)
+  | Messages.Rrep { sip; _ } -> accept t sip
+  | _ -> ()
+|}
+      );
+    ]
+
+(* --- proto-schema ------------------------------------------------------- *)
+
+let messages_mli =
+  {|type t =
+  | Ping of { x : int }
+  | Pong of { y : int }
+
+val tag : t -> int
+|}
+
+let binary_good =
+  {|let encode m =
+  let buf = Buffer.create 16 in
+  match m with
+  | M.Ping { x } ->
+      put_u8 buf 1;
+      put_int buf x
+  | M.Pong { y } ->
+      put_u8 buf 2;
+      put_int buf y
+
+let decode_body tag buf =
+  match tag with
+  | 1 -> M.Ping { x = get_int buf }
+  | 2 -> M.Pong { y = get_int buf }
+  | _ -> fail buf
+|}
+
+let tests_good = {|let roundtrip = [ check Ping; check Pong ]|}
+
+let proto_files ?(messages = messages_mli) ?(binary = binary_good)
+    ?(tests = tests_good) () =
+  [
+    ("lib/proto/messages.mli", messages);
+    ("lib/proto/binary.ml", binary);
+    ("test/test_binary.ml", tests);
+  ]
+
+let test_proto_schema_clean () =
+  clean "consistent schema" "proto-schema" (proto_files ())
+
+let test_proto_schema_missing_encode () =
+  let binary =
+    {|let encode m =
+  let buf = Buffer.create 16 in
+  match m with
+  | M.Ping { x } ->
+      put_u8 buf 1;
+      put_int buf x
+
+let decode_body tag buf =
+  match tag with
+  | 1 -> M.Ping { x = get_int buf }
+  | _ -> fail buf
+|}
+  in
+  fires "missing encode branch" "proto-schema" (proto_files ~binary ())
+
+let test_proto_schema_duplicate_tag () =
+  let binary =
+    {|let encode m =
+  let buf = Buffer.create 16 in
+  match m with
+  | M.Ping { x } ->
+      put_u8 buf 1;
+      put_int buf x
+  | M.Pong { y } ->
+      put_u8 buf 1;
+      put_int buf y
+
+let decode_body tag buf =
+  match tag with
+  | 1 -> M.Ping { x = get_int buf }
+  | _ -> fail buf
+|}
+  in
+  fires "duplicate wire tag" "proto-schema" (proto_files ~binary ())
+
+let test_proto_schema_decode_mismatch () =
+  let binary =
+    {|let encode m =
+  let buf = Buffer.create 16 in
+  match m with
+  | M.Ping { x } ->
+      put_u8 buf 1;
+      put_int buf x
+  | M.Pong { y } ->
+      put_u8 buf 2;
+      put_int buf y
+
+let decode_body tag buf =
+  match tag with
+  | 1 -> M.Ping { x = get_int buf }
+  | 2 -> M.Ping { x = get_int buf }
+  | _ -> fail buf
+|}
+  in
+  fires "decode yields the wrong constructor" "proto-schema"
+    (proto_files ~binary ())
+
+let test_proto_schema_missing_decode () =
+  let binary =
+    {|let encode m =
+  let buf = Buffer.create 16 in
+  match m with
+  | M.Ping { x } ->
+      put_u8 buf 1;
+      put_int buf x
+  | M.Pong { y } ->
+      put_u8 buf 2;
+      put_int buf y
+
+let decode_body tag buf =
+  match tag with
+  | 1 -> M.Ping { x = get_int buf }
+  | _ -> fail buf
+|}
+  in
+  fires "missing decode arm" "proto-schema" (proto_files ~binary ())
+
+let test_proto_schema_missing_test () =
+  fires "constructor without roundtrip test" "proto-schema"
+    (proto_files ~tests:{|let roundtrip = [ check Ping ]|} ())
+
+let test_proto_schema_suppression () =
+  let messages =
+    {|type t =
+  | Ping of { x : int }
+  (* manetlint: allow proto-schema *)
+  | Pong of { y : int }
+
+val tag : t -> int
+|}
+  in
+  clean "annotated constructor" "proto-schema"
+    (proto_files ~messages ~tests:{|let roundtrip = [ check Ping ]|} ())
+
+(* --- the repo itself is clean ------------------------------------------ *)
+
+let test_rule_names_documented () =
+  (* Every rule id used above must be an official rule, so suppression
+     annotations can name it. *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s is a registered rule" r)
+        true (List.mem r Lint.rules))
+    [
+      "proto-schema"; "security"; "placeholder-sig"; "determinism"; "obj-magic";
+      "catch-all"; "failwith"; "mli-coverage"; "poly-compare";
+    ]
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "lint",
+      [
+        tc "determinism" test_determinism;
+        tc "determinism suppression" test_determinism_suppression;
+        tc "obj-magic" test_obj_magic;
+        tc "catch-all" test_catch_all;
+        tc "failwith" test_failwith;
+        tc "placeholder-sig" test_placeholder_sig;
+        tc "poly-compare" test_poly_compare;
+        tc "mli-coverage" test_mli_coverage;
+        tc "security fires" test_security_fires;
+        tc "security verified ok" test_security_verified_ok;
+        tc "security scoping" test_security_scoping;
+        tc "security suppression" test_security_suppression;
+        tc "proto-schema clean" test_proto_schema_clean;
+        tc "proto-schema missing encode" test_proto_schema_missing_encode;
+        tc "proto-schema duplicate tag" test_proto_schema_duplicate_tag;
+        tc "proto-schema decode mismatch" test_proto_schema_decode_mismatch;
+        tc "proto-schema missing decode" test_proto_schema_missing_decode;
+        tc "proto-schema missing test" test_proto_schema_missing_test;
+        tc "proto-schema suppression" test_proto_schema_suppression;
+        tc "rule registry" test_rule_names_documented;
+      ] );
+  ]

@@ -1,0 +1,25 @@
+(** manetlint — project-specific static analysis for the manetsec tree.
+
+    A dependency-free lexical analyser plus structural cross-checks
+    enforcing the protocol, security, and determinism invariants the
+    paper's argument relies on (see README.md "Static analysis").
+
+    Rules can be suppressed with in-source annotations:
+    [(* manetlint: allow <rule> ... *)] covers the comment's lines plus
+    the line below it; [(* manetlint: allow-file <rule> ... *)] covers
+    the whole file. *)
+
+type finding = { file : string; line : int; rule : string; msg : string }
+
+val rules : string list
+(** All rule identifiers, as accepted by the allow annotations. *)
+
+val to_string : finding -> string
+(** [file:line: [rule] message] — one line per finding. *)
+
+val lint_files : (string * string) list -> finding list
+(** [lint_files [(path, contents); ...]] runs every rule over the given
+    sources and returns the unsuppressed findings sorted by file, line,
+    and rule.  Cross-file rules (proto-schema, mli-coverage) see the
+    whole input set at once; path prefixes ([lib/], [lib/secure/], ...)
+    decide which per-file rules apply. *)

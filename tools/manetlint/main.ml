@@ -1,0 +1,42 @@
+(* manetlint driver: scan the given directories (default lib/ bin/ test/)
+   and exit non-zero when any rule fires.  Wired to `dune build @lint`. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if entry = "_build" || entry = ".git" then acc
+           else walk acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then path :: acc
+  else acc
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as given) -> given
+    | _ -> [ "lib"; "bin"; "test" ]
+  in
+  let files =
+    List.concat_map
+      (fun r -> if Sys.file_exists r then List.rev (walk [] r) else [])
+      roots
+  in
+  let inputs = List.map (fun p -> (p, read_file p)) files in
+  let findings = Manetlint.Lint.lint_files inputs in
+  List.iter (fun f -> print_endline (Manetlint.Lint.to_string f)) findings;
+  match findings with
+  | [] -> ()
+  | fs ->
+      Printf.eprintf "manetlint: %d violation(s) across %d file(s) scanned\n"
+        (List.length fs) (List.length files);
+      exit 1
