@@ -21,6 +21,7 @@ let sections =
     ("e5", fun () -> Experiments.e5 ());
     ("e6", fun () -> Experiments.e6 ());
     ("e7", fun () -> Experiments.e7 ());
+    ("resilience", fun () -> Resilience_bench.run ());
     ("micro", fun () -> Micro.run ());
   ]
 

@@ -1,0 +1,135 @@
+(* Resilience experiments: fault plans against running scenarios.
+
+   R1 partitions a chain mid-run and reports per-phase delivery ratio,
+   the recovery curve, and route-repair latency after the heal.  R2
+   sweeps node-churn intensity and reports how delivery and re-DAD
+   convergence degrade as nodes cycle faster. *)
+
+module Engine = Manetsec.Sim.Engine
+module Stats = Manetsec.Sim.Stats
+module Trace = Manetsec.Sim.Trace
+module Faults = Manetsec.Faults
+module Resilience = Manetsec.Resilience
+module Scenario = Manetsec.Scenario
+
+let stat s name = Stats.get (Scenario.stats s) name
+
+(* --- R1: partition / heal recovery curve -------------------------------- *)
+
+let r1 () =
+  Util.heading "R1: partition & heal on a chain (secure protocol)";
+  let n = 10 in
+  let params =
+    {
+      Scenario.default_params with
+      n;
+      seed = 11;
+      range = 250.0;
+      topology = Scenario.Chain { spacing = 200.0 };
+    }
+  in
+  let s = Scenario.create params in
+  Scenario.bootstrap s;
+  let engine = Scenario.engine s in
+  let t0 = Engine.now engine in
+  let fault_at = t0 +. 15.0 and heal_at = t0 +. 30.0 and stop = t0 +. 60.0 in
+  (* Flows that must cross the cut between nodes 5 and 6. *)
+  Scenario.start_cbr s ~flows:[ (1, 8); (2, 7) ] ~interval:0.5 ~duration:(stop -. t0) ();
+  let mon = Resilience.monitor ~period:1.0 ~until:stop engine in
+  Resilience.mark mon ~at:(t0 +. 0.5) "start";
+  Resilience.mark mon ~at:fault_at "fault";
+  Resilience.mark mon ~at:heal_at "heal";
+  Resilience.mark mon ~at:(stop -. 0.5) "end";
+  Scenario.inject s (Faults.partition ~from:fault_at ~until:heal_at [ 6; 7; 8; 9 ]);
+  Scenario.run s ~until:(stop +. 5.0);
+  let phase a b =
+    match Resilience.phase mon ~from_mark:a ~to_mark:b with
+    | Some r -> Util.f2 r
+    | None -> "-"
+  in
+  Util.print_table
+    ~header:[ "phase"; "delivery ratio" ]
+    [
+      [ "before fault"; phase "start" "fault" ];
+      [ "during partition"; phase "fault" "heal" ];
+      [ "after heal"; phase "heal" "end" ];
+    ];
+  (match Resilience.route_repair_latency mon ~fault_at:heal_at with
+  | Some l -> Printf.printf "\nroute repair after heal: %.1f s\n" l
+  | None -> Printf.printf "\nroute repair after heal: never\n");
+  Printf.printf "rerr.sent=%d rerr.received=%d hostile_suspected=%d\n"
+    (stat s "rerr.sent") (stat s "rerr.received")
+    (stat s "secure.hostile_suspected");
+  Util.subheading "delivery ratio per second";
+  Format.printf "%a@." Resilience.pp_curve mon
+
+(* --- R2: churn intensity sweep ------------------------------------------ *)
+
+let r2_run ~mean_up ~mean_down =
+  let n = 12 in
+  let params =
+    {
+      Scenario.default_params with
+      n;
+      seed = 23;
+      topology = Scenario.Random { width = 700.0; height = 700.0 };
+    }
+  in
+  let s = Scenario.create params in
+  let engine = Scenario.engine s in
+  Trace.enable (Engine.trace engine);
+  Scenario.bootstrap s;
+  let t0 = Engine.now engine in
+  let duration = 60.0 in
+  Scenario.start_cbr s ~flows:[ (1, 7); (2, 9); (3, 11) ] ~interval:0.5 ~duration ();
+  (if mean_down > 0.0 then
+     let movers = List.init (n - 1) (fun i -> i + 1) in
+     let plan =
+       Faults.churn ~seed:(params.Scenario.seed * 131) ~nodes:movers
+         ~horizon:duration ~mean_up ~mean_down
+     in
+     (* Shift the plan past bootstrap: churn times are relative to 0. *)
+     let shifted =
+       List.map (fun st -> { st with Faults.at = st.Faults.at +. t0 }) plan
+     in
+     Scenario.inject s shifted);
+  Scenario.run s ~until:(t0 +. duration +. 10.0);
+  let restarts = stat s "fault.restart" in
+  let redads =
+    List.filter_map
+      (fun i -> Resilience.redad_convergence (Engine.trace engine) ~node:i)
+      (List.init (n - 1) (fun i -> i + 1))
+  in
+  let mean_redad =
+    match redads with [] -> nan | l -> Util.mean l
+  in
+  (Scenario.delivery_ratio s, restarts, stat s "dad.configured", mean_redad)
+
+let r2 () =
+  Util.heading "R2: delivery & re-DAD convergence vs churn intensity";
+  let rows =
+    List.map
+      (fun (label, mean_up, mean_down) ->
+        let ratio, restarts, configured, redad = r2_run ~mean_up ~mean_down in
+        [
+          label;
+          Util.f2 ratio;
+          Util.i restarts;
+          Util.i configured;
+          (if Float.is_nan redad then "-" else Util.f1 redad);
+        ])
+      [
+        ("no churn", 1.0, 0.0);
+        ("gentle (up 40s / down 5s)", 40.0, 5.0);
+        ("moderate (up 20s / down 5s)", 20.0, 5.0);
+        ("harsh (up 10s / down 5s)", 10.0, 5.0);
+      ]
+  in
+  Util.print_table
+    ~header:
+      [ "churn"; "delivery"; "restarts"; "dad.configured"; "re-DAD mean (s)" ]
+    rows
+
+let run () =
+  r1 ();
+  r2 ()

@@ -14,6 +14,9 @@
     - {!Dsr} / {!Route_cache}: the plain DSR baseline.
     - {!Secure_routing} / {!Credit}: the paper's secure routing and
       credit management (§3.3-3.4).
+    - {!Faults} / {!Resilience}: deterministic fault injection (node
+      churn, link flaps, partitions, bursty channels) and recovery
+      metrics.
     - {!Adversary}: the §4 attack behaviours.
     - {!Aodv} / {!Aodv_adversary} / {!Aodv_world}: the AODV and
       SAODV-style comparison substrate (the paper's "other routing
@@ -33,6 +36,8 @@ module Route_cache = Manet_dsr.Route_cache
 module Secure_routing = Manet_secure.Secure_routing
 module Credit = Manet_secure.Credit
 module Srp = Manet_secure.Srp
+module Faults = Manet_faults.Faults
+module Resilience = Manet_faults.Resilience
 module Adversary = Manet_attacks.Adversary
 module Aodv = Manet_aodv.Aodv
 module Aodv_adversary = Manet_attacks.Aodv_adversary

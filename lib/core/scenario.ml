@@ -17,6 +17,7 @@ module Dsr = Manet_dsr.Dsr
 module Secure = Manet_secure.Secure_routing
 module Srp = Manet_secure.Srp
 module Adversary = Manet_attacks.Adversary
+module Faults = Manet_faults.Faults
 
 type topology_spec =
   | Chain of { spacing : float }
@@ -299,6 +300,47 @@ let run ?until t =
   match until with
   | Some limit -> Engine.run ~until:limit t.engine
   | None -> Engine.run t.engine
+
+(* --- fault injection ---------------------------------------------------- *)
+
+let inject t plan =
+  Faults.validate ~n:t.params.n plan;
+  if t.params.with_dns then
+    List.iter
+      (fun { Faults.event; _ } ->
+        match event with
+        | Faults.Crash 0 | Faults.Restart 0 ->
+            invalid_arg "Scenario.inject: node 0 hosts the DNS and cannot churn"
+        | _ -> ())
+      plan;
+  let base = Faults.net_hooks t.net in
+  let hooks =
+    {
+      base with
+      Faults.crash =
+        (fun i ->
+          Net.set_down t.net i true;
+          (* A crash loses volatile protocol state: any in-flight DAD
+             attempt dies with the node. *)
+          Dad.abort t.nodes.(i).dad);
+      restart =
+        (fun i ->
+          Net.set_down t.net i false;
+          (* Rejoining the MANET means re-running the secure bootstrap
+             (§3.1).  The node keeps its identity, so its CGA address and
+             domain name are unchanged and the DNS sees a benign
+             re-registration rather than a conflict. *)
+          let n = t.nodes.(i) in
+          Dad.abort n.dad;
+          let dn =
+            match n.identity.Identity.domain_name with
+            | Some dn -> dn
+            | None -> Printf.sprintf "node%d" i
+          in
+          Dad.start n.dad ~dn ~on_complete:(fun _ -> ()) ());
+    }
+  in
+  Faults.schedule t.engine hooks plan
 
 (* --- metrics ------------------------------------------------------------ *)
 

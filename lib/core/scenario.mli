@@ -124,6 +124,16 @@ val discover : t -> src:int -> dst:int -> (Address.t list option -> unit) -> uni
 val run : ?until:float -> t -> unit
 (** Drive the engine ([until] is absolute simulated time). *)
 
+val inject : t -> Manet_faults.Faults.plan -> unit
+(** Schedule a fault plan against this scenario.  Crashes down the radio
+    and abort any in-flight DAD; restarts bring the radio back and
+    re-run the secure DAD bootstrap with the node's existing identity
+    (same CGA address and domain name, so the DNS sees a benign
+    re-registration).  Link, partition, and channel events act on the
+    shared {!net}.  Raises [Invalid_argument] if the plan names a node
+    outside the scenario, or crashes/restarts node 0 while it hosts the
+    DNS. *)
+
 (* --- metric readers ---------------------------------------------------- *)
 
 val delivery_ratio : t -> float

@@ -146,6 +146,16 @@ let start t ?dn ~on_complete () =
   t.configured <- false;
   begin_attempt t ~attempt:0 ~dn
 
+let abort t =
+  match t.pending with
+  | Some p ->
+      (* Marking the attempt resolved defuses its arep_wait timer; the
+         completion callback never fires.  Used when a node crashes with
+         a DAD exchange in flight, so a restart can call [start] anew. *)
+      p.p_resolved <- true;
+      t.pending <- None
+  | None -> ()
+
 (* --- responder/relay side --------------------------------------------- *)
 
 let answer_duplicate t (m : (* areq fields *) Address.t * int64 * Address.t list) =

@@ -61,6 +61,11 @@ val start : t -> ?dn:string -> on_complete:(outcome -> unit) -> unit -> unit
     footnote-2 last-hop broadcast: a node without a legal address can
     still hear its own AREP). *)
 
+val abort : t -> unit
+(** Cancel any in-flight DAD attempt without firing its completion
+    callback.  No-op when nothing is pending.  Used when a node crashes
+    mid-bootstrap so that a later restart can call {!start} again. *)
+
 val handle : t -> src:int -> Messages.t -> unit
 (** Feed AREQ, AREP and DREP messages received by this node.  Other
     message kinds are ignored. *)

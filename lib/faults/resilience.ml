@@ -1,0 +1,123 @@
+open Manet_sim
+
+type sample = {
+  time : float;
+  offered : int;
+  delivered : int;
+  rerr_sent : int;
+  dad_configured : int;
+}
+
+type t = {
+  engine : Engine.t;
+  mutable samples : sample list; (* newest first *)
+  mutable marks : (string * float * Stats.snapshot) list; (* newest first *)
+}
+
+let take_sample engine =
+  let stats = Engine.stats engine in
+  {
+    time = Engine.now engine;
+    offered = Stats.get stats "data.offered";
+    delivered = Stats.get stats "data.delivered";
+    rerr_sent = Stats.get stats "rerr.sent";
+    dad_configured = Stats.get stats "dad.configured";
+  }
+
+let monitor ?(period = 1.0) ~until engine =
+  if period <= 0.0 then invalid_arg "Resilience.monitor: period <= 0";
+  let t = { engine; samples = []; marks = [] } in
+  let rec at time =
+    if time <= until then
+      Engine.schedule_at engine ~time (fun () ->
+          t.samples <- take_sample engine :: t.samples;
+          at (time +. period))
+  in
+  at (Engine.now engine +. period);
+  t
+
+let samples t = List.rev t.samples
+
+let mark t ~at name =
+  Engine.schedule_at t.engine ~time:at (fun () ->
+      t.marks <- (name, at, Stats.snapshot (Engine.stats t.engine)) :: t.marks)
+
+let find_mark t name =
+  List.find_map
+    (fun (n, at, snap) -> if String.equal n name then Some (at, snap) else None)
+    t.marks
+
+let ratio_between before after =
+  let d name =
+    Stats.snapshot_get after name - Stats.snapshot_get before name
+  in
+  let offered = d "data.offered" in
+  if offered <= 0 then None
+  else Some (float_of_int (d "data.delivered") /. float_of_int offered)
+
+let phase t ~from_mark ~to_mark =
+  match (find_mark t from_mark, find_mark t to_mark) with
+  | Some (_, before), Some (_, after) -> ratio_between before after
+  | _ -> None
+
+(* Delivery ratio over each sampling interval: how the network breathes
+   through a fault window. *)
+let delivery_curve t =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        let offered = b.offered - a.offered in
+        let r =
+          if offered <= 0 then None
+          else Some (float_of_int (b.delivered - a.delivered) /. float_of_int offered)
+        in
+        (b.time, r) :: go rest
+    | _ -> []
+  in
+  go (samples t)
+
+(* First moment after [fault_at] at which deliveries resume: the sample
+   whose delivered count exceeds the count at the last pre-fault sample.
+   This brackets route-repair latency at the monitor's period. *)
+let route_repair_latency t ~fault_at =
+  let chron = samples t in
+  let baseline =
+    List.fold_left
+      (fun acc s -> if s.time <= fault_at then s.delivered else acc)
+      0 chron
+  in
+  List.find_map
+    (fun s ->
+      if s.time > fault_at && s.delivered > baseline then
+        Some (s.time -. fault_at)
+      else None)
+    chron
+
+(* Re-DAD convergence from the trace: the gap between a node's
+   [fault.restart] and its next [dad.configured].  Requires tracing to
+   have been enabled for the run. *)
+let redad_convergence trace ~node =
+  let entries = Trace.entries trace in
+  let rec go restart_at = function
+    | [] -> None
+    | (e : Trace.entry) :: rest -> (
+        match restart_at with
+        | None ->
+            if e.node = node && String.equal e.event "fault.restart" then
+              go (Some e.time) rest
+            else go None rest
+        | Some t0 ->
+            if e.node = node && String.equal e.event "dad.configured" then
+              Some (e.time -. t0)
+            else go restart_at rest)
+  in
+  go None entries
+
+let pp_curve fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (time, r) ->
+      match r with
+      | Some r -> Format.fprintf fmt "%8.2f  %.3f@," time r
+      | None -> Format.fprintf fmt "%8.2f  -@," time)
+    (delivery_curve t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,54 @@
+(** Recovery metrics for fault experiments.
+
+    A {!monitor} samples the engine's stats counters on a fixed period,
+    giving a time series of offered/delivered/RERR/DAD counts; named
+    {!mark}s snapshot every counter at chosen instants so delivery ratio
+    can be compared before, during, and after a fault window.  Both are
+    scheduled as ordinary engine events, so monitoring perturbs neither
+    time nor the PRNG streams. *)
+
+open Manet_sim
+
+type sample = {
+  time : float;
+  offered : int;  (** cumulative ["data.offered"] *)
+  delivered : int;  (** cumulative ["data.delivered"] *)
+  rerr_sent : int;  (** cumulative ["rerr.sent"] *)
+  dad_configured : int;  (** cumulative ["dad.configured"] *)
+}
+
+type t
+
+val monitor : ?period:float -> until:float -> Engine.t -> t
+(** Schedule periodic sampling (default every simulated second) from
+    now until [until].  Call before [Engine.run]. *)
+
+val samples : t -> sample list
+(** Chronological. *)
+
+val mark : t -> at:float -> string -> unit
+(** Snapshot every stats counter at absolute time [at] under a name,
+    e.g. ["pre-fault"], ["heal"]. *)
+
+val phase : t -> from_mark:string -> to_mark:string -> float option
+(** Delivery ratio of the window between two marks:
+    (delivered in window) / (offered in window).  [None] if either mark
+    is missing or nothing was offered in the window. *)
+
+val delivery_curve : t -> (float * float option) list
+(** Per-sampling-interval delivery ratio, keyed by interval end time;
+    [None] where nothing was offered in the interval. *)
+
+val route_repair_latency : t -> fault_at:float -> float option
+(** Time from [fault_at] until the first sample showing a delivery
+    beyond the pre-fault count — an upper bracket (at monitor
+    resolution) on how long routing took to repair.  [None] if delivery
+    never resumed within the monitored window. *)
+
+val redad_convergence : Trace.t -> node:int -> float option
+(** Gap between a node's [fault.restart] trace event and its next
+    [dad.configured] — how long the re-bootstrap took.  Requires the
+    trace to have been enabled for the run. *)
+
+val pp_curve : Format.formatter -> t -> unit
+(** Render {!delivery_curve} one interval per line. *)

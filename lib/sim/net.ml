@@ -1,5 +1,14 @@
 module Prng = Manet_crypto.Prng
 
+type channel =
+  | Uniform of { loss : float }
+  | Gilbert_elliott of {
+      p_good_to_bad : float;
+      p_bad_to_good : float;
+      loss_good : float;
+      loss_bad : float;
+    }
+
 type config = {
   range : float;
   loss : float;
@@ -21,6 +30,13 @@ let default_config =
     promiscuous = false;
   }
 
+module Link = Hashtbl.Make (struct
+  type t = int * int
+
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+  let hash (a, b) = (a * 65_599) + b
+end)
+
 type 'msg t = {
   engine : Engine.t;
   topo : Topology.t;
@@ -28,6 +44,12 @@ type 'msg t = {
   rng : Prng.t;
   handlers : (src:int -> 'msg -> unit) array;
   down : bool array;
+  (* Fault state (see lib/faults): administratively severed links, an
+     optional partition cut, and the pluggable channel model. *)
+  blocked : unit Link.t;
+  mutable partition : bool array option; (* node -> side of the cut *)
+  mutable channel : channel;
+  ge_bad : bool Link.t; (* per-link Gilbert-Elliott state: true = bad *)
   mutable bytes_sent : int;
   mutable transmissions : int;
   mutable deliveries : int;
@@ -43,6 +65,10 @@ let create ?(config = default_config) engine topo =
     rng = Prng.split (Engine.rng engine);
     handlers = Array.make n (fun ~src:_ _ -> ());
     down = Array.make n false;
+    blocked = Link.create 16;
+    partition = None;
+    channel = Uniform { loss = config.loss };
+    ge_bad = Link.create 64;
     bytes_sent = 0;
     transmissions = 0;
     deliveries = 0;
@@ -56,6 +82,54 @@ let size t = Array.length t.handlers
 let set_handler t i f = t.handlers.(i) <- f
 let set_down t i b = t.down.(i) <- b
 let is_down t i = t.down.(i)
+
+(* --- fault state -------------------------------------------------------- *)
+
+let link_key a b = if a <= b then (a, b) else (b, a)
+
+let set_link t a b ~up =
+  if a = b then invalid_arg "Net.set_link: a = b";
+  if up then Link.remove t.blocked (link_key a b)
+  else Link.replace t.blocked (link_key a b) ()
+
+let set_partition t group =
+  let side = Array.make (size t) false in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= size t then invalid_arg "Net.set_partition: node index";
+      side.(i) <- true)
+    group;
+  t.partition <- Some side
+
+let clear_partition t = t.partition <- None
+
+let link_up t a b =
+  (not (Link.mem t.blocked (link_key a b)))
+  && match t.partition with None -> true | Some side -> side.(a) = side.(b)
+
+let set_channel t c = t.channel <- c
+let channel t = t.channel
+
+(* One loss draw for a frame crossing link (a, b).  The uniform model is
+   memoryless; Gilbert-Elliott keeps a per-link two-state Markov chain
+   whose state advances once per frame on that link. *)
+let channel_pass t a b =
+  match t.channel with
+  | Uniform { loss } -> Prng.float t.rng 1.0 >= loss
+  | Gilbert_elliott { p_good_to_bad; p_bad_to_good; loss_good; loss_bad } ->
+      let k = link_key a b in
+      let was_bad =
+        match Link.find_opt t.ge_bad k with Some b -> b | None -> false
+      in
+      let flip = Prng.float t.rng 1.0 in
+      let bad =
+        if was_bad then flip >= p_bad_to_good else flip < p_good_to_bad
+      in
+      Link.replace t.ge_bad k bad;
+      let loss = if bad then loss_bad else loss_good in
+      Prng.float t.rng 1.0 >= loss
+
+(* --- transmission ------------------------------------------------------- *)
 
 let tx_time t size = float_of_int (size * 8) /. t.cfg.bit_rate
 
@@ -73,62 +147,64 @@ let broadcast t ~src ~size msg =
     let base = tx_time t size +. t.cfg.prop_delay in
     List.iter
       (fun dst ->
-        if (not t.down.(dst)) && Prng.float t.rng 1.0 >= t.cfg.loss then
-          deliver t ~src ~dst msg (base +. Prng.float t.rng t.cfg.jitter))
+        if (not t.down.(dst)) && link_up t src dst && channel_pass t src dst
+        then deliver t ~src ~dst msg (base +. Prng.float t.rng t.cfg.jitter))
       (Topology.neighbors t.topo ~range:t.cfg.range src)
   end
 
 let unicast t ~src ~dst ~size ?(on_fail = fun () -> ()) msg =
-  if t.down.(src) then ()
-  else begin
-    let reachable =
-      (not t.down.(dst)) && Topology.in_range t.topo ~range:t.cfg.range src dst
-    in
-    let attempts = 1 + t.cfg.mac_retries in
-    (* Decide up front which attempt (if any) gets through; each attempt
-       is an independent Bernoulli draw. *)
-    let winning =
-      if not reachable then None
-      else begin
-        let rec find k =
-          if k >= attempts then None
-          else if Prng.float t.rng 1.0 >= t.cfg.loss then Some k
-          else find (k + 1)
-        in
-        find 0
-      end
-    in
-    match winning with
-    | Some k ->
-        let used = k + 1 in
-        t.bytes_sent <- t.bytes_sent + (size * used);
-        t.transmissions <- t.transmissions + used;
+  let attempts = 1 + t.cfg.mac_retries in
+  (* Each attempt inspects the world at its own transmission time, so a
+     node crash or link fault landing mid-retry is honoured and the
+     counters account exactly the frames that actually went on the air.
+     A sender that goes down mid-retry falls silent: no further
+     transmissions, and no [on_fail] either -- its MAC state died with
+     it. *)
+  let rec attempt k =
+    if not t.down.(src) then begin
+      t.bytes_sent <- t.bytes_sent + size;
+      t.transmissions <- t.transmissions + 1;
+      let reachable =
+        (not t.down.(dst))
+        && link_up t src dst
+        && Topology.in_range t.topo ~range:t.cfg.range src dst
+      in
+      if reachable && channel_pass t src dst then begin
         let delay =
-          (float_of_int used *. tx_time t size)
-          +. t.cfg.prop_delay
-          +. Prng.float t.rng t.cfg.jitter
+          tx_time t size +. t.cfg.prop_delay +. Prng.float t.rng t.cfg.jitter
         in
         deliver t ~src ~dst msg delay;
         (* Promiscuous radios overhear unicast frames addressed to
-           others (each overhearing subject to the loss probability). *)
+           others (each overhearing subject to its own channel draw). *)
         if t.cfg.promiscuous then
           List.iter
             (fun other ->
               if
-                other <> dst && (not t.down.(other))
-                && Prng.float t.rng 1.0 >= t.cfg.loss
-              then deliver t ~src ~dst:other msg (delay +. Prng.float t.rng t.cfg.jitter))
+                other <> dst
+                && (not t.down.(other))
+                && link_up t src other
+                && channel_pass t src other
+              then
+                deliver t ~src ~dst:other msg
+                  (delay +. Prng.float t.rng t.cfg.jitter))
             (Topology.neighbors t.topo ~range:t.cfg.range src)
-    | None ->
-        t.bytes_sent <- t.bytes_sent + (size * attempts);
-        t.transmissions <- t.transmissions + attempts;
-        t.unicast_failures <- t.unicast_failures + 1;
-        let delay =
-          (float_of_int attempts *. (tx_time t size +. (2.0 *. t.cfg.prop_delay)))
-          +. Prng.float t.rng t.cfg.jitter
-        in
-        Engine.schedule t.engine ~delay on_fail
-  end
+      end
+      else begin
+        (* No link-layer ack: wait one transmission + ack-timeout's worth
+           of time, then retry or give up. *)
+        let ack_wait = tx_time t size +. (2.0 *. t.cfg.prop_delay) in
+        if k + 1 < attempts then
+          Engine.schedule t.engine ~delay:ack_wait (fun () -> attempt (k + 1))
+        else begin
+          t.unicast_failures <- t.unicast_failures + 1;
+          Engine.schedule t.engine
+            ~delay:(ack_wait +. Prng.float t.rng t.cfg.jitter)
+            on_fail
+        end
+      end
+    end
+  in
+  attempt 0
 
 let bytes_sent t = t.bytes_sent
 let transmissions t = t.transmissions

@@ -11,12 +11,35 @@
     - [broadcast] reaches every node currently within range, each
       delivery independently subject to the loss probability.
     - [unicast] models a MAC with link-level acknowledgements: up to
-      [1 + mac_retries] attempts; if every attempt is lost or the target
-      is out of range or down, the sender's [on_fail] callback fires
-      after the attempts' worth of time — this is how DSR's route
-      maintenance learns a link broke. *)
+      [1 + mac_retries] attempts, each evaluated at its own transmission
+      time so mid-retry faults are honoured; if every attempt is lost or
+      the target is out of range or down, the sender's [on_fail]
+      callback fires after the attempts' worth of time — this is how
+      DSR's route maintenance learns a link broke.  A sender that
+      crashes mid-retry simply falls silent: no further transmissions
+      and no [on_fail].
+
+    Fault state (driven by [lib/faults]): individual links can be
+    administratively severed with {!set_link}, the network can be cut in
+    two with {!set_partition}, and the loss process can be swapped at
+    runtime with {!set_channel} — the default {!Uniform} channel
+    reproduces the classic i.i.d. loss, while {!Gilbert_elliott} keeps a
+    per-link two-state Markov chain for bursty loss. *)
 
 type 'msg t
+
+type channel =
+  | Uniform of { loss : float }  (** i.i.d. per-frame loss *)
+  | Gilbert_elliott of {
+      p_good_to_bad : float;  (** per-frame P(good -> bad) *)
+      p_bad_to_good : float;  (** per-frame P(bad -> good) *)
+      loss_good : float;  (** loss probability in the good state *)
+      loss_bad : float;  (** loss probability in the bad state *)
+    }
+      (** Two-state bursty-loss channel; state is kept per (unordered)
+          link and advances once per frame crossing that link.  The
+          stationary probability of the bad state is
+          [p_good_to_bad /. (p_good_to_bad +. p_bad_to_good)]. *)
 
 type config = {
   range : float;  (** unit-disk radio range *)
@@ -48,6 +71,30 @@ val set_down : 'msg t -> int -> bool -> unit
 (** A down node neither sends, receives, nor acknowledges. *)
 
 val is_down : 'msg t -> int -> bool
+
+val set_link : 'msg t -> int -> int -> up:bool -> unit
+(** Administratively sever ([up:false]) or restore ([up:true]) the
+    (unordered) link between two nodes.  A severed link blocks frames in
+    both directions regardless of radio range.  Raises [Invalid_argument]
+    on a self-link. *)
+
+val link_up : 'msg t -> int -> int -> bool
+(** Whether the link is neither severed nor cut by a partition.  Does
+    not consider radio range or node down-state. *)
+
+val set_partition : 'msg t -> int list -> unit
+(** Cut the network in two: the listed nodes on one side, everyone else
+    on the other.  Frames only cross between same-side nodes.  Replaces
+    any previous partition.  Raises [Invalid_argument] on a bad index. *)
+
+val clear_partition : 'msg t -> unit
+(** Heal the partition (severed links from {!set_link} stay severed). *)
+
+val set_channel : 'msg t -> channel -> unit
+(** Swap the loss process.  Gilbert–Elliott per-link state persists
+    across swaps back and forth. *)
+
+val channel : 'msg t -> channel
 
 val broadcast : 'msg t -> src:int -> size:int -> 'msg -> unit
 (** One radio transmission of [size] bytes to all current neighbours. *)

@@ -120,6 +120,21 @@ let percentile t name q =
       Some sorted.(idx)
   | _ -> None
 
+type snapshot = (string * int) list
+
+let snapshot t : snapshot = counters t
+
+let snapshot_get (s : snapshot) name =
+  match List.assoc_opt name s with Some v -> v | None -> 0
+
+let delta ~(before : snapshot) ~(after : snapshot) : snapshot =
+  (* Counters only grow, so every name in [before] is in [after]. *)
+  List.filter_map
+    (fun (k, v) ->
+      let d = v - snapshot_get before k in
+      if d <> 0 then Some (k, d) else None)
+    after
+
 let clear t =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.accs

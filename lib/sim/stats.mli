@@ -27,6 +27,19 @@ val get : t -> string -> int
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
 
+type snapshot = (string * int) list
+(** A point-in-time copy of every counter, sorted by name — the raw
+    material for windowed metrics (delivery ratio before/during/after a
+    fault, per-phase overhead, ...). *)
+
+val snapshot : t -> snapshot
+
+val snapshot_get : snapshot -> string -> int
+(** Counter value in a snapshot; 0 when absent. *)
+
+val delta : before:snapshot -> after:snapshot -> snapshot
+(** Per-counter difference [after - before], omitting zero entries. *)
+
 val observe : t -> string -> float -> unit
 (** Add one sample to summary [name]. *)
 

@@ -4,10 +4,11 @@ type t = {
   mutable enabled : bool;
   capacity : int;
   buf : entry Queue.t;
+  mutable dropped : int;
 }
 
 let create ?(capacity = 100_000) () =
-  { enabled = false; capacity; buf = Queue.create () }
+  { enabled = false; capacity; buf = Queue.create (); dropped = 0 }
 
 let enable t = t.enabled <- true
 let disable t = t.enabled <- false
@@ -15,14 +16,22 @@ let is_enabled t = t.enabled
 
 let log t ~time ~node ~event ~detail =
   if t.enabled then begin
-    if Queue.length t.buf >= t.capacity then ignore (Queue.pop t.buf);
+    if Queue.length t.buf >= t.capacity then begin
+      ignore (Queue.pop t.buf);
+      t.dropped <- t.dropped + 1
+    end;
     Queue.push { time; node; event; detail } t.buf
   end
 
 let entries t = List.of_seq (Queue.to_seq t.buf)
 let find t ~event = List.filter (fun e -> String.equal e.event event) (entries t)
-let clear t = Queue.clear t.buf
+
+let clear t =
+  Queue.clear t.buf;
+  t.dropped <- 0
+
 let length t = Queue.length t.buf
+let dropped t = t.dropped
 
 let pp_entry fmt e =
   if e.node >= 0 then
@@ -31,6 +40,10 @@ let pp_entry fmt e =
 
 let render t =
   let buf = Buffer.create 1024 in
+  if t.dropped > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "[trace: %d oldest entries dropped at capacity %d]\n"
+         t.dropped t.capacity);
   List.iter
     (fun e -> Buffer.add_string buf (Format.asprintf "%a@." pp_entry e))
     (entries t);

@@ -32,9 +32,16 @@ val find : t -> event:string -> entry list
 (** Entries whose [event] tag equals the argument, oldest first. *)
 
 val clear : t -> unit
+(** Empties the buffer and resets the {!dropped} count. *)
+
 val length : t -> int
+
+val dropped : t -> int
+(** How many oldest entries the ring buffer has discarded since creation
+    (or the last {!clear}) because [capacity] was reached. *)
 
 val pp_entry : Format.formatter -> entry -> unit
 
 val render : t -> string
-(** Whole trace, one line per entry. *)
+(** Whole trace, one line per entry, preceded by a drop-count header
+    line when any entries were discarded. *)

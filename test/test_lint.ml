@@ -25,7 +25,22 @@ let test_determinism () =
   clean "comments are ignored" "determinism"
     [ ("lib/a.ml", "(* Unix.gettimeofday *)\nlet x = 1\n") ];
   clean "string literals are ignored" "determinism"
-    [ ("lib/a.ml", {|let s = "Unix.gettimeofday"|}) ]
+    [ ("lib/a.ml", {|let s = "Unix.gettimeofday"|}) ];
+  (* Stdlib Random draws are banned everywhere under lib/, and the rule
+     covers the fault-injection library like any other — a seeded fault
+     plan that drew from Random would silently stop being replayable. *)
+  fires "Random.int in lib" "determinism"
+    [ ("lib/a.ml", {|let pick n = Random.int n|}) ];
+  fires "Random.float in lib/faults" "determinism"
+    [ ("lib/faults/jitter.ml", {|let j () = Random.float 1.0|}) ];
+  fires "Random.bool in lib/faults" "determinism"
+    [ ("lib/faults/coin.ml", {|let flip () = Random.bool ()|}) ];
+  fires "Random.init in lib/faults" "determinism"
+    [ ("lib/faults/seed.ml", {|let () = Random.init 42|}) ];
+  clean "Prng draws are fine in lib/faults" "determinism"
+    [ ("lib/faults/ok.ml", {|let j g = Manet_crypto.Prng.float g 1.0|}) ];
+  clean "Random in test code" "determinism"
+    [ ("test/a.ml", {|let pick n = Random.int n|}) ]
 
 let test_determinism_suppression () =
   clean "allow on the line above" "determinism"

@@ -2,4 +2,5 @@ let () =
   Alcotest.run "manetsec"
     (Test_crypto.suites @ Test_ipv6.suites @ Test_sim.suites @ Test_proto.suites
    @ Test_binary.suites @ Test_dad_dns.suites @ Test_routing.suites
-   @ Test_aodv.suites @ Test_integration.suites @ Test_lint.suites)
+   @ Test_aodv.suites @ Test_faults.suites @ Test_integration.suites
+   @ Test_lint.suites)

@@ -167,6 +167,24 @@ let test_trace_capacity () =
   let details = List.map (fun e -> e.Trace.detail) (Trace.entries t) in
   Alcotest.(check (list string)) "keeps newest" [ "3"; "4"; "5" ] details
 
+let test_trace_dropped () =
+  let t = Trace.create ~capacity:3 () in
+  Trace.enable t;
+  Alcotest.(check int) "no drops yet" 0 (Trace.dropped t);
+  for i = 1 to 5 do
+    Trace.log t ~time:(float_of_int i) ~node:0 ~event:"e" ~detail:(string_of_int i)
+  done;
+  Alcotest.(check int) "two drops counted" 2 (Trace.dropped t);
+  let rendered = Trace.render t in
+  Alcotest.(check bool) "render reports drops" true
+    (String.length rendered > 0
+    && String.sub rendered 0 8 = "[trace: ");
+  Trace.clear t;
+  Alcotest.(check int) "clear resets drops" 0 (Trace.dropped t);
+  Trace.log t ~time:1.0 ~node:0 ~event:"e" ~detail:"x";
+  Alcotest.(check bool) "no header below capacity" true
+    (String.sub (Trace.render t) 0 1 <> "[")
+
 (* ------------------------------------------------------------------ *)
 (* Engine                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -476,6 +494,140 @@ let test_net_lossy_broadcast () =
   (* Expect ~700 deliveries. *)
   Alcotest.(check bool) "loss rate plausible" true (!delivered > 620 && !delivered < 780)
 
+let test_stats_snapshot_delta () =
+  let s = Stats.create () in
+  Stats.incr s "a";
+  Stats.incr ~by:3 s "b";
+  let before = Stats.snapshot s in
+  Stats.incr ~by:2 s "b";
+  Stats.incr s "c";
+  let after = Stats.snapshot s in
+  Alcotest.(check int) "snapshot_get present" 3 (Stats.snapshot_get before "b");
+  Alcotest.(check int) "snapshot_get absent" 0 (Stats.snapshot_get before "c");
+  Alcotest.(check (list (pair string int)))
+    "delta omits unchanged" [ ("b", 2); ("c", 1) ]
+    (Stats.delta ~before ~after)
+
+let test_net_counters_invariant () =
+  (* Seeded loss + retries + promiscuous overhear: whatever the channel
+     does, bytes are exactly size * transmissions, and every offered
+     unicast either reaches its handler or fires on_fail. *)
+  let cfg =
+    { Net.default_config with loss = 0.3; mac_retries = 3; promiscuous = true }
+  in
+  let e = Engine.create ~seed:29 () in
+  let topo = Topology.chain ~n:3 ~spacing:100.0 in
+  let net = Net.create ~config:cfg e topo in
+  let got = ref 0 and overheard = ref 0 and failed = ref 0 in
+  Net.set_handler net 1 (fun ~src:_ _ -> incr got);
+  Net.set_handler net 2 (fun ~src:_ _ -> incr overheard);
+  let offered = 100 in
+  for _ = 1 to offered do
+    Net.unicast net ~src:0 ~dst:1 ~size:10 ~on_fail:(fun () -> incr failed) "x"
+  done;
+  Engine.run e;
+  Alcotest.(check int) "delivered + failed = offered" offered (!got + !failed);
+  Alcotest.(check int) "bytes = size * transmissions"
+    (10 * Net.transmissions net)
+    (Net.bytes_sent net);
+  Alcotest.(check bool) "retries happened" true
+    (Net.transmissions net > offered);
+  Alcotest.(check bool) "attempts bounded" true
+    (Net.transmissions net <= 4 * offered);
+  Alcotest.(check int) "failure counter matches callbacks" !failed
+    (Net.unicast_failures net);
+  Alcotest.(check bool) "promiscuous node overheard" true (!overheard > 0);
+  Alcotest.(check int) "handler invocations = deliveries counter"
+    (!got + !overheard) (Net.deliveries net)
+
+let test_net_sender_down_mid_retry () =
+  (* Certain loss forces the full retry ladder; the sender dies between
+     the first and second attempt.  Exactly one frame must have been
+     charged, and neither a retry nor on_fail may fire: the MAC state
+     died with the node. *)
+  let cfg = { Net.default_config with loss = 1.0; mac_retries = 3 } in
+  let e = Engine.create ~seed:31 () in
+  let topo = Topology.chain ~n:2 ~spacing:100.0 in
+  let net = Net.create ~config:cfg e topo in
+  let failed = ref false in
+  Net.unicast net ~src:0 ~dst:1 ~size:50 ~on_fail:(fun () -> failed := true) "x";
+  (* First attempt already happened synchronously; ack timeout is
+     ~2.1e-4 s, so down the sender well before the retry. *)
+  Engine.schedule e ~delay:1e-4 (fun () -> Net.set_down net 0 true);
+  Engine.run e;
+  Alcotest.(check int) "one transmission only" 1 (Net.transmissions net);
+  Alcotest.(check int) "bytes for one frame" 50 (Net.bytes_sent net);
+  Alcotest.(check bool) "no on_fail from a dead sender" false !failed;
+  Alcotest.(check int) "no failure counted" 0 (Net.unicast_failures net)
+
+let test_net_link_fault () =
+  let e, net = make_net ~n:3 ~spacing:100.0 () in
+  let got = ref 0 and failed = ref 0 in
+  Net.set_handler net 1 (fun ~src:_ _ -> incr got);
+  Net.set_link net 0 1 ~up:false;
+  Alcotest.(check bool) "link reported down" false (Net.link_up net 0 1);
+  Net.unicast net ~src:0 ~dst:1 ~size:10 ~on_fail:(fun () -> incr failed) "x";
+  Net.broadcast net ~src:0 ~size:10 "y";
+  Engine.run e;
+  Alcotest.(check int) "nothing crossed the severed link" 0 !got;
+  Alcotest.(check int) "unicast failed after full retries" 1 !failed;
+  Alcotest.(check int) "all attempts were charged" 5 (Net.transmissions net);
+  Net.set_link net 0 1 ~up:true;
+  Net.unicast net ~src:0 ~dst:1 ~size:10 ~on_fail:(fun () -> incr failed) "x";
+  Engine.run e;
+  Alcotest.(check int) "restored link delivers" 1 !got
+
+let test_net_partition () =
+  let e, net = make_net ~n:4 ~spacing:100.0 () in
+  let got = Array.make 4 0 in
+  for i = 0 to 3 do
+    Net.set_handler net i (fun ~src:_ _ -> got.(i) <- got.(i) + 1)
+  done;
+  Net.set_partition net [ 2; 3 ];
+  Alcotest.(check bool) "cross-cut link down" false (Net.link_up net 1 2);
+  Alcotest.(check bool) "same-side link up" true (Net.link_up net 2 3);
+  Net.broadcast net ~src:1 ~size:10 "x";
+  Engine.run e;
+  Alcotest.(check int) "same side heard" 1 got.(0);
+  Alcotest.(check int) "far side silent" 0 got.(2);
+  Net.clear_partition net;
+  Net.broadcast net ~src:1 ~size:10 "x";
+  Engine.run e;
+  Alcotest.(check bool) "healed: far side hears" true (got.(2) > 0)
+
+let test_net_gilbert_elliott () =
+  (* loss 0 in good, 1 in bad; stationary P(bad) = 0.1/(0.1+0.3) = 0.25,
+     so ~75% of frames should get through. *)
+  let e = Engine.create ~seed:37 () in
+  let topo = Topology.chain ~n:2 ~spacing:10.0 in
+  let net = Net.create e topo in
+  Net.set_channel net
+    (Net.Gilbert_elliott
+       {
+         p_good_to_bad = 0.1;
+         p_bad_to_good = 0.3;
+         loss_good = 0.0;
+         loss_bad = 1.0;
+       });
+  let delivered = ref 0 in
+  Net.set_handler net 1 (fun ~src:_ _ -> incr delivered);
+  let frames = 2000 in
+  for _ = 1 to frames do
+    Net.broadcast net ~src:0 ~size:10 "x"
+  done;
+  Engine.run e;
+  let ratio = float_of_int !delivered /. float_of_int frames in
+  Alcotest.(check bool) "near stationary good fraction" true
+    (ratio > 0.68 && ratio < 0.82);
+  (* Burstiness: with loss 0/1 per state, consecutive frames are much
+     more correlated than an i.i.d. channel — already implied by the
+     Markov chain; here we just pin that the model is switchable back. *)
+  Net.set_channel net (Net.Uniform { loss = 0.0 });
+  let before = !delivered in
+  Net.broadcast net ~src:0 ~size:10 "x";
+  Engine.run e;
+  Alcotest.(check int) "uniform zero-loss delivers" (before + 1) !delivered
+
 let suites =
   [
     ( "sim.heap",
@@ -493,12 +645,14 @@ let suites =
         Alcotest.test_case "percentiles exact" `Quick test_stats_percentiles_exact;
         Alcotest.test_case "percentiles reservoir" `Quick test_stats_percentiles_reservoir;
         Alcotest.test_case "clear" `Quick test_stats_clear;
+        Alcotest.test_case "snapshot delta" `Quick test_stats_snapshot_delta;
       ] );
     ( "sim.trace",
       [
         Alcotest.test_case "disabled by default" `Quick test_trace_disabled_by_default;
         Alcotest.test_case "record and find" `Quick test_trace_record_and_find;
         Alcotest.test_case "capacity" `Quick test_trace_capacity;
+        Alcotest.test_case "dropped count" `Quick test_trace_dropped;
       ] );
     ( "sim.engine",
       [
@@ -532,5 +686,10 @@ let suites =
         Alcotest.test_case "down node" `Quick test_net_down_node;
         Alcotest.test_case "loss retries" `Quick test_net_loss_retries;
         Alcotest.test_case "lossy broadcast" `Quick test_net_lossy_broadcast;
+        Alcotest.test_case "counters invariant" `Quick test_net_counters_invariant;
+        Alcotest.test_case "sender down mid-retry" `Quick test_net_sender_down_mid_retry;
+        Alcotest.test_case "link fault" `Quick test_net_link_fault;
+        Alcotest.test_case "partition" `Quick test_net_partition;
+        Alcotest.test_case "gilbert-elliott" `Quick test_net_gilbert_elliott;
       ] );
   ]

@@ -496,8 +496,16 @@ let range_mentions_verifier code vset lo hi =
 (* Per-file rules                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Beyond the wall-clock and self-seeding offenders, the stdlib Random
+   draws are banned under lib/ wholesale: any library randomness must
+   come from a Manet_crypto.Prng stream split off the engine root, or a
+   seeded fault plan (lib/faults) silently stops being replayable. *)
 let deterministic_tokens =
-  [ "Random.self_init"; "Unix.gettimeofday"; "Sys.time"; "Hashtbl.hash" ]
+  [
+    "Random.self_init"; "Unix.gettimeofday"; "Sys.time"; "Hashtbl.hash";
+    "Random.init"; "Random.int"; "Random.float"; "Random.bool";
+    "Random.bits";
+  ]
 
 let addr_fields =
   [
