@@ -1,0 +1,82 @@
+(* The `profile` bench section: run a fixed-seed scenario with engine
+   wall-clock profiling on, print the per-event-class breakdown and
+   events/sec, and export the telemetry artefacts (JSONL trace + JSON
+   run report) that CI uploads and diffs for determinism.
+
+   Profiling samples the host monotonic clock strictly outside the
+   deterministic sim-time domain, so the exported JSONL trace here is
+   byte-identical to one produced without --profile. *)
+
+module Scenario = Manetsec.Scenario
+module Engine = Manetsec.Sim.Engine
+module Obs = Manetsec.Obs
+module Json = Manetsec.Obs_json
+module Report = Manetsec.Obs_report
+module Faults = Manetsec.Faults
+
+let seed = 42
+let trace_file = "bench-profile-trace.jsonl"
+let report_file = "bench-profile-report.json"
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let run () =
+  Util.heading "PROFILE: engine wall-clock accounting + telemetry export";
+  let params =
+    {
+      Scenario.default_params with
+      n = 16;
+      seed;
+      topology = Scenario.Random { width = 900.0; height = 900.0 };
+    }
+  in
+  let s = Scenario.create params in
+  let engine = Scenario.engine s in
+  Engine.set_profiling engine true;
+  Obs.set_capture (Scenario.obs s) true;
+  Scenario.bootstrap s;
+  (* A burst of churn so the trace exercises fault.outage -> re-DAD
+     parenting, then steady CBR traffic.  Fault times are absolute, so
+     offset them past the bootstrap horizon. *)
+  let t0 = Engine.now engine in
+  Scenario.inject s
+    (Faults.seq
+       [
+         Faults.outage ~from:(t0 +. 5.0) ~until:(t0 +. 15.0) 3;
+         Faults.outage ~from:(t0 +. 8.0) ~until:(t0 +. 18.0) 7;
+       ]);
+  Scenario.start_cbr s
+    ~flows:[ (1, 9); (2, 12); (5, 14) ]
+    ~interval:0.5 ~duration:30.0 ();
+  Scenario.run s ~until:(Engine.now engine +. 60.0);
+  Util.subheading "per-event-class wall clock";
+  Util.print_table
+    ~header:[ "class"; "events"; "wall ms"; "us/event" ]
+    (List.map
+       (fun (label, e) ->
+         [
+           label;
+           Util.i e.Engine.p_count;
+           Printf.sprintf "%.3f" (e.Engine.p_wall_s *. 1000.0);
+           (if e.Engine.p_count = 0 then "-"
+            else
+              Printf.sprintf "%.2f"
+                (e.Engine.p_wall_s *. 1e6 /. float_of_int e.Engine.p_count));
+         ])
+       (Engine.profile engine));
+  Printf.printf "\n%d events in %.1f ms wall: %.0f events/s\n"
+    (Engine.events_processed engine)
+    (Engine.wall_in_run engine *. 1000.0)
+    (Engine.events_per_sec engine);
+  write_file trace_file
+    (Obs.to_jsonl ~meta:[ ("seed", Json.Int seed) ] (Scenario.obs s));
+  let report =
+    Report.run_report ~engine ~obs:(Scenario.obs s)
+      ~extra:[ ("seed", Json.Int seed); ("section", Json.String "profile") ]
+      ()
+  in
+  write_file report_file (Json.to_string report ^ "\n");
+  Printf.printf "wrote %s and %s\n" trace_file report_file

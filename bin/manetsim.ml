@@ -2,11 +2,15 @@
 
      manetsim run --nodes 30 --blackholes 3 --duration 60
      manetsim run --protocol dsr --mobility waypoint --trace
+     manetsim run --seed 1 --jsonl-trace run.jsonl --json-report run.json
      manetsim dad --nodes 12 --collide
      manetsim attacks --nodes 16
+     manetsim report run.jsonl
 
    Prints scenario metrics; --trace additionally dumps the protocol
-   event trace. *)
+   event trace; --jsonl-trace / --json-report export the telemetry
+   spans and the run report; the report subcommand queries an exported
+   trace offline. *)
 
 module Scenario = Manetsec.Scenario
 module Engine = Manetsec.Sim.Engine
@@ -16,6 +20,9 @@ module Mobility = Manetsec.Sim.Mobility
 module Address = Manetsec.Ipv6.Address
 module Adversary = Manetsec.Adversary
 module Prng = Manetsec.Crypto.Prng
+module Obs = Manetsec.Obs
+module Json = Manetsec.Obs_json
+module Obs_report = Manetsec.Obs_report
 
 open Cmdliner
 
@@ -91,6 +98,79 @@ let flows_t =
 let trace_t =
   Arg.(value & flag & info [ "trace" ] ~doc:"Dump the protocol event trace.")
 
+let jsonl_trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "jsonl-trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the telemetry spans and events as schema-versioned JSONL \
+           (byte-identical across replays of the same seed).")
+
+let json_report_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json-report" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON run report: counters, latency summaries, per-kind \
+           span aggregates, per-phase percentiles and the wall-clock \
+           profile.")
+
+let profile_t =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Measure host wall-clock time per event class (does not perturb \
+           the simulation) and print the breakdown.")
+
+(* --- telemetry plumbing -------------------------------------------------- *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+(* Must run before any engine events fire: capture is append-only and the
+   profiler only samples the clock inside [Engine.run]. *)
+let telemetry_begin s ~profile ~jsonl_trace =
+  if profile then Engine.set_profiling (Scenario.engine s) true;
+  if jsonl_trace <> None then Obs.set_capture (Scenario.obs s) true
+
+let print_profile s =
+  let engine = Scenario.engine s in
+  Printf.printf "\n-- profile (wall clock) -----------------------------\n";
+  Printf.printf "%-12s %10s %12s\n" "class" "events" "wall ms";
+  List.iter
+    (fun (label, e) ->
+      Printf.printf "%-12s %10d %12.3f\n" label e.Engine.p_count
+        (e.Engine.p_wall_s *. 1000.0))
+    (Engine.profile engine);
+  Printf.printf "%-12s %10d %12.3f  (%.0f events/s)\n" "total"
+    (Engine.events_processed engine)
+    (Engine.wall_in_run engine *. 1000.0)
+    (Engine.events_per_sec engine)
+
+let telemetry_end s ~seed ~profile ~jsonl_trace ~json_report =
+  (match jsonl_trace with
+  | Some path ->
+      write_file path
+        (Obs.to_jsonl ~meta:[ ("seed", Json.Int seed) ] (Scenario.obs s));
+      Printf.printf "jsonl trace         %s\n" path
+  | None -> ());
+  (match json_report with
+  | Some path ->
+      let j =
+        Obs_report.run_report ~engine:(Scenario.engine s) ~obs:(Scenario.obs s)
+          ~extra:[ ("seed", Json.Int seed) ]
+          ()
+      in
+      write_file path (Json.to_string j ^ "\n");
+      Printf.printf "json report         %s\n" path
+  | None -> ());
+  if profile then print_profile s
+
 let make_params ~nodes ~seed ~protocol ~suite ~mobility ~blackholes ~spammers =
   let g = Prng.create ~seed:(seed + 7777) in
   let pool = Array.init (nodes - 1) (fun i -> i + 1) in
@@ -149,12 +229,14 @@ let report s =
 
 (* --- run ----------------------------------------------------------------- *)
 
-let run_cmd nodes seed protocol suite mobility blackholes spammers duration flows trace =
+let run_cmd nodes seed protocol suite mobility blackholes spammers duration flows trace
+    jsonl_trace json_report profile =
   let params =
     make_params ~nodes ~seed ~protocol ~suite ~mobility ~blackholes ~spammers
   in
   let s = Scenario.create params in
   if trace then Trace.enable (Engine.trace (Scenario.engine s));
+  telemetry_begin s ~profile ~jsonl_trace;
   Printf.printf "bootstrapping %d nodes...\n%!" nodes;
   Scenario.bootstrap s;
   let g = Prng.create ~seed:(seed + 99) in
@@ -173,6 +255,7 @@ let run_cmd nodes seed protocol suite mobility blackholes spammers duration flow
   Scenario.start_cbr s ~flows:flow_list ~interval:0.5 ~duration ();
   Scenario.run s ~until:(Engine.now (Scenario.engine s) +. duration +. 30.0);
   report s;
+  telemetry_end s ~seed ~profile ~jsonl_trace ~json_report;
   if trace then begin
     Printf.printf "\n-- trace --------------------------------------------\n";
     print_string (Trace.render (Engine.trace (Scenario.engine s)))
@@ -181,16 +264,18 @@ let run_cmd nodes seed protocol suite mobility blackholes spammers duration flow
 let run_term =
   Term.(
     const run_cmd $ nodes_t $ seed_t $ protocol_t $ suite_t $ mobility_t
-    $ blackholes_t $ spammers_t $ duration_t $ flows_t $ trace_t)
+    $ blackholes_t $ spammers_t $ duration_t $ flows_t $ trace_t
+    $ jsonl_trace_t $ json_report_t $ profile_t)
 
 (* --- dad ------------------------------------------------------------------ *)
 
-let dad_cmd nodes seed collide trace =
+let dad_cmd nodes seed collide trace jsonl_trace json_report profile =
   let params =
     make_params ~nodes ~seed ~protocol:Scenario.Secure ~suite:Scenario.Mock_suite
       ~mobility:Mobility.Static ~blackholes:0 ~spammers:0
   in
   let s = Scenario.create params in
+  telemetry_begin s ~profile ~jsonl_trace;
   if collide && nodes >= 3 then begin
     (* Give the last node the first host's address before it joins. *)
     let victim = Scenario.address_of s 1 in
@@ -214,12 +299,16 @@ let dad_cmd nodes seed collide trace =
       Printf.printf "  node %-3d %s\n" node.Scenario.index
         (Address.to_string (Scenario.address_of s node.Scenario.index)))
     (Scenario.nodes s);
+  telemetry_end s ~seed ~profile ~jsonl_trace ~json_report;
   if trace then print_string (Trace.render (Engine.trace (Scenario.engine s)))
 
 let collide_t =
   Arg.(value & flag & info [ "collide" ] ~doc:"Force an address collision.")
 
-let dad_term = Term.(const dad_cmd $ nodes_t $ seed_t $ collide_t $ trace_t)
+let dad_term =
+  Term.(
+    const dad_cmd $ nodes_t $ seed_t $ collide_t $ trace_t $ jsonl_trace_t
+    $ json_report_t $ profile_t)
 
 (* --- attacks --------------------------------------------------------------- *)
 
@@ -255,6 +344,53 @@ let attacks_cmd nodes seed =
 
 let attacks_term = Term.(const attacks_cmd $ nodes_t $ seed_t)
 
+(* --- report ---------------------------------------------------------------- *)
+
+let report_cmd file top no_tree =
+  let contents = In_channel.with_open_bin file In_channel.input_all in
+  match Obs_report.parse_jsonl contents with
+  | parsed ->
+      let header field =
+        match Json.member field parsed.Obs_report.header with
+        | Some j -> Json.to_string j
+        | None -> "?"
+      in
+      Printf.printf "trace %s  (schema %s v%s, %d spans, %d events)\n" file
+        (header "schema") (header "version")
+        (List.length parsed.Obs_report.spans)
+        (List.length parsed.Obs_report.events);
+      if not no_tree then begin
+        Printf.printf "\n-- span tree ----------------------------------------\n";
+        print_string (Obs_report.render_tree parsed)
+      end;
+      Printf.printf "\n-- phase latency ------------------------------------\n";
+      print_string (Obs_report.render_phases parsed);
+      Printf.printf "\n-- top %d slowest spans ------------------------------\n"
+        top;
+      print_string (Obs_report.render_top ~k:top parsed);
+      `Ok ()
+  | exception Json.Parse_error msg ->
+      `Error (false, Printf.sprintf "%s: %s" file msg)
+  | exception Sys_error msg -> `Error (false, msg)
+
+let report_file_t =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TRACE.jsonl" ~doc:"A trace written by --jsonl-trace.")
+
+let top_t =
+  Arg.(
+    value & opt int 10
+    & info [ "top" ] ~docv:"K" ~doc:"How many slow spans to list.")
+
+let no_tree_t =
+  Arg.(
+    value & flag
+    & info [ "no-tree" ] ~doc:"Skip the span tree (large traces).")
+
+let report_term = Term.(ret (const report_cmd $ report_file_t $ top_t $ no_tree_t))
+
 (* --- command tree ----------------------------------------------------------- *)
 
 let cmds =
@@ -268,6 +404,12 @@ let cmds =
     Cmd.v
       (Cmd.info "attacks" ~doc:"Run the canned attack behaviours against both protocols.")
       attacks_term;
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Query an exported JSONL trace: span tree, per-phase latency \
+            percentiles, top-k slow spans.")
+      report_term;
   ]
 
 let () =

@@ -27,6 +27,9 @@
 module Crypto = Manet_crypto
 module Ipv6 = Manet_ipv6
 module Sim = Manet_sim
+module Obs = Manet_obs.Obs
+module Obs_json = Manet_obs.Json
+module Obs_report = Manet_obs.Report
 module Proto = Manet_proto
 module Dad = Manet_dad.Dad
 module Dns = Manet_dns.Dns

@@ -7,6 +7,9 @@
       (CGA, Figure 1).
     - {!Sim}: the discrete-event engine, topologies, mobility, the
       simulated radio, stats and traces.
+    - {!Obs} / {!Obs_json} / {!Obs_report}: causal telemetry spans,
+      the hand-rolled JSON codec, and JSONL / run-report export and
+      querying.
     - {!Proto}: Table 1 message types, wire-size model, node identity.
     - {!Dad}: secure duplicate address detection (§3.1).
     - {!Dns} / {!Dns_client}: the DNS server and host-side services
@@ -27,6 +30,9 @@
 module Crypto = Manet_crypto
 module Ipv6 = Manet_ipv6
 module Sim = Manet_sim
+module Obs = Manet_obs.Obs
+module Obs_json = Manet_obs.Json
+module Obs_report = Manet_obs.Report
 module Proto = Manet_proto
 module Dad = Manet_dad.Dad
 module Dns = Manet_dns.Dns

@@ -18,6 +18,7 @@ module Secure = Manet_secure.Secure_routing
 module Srp = Manet_secure.Srp
 module Adversary = Manet_attacks.Adversary
 module Faults = Manet_faults.Faults
+module Obs = Manet_obs.Obs
 
 type topology_spec =
   | Chain of { spacing : float }
@@ -84,6 +85,7 @@ type t = {
   nodes : node array;
   dns : Dns.t option;
   mobility : Mobility.t;
+  obs : Obs.t;
   mutable started : bool;
 }
 
@@ -145,8 +147,14 @@ let create params =
   (* The modelled network-wide master secret behind SRP's pairwise
      security associations. *)
   let srp_master = Prng.bytes (Prng.split root) 32 in
+  (* One shared telemetry handle for the whole scenario: spans opened on
+     one node (e.g. an AREP answer) parent correctly to spans opened on
+     another (the originating flood). *)
+  let obs = Obs.create engine in
   let ctxs =
-    Array.map (fun id -> Ctx.create net directory id (Prng.split root)) identities
+    Array.map
+      (fun id -> Ctx.create ~obs net directory id (Prng.split root))
+      identities
   in
   let dads =
     Array.map (fun ctx -> Dad.create ~config:params.dad_config ~dns_pk ctx) ctxs
@@ -226,9 +234,22 @@ let create params =
                   | Srp_agent a -> Srp.handle a ~src msg))))
     nodes;
   let mobility = Mobility.create engine topo (Prng.split root) params.mobility in
-  { params; engine; topo; net; directory; suite; nodes; dns; mobility; started = false }
+  {
+    params;
+    engine;
+    topo;
+    net;
+    directory;
+    suite;
+    nodes;
+    dns;
+    mobility;
+    obs;
+    started = false;
+  }
 
 let engine t = t.engine
+let obs t = t.obs
 let net t = t.net
 let stats t = Engine.stats t.engine
 let params t = t.params
@@ -253,7 +274,7 @@ let bootstrap ?(stagger = 0.5) t =
     (fun n ->
       if not (t.params.with_dns && n.index = 0) then begin
         let delay = stagger *. float_of_int n.index in
-        Engine.schedule t.engine ~delay (fun () ->
+        Engine.schedule t.engine ~label:"dad" ~delay (fun () ->
             Dad.start n.dad
               ~dn:(Printf.sprintf "node%d" n.index)
               ~on_complete:(fun _ -> ())
@@ -281,7 +302,7 @@ let start_cbr t ~flows ~interval ?(size = 512) ?start_at ~duration () =
     (fun (src, dst) ->
       let rec tick at =
         if at <= t0 +. duration then
-          Engine.schedule_at t.engine ~time:at (fun () ->
+          Engine.schedule_at t.engine ~label:"traffic" ~time:at (fun () ->
               send t ~src ~dst ~size ();
               tick (at +. interval))
       in
@@ -337,10 +358,13 @@ let inject t plan =
             | Some dn -> dn
             | None -> Printf.sprintf "node%d" i
           in
-          Dad.start n.dad ~dn ~on_complete:(fun _ -> ()) ());
+          (* Parent the re-DAD bootstrap span to the outage that forced
+             it, making fault -> recovery causality queryable. *)
+          let parent = Obs.lookup t.obs (Faults.outage_key i) in
+          Dad.start n.dad ?parent ~dn ~on_complete:(fun _ -> ()) ());
     }
   in
-  Faults.schedule t.engine hooks plan
+  Faults.schedule ~obs:t.obs t.engine hooks plan
 
 (* --- metrics ------------------------------------------------------------ *)
 

@@ -86,6 +86,15 @@ val net : t -> Manet_proto.Messages.t Manet_sim.Net.t
     tests and experiments. *)
 
 val stats : t -> Stats.t
+
+val obs : t -> Manet_obs.Obs.t
+(** The scenario-wide telemetry handle.  One shared handle is passed to
+    every node context, so causal spans cross node boundaries: an AREP
+    answered on node [j] parents to the AREQ flood opened on node [i],
+    and a re-DAD after {!inject}ed churn parents to the outage span that
+    forced it.  Use {!Manet_obs.Obs.to_jsonl} or
+    {!Manet_obs.Report.run_report} to export it. *)
+
 val params : t -> params
 val node : t -> int -> node
 val nodes : t -> node array

@@ -8,6 +8,7 @@ module Ctx = Manet_proto.Node_ctx
 module Directory = Manet_proto.Directory
 module Identity = Manet_proto.Identity
 module Engine = Manet_sim.Engine
+module Obs = Manet_obs.Obs
 
 type config = {
   arep_wait : float;
@@ -47,7 +48,19 @@ type t = {
   seen_warning : (string, unit) Hashtbl.t;
   mutable areq_observer : Messages.t -> unit;
   mutable warning_sink : Messages.t -> unit;
+  (* Telemetry: the whole-bootstrap span and the current attempt's flood
+     span (a child of it).  [None] outside a run. *)
+  mutable span_bootstrap : int option;
+  mutable span_flood : int option;
 }
+
+(* Correlation keys (shared with [Manet_dns] responder spans): an AREQ
+   flood attempt is identified by (sip, ch) — [ch] is a fresh 64-bit
+   challenge per attempt — and an AREP by its signature bytes, unique
+   per (signer, sip, ch). *)
+let flood_key ~sip ~ch = "areq:" ^ Codec.addr sip ^ Codec.u64 ch
+let arep_corr sig_ = "arep:" ^ sig_
+let drep_corr sig_ = "drep:" ^ sig_
 
 let create ?(config = default_config) ?(dns_address = Address.dns_server_1)
     ~dns_pk ctx =
@@ -64,6 +77,8 @@ let create ?(config = default_config) ?(dns_address = Address.dns_server_1)
     seen_warning = Hashtbl.create 16;
     areq_observer = (fun _ -> ());
     warning_sink = (fun _ -> ());
+    span_bootstrap = None;
+    span_flood = None;
   }
 
 let identity t = t.ctx.Ctx.identity
@@ -75,6 +90,22 @@ let set_warning_sink t f = t.warning_sink <- f
 
 let areq_key ~sip ~seq ~ch = Codec.addr sip ^ Codec.u32 seq ^ Codec.u64 ch
 
+let obs t = t.ctx.Ctx.obs
+
+let finish_flood t outcome =
+  match t.span_flood with
+  | Some id ->
+      Obs.finish (obs t) id outcome;
+      t.span_flood <- None
+  | None -> ()
+
+let finish_bootstrap t outcome =
+  match t.span_bootstrap with
+  | Some id ->
+      Obs.finish (obs t) id outcome;
+      t.span_bootstrap <- None
+  | None -> ()
+
 let rec begin_attempt t ~attempt ~dn =
   let ctx = t.ctx in
   t.seq <- t.seq + 1;
@@ -85,6 +116,15 @@ let rec begin_attempt t ~attempt ~dn =
   Directory.register ctx.Ctx.directory sip (Ctx.node_id ctx);
   let pending = { p_ch = ch; p_seq = t.seq; p_dn = dn; p_attempt = attempt; p_resolved = false } in
   t.pending <- Some pending;
+  let fl =
+    Obs.start (obs t) ?parent:t.span_bootstrap ~kind:"dad.flood"
+      ~node:(Ctx.node_id ctx)
+      ~detail:
+        (Printf.sprintf "sip=%s attempt=%d" (Address.to_string sip) attempt)
+      ()
+  in
+  t.span_flood <- Some fl;
+  Obs.correlate (obs t) (flood_key ~sip ~ch) fl;
   (* Ignore echoes of our own flood. *)
   Hashtbl.replace t.seen_areq (areq_key ~sip ~seq:t.seq ~ch) ();
   Ctx.log ctx ~event:"dad.start"
@@ -100,6 +140,8 @@ let rec begin_attempt t ~attempt ~dn =
           t.pending <- None;
           t.configured <- true;
           (identity t).Identity.domain_name <- dn;
+          finish_flood t Obs.Ok;
+          finish_bootstrap t Obs.Ok;
           Ctx.stat ctx "dad.configured";
           Ctx.log ctx ~event:"dad.configured"
             ~detail:(Address.to_string (address t));
@@ -111,8 +153,10 @@ and retry_with_new_address t p =
   p.p_resolved <- true;
   t.pending <- None;
   Ctx.stat ctx "dad.collision";
+  finish_flood t (Obs.Rejected "address collision");
   if p.p_attempt + 1 >= t.config.max_attempts then begin
     Ctx.stat ctx "dad.failed";
+    finish_bootstrap t (Obs.Failed "address collisions exhausted retry budget");
     t.on_complete (Failed "address collisions exhausted retry budget")
   end
   else begin
@@ -127,9 +171,15 @@ and retry_with_new_name t p =
   p.p_resolved <- true;
   t.pending <- None;
   Ctx.stat ctx "dad.name_conflict";
-  if not t.config.auto_rename then t.on_complete (Failed "domain name conflict")
+  finish_flood t (Obs.Rejected "domain name conflict");
+  if not t.config.auto_rename then begin
+    finish_bootstrap t (Obs.Failed "domain name conflict");
+    t.on_complete (Failed "domain name conflict")
+  end
   else if p.p_attempt + 1 >= t.config.max_attempts then begin
     Ctx.stat ctx "dad.failed";
+    finish_bootstrap t
+      (Obs.Failed "domain name conflicts exhausted retry budget");
     t.on_complete (Failed "domain name conflicts exhausted retry budget")
   end
   else begin
@@ -140,10 +190,17 @@ and retry_with_new_name t p =
     begin_attempt t ~attempt:(p.p_attempt + 1) ~dn
   end
 
-let start t ?dn ~on_complete () =
+let start t ?dn ?parent ~on_complete () =
   if t.pending <> None then invalid_arg "Dad.start: already running";
   t.on_complete <- on_complete;
   t.configured <- false;
+  let sb =
+    Obs.start (obs t) ?parent ~kind:"dad.bootstrap"
+      ~node:(Ctx.node_id t.ctx)
+      ~detail:(match dn with Some d -> "dn=" ^ d | None -> "")
+      ()
+  in
+  t.span_bootstrap <- Some sb;
   begin_attempt t ~attempt:0 ~dn
 
 let abort t =
@@ -153,8 +210,12 @@ let abort t =
          completion callback never fires.  Used when a node crashes with
          a DAD exchange in flight, so a restart can call [start] anew. *)
       p.p_resolved <- true;
-      t.pending <- None
-  | None -> ()
+      t.pending <- None;
+      finish_flood t (Obs.Failed "aborted");
+      finish_bootstrap t (Obs.Failed "aborted")
+  | None ->
+      finish_flood t (Obs.Failed "aborted");
+      finish_bootstrap t (Obs.Failed "aborted")
 
 (* --- responder/relay side --------------------------------------------- *)
 
@@ -167,6 +228,16 @@ let answer_duplicate t (m : (* areq fields *) Address.t * int64 * Address.t list
   let rn = id.Identity.rn in
   Ctx.stat ctx "dad.duplicate_detected";
   Ctx.log ctx ~event:"dad.duplicate" ~detail:(Address.to_string sip);
+  (* AREP span: child of the initiator's flood span (shared Obs), open
+     from here until the initiator accepts the reply. *)
+  let o = obs t in
+  let parent = Obs.lookup o (flood_key ~sip ~ch) in
+  let arep_span =
+    Obs.start o ?parent ~kind:"dad.arep" ~node:(Ctx.node_id ctx)
+      ~detail:("sip=" ^ Address.to_string sip)
+      ()
+  in
+  Obs.correlate o (arep_corr sig_) arep_span;
   (* AREP back to the initiator along the reverse route record. *)
   let back_path = List.rev rr @ [ sip ] in
   Ctx.send_along ctx ~path:back_path
@@ -218,6 +289,9 @@ let consume_arep t msg =
       | Some p
         when (not p.p_resolved) && Address.equal sip (address t)
              && verify_arep t ~sip ~sig_ ~pk ~rn ~ch:p.p_ch ->
+          (match Obs.lookup (obs t) (arep_corr sig_) with
+          | Some sid -> Obs.finish (obs t) sid Obs.Ok
+          | None -> ());
           retry_with_new_address t p
       | Some p when (not p.p_resolved) && Address.equal sip (address t) ->
           (* An AREP for our pending address that fails verification is
@@ -239,7 +313,12 @@ let consume_drep t msg =
             suite.Suite.verify ~pk_bytes:t.dns_pk
               ~msg:(Codec.drep_payload ~dn ~ch:p.p_ch)
               ~signature:sig_
-          then retry_with_new_name t p
+          then begin
+            (match Obs.lookup (obs t) (drep_corr sig_) with
+            | Some sid -> Obs.finish (obs t) sid Obs.Ok
+            | None -> ());
+            retry_with_new_name t p
+          end
           else begin
             Ctx.stat t.ctx "dad.drep_rejected";
             Ctx.log t.ctx ~event:"dad.drep_rejected" ~detail:dn

@@ -55,11 +55,18 @@ val create :
 (** [dns_pk] is the DNS server's public key, which §3 assumes every host
     received before entering the MANET. *)
 
-val start : t -> ?dn:string -> on_complete:(outcome -> unit) -> unit -> unit
+val start :
+  t -> ?dn:string -> ?parent:int -> on_complete:(outcome -> unit) -> unit -> unit
 (** Begin DAD for this node's current tentative address.  The tentative
     address is entered in the directory immediately (standing in for the
     footnote-2 last-hop broadcast: a node without a legal address can
-    still hear its own AREP). *)
+    still hear its own AREP).
+
+    Opens a [dad.bootstrap] telemetry span covering the whole exchange,
+    with one [dad.flood] child per attempt.  [parent] links the span to
+    a cause on another layer — a restart after an outage passes the
+    [fault.outage] span id so re-DAD convergence is measurable
+    separately from cold-start convergence. *)
 
 val abort : t -> unit
 (** Cancel any in-flight DAD attempt without firing its completion
@@ -81,3 +88,15 @@ val set_warning_sink : t -> (Messages.t -> unit) -> unit
 (** DNS-server hook: called when an AREP terminates at this node but no
     local DAD is pending — i.e. this node is the DNS and the AREP is a
     duplicate warning. *)
+
+(** {1 Telemetry correlation keys}
+
+    Shared vocabulary for the {!Manet_obs.Obs} correlation registry, so
+    responder- and DNS-side spans can attach to the initiating flood's
+    span.  A flood attempt is identified by (sip, ch) — the 64-bit
+    challenge is fresh per attempt — and AREP/DREP replies by their
+    signature bytes. *)
+
+val flood_key : sip:Address.t -> ch:int64 -> string
+val arep_corr : string -> string
+val drep_corr : string -> string

@@ -7,8 +7,14 @@ module Codec = Manet_proto.Codec
 module Ctx = Manet_proto.Node_ctx
 module Directory = Manet_proto.Directory
 module Identity = Manet_proto.Identity
+module Obs = Manet_obs.Obs
 
-type pending_query = { q_name : string; q_ch : int64; q_cb : Address.t option -> unit }
+type pending_query = {
+  q_name : string;
+  q_ch : int64;
+  q_cb : Address.t option -> unit;
+  q_span : int; (* dns.query telemetry span *)
+}
 
 type pending_change = {
   c_old : Address.t;
@@ -16,6 +22,7 @@ type pending_change = {
   c_new_rn : int64;
   c_route : Address.t list;
   c_cb : bool -> unit;
+  c_span : int; (* dns.ip_change telemetry span *)
 }
 
 type t = {
@@ -32,7 +39,12 @@ let create ~dns_pk ?(dns_address = Address.dns_server_1) ctx =
 let query t ~route ~name ~callback =
   let ctx = t.ctx in
   let ch = Prng.bits64 ctx.Ctx.rng in
-  Hashtbl.replace t.queries ch { q_name = name; q_ch = ch; q_cb = callback };
+  let span =
+    Obs.start ctx.Ctx.obs ~kind:"dns.query" ~node:(Ctx.node_id ctx)
+      ~detail:("name=" ^ name) ()
+  in
+  Hashtbl.replace t.queries ch
+    { q_name = name; q_ch = ch; q_cb = callback; q_span = span };
   Ctx.stat ctx "dns_client.queries";
   let path = route @ [ t.dns_address ] in
   Ctx.send_along ctx ~path
@@ -52,6 +64,10 @@ let consume_name_reply t (m : Messages.t) =
           then begin
             Hashtbl.remove t.queries ch;
             Ctx.stat t.ctx "dns_client.verified_replies";
+            Obs.finish t.ctx.Ctx.obs q.q_span
+              (match result with
+              | Some _ -> Obs.Ok
+              | None -> Obs.Rejected "name not found");
             q.q_cb result
           end
           else Ctx.stat t.ctx "dns_client.reply_rejected"
@@ -63,7 +79,23 @@ let request_ip_change t ~route ~callback =
   let id = ctx.Ctx.identity in
   let new_rn, new_ip = Cga.fresh ctx.Ctx.rng ~pk_bytes:(Identity.pk_bytes id) in
   let old_ip = Ctx.address ctx in
-  t.change <- Some { c_old = old_ip; c_new = new_ip; c_new_rn = new_rn; c_route = route; c_cb = callback };
+  let span =
+    Obs.start ctx.Ctx.obs ~kind:"dns.ip_change" ~node:(Ctx.node_id ctx)
+      ~detail:
+        (Printf.sprintf "%s -> %s" (Address.to_string old_ip)
+           (Address.to_string new_ip))
+      ()
+  in
+  t.change <-
+    Some
+      {
+        c_old = old_ip;
+        c_new = new_ip;
+        c_new_rn = new_rn;
+        c_route = route;
+        c_cb = callback;
+        c_span = span;
+      };
   Ctx.stat ctx "dns_client.ip_change_requested";
   let path = route @ [ t.dns_address ] in
   Ctx.send_along ctx ~path
@@ -113,6 +145,8 @@ let consume_ack t (m : Messages.t) =
               ~detail:(Address.to_string new_ip)
           end
           else Ctx.stat ctx "dns_client.ip_change_rejected";
+          Obs.finish ctx.Ctx.obs c.c_span
+            (if accepted then Obs.Ok else Obs.Rejected "dns refused");
           c.c_cb accepted
       | _ -> ())
   | _ -> ()

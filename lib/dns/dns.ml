@@ -7,6 +7,8 @@ module Codec = Manet_proto.Codec
 module Ctx = Manet_proto.Node_ctx
 module Identity = Manet_proto.Identity
 module Engine = Manet_sim.Engine
+module Obs = Manet_obs.Obs
+module Dad = Manet_dad.Dad
 
 type config = { commit_wait : float }
 
@@ -17,6 +19,7 @@ type pending_reg = {
   reg_sip : Address.t;
   reg_ch : int64;
   mutable reg_cancelled : bool;
+  reg_span : int option; (* dns.registration telemetry span *)
 }
 
 type pending_change = { chg_ch : int64; chg_old : Address.t; chg_new : Address.t }
@@ -63,12 +66,28 @@ let pending_count t = Hashtbl.length t.pending_by_dn
 
 let sip_key = Codec.addr
 
+let obs t = t.ctx.Ctx.obs
+
+let finish_reg_span t reg outcome =
+  match reg.reg_span with
+  | Some id -> Obs.finish (obs t) id outcome
+  | None -> ()
+
 let send_drep t ~sip ~dn ~ch ~rr =
   let ctx = t.ctx in
   let sig_ = Identity.sign ctx.Ctx.identity (Codec.drep_payload ~dn ~ch) in
   let back_path = List.rev rr @ [ sip ] in
   Ctx.stat ctx "dns.drep_sent";
   Ctx.log ctx ~event:"dns.name_conflict" ~detail:dn;
+  (* DREP span: child of the initiator's AREQ flood span (the DN rides
+     the AREQ), open until the initiator verifies the reply. *)
+  let o = obs t in
+  let parent = Obs.lookup o (Dad.flood_key ~sip ~ch) in
+  let drep_span =
+    Obs.start o ?parent ~kind:"dns.drep" ~node:(Ctx.node_id ctx)
+      ~detail:("dn=" ^ dn) ()
+  in
+  Obs.correlate o (Dad.drep_corr sig_) drep_span;
   Ctx.send_along ctx ~path:back_path
     (Messages.Drep { sip; dn; rr; remaining = back_path; sig_ })
 
@@ -80,6 +99,7 @@ let commit_pending t reg =
   if not reg.reg_cancelled then begin
     Hashtbl.replace t.table reg.reg_dn reg.reg_sip;
     Ctx.stat t.ctx "dns.registered";
+    finish_reg_span t reg Obs.Ok;
     Ctx.log t.ctx ~event:"dns.registered"
       ~detail:(Printf.sprintf "%s -> %s" reg.reg_dn (Address.to_string reg.reg_sip))
   end;
@@ -136,7 +156,24 @@ let observe_areq t msg =
           Ctx.log t.ctx ~event:"dns.warning"
             ~detail:(Printf.sprintf "stashed duplicate %s" (Address.to_string sip))
       | None, None ->
-          let reg = { reg_dn = dn; reg_sip = sip; reg_ch = ch; reg_cancelled = false } in
+          let span =
+            let o = obs t in
+            Some
+              (Obs.start o
+                 ?parent:(Obs.lookup o (Dad.flood_key ~sip ~ch))
+                 ~kind:"dns.registration"
+                 ~node:(Ctx.node_id t.ctx)
+                 ~detail:("dn=" ^ dn) ())
+          in
+          let reg =
+            {
+              reg_dn = dn;
+              reg_sip = sip;
+              reg_ch = ch;
+              reg_cancelled = false;
+              reg_span = span;
+            }
+          in
           Hashtbl.replace t.pending_by_sip (sip_key sip) reg;
           Hashtbl.replace t.pending_by_dn dn reg;
           Ctx.stat t.ctx "dns.pending";
@@ -160,6 +197,7 @@ let consume_warning t msg =
           if valid then begin
             reg.reg_cancelled <- true;
             drop_pending t reg;
+            finish_reg_span t reg (Obs.Rejected "duplicate warning");
             Ctx.stat t.ctx "dns.registration_cancelled";
             Ctx.log t.ctx ~event:"dns.warning"
               ~detail:(Printf.sprintf "duplicate %s" (Address.to_string sip))

@@ -4,6 +4,7 @@ module Messages = Manet_proto.Messages
 module Codec = Manet_proto.Codec
 module Ctx = Manet_proto.Node_ctx
 module Engine = Manet_sim.Engine
+module Obs = Manet_obs.Obs
 
 type config = {
   discovery_timeout : float;
@@ -45,6 +46,9 @@ type pending_discovery = {
   mutable d_attempts : int;
   mutable d_resolved : bool;
   d_started : float;
+  (* Telemetry: the whole discovery and the current attempt's flood. *)
+  mutable d_span : int option;
+  mutable d_flood : int option;
 }
 
 type t = {
@@ -65,6 +69,16 @@ type t = {
 let akey = Address.to_bytes
 let fkey dst seq = akey dst ^ Codec.u32 seq
 
+(* Telemetry correlation keys, shared with [Manet_secure]: a flood
+   attempt is (source, seq); replies are identified by the fields both
+   the responder and the consumer can see. *)
+let rreq_corr ~sip ~seq = "rreq:" ^ akey sip ^ Codec.u32 seq
+
+let rrep_corr ~sip ~dip ~rr =
+  "rrep:" ^ akey sip ^ akey dip ^ String.concat "" (List.map akey rr)
+
+let crep_corr ~cacher ~seq = "crep:" ^ akey cacher ^ Codec.u32 seq
+
 let create ?(config = default_config) ctx =
   {
     ctx;
@@ -83,6 +97,7 @@ let create ?(config = default_config) ctx =
 
 let address t = Ctx.address t.ctx
 let now t = Ctx.now t.ctx
+let obs t = t.ctx.Ctx.obs
 
 let cached_route t ~dst =
   (* Prefer the shortest known route, as DSR does. *)
@@ -165,7 +180,21 @@ and dispatch t packet =
 and start_discovery t dst =
   let k = akey dst in
   if not (Hashtbl.mem t.pending k) then begin
-    let d = { d_dst = dst; d_attempts = 0; d_resolved = false; d_started = now t } in
+    let d =
+      {
+        d_dst = dst;
+        d_attempts = 0;
+        d_resolved = false;
+        d_started = now t;
+        d_span = None;
+        d_flood = None;
+      }
+    in
+    d.d_span <-
+      Some
+        (Obs.start (obs t) ~kind:"route.discovery" ~node:(Ctx.node_id t.ctx)
+           ~detail:("dst=" ^ Address.to_string dst)
+           ());
     Hashtbl.add t.pending k d;
     send_rreq t d
   end
@@ -175,6 +204,17 @@ and send_rreq t d =
   let seq = t.rreq_seq in
   d.d_attempts <- d.d_attempts + 1;
   Ctx.stat t.ctx "route.discoveries";
+  let fl =
+    Obs.start (obs t) ?parent:d.d_span ~kind:"rreq.flood"
+      ~node:(Ctx.node_id t.ctx)
+      ~detail:
+        (Printf.sprintf "dst=%s attempt=%d"
+           (Address.to_string d.d_dst)
+           d.d_attempts)
+      ()
+  in
+  d.d_flood <- Some fl;
+  Obs.correlate (obs t) (rreq_corr ~sip:(address t) ~seq) fl;
   (* Plain DSR: route record carried in the SRR field with empty
      authentication. *)
   Hashtbl.replace t.seen_rreq (fkey (address t) seq) ();
@@ -183,6 +223,7 @@ and send_rreq t d =
        { sip = address t; dip = d.d_dst; seq; srr = []; sig_ = ""; spk = ""; srn = 0L });
   Engine.schedule t.ctx.Ctx.engine ~delay:t.config.discovery_timeout (fun () ->
       if not d.d_resolved then begin
+        Obs.finish (obs t) fl Obs.Timeout;
         if d.d_attempts < t.config.max_discovery_attempts then send_rreq t d
         else discovery_failed t d
       end)
@@ -192,6 +233,9 @@ and discovery_failed t d =
   d.d_resolved <- true;
   Hashtbl.remove t.pending k;
   Ctx.stat t.ctx "route.discovery_failed";
+  (match d.d_span with
+  | Some id -> Obs.finish (obs t) id Obs.Timeout
+  | None -> ());
   (match Hashtbl.find_opt t.queue k with
   | None -> ()
   | Some q ->
@@ -214,6 +258,12 @@ and route_found t ~dst ~route =
   | Some d when not d.d_resolved ->
       d.d_resolved <- true;
       Hashtbl.remove t.pending k;
+      (match d.d_flood with
+      | Some id -> Obs.finish (obs t) id Obs.Ok
+      | None -> ());
+      (match d.d_span with
+      | Some id -> Obs.finish (obs t) id Obs.Ok
+      | None -> ());
       Ctx.observe t.ctx "route.discovery_time" (now t -. d.d_started);
       Ctx.observe t.ctx "route.hops" (float_of_int (List.length route + 1))
   | _ -> ());
@@ -258,8 +308,18 @@ let discover t ~dst ~on_route =
 
 let srr_ips srr = List.map (fun e -> e.Messages.ip) srr
 
-let answer_as_destination t ~sip ~seq:_ ~rr =
+let answer_as_destination t ~sip ~seq ~rr =
   Ctx.stat t.ctx "route.replies";
+  let o = obs t in
+  let sid =
+    Obs.start o
+      ?parent:(Obs.lookup o (rreq_corr ~sip ~seq))
+      ~kind:"route.rrep"
+      ~node:(Ctx.node_id t.ctx)
+      ~detail:("to " ^ Address.to_string sip)
+      ()
+  in
+  Obs.correlate o (rrep_corr ~sip ~dip:(address t) ~rr) sid;
   let back = List.rev rr @ [ sip ] in
   Ctx.send_along t.ctx ~path:back
     (Messages.Rrep
@@ -267,6 +327,16 @@ let answer_as_destination t ~sip ~seq:_ ~rr =
 
 let answer_from_cache t ~sip ~seq ~dip ~rr cached =
   Ctx.stat t.ctx "route.cache_replies";
+  let o = obs t in
+  let sid =
+    Obs.start o
+      ?parent:(Obs.lookup o (rreq_corr ~sip ~seq))
+      ~kind:"route.crep"
+      ~node:(Ctx.node_id t.ctx)
+      ~detail:("to " ^ Address.to_string sip)
+      ()
+  in
+  Obs.correlate o (crep_corr ~cacher:(address t) ~seq) sid;
   let back = List.rev rr @ [ sip ] in
   Ctx.send_along t.ctx ~path:back
     (Messages.Crep
@@ -322,6 +392,11 @@ let handle_rreq t msg =
                  && not (List.exists (fun a -> List.exists (Address.equal a) rr) cached) ->
               answer_from_cache t ~sip ~seq ~dip ~rr cached
           | _ ->
+              (match Obs.lookup (obs t) (rreq_corr ~sip ~seq) with
+              | Some id ->
+                  Obs.note (obs t) id ~node:(Ctx.node_id t.ctx)
+                    ("relay " ^ Address.to_string me)
+              | None -> ());
               let entry = { Messages.ip = me; sig_ = ""; pk = ""; rn = 0L } in
               let relayed =
                 Messages.Rreq
@@ -340,14 +415,21 @@ let consume_rrep t msg =
   match msg with
   (* Unauthenticated baseline: replies accepted as-is (see handle_rreq). *)
   (* manetlint: allow security *)
-  | Messages.Rrep { dip; rr; _ } -> route_found t ~dst:dip ~route:rr
+  | Messages.Rrep { sip; dip; rr; _ } ->
+      (match Obs.lookup (obs t) (rrep_corr ~sip ~dip ~rr) with
+      | Some sid -> Obs.finish (obs t) sid Obs.Ok
+      | None -> ());
+      route_found t ~dst:dip ~route:rr
   | _ -> ()
 
 let consume_crep t msg =
   match msg with
   (* Unauthenticated baseline: cached replies accepted as-is. *)
   (* manetlint: allow security *)
-  | Messages.Crep { cacher; dip; rr_to_cacher; rr_to_dest; _ } ->
+  | Messages.Crep { cacher; dip; requester_seq; rr_to_cacher; rr_to_dest; _ } ->
+      (match Obs.lookup (obs t) (crep_corr ~cacher ~seq:requester_seq) with
+      | Some sid -> Obs.finish (obs t) sid Obs.Ok
+      | None -> ());
       (* Splice: requester -> ... -> cacher -> ... -> destination. *)
       let route = rr_to_cacher @ (cacher :: rr_to_dest) in
       route_found t ~dst:dip ~route

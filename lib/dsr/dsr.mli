@@ -82,3 +82,15 @@ val address : t -> Address.t
       [rerr.received]
     - summaries: [data.latency] (one-way, seconds), [data.rtt],
       [route.discovery_time], [route.hops] *)
+
+(** {1 Telemetry correlation keys}
+
+    Shared vocabulary for the {!Manet_obs.Obs} correlation registry —
+    [Manet_secure] uses the same keys so responder-side reply spans can
+    attach to the initiating flood span regardless of which protocol
+    variant runs.  A flood attempt is identified by (source, seq);
+    replies by the fields both the responder and the consumer can see. *)
+
+val rreq_corr : sip:Address.t -> seq:int -> string
+val rrep_corr : sip:Address.t -> dip:Address.t -> rr:Address.t list -> string
+val crep_corr : cacher:Address.t -> seq:int -> string

@@ -175,15 +175,51 @@ let apply hooks = function
   | Heal -> hooks.heal ()
   | Channel c -> hooks.set_channel c
 
-let schedule engine hooks plan =
+module Obs = Manet_obs.Obs
+
+let outage_key i = "outage:" ^ string_of_int i
+let partition_key = "partition"
+
+(* Span bookkeeping for the fault domain: a Crash..Restart pair becomes
+   one [fault.outage] span (correlated under [outage_key], so a restart
+   hook can parent the node's re-DAD to it) and a Partition..Heal pair
+   one [fault.partition] span. *)
+let record_span o = function
+  | Crash i ->
+      let sid =
+        Obs.start o ~kind:"fault.outage" ~node:i
+          ~detail:(Printf.sprintf "node %d" i)
+          ()
+      in
+      Obs.correlate o (outage_key i) sid
+  | Restart i -> (
+      match Obs.lookup o (outage_key i) with
+      | Some sid -> Obs.finish o sid Obs.Ok
+      | None -> ())
+  | Partition group ->
+      let sid =
+        Obs.start o ~kind:"fault.partition" ~node:(-1)
+          ~detail:
+            (String.concat "," (List.map string_of_int group))
+          ()
+      in
+      Obs.correlate o partition_key sid
+  | Heal -> (
+      match Obs.lookup o partition_key with
+      | Some sid -> Obs.finish o sid Obs.Ok
+      | None -> ())
+  | Link_down _ | Link_up _ | Channel _ -> ()
+
+let schedule ?obs engine hooks plan =
   let stats = Engine.stats engine in
   (* Stable sort: steps sharing a timestamp fire in plan order. *)
   let sorted = List.stable_sort (fun a b -> Float.compare a.at b.at) plan in
   List.iter
     (fun { at; event } ->
-      Engine.schedule_at engine ~time:at (fun () ->
+      Engine.schedule_at engine ~label:"fault" ~time:at (fun () ->
           Stats.incr stats (event_name event);
           Engine.log engine ~node:(event_node event) ~event:(event_name event)
             ~detail:(event_detail event);
+          (match obs with Some o -> record_span o event | None -> ());
           apply hooks event))
     sorted

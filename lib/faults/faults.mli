@@ -117,7 +117,15 @@ val net_hooks : 'msg Net.t -> hooks
 (** Crash/restart toggle {!Net.set_down}; the rest map one-to-one onto
     the corresponding [Net] fault-state calls. *)
 
-val schedule : Engine.t -> hooks -> plan -> unit
+val schedule : ?obs:Manet_obs.Obs.t -> Engine.t -> hooks -> plan -> unit
 (** Sort the plan by time (stable, so same-time steps keep plan order)
     and schedule each step on the engine.  Every step logs a [fault.*]
-    trace event and bumps the matching stats counter when it fires. *)
+    trace event and bumps the matching stats counter when it fires.
+
+    With [obs], Crash..Restart pairs become [fault.outage] spans and
+    Partition..Heal pairs [fault.partition] spans.  An open outage span
+    is registered under {!outage_key}, so a restart hook can parent the
+    node's re-DAD bootstrap span to the outage that caused it. *)
+
+val outage_key : int -> string
+(** Correlation-registry key of node [i]'s most recent outage span. *)

@@ -1,0 +1,41 @@
+(** A small, dependency-free JSON codec for the observability layer.
+
+    The printer is {e canonical}: a given value always renders to the
+    same bytes (fields keep caller order, floats go through one fixed
+    formatter), which is what makes the JSONL trace export byte-stable
+    across replays of the same seed.  The parser accepts standard JSON
+    with the one restriction that [\u] escapes above U+00FF are
+    rejected (our own exports never produce them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!parse} with an offset-prefixed description. *)
+
+val to_string : t -> string
+val to_buffer : Buffer.t -> t -> unit
+
+val float_str : float -> string
+(** The canonical float rendering used by the printer. *)
+
+val parse : string -> t
+(** Parse one complete JSON document.  Raises {!Parse_error}. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on missing field or non-object. *)
+
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** Accepts both [Float] and [Int]. *)
+
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

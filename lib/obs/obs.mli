@@ -1,0 +1,107 @@
+(** Causal telemetry: typed spans over the simulated protocol stack.
+
+    A {e span} is a named interval of simulated time attributed to one
+    node — an AREQ flood attempt, a whole route discovery, a node
+    outage.  Spans form a tree through their [parent] field, and the
+    {e correlation registry} lets a span started on one node become the
+    parent of a span started on another (the responder of an AREQ flood
+    parents its AREP span to the initiator's flood span by looking up
+    the flood's correlation key).  The result is a queryable causal
+    tree: every AREP/RREP/CREP/DREP traces back to the flood that
+    caused it, with hop notes and a typed outcome.
+
+    One [Obs.t] is shared by every node of a scenario (it lives in
+    [Node_ctx]).  All recorded data is a function of the deterministic
+    sim domain — simulated clock, seeded PRNG — so {!to_jsonl} is
+    byte-identical across replays of the same seed.  Wall-clock
+    profiling data deliberately lives elsewhere ({!Manet_sim.Engine}
+    profile) and never enters this export. *)
+
+module Engine = Manet_sim.Engine
+
+val schema : string
+val schema_version : int
+(** Schema identifier and version stamped into the JSONL header line.
+    The version bumps on any change to line shapes or field meanings;
+    consumers must check it (see DESIGN.md "Observability"). *)
+
+type outcome = Ok | Timeout | Rejected of string | Failed of string
+
+val outcome_label : outcome -> string
+(** ["ok"] / ["timeout"] / ["rejected"] / ["failed"]. *)
+
+val outcome_reason : outcome -> string option
+
+type span = {
+  id : int;  (** dense, starting at 1, in start order *)
+  parent : int option;
+  kind : string;  (** e.g. ["dad.flood"], ["route.discovery"] *)
+  node : int;  (** owning node, -1 for global *)
+  detail : string;
+  start_time : float;
+  mutable end_time : float option;  (** [None] while open *)
+  mutable outcome : outcome option;
+  mutable notes : (float * int * string) list;
+      (** newest first; [(time, node, text)] *)
+}
+
+type event = { time : float; node : int; name : string; detail : string }
+
+type t
+
+val create : ?event_capacity:int -> Engine.t -> t
+(** One per scenario, shared by all nodes.  [event_capacity] caps the
+    JSONL event sink (default 200_000, oldest dropped first). *)
+
+val engine : t -> Engine.t
+
+(** {1 Spans} *)
+
+val start :
+  t -> ?parent:int -> kind:string -> node:int -> ?detail:string -> unit -> int
+(** Open a span at the current simulated time; returns its id. *)
+
+val finish : t -> int -> outcome -> unit
+(** Close a span with its outcome.  Idempotent: only the first call
+    takes effect, so a discovery resolved by a reply can safely race its
+    own timeout closure. *)
+
+val note : t -> int -> node:int -> string -> unit
+(** Attach a timestamped annotation (e.g. a relay hop) to an open or
+    closed span. *)
+
+val find_span : t -> int -> span option
+val span_count : t -> int
+
+val spans : t -> span list
+(** All spans in id (= start) order. *)
+
+(** {1 Correlation registry} *)
+
+val correlate : t -> string -> int -> unit
+(** Bind a protocol-level key (flood id, discovery id, outage id) to a
+    span so other nodes can parent to it.  Rebinding replaces. *)
+
+val lookup : t -> string -> int option
+
+(** {1 Event sink} *)
+
+val log : t -> node:int -> event:string -> detail:string -> unit
+(** Fan out one telemetry event to the sinks: always to the engine's
+    ring-buffer {!Manet_sim.Trace} (subject to its enable switch), and
+    to the JSONL event sink when capture is on. *)
+
+val set_capture : t -> bool -> unit
+(** JSONL event capture; default off (spans are always recorded). *)
+
+val capture : t -> bool
+val events : t -> event list
+val events_dropped : t -> int
+
+(** {1 Export} *)
+
+val to_jsonl : ?meta:(string * Json.t) list -> t -> string
+(** Schema-versioned JSONL: one header object (extended with [meta],
+    e.g. the run seed), then one line per span in id order, then one
+    line per captured event in log order.  Byte-identical across
+    replays of the same seed and plan. *)

@@ -4,6 +4,7 @@ module Net = Manet_sim.Net
 module Stats = Manet_sim.Stats
 module Prng = Manet_crypto.Prng
 module Suite = Manet_crypto.Suite
+module Obs = Manet_obs.Obs
 
 type t = {
   engine : Engine.t;
@@ -11,10 +12,15 @@ type t = {
   directory : Directory.t;
   identity : Identity.t;
   rng : Prng.t;
+  obs : Obs.t;
 }
 
-let create net directory identity rng =
-  { engine = Net.engine net; net; directory; identity; rng }
+let create ?obs net directory identity rng =
+  let engine = Net.engine net in
+  let obs =
+    match obs with Some o -> o | None -> Obs.create engine
+  in
+  { engine; net; directory; identity; rng; obs }
 
 let address t = t.identity.Identity.address
 let node_id t = t.identity.Identity.node_id
@@ -26,7 +32,7 @@ let size_of _t msg = Wire.size_of msg
 let stat t name = Stats.incr (Engine.stats t.engine) name
 let stat_by t name by = Stats.incr ~by (Engine.stats t.engine) name
 let observe t name v = Stats.observe (Engine.stats t.engine) name v
-let log t ~event ~detail = Engine.log t.engine ~node:(node_id t) ~event ~detail
+let log t ~event ~detail = Obs.log t.obs ~node:(node_id t) ~event ~detail
 
 let broadcast t msg =
   let tag = Messages.tag msg in

@@ -16,6 +16,7 @@ module Engine = Manet_sim.Engine
 module Net = Manet_sim.Net
 module Prng = Manet_crypto.Prng
 module Suite = Manet_crypto.Suite
+module Obs = Manet_obs.Obs
 
 type t = {
   engine : Engine.t;
@@ -23,9 +24,16 @@ type t = {
   directory : Directory.t;
   identity : Identity.t;
   rng : Prng.t;
+  obs : Obs.t;
+      (** Telemetry handle, shared by every node of a scenario so spans
+          started on one node can parent spans started on another. *)
 }
 
-val create : Messages.t Net.t -> Directory.t -> Identity.t -> Prng.t -> t
+val create :
+  ?obs:Obs.t -> Messages.t Net.t -> Directory.t -> Identity.t -> Prng.t -> t
+(** [obs] defaults to a fresh private handle — fine for unit tests, but
+    a scenario must pass one shared handle to every node or cross-node
+    span correlation silently degrades to per-node trees. *)
 
 val address : t -> Address.t
 val node_id : t -> int
@@ -43,6 +51,8 @@ val stat : t -> string -> unit
 val stat_by : t -> string -> int -> unit
 val observe : t -> string -> float -> unit
 val log : t -> event:string -> detail:string -> unit
+(** Telemetry event for this node, fanned out through {!Obs.log} (ring
+    trace always; JSONL sink when capture is on). *)
 
 val broadcast : t -> Messages.t -> unit
 (** One radio broadcast from this node, size-accounted. *)

@@ -8,6 +8,8 @@ module Ctx = Manet_proto.Node_ctx
 module Identity = Manet_proto.Identity
 module Engine = Manet_sim.Engine
 module Route_cache = Manet_dsr.Route_cache
+module Dsr = Manet_dsr.Dsr
+module Obs = Manet_obs.Obs
 
 type config = {
   discovery_timeout : float;
@@ -60,6 +62,9 @@ type pending_discovery = {
   mutable d_attempts : int;
   mutable d_resolved : bool;
   d_started : float;
+  (* Telemetry: the whole discovery and the current attempt's flood. *)
+  mutable d_span : int option;
+  mutable d_flood : int option;
 }
 
 type probe_session = {
@@ -67,6 +72,7 @@ type probe_session = {
   pr_replies : bool array;
   pr_packet : packet;
   mutable pr_done : bool;
+  pr_span : int; (* secure.probe telemetry span *)
 }
 
 type t = {
@@ -123,6 +129,7 @@ let create ?(config = default_config) ?(trusted = []) ctx =
 
 let address t = Ctx.address t.ctx
 let now t = Ctx.now t.ctx
+let obs t = t.ctx.Ctx.obs
 let credits t = t.credits
 let identity t = t.ctx.Ctx.identity
 let suite t = Ctx.suite t.ctx
@@ -229,6 +236,13 @@ and start_probe t packet route =
       pr_replies = Array.make (Array.length hops) false;
       pr_packet = packet;
       pr_done = false;
+      pr_span =
+        Obs.start (obs t) ~kind:"secure.probe" ~node:(Ctx.node_id t.ctx)
+          ~detail:
+            (Printf.sprintf "dst=%s hops=%d"
+               (Address.to_string packet.p_dst)
+               (Array.length hops))
+          ();
     }
   in
   Array.iteri
@@ -256,6 +270,8 @@ and finish_probe t session =
         let suspect = session.pr_route.(i) in
         Ctx.stat t.ctx "probe.suspect_found";
         Ctx.stat t.ctx "secure.hostile_suspected";
+        Obs.note (obs t) session.pr_span ~node:(Ctx.node_id t.ctx)
+          ("suspect " ^ Address.to_string suspect);
         Ctx.log t.ctx ~event:"secure.suspect" ~detail:(Address.to_string suspect);
         Credit.slash t.credits suspect;
         ignore (Route_cache.remove_containing t.cache suspect);
@@ -272,10 +288,13 @@ and finish_probe t session =
           let suspect = session.pr_route.(n - 1) in
           Ctx.stat t.ctx "probe.last_hop_suspected";
           Ctx.stat t.ctx "secure.hostile_suspected";
+          Obs.note (obs t) session.pr_span ~node:(Ctx.node_id t.ctx)
+            ("last-hop suspect " ^ Address.to_string suspect);
           Ctx.log t.ctx ~event:"secure.suspect" ~detail:(Address.to_string suspect);
           Credit.slash t.credits suspect;
           ignore (Route_cache.remove_containing t.cache suspect)
         end);
+    Obs.finish (obs t) session.pr_span Obs.Ok;
     retry_packet t session.pr_packet
   end
 
@@ -296,8 +315,21 @@ and start_discovery t dst =
   | Some d when not d.d_resolved -> ()
   | _ ->
       let d =
-        { d_dst = dst; d_seq = 0; d_attempts = 0; d_resolved = false; d_started = now t }
+        {
+          d_dst = dst;
+          d_seq = 0;
+          d_attempts = 0;
+          d_resolved = false;
+          d_started = now t;
+          d_span = None;
+          d_flood = None;
+        }
       in
+      d.d_span <-
+        Some
+          (Obs.start (obs t) ~kind:"route.discovery" ~node:(Ctx.node_id t.ctx)
+             ~detail:("dst=" ^ Address.to_string dst)
+             ());
       Hashtbl.replace t.pending k d;
       send_rreq t d
 
@@ -309,6 +341,17 @@ and send_rreq t d =
   Ctx.stat t.ctx "route.discoveries";
   let id = identity t in
   let sip = address t in
+  let fl =
+    Obs.start (obs t) ?parent:d.d_span ~kind:"rreq.flood"
+      ~node:(Ctx.node_id t.ctx)
+      ~detail:
+        (Printf.sprintf "dst=%s attempt=%d"
+           (Address.to_string d.d_dst)
+           d.d_attempts)
+      ()
+  in
+  d.d_flood <- Some fl;
+  Obs.correlate (obs t) (Dsr.rreq_corr ~sip ~seq) fl;
   let sig_ = Identity.sign id (Codec.rreq_source_payload ~sip ~seq) in
   Hashtbl.replace t.seen_rreq (fkey sip seq) ();
   Ctx.broadcast t.ctx
@@ -324,6 +367,7 @@ and send_rreq t d =
        });
   Engine.schedule t.ctx.Ctx.engine ~delay:t.config.discovery_timeout (fun () ->
       if not d.d_resolved then begin
+        Obs.finish (obs t) fl Obs.Timeout;
         if d.d_attempts < t.config.max_discovery_attempts then send_rreq t d
         else discovery_failed t d
       end)
@@ -333,6 +377,9 @@ and discovery_failed t d =
   d.d_resolved <- true;
   ignore k;
   Ctx.stat t.ctx "route.discovery_failed";
+  (match d.d_span with
+  | Some id -> Obs.finish (obs t) id Obs.Timeout
+  | None -> ());
   (match Hashtbl.find_opt t.queue k with
   | None -> ()
   | Some q ->
@@ -354,6 +401,12 @@ and route_found t ~dst ~route ~endorsement =
   (match Hashtbl.find_opt t.pending k with
   | Some d when not d.d_resolved ->
       d.d_resolved <- true;
+      (match d.d_flood with
+      | Some id -> Obs.finish (obs t) id Obs.Ok
+      | None -> ());
+      (match d.d_span with
+      | Some id -> Obs.finish (obs t) id Obs.Ok
+      | None -> ());
       Ctx.observe t.ctx "route.discovery_time" (now t -. d.d_started);
       Ctx.observe t.ctx "route.hops" (float_of_int (List.length route + 1))
   | _ -> ());
@@ -416,6 +469,16 @@ let verify_rreq t ~sip ~seq ~srr ~sig_ ~spk ~srn =
 
 let answer_as_destination t ~sip ~seq ~rr =
   Ctx.stat t.ctx "route.replies";
+  let o = obs t in
+  let sid =
+    Obs.start o
+      ?parent:(Obs.lookup o (Dsr.rreq_corr ~sip ~seq))
+      ~kind:"route.rrep"
+      ~node:(Ctx.node_id t.ctx)
+      ~detail:("to " ^ Address.to_string sip)
+      ()
+  in
+  Obs.correlate o (Dsr.rrep_corr ~sip ~dip:(address t) ~rr) sid;
   let id = identity t in
   let sig_ = Identity.sign id (Codec.rrep_payload ~sip ~seq ~rr) in
   let back = List.rev rr @ [ sip ] in
@@ -433,6 +496,16 @@ let answer_as_destination t ~sip ~seq ~rr =
 
 let answer_from_cache t ~sip ~seq ~dip ~rr entry endo =
   Ctx.stat t.ctx "route.cache_replies";
+  let o = obs t in
+  let sid =
+    Obs.start o
+      ?parent:(Obs.lookup o (Dsr.rreq_corr ~sip ~seq))
+      ~kind:"route.crep"
+      ~node:(Ctx.node_id t.ctx)
+      ~detail:("to " ^ Address.to_string sip)
+      ()
+  in
+  Obs.correlate o (Dsr.crep_corr ~cacher:(address t) ~seq) sid;
   let id = identity t in
   let sig_cacher =
     Identity.sign id (Codec.crep_cacher_payload ~requester:sip ~seq ~rr)
@@ -520,6 +593,11 @@ let handle_rreq t msg =
           match cache_answer with
           | Some (entry, endo) -> answer_from_cache t ~sip ~seq ~dip ~rr entry endo
           | None ->
+              (match Obs.lookup (obs t) (Dsr.rreq_corr ~sip ~seq) with
+              | Some sid ->
+                  Obs.note (obs t) sid ~node:(Ctx.node_id t.ctx)
+                    ("relay " ^ Address.to_string me)
+              | None -> ());
               let id = identity t in
               let entry =
                 {
@@ -550,10 +628,22 @@ let consume_rrep t msg =
       match Hashtbl.find_opt t.pending (akey dip) with
       | Some d ->
           let payload = Codec.rrep_payload ~sip:(address t) ~seq:d.d_seq ~rr in
-          if verify_host t ~ip:dip ~pk:dpk ~rn:drn ~payload ~signature:sig_ then
+          let corr = Dsr.rrep_corr ~sip:(address t) ~dip ~rr in
+          if verify_host t ~ip:dip ~pk:dpk ~rn:drn ~payload ~signature:sig_
+          then begin
+            (match Obs.lookup (obs t) corr with
+            | Some sid -> Obs.finish (obs t) sid Obs.Ok
+            | None -> ());
             route_found t ~dst:dip ~route:rr
               ~endorsement:(Some { e_sig = sig_; e_pk = dpk; e_rn = drn; e_seq = d.d_seq })
-          else Ctx.stat t.ctx "secure.rrep_rejected"
+          end
+          else begin
+            (match Obs.lookup (obs t) corr with
+            | Some sid ->
+                Obs.finish (obs t) sid (Obs.Rejected "signature check failed")
+            | None -> ());
+            Ctx.stat t.ctx "secure.rrep_rejected"
+          end
       | None ->
           (* No discovery ever asked for this: unsolicited or replayed,
              so reject (§4). *)
@@ -595,11 +685,21 @@ let consume_crep t msg =
                 (Codec.rrep_payload ~sip:cacher ~seq:cacher_seq ~rr:rr_to_dest)
               ~signature:sig_dest
           in
+          let corr = Dsr.crep_corr ~cacher ~seq:requester_seq in
           if cacher_ok && dest_ok then begin
+            (match Obs.lookup (obs t) corr with
+            | Some sid -> Obs.finish (obs t) sid Obs.Ok
+            | None -> ());
             let route = rr_to_cacher @ (cacher :: rr_to_dest) in
             route_found t ~dst:dip ~route ~endorsement:None
           end
-          else Ctx.stat t.ctx "secure.crep_rejected"
+          else begin
+            (match Obs.lookup (obs t) corr with
+            | Some sid ->
+                Obs.finish (obs t) sid (Obs.Rejected "signature check failed")
+            | None -> ());
+            Ctx.stat t.ctx "secure.crep_rejected"
+          end
       | _ -> Ctx.stat t.ctx "secure.crep_rejected")
   | _ -> ()
 

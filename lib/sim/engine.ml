@@ -1,12 +1,22 @@
 module Prng = Manet_crypto.Prng
 
+type profile_entry = { p_count : int; p_wall_s : float }
+
+type prof_cell = { mutable c_count : int; mutable c_wall_s : float }
+
 type t = {
   mutable now : float;
-  queue : (unit -> unit) Heap.t;
+  queue : (string * (unit -> unit)) Heap.t;
   rng : Prng.t;
   stats : Stats.t;
   trace : Trace.t;
   mutable processed : int;
+  (* Wall-clock profiling (opt-in).  Lives entirely outside the
+     deterministic domain: enabling it changes no event order, no PRNG
+     draw and no trace byte. *)
+  mutable profiling : bool;
+  prof : (string, prof_cell) Hashtbl.t;
+  mutable wall_in_run : float;
 }
 
 let create ~seed () =
@@ -17,6 +27,9 @@ let create ~seed () =
     stats = Stats.create ();
     trace = Trace.create ();
     processed = 0;
+    profiling = false;
+    prof = Hashtbl.create 32;
+    wall_in_run = 0.0;
   }
 
 let now t = t.now
@@ -24,17 +37,32 @@ let rng t = t.rng
 let stats t = t.stats
 let trace t = t.trace
 
-let schedule t ~delay f =
-  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  Heap.push t.queue (t.now +. delay) f
+let default_label = "other"
 
-let schedule_at t ~time f =
+let schedule t ?(label = default_label) ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  Heap.push t.queue (t.now +. delay) (label, f)
+
+let schedule_at t ?(label = default_label) ~time f =
   if time < t.now then invalid_arg "Engine.schedule_at: time in the past";
-  Heap.push t.queue time f
+  Heap.push t.queue time (label, f)
+
+let charge t label dt =
+  let cell =
+    match Hashtbl.find_opt t.prof label with
+    | Some c -> c
+    | None ->
+        let c = { c_count = 0; c_wall_s = 0.0 } in
+        Hashtbl.add t.prof label c;
+        c
+  in
+  cell.c_count <- cell.c_count + 1;
+  cell.c_wall_s <- cell.c_wall_s +. dt
 
 let run ?until ?max_events t =
   let budget = ref (match max_events with Some n -> n | None -> max_int) in
   let continue = ref true in
+  let run_t0 = if t.profiling then Mono_clock.now_s () else 0.0 in
   while !continue && !budget > 0 do
     match Heap.peek t.queue with
     | None -> continue := false
@@ -48,15 +76,42 @@ let run ?until ?max_events t =
         | _ -> (
             match Heap.pop t.queue with
             | None -> continue := false
-            | Some (time, f) ->
+            | Some (time, (label, f)) ->
                 t.now <- time;
                 t.processed <- t.processed + 1;
                 decr budget;
-                f ()))
-  done
+                if t.profiling then begin
+                  let t0 = Mono_clock.now_s () in
+                  f ();
+                  charge t label (Mono_clock.now_s () -. t0)
+                end
+                else f ()))
+  done;
+  if t.profiling then
+    t.wall_in_run <- t.wall_in_run +. (Mono_clock.now_s () -. run_t0)
 
 let pending t = Heap.size t.queue
 let events_processed t = t.processed
+
+let set_profiling t on = t.profiling <- on
+let profiling t = t.profiling
+
+let profile t =
+  Hashtbl.fold
+    (fun label c acc ->
+      (label, { p_count = c.c_count; p_wall_s = c.c_wall_s }) :: acc)
+    t.prof []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let wall_in_run t = t.wall_in_run
+
+let events_per_sec t =
+  let profiled =
+    Hashtbl.fold (fun _ c acc -> acc + c.c_count) t.prof 0
+  in
+  if t.wall_in_run > 0.0 && profiled > 0 then
+    float_of_int profiled /. t.wall_in_run
+  else 0.0
 
 let log t ~node ~event ~detail =
   Trace.log t.trace ~time:t.now ~node ~event ~detail

@@ -18,11 +18,13 @@ val rng : t -> Manet_crypto.Prng.t
 val stats : t -> Stats.t
 val trace : t -> Trace.t
 
-val schedule : t -> delay:float -> (unit -> unit) -> unit
+val schedule : t -> ?label:string -> delay:float -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at [now t +. delay].
-    Raises [Invalid_argument] on negative delay. *)
+    Raises [Invalid_argument] on negative delay.  [label] names the
+    event class for the wall-clock profiler (default ["other"]); it has
+    no effect on event ordering. *)
 
-val schedule_at : t -> time:float -> (unit -> unit) -> unit
+val schedule_at : t -> ?label:string -> time:float -> (unit -> unit) -> unit
 (** Absolute-time variant; [time] must not be in the past. *)
 
 val run : ?until:float -> ?max_events:int -> t -> unit
@@ -34,6 +36,33 @@ val pending : t -> int
 (** Number of queued events. *)
 
 val events_processed : t -> int
+
+(** {1 Wall-clock profiling}
+
+    Opt-in accounting of host time spent per event class.  The samples
+    come from {!Mono_clock} and are stored in a side table: turning
+    profiling on or off changes no event order, PRNG draw, stat counter
+    or trace byte, so replay determinism is untouched.  Profile data
+    surfaces only in the JSON run report (which is not byte-stable),
+    never in the deterministic JSONL trace. *)
+
+type profile_entry = { p_count : int; p_wall_s : float }
+
+val set_profiling : t -> bool -> unit
+(** Default off.  While off, {!run} samples no clock at all. *)
+
+val profiling : t -> bool
+
+val profile : t -> (string * profile_entry) list
+(** Per-label event count and accumulated wall seconds, sorted by
+    label.  Empty unless profiling was on during a {!run}. *)
+
+val wall_in_run : t -> float
+(** Total wall seconds spent inside {!run} while profiling was on. *)
+
+val events_per_sec : t -> float
+(** Profiled events divided by {!wall_in_run}; 0 when nothing was
+    profiled. *)
 
 val log : t -> node:int -> event:string -> detail:string -> unit
 (** Convenience: trace at the current simulated time. *)

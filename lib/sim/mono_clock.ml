@@ -1,0 +1,13 @@
+(* Wall-clock sampling for the profiler.
+
+   This is the ONE place the library touches host time.  The value never
+   feeds back into the simulation: simulated time is Engine.now, PRNG
+   streams are seeded, and every protocol decision is a function of
+   those.  Profiling data derived from this clock lives in a separate
+   side table (Engine.profile) and is exported only into the JSON run
+   report, never into the deterministic JSONL trace — see DESIGN.md
+   "Observability". *)
+
+(* manetlint: allow determinism — profiler wall clock, segregated from
+   the deterministic sim-time domain by construction (see above). *)
+let now_s () = Unix.gettimeofday ()

@@ -1,0 +1,11 @@
+(** Host wall-clock sampling, for profiling only.
+
+    The simulation's own time domain is {!Engine.now}; nothing in the
+    protocols or the fault planner may read this clock.  It exists so the
+    engine can attribute real elapsed time to event classes
+    ({!Engine.profile}) without perturbing replay determinism: the
+    sampled values are stored off to the side and surface only in the
+    JSON run report, which is explicitly not byte-stable across runs. *)
+
+val now_s : unit -> float
+(** Seconds since the Unix epoch, sub-microsecond resolution. *)

@@ -50,9 +50,22 @@ val summaries : t -> (string * summary) list
 
 val percentile : t -> string -> float -> float option
 (** [percentile t name q] estimates the [q]-quantile ([0..1]) of the
-    samples observed under [name]: exact below 1024 samples, a
-    uniform-reservoir estimate beyond.  [None] when nothing was
-    observed. *)
+    samples observed under [name].  [None] when nothing was observed;
+    raises [Invalid_argument] when [q] is outside [0, 1].
+
+    Estimator: samples are kept in a 1024-slot reservoir.  While at most
+    1024 samples have been observed the reservoir holds every one of
+    them and the result is {e exact} — the nearest-rank order statistic
+    [sorted.(round (q * (n - 1)))].  Beyond the cap the reservoir is a
+    uniform random sample maintained with Vitter's Algorithm R, and the
+    result is the same order statistic over that sample — an unbiased
+    estimate whose error shrinks with the reservoir size.
+
+    Replacement decisions come from a private LCG seeded with an FNV-1a
+    hash of [name] (not from the run PRNG and not from [Hashtbl.hash],
+    whose value is unspecified across OCaml versions), so for a fixed
+    observation sequence the estimate is bit-for-bit reproducible
+    everywhere. *)
 
 val clear : t -> unit
 

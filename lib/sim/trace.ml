@@ -4,30 +4,62 @@ type t = {
   mutable enabled : bool;
   capacity : int;
   buf : entry Queue.t;
+  (* Per-event-tag index mirroring [buf]: each tag maps to its entries in
+     insertion order, so [find] costs O(matches) instead of rescanning
+     the whole ring per query.  Maintained on every push and drop. *)
+  index : (string, entry Queue.t) Hashtbl.t;
   mutable dropped : int;
 }
 
 let create ?(capacity = 100_000) () =
-  { enabled = false; capacity; buf = Queue.create (); dropped = 0 }
+  {
+    enabled = false;
+    capacity;
+    buf = Queue.create ();
+    index = Hashtbl.create 64;
+    dropped = 0;
+  }
 
 let enable t = t.enabled <- true
 let disable t = t.enabled <- false
 let is_enabled t = t.enabled
 
+let index_queue t event =
+  match Hashtbl.find_opt t.index event with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.add t.index event q;
+      q
+
 let log t ~time ~node ~event ~detail =
   if t.enabled then begin
     if Queue.length t.buf >= t.capacity then begin
-      ignore (Queue.pop t.buf);
+      let oldest = Queue.pop t.buf in
+      (* The index queue for the dropped entry's tag is non-empty and its
+         front is that same entry: both structures grow in push order. *)
+      (match Hashtbl.find_opt t.index oldest.event with
+      | Some q -> ignore (Queue.pop q)
+      | None -> ());
       t.dropped <- t.dropped + 1
     end;
-    Queue.push { time; node; event; detail } t.buf
+    let e = { time; node; event; detail } in
+    Queue.push e t.buf;
+    Queue.push e (index_queue t event)
   end
 
 let entries t = List.of_seq (Queue.to_seq t.buf)
-let find t ~event = List.filter (fun e -> String.equal e.event event) (entries t)
+
+let find t ~event =
+  match Hashtbl.find_opt t.index event with
+  | None -> []
+  | Some q -> List.of_seq (Queue.to_seq q)
+
+let fold t ~init ~f = Queue.fold f init t.buf
 
 let clear t =
   Queue.clear t.buf;
+  Hashtbl.reset t.index;
   t.dropped <- 0
 
 let length t = Queue.length t.buf
@@ -44,7 +76,7 @@ let render t =
     Buffer.add_string buf
       (Printf.sprintf "[trace: %d oldest entries dropped at capacity %d]\n"
          t.dropped t.capacity);
-  List.iter
+  Queue.iter
     (fun e -> Buffer.add_string buf (Format.asprintf "%a@." pp_entry e))
-    (entries t);
+    t.buf;
   Buffer.contents buf

@@ -29,7 +29,13 @@ val entries : t -> entry list
 (** Oldest first. *)
 
 val find : t -> event:string -> entry list
-(** Entries whose [event] tag equals the argument, oldest first. *)
+(** Entries whose [event] tag equals the argument, oldest first.
+    Served from a per-tag index maintained on every push and ring drop,
+    so a query over a 100k-entry trace costs O(matches), not O(n). *)
+
+val fold : t -> init:'a -> f:('a -> entry -> 'a) -> 'a
+(** Single pass over all entries, oldest first, without materialising
+    the {!entries} list — what report generators should use. *)
 
 val clear : t -> unit
 (** Empties the buffer and resets the {!dropped} count. *)

@@ -93,6 +93,42 @@ let test_failwith () =
         "(* manetlint: allow failwith *)\nlet f () = failwith \"no\"\n" );
     ]
 
+(* --- obs-no-printf ------------------------------------------------------ *)
+
+let test_obs_no_printf () =
+  fires "Printf.printf in lib" "obs-no-printf"
+    [ ("lib/a.ml", {|let f x = Printf.printf "%d\n" x|}) ];
+  fires "print_endline in lib" "obs-no-printf"
+    [ ("lib/a.ml", {|let f s = print_endline s|}) ];
+  fires "Format.printf in lib" "obs-no-printf"
+    [ ("lib/a.ml", {|let f s = Format.printf "%s" s|}) ];
+  fires "print_string in lib" "obs-no-printf"
+    [ ("lib/a.ml", {|let f s = print_string s|}) ];
+  clean "same code in bin" "obs-no-printf"
+    [ ("bin/a.ml", {|let f s = print_endline s|}) ];
+  clean "same code in bench" "obs-no-printf"
+    [ ("bench/a.ml", {|let f s = print_endline s|}) ];
+  clean "sprintf builds a value" "obs-no-printf"
+    [ ("lib/a.ml", {|let f x = Printf.sprintf "%d" x|}) ];
+  clean "formatter combinators are fine" "obs-no-printf"
+    [ ("lib/a.ml", {|let pp fmt a = Format.pp_print_string fmt a|}) ];
+  clean "comments are ignored" "obs-no-printf"
+    [ ("lib/a.ml", "(* Printf.printf \"x\" *)\nlet x = 1\n") ];
+  clean "string literals are ignored" "obs-no-printf"
+    [ ("lib/a.ml", {|let s = "print_endline"|}) ];
+  clean "suppressed" "obs-no-printf"
+    [
+      ( "lib/a.ml",
+        "(* manetlint: allow obs-no-printf *)\nlet f s = print_endline s\n" );
+    ];
+  (* An allow for obs-no-printf must not silence other rules. *)
+  fires "unrelated rule unaffected" "failwith"
+    [
+      ( "lib/a.ml",
+        "(* manetlint: allow obs-no-printf *)\nlet f s = print_endline s; \
+         failwith s\n" );
+    ]
+
 (* --- placeholder-sig --------------------------------------------------- *)
 
 let placeholder_src = {|let entry = { Messages.ip = me; sig_ = ""; pk = "" }|}
@@ -405,7 +441,7 @@ let test_rule_names_documented () =
         true (List.mem r Lint.rules))
     [
       "proto-schema"; "security"; "placeholder-sig"; "determinism"; "obj-magic";
-      "catch-all"; "failwith"; "mli-coverage"; "poly-compare";
+      "catch-all"; "failwith"; "mli-coverage"; "poly-compare"; "obs-no-printf";
     ]
 
 let tc name f = Alcotest.test_case name `Quick f
@@ -419,6 +455,7 @@ let suites =
         tc "obj-magic" test_obj_magic;
         tc "catch-all" test_catch_all;
         tc "failwith" test_failwith;
+        tc "obs-no-printf" test_obs_no_printf;
         tc "placeholder-sig" test_placeholder_sig;
         tc "poly-compare" test_poly_compare;
         tc "mli-coverage" test_mli_coverage;

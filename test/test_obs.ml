@@ -1,0 +1,350 @@
+(* Tests for the causal telemetry layer: span lifecycle, cross-node
+   parenting through the correlation registry, the JSON codec, JSONL
+   byte-determinism across replays, and the report renderers. *)
+
+module Engine = Manet_sim.Engine
+module Obs = Manetsec.Obs
+module Json = Manetsec.Obs_json
+module Report = Manetsec.Obs_report
+module Scenario = Manetsec.Scenario
+module Faults = Manetsec.Faults
+module Directory = Manetsec.Proto.Directory
+module Identity = Manetsec.Proto.Identity
+
+(* ------------------------------------------------------------------ *)
+(* Span primitives                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_lifecycle () =
+  let e = Engine.create ~seed:1 () in
+  let o = Obs.create e in
+  let root = Obs.start o ~kind:"route.discovery" ~node:1 ~detail:"d" () in
+  Engine.schedule e ~delay:2.0 (fun () ->
+      let child = Obs.start o ~parent:root ~kind:"rreq.flood" ~node:1 () in
+      Obs.note o child ~node:3 "relay";
+      Engine.schedule e ~delay:1.0 (fun () ->
+          Obs.finish o child Obs.Ok;
+          Obs.finish o root (Obs.Rejected "nope");
+          (* finish is first-wins. *)
+          Obs.finish o root Obs.Ok));
+  Engine.run e;
+  match Obs.spans o with
+  | [ r; c ] ->
+      Alcotest.(check int) "ids dense from 1" 1 r.Obs.id;
+      Alcotest.(check bool) "root has no parent" true (r.Obs.parent = None);
+      Alcotest.(check bool) "child parent" true (c.Obs.parent = Some root);
+      Alcotest.(check (float 1e-9)) "child start" 2.0 c.Obs.start_time;
+      Alcotest.(check bool) "child end" true (c.Obs.end_time = Some 3.0);
+      Alcotest.(check bool) "child outcome" true (c.Obs.outcome = Some Obs.Ok);
+      Alcotest.(check bool) "first finish wins" true
+        (r.Obs.outcome = Some (Obs.Rejected "nope"));
+      Alcotest.(check bool) "note recorded" true
+        (c.Obs.notes = [ (2.0, 3, "relay") ])
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+
+let test_correlation_registry () =
+  let e = Engine.create ~seed:1 () in
+  let o = Obs.create e in
+  let a = Obs.start o ~kind:"k" ~node:0 () in
+  let b = Obs.start o ~kind:"k" ~node:1 () in
+  Alcotest.(check bool) "missing key" true (Obs.lookup o "x" = None);
+  Obs.correlate o "x" a;
+  Alcotest.(check bool) "bound" true (Obs.lookup o "x" = Some a);
+  Obs.correlate o "x" b;
+  Alcotest.(check bool) "rebinding replaces" true (Obs.lookup o "x" = Some b)
+
+let test_event_capture_ring () =
+  let e = Engine.create ~seed:1 () in
+  let o = Obs.create ~event_capacity:2 e in
+  Obs.log o ~node:0 ~event:"e0" ~detail:"";
+  Alcotest.(check int) "capture off by default" 0 (List.length (Obs.events o));
+  Obs.set_capture o true;
+  for i = 1 to 5 do
+    Obs.log o ~node:i ~event:(Printf.sprintf "e%d" i) ~detail:""
+  done;
+  Alcotest.(check (list string)) "newest kept" [ "e4"; "e5" ]
+    (List.map (fun ev -> ev.Obs.name) (Obs.events o));
+  Alcotest.(check int) "drops counted" 3 (Obs.events_dropped o)
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Int 42);
+        ("b", Json.Float 2.5);
+        ("s", Json.String "line\nquote\"tab\tend");
+        ("l", Json.List [ Json.Null; Json.Bool true; Json.Int (-7) ]);
+        ("nested", Json.Obj [ ("empty", Json.List []) ]);
+      ]
+  in
+  Alcotest.(check bool) "roundtrip" true (Json.parse (Json.to_string v) = v);
+  (* Canonical printing: a value renders to the same bytes every time. *)
+  Alcotest.(check string) "stable bytes" (Json.to_string v) (Json.to_string v)
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.parse s with
+    | (_ : Json.t) -> false
+    | exception Json.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "trailing garbage" true (bad "{} x");
+  Alcotest.(check bool) "unterminated string" true (bad {|{"a": "b|});
+  Alcotest.(check bool) "bare word" true (bad "nope");
+  Alcotest.(check bool) "empty" true (bad "")
+
+let test_json_float_canonical () =
+  Alcotest.(check string) "integral floats get .1f" "2.0" (Json.float_str 2.0);
+  Alcotest.(check string) "negative zero" "-0.0" (Json.float_str (-0.0));
+  Alcotest.(check string) "dyadic fraction exact" "0.25" (Json.float_str 0.25);
+  Alcotest.(check bool) "large magnitudes use %g" true
+    (float_of_string (Json.float_str 1e18) = 1e18)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario-level: parenting, determinism, report                      *)
+(* ------------------------------------------------------------------ *)
+
+let small_params =
+  {
+    Scenario.default_params with
+    n = 8;
+    seed = 3;
+    topology = Scenario.Random { width = 600.0; height = 600.0 };
+  }
+
+(* One full run: bootstrap, a forced outage (re-DAD), CBR traffic. *)
+let run_once ?(params = small_params) ?(profile = false) () =
+  let s = Scenario.create params in
+  Obs.set_capture (Scenario.obs s) true;
+  if profile then Engine.set_profiling (Scenario.engine s) true;
+  Scenario.bootstrap s;
+  let t0 = Engine.now (Scenario.engine s) in
+  Scenario.inject s (Faults.outage ~from:(t0 +. 1.0) ~until:(t0 +. 6.0) 3);
+  Scenario.start_cbr s ~flows:[ (1, 5); (2, 6) ] ~interval:0.5 ~duration:10.0 ();
+  Scenario.run s ~until:(t0 +. 20.0);
+  s
+
+let jsonl_of s =
+  Obs.to_jsonl ~meta:[ ("seed", Json.Int (Scenario.params s).Scenario.seed ) ]
+    (Scenario.obs s)
+
+let test_jsonl_byte_determinism () =
+  let a = jsonl_of (run_once ()) in
+  let b = jsonl_of (run_once ()) in
+  Alcotest.(check bool) "replay is byte-identical" true (String.equal a b);
+  (* Wall-clock profiling must not leak into the deterministic export. *)
+  let c = jsonl_of (run_once ~profile:true ()) in
+  Alcotest.(check bool) "profiling changes no byte" true (String.equal a c)
+
+let test_causal_parenting () =
+  let s = run_once () in
+  let parsed = Report.parse_jsonl (jsonl_of s) in
+  let by_id = Hashtbl.create 64 in
+  List.iter
+    (fun i -> Hashtbl.replace by_id i.Report.i_id i)
+    parsed.Report.spans;
+  let parent_kind i =
+    match i.Report.i_parent with
+    | None -> None
+    | Some p ->
+        Option.map (fun pi -> pi.Report.i_kind) (Hashtbl.find_opt by_id p)
+  in
+  let count = ref 0 in
+  (* Every responder span must hang off the flood that caused it. *)
+  List.iter
+    (fun i ->
+      match i.Report.i_kind with
+      | "dns.registration" | "dns.drep" | "dad.arep" ->
+          incr count;
+          Alcotest.(check (option string))
+            (i.Report.i_kind ^ " parented to the AREQ flood")
+            (Some "dad.flood") (parent_kind i)
+      | "route.rrep" | "route.crep" ->
+          incr count;
+          Alcotest.(check (option string))
+            (i.Report.i_kind ^ " parented to the RREQ flood")
+            (Some "rreq.flood") (parent_kind i)
+      | "dad.flood" ->
+          incr count;
+          Alcotest.(check (option string)) "flood under its bootstrap"
+            (Some "dad.bootstrap") (parent_kind i)
+      | _ -> ())
+    parsed.Report.spans;
+  Alcotest.(check bool) "invariant exercised" true (!count > 10);
+  (* The outage produced a re-DAD whose bootstrap hangs off the outage. *)
+  let re_dad =
+    List.filter
+      (fun i ->
+        i.Report.i_kind = "dad.bootstrap" && parent_kind i = Some "fault.outage")
+      parsed.Report.spans
+  in
+  Alcotest.(check int) "one re-DAD parented to its outage" 1 (List.length re_dad);
+  match re_dad with
+  | [ i ] ->
+      Alcotest.(check int) "on the crashed node" 3 i.Report.i_node;
+      Alcotest.(check (option string)) "recovered" (Some "ok") i.Report.i_outcome
+  | _ -> ()
+
+let test_arep_on_collision () =
+  (* Give the joiner node 1's address before bootstrap: node 1 must
+     answer the joiner's AREQ flood with an AREP parented to it. *)
+  let params = { small_params with seed = 5 } in
+  let s = Scenario.create params in
+  Obs.set_capture (Scenario.obs s) true;
+  let n = params.Scenario.n in
+  let victim = Scenario.address_of s 1 in
+  let joiner = Scenario.node s (n - 1) in
+  let dir = joiner.Scenario.ctx.Manetsec.Proto.Node_ctx.directory in
+  Directory.unregister dir (Scenario.address_of s (n - 1)) (n - 1);
+  joiner.Scenario.identity.Identity.address <- victim;
+  Directory.register dir victim (n - 1);
+  Scenario.bootstrap s;
+  let parsed = Report.parse_jsonl (jsonl_of s) in
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun i -> Hashtbl.replace by_id i.Report.i_id i) parsed.Report.spans;
+  let areps =
+    List.filter (fun i -> i.Report.i_kind = "dad.arep") parsed.Report.spans
+  in
+  Alcotest.(check bool) "an AREP span exists" true (areps <> []);
+  List.iter
+    (fun i ->
+      match i.Report.i_parent with
+      | Some p ->
+          Alcotest.(check (option string)) "AREP under the colliding flood"
+            (Some "dad.flood")
+            (Option.map
+               (fun pi -> pi.Report.i_kind)
+               (Hashtbl.find_opt by_id p))
+      | None -> Alcotest.fail "AREP span has no parent")
+    areps;
+  (* The colliding flood attempt was rejected with the typed reason. *)
+  let rejected =
+    List.exists
+      (fun i ->
+        i.Report.i_kind = "dad.flood"
+        && i.Report.i_outcome = Some "rejected"
+        && i.Report.i_reason = Some "address collision")
+      parsed.Report.spans
+  in
+  Alcotest.(check bool) "collision rejection recorded" true rejected
+
+let test_run_report_shape () =
+  let s = run_once ~profile:true () in
+  let j =
+    Report.run_report ~engine:(Scenario.engine s) ~obs:(Scenario.obs s)
+      ~extra:[ ("seed", Json.Int 3) ]
+      ()
+  in
+  let get path =
+    List.fold_left
+      (fun acc field ->
+        match acc with Some v -> Json.member field v | None -> None)
+      (Some j) path
+  in
+  Alcotest.(check (option string)) "schema"
+    (Some Report.report_schema)
+    (Option.bind (get [ "schema" ]) Json.to_string_opt);
+  Alcotest.(check bool) "span aggregates present" true
+    (get [ "span_aggregates"; "dad.bootstrap" ] <> None);
+  Alcotest.(check bool) "phases present" true
+    (get [ "phases"; "dad.convergence" ] <> None);
+  Alcotest.(check bool) "re-dad phase measured" true
+    (Option.bind (get [ "phases"; "re_dad.convergence"; "count" ])
+       Json.to_int_opt
+    = Some 1);
+  Alcotest.(check (option bool)) "profile enabled"
+    (Some true)
+    (Option.bind (get [ "profile"; "enabled" ])
+       (function Json.Bool b -> Some b | _ -> None));
+  Alcotest.(check bool) "profiled classes include fault" true
+    (get [ "profile"; "classes"; "fault" ] <> None);
+  (* The report is itself valid JSON (reparse need not be bit-equal:
+     wall-clock floats go through the 12-digit canonical formatter). *)
+  let reparsed = Json.parse (Json.to_string j) in
+  Alcotest.(check (option string)) "report reparses with same schema"
+    (Some Report.report_schema)
+    (Option.bind (Json.member "schema" reparsed) Json.to_string_opt)
+
+let test_parse_jsonl_rejects () =
+  let good = jsonl_of (run_once ()) in
+  let bad =
+    match Report.parse_jsonl good with
+    | exception Json.Parse_error _ -> fun _ -> true
+    | (_ : Report.parsed) ->
+        fun text ->
+          (match Report.parse_jsonl text with
+          | (_ : Report.parsed) -> false
+          | exception Json.Parse_error _ -> true)
+  in
+  Alcotest.(check bool) "empty input" true (bad "");
+  Alcotest.(check bool) "wrong schema" true
+    (bad {|{"schema":"other","version":1}|});
+  Alcotest.(check bool) "future version" true
+    (bad (Printf.sprintf {|{"schema":"%s","version":%d}|} Obs.schema
+            (Obs.schema_version + 1)));
+  Alcotest.(check bool) "garbage line" true
+    (bad
+       (Printf.sprintf {|{"schema":"%s","version":%d}|} Obs.schema
+          Obs.schema_version
+       ^ "\nnot json\n"))
+
+let test_renderers () =
+  let s = run_once () in
+  let parsed = Report.parse_jsonl (jsonl_of s) in
+  let tree = Report.render_tree parsed in
+  (* A child renders indented directly under its parent: find the first
+     dad.bootstrap line and check the next line is its indented flood. *)
+  let lines = String.split_on_char '\n' tree in
+  let rec scan = function
+    | a :: b :: _
+      when String.length a > 2
+           && a.[0] = '#'
+           && (match String.index_opt a ' ' with
+              | Some i ->
+                  String.length a > i + 13
+                  && String.sub a (i + 1) 13 = "dad.bootstrap"
+              | None -> false) ->
+        Alcotest.(check string) "child indented under parent" "  #"
+          (String.sub b 0 3)
+    | _ :: tl -> scan tl
+    | [] -> Alcotest.fail "no dad.bootstrap root in tree"
+  in
+  scan lines;
+  let phases = Report.render_phases parsed in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " row present") true
+        (let rec has i =
+           i + String.length name <= String.length phases
+           && (String.sub phases i (String.length name) = name || has (i + 1))
+         in
+         has 0))
+    Report.phase_names;
+  let top = Report.render_top ~k:3 parsed in
+  Alcotest.(check int) "top-k line count" 3
+    (List.length
+       (List.filter (fun l -> l <> "") (String.split_on_char '\n' top)))
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "obs",
+      [
+        tc "span lifecycle" test_span_lifecycle;
+        tc "correlation registry" test_correlation_registry;
+        tc "event capture ring" test_event_capture_ring;
+        tc "json roundtrip" test_json_roundtrip;
+        tc "json parse errors" test_json_parse_errors;
+        tc "json float canonical" test_json_float_canonical;
+        tc "jsonl byte determinism" test_jsonl_byte_determinism;
+        tc "causal parenting" test_causal_parenting;
+        tc "arep on collision" test_arep_on_collision;
+        tc "run report shape" test_run_report_shape;
+        tc "parse rejects bad input" test_parse_jsonl_rejects;
+        tc "renderers" test_renderers;
+      ] );
+  ]

@@ -130,6 +130,57 @@ let test_stats_percentiles_reservoir () =
   | Some p -> Alcotest.(check bool) "median near 500" true (p > 350.0 && p < 650.0)
   | None -> Alcotest.fail "no percentile"
 
+(* Below the 1024-slot reservoir cap the estimator must be *exact*: the
+   nearest-rank order statistic sorted.(round (q * (n-1))), bit-for-bit. *)
+let prop_percentile_exact_below_cap =
+  qtest ~count:300 "stats: percentile exact below reservoir cap"
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 1023) (float_bound_exclusive 1000.0))
+        (float_bound_inclusive 1.0))
+    (fun (xs, q) ->
+      let s = Stats.create () in
+      List.iter (Stats.observe s "v") xs;
+      let sorted = Array.of_list xs in
+      Array.sort Float.compare sorted;
+      let n = Array.length sorted in
+      let idx = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+      Stats.percentile s "v" q = Some sorted.(idx))
+
+(* Beyond the cap the reservoir is a random sample, but its RNG is a
+   private LCG seeded from the stat name — so a fixed observation
+   sequence must give a bit-identical estimate on every run. *)
+let prop_percentile_reservoir_deterministic =
+  qtest ~count:30 "stats: reservoir estimate deterministic for fixed sequence"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let mk () =
+        let s = Stats.create () in
+        let g = Prng.create ~seed in
+        for _ = 1 to 3000 do
+          Stats.observe s "v" (Prng.float g 100.0)
+        done;
+        s
+      in
+      let a = mk () and b = mk () in
+      List.for_all
+        (fun q -> Stats.percentile a "v" q = Stats.percentile b "v" q)
+        [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ])
+
+let prop_percentile_out_of_range =
+  qtest ~count:100 "stats: percentile rejects q outside [0,1]"
+    QCheck.(float_bound_exclusive 50.0)
+    (fun d ->
+      let s = Stats.create () in
+      Stats.observe s "v" 1.0;
+      let bad q =
+        match Stats.percentile s "v" q with
+        | (_ : float option) -> false
+        | exception Invalid_argument _ -> true
+      in
+      QCheck.assume (d > 0.0);
+      bad (1.0 +. d) && bad (-.d))
+
 let test_stats_clear () =
   let s = Stats.create () in
   Stats.incr s "x";
@@ -184,6 +235,85 @@ let test_trace_dropped () =
   Trace.log t ~time:1.0 ~node:0 ~event:"e" ~detail:"x";
   Alcotest.(check bool) "no header below capacity" true
     (String.sub (Trace.render t) 0 1 <> "[")
+
+let test_trace_capacity_one () =
+  let t = Trace.create ~capacity:1 () in
+  Trace.enable t;
+  for i = 1 to 4 do
+    Trace.log t ~time:(float_of_int i) ~node:0 ~event:"e" ~detail:(string_of_int i)
+  done;
+  Alcotest.(check int) "length stays 1" 1 (Trace.length t);
+  Alcotest.(check int) "three dropped" 3 (Trace.dropped t);
+  Alcotest.(check (list string)) "newest survives" [ "4" ]
+    (List.map (fun e -> e.Trace.detail) (Trace.entries t));
+  (* The per-tag index must follow the ring: dropped entries are gone
+     from find too. *)
+  Alcotest.(check int) "index pruned with ring" 1
+    (List.length (Trace.find t ~event:"e"))
+
+let test_trace_drops_across_clear () =
+  let t = Trace.create ~capacity:2 () in
+  Trace.enable t;
+  for i = 1 to 5 do
+    Trace.log t ~time:(float_of_int i) ~node:0 ~event:"e" ~detail:(string_of_int i)
+  done;
+  Alcotest.(check int) "drops before clear" 3 (Trace.dropped t);
+  Trace.clear t;
+  Alcotest.(check int) "clear resets the counter" 0 (Trace.dropped t);
+  Alcotest.(check int) "clear empties the buffer" 0 (Trace.length t);
+  Alcotest.(check int) "find empty after clear" 0
+    (List.length (Trace.find t ~event:"e"));
+  for i = 1 to 3 do
+    Trace.log t ~time:(float_of_int i) ~node:0 ~event:"e" ~detail:(string_of_int i)
+  done;
+  Alcotest.(check int) "counting resumes from zero" 1 (Trace.dropped t)
+
+let test_trace_render_header_gated_on_drops () =
+  let t = Trace.create ~capacity:3 () in
+  Trace.enable t;
+  Trace.log t ~time:1.0 ~node:0 ~event:"e" ~detail:"x";
+  Alcotest.(check bool) "no header without drops" true
+    (String.sub (Trace.render t) 0 1 <> "[");
+  Trace.log t ~time:2.0 ~node:0 ~event:"e" ~detail:"y";
+  Trace.log t ~time:3.0 ~node:0 ~event:"e" ~detail:"z";
+  Trace.log t ~time:4.0 ~node:0 ~event:"e" ~detail:"w";
+  Alcotest.(check string) "header once dropping" "[trace: "
+    (String.sub (Trace.render t) 0 8)
+
+let test_trace_disabled_noop () =
+  let t = Trace.create ~capacity:2 () in
+  for i = 1 to 10 do
+    Trace.log t ~time:(float_of_int i) ~node:0 ~event:"e" ~detail:"d"
+  done;
+  Alcotest.(check bool) "disabled" false (Trace.is_enabled t);
+  Alcotest.(check int) "no entries" 0 (Trace.length t);
+  Alcotest.(check int) "no drops either" 0 (Trace.dropped t);
+  Alcotest.(check int) "find empty" 0 (List.length (Trace.find t ~event:"e"));
+  Alcotest.(check int) "fold sees nothing" 0
+    (Trace.fold t ~init:0 ~f:(fun acc _ -> acc + 1))
+
+let test_trace_fold_and_index_consistency () =
+  (* After ring wraparound, fold order, entries and the per-tag index
+     must all agree. *)
+  let t = Trace.create ~capacity:4 () in
+  Trace.enable t;
+  for i = 1 to 10 do
+    let event = if i mod 2 = 0 then "even" else "odd" in
+    Trace.log t ~time:(float_of_int i) ~node:0 ~event ~detail:(string_of_int i)
+  done;
+  let entries = Trace.entries t in
+  Alcotest.(check (list string)) "fold = entries, oldest first"
+    (List.map (fun e -> e.Trace.detail) entries)
+    (List.rev (Trace.fold t ~init:[] ~f:(fun acc e -> e.Trace.detail :: acc)));
+  List.iter
+    (fun tag ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "find %s = filtered entries" tag)
+        (List.filter_map
+           (fun e -> if e.Trace.event = tag then Some e.Trace.detail else None)
+           entries)
+        (List.map (fun e -> e.Trace.detail) (Trace.find t ~event:tag)))
+    [ "even"; "odd" ]
 
 (* ------------------------------------------------------------------ *)
 (* Engine                                                             *)
@@ -250,6 +380,41 @@ let test_engine_same_time_fifo () =
   done;
   Engine.run e;
   Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_profiling () =
+  let e = Engine.create ~seed:1 () in
+  Alcotest.(check bool) "off by default" false (Engine.profiling e);
+  Engine.schedule e ~label:"alpha" ~delay:1.0 (fun () -> ());
+  Engine.run e;
+  Alcotest.(check (list (pair string int))) "nothing profiled while off" []
+    (List.map (fun (l, p) -> (l, p.Engine.p_count)) (Engine.profile e));
+  Engine.set_profiling e true;
+  Engine.schedule e ~label:"alpha" ~delay:1.0 (fun () -> ());
+  Engine.schedule e ~label:"alpha" ~delay:2.0 (fun () -> ());
+  Engine.schedule e ~delay:3.0 (fun () -> ());
+  Engine.run e;
+  Alcotest.(check (list (pair string int))) "per-class counts"
+    [ ("alpha", 2); ("other", 1) ]
+    (List.map (fun (l, p) -> (l, p.Engine.p_count)) (Engine.profile e));
+  Alcotest.(check bool) "wall clock accumulated" true (Engine.wall_in_run e >= 0.0);
+  Alcotest.(check bool) "throughput positive" true (Engine.events_per_sec e > 0.0)
+
+let test_engine_profiling_no_perturbation () =
+  (* Profiling must not change event order, sim times or PRNG draws. *)
+  let observe profiled =
+    let e = Engine.create ~seed:5 () in
+    Engine.set_profiling e profiled;
+    let log = ref [] in
+    let g = Engine.rng e in
+    for i = 1 to 20 do
+      Engine.schedule e ~label:(if i mod 2 = 0 then "a" else "b")
+        ~delay:(Prng.float g 10.0)
+        (fun () -> log := (i, Engine.now e) :: !log)
+    done;
+    Engine.run e;
+    List.rev !log
+  in
+  Alcotest.(check bool) "identical schedule" true (observe false = observe true)
 
 (* ------------------------------------------------------------------ *)
 (* Topology                                                           *)
@@ -644,6 +809,9 @@ let suites =
         prop_stats_welford;
         Alcotest.test_case "percentiles exact" `Quick test_stats_percentiles_exact;
         Alcotest.test_case "percentiles reservoir" `Quick test_stats_percentiles_reservoir;
+        prop_percentile_exact_below_cap;
+        prop_percentile_reservoir_deterministic;
+        prop_percentile_out_of_range;
         Alcotest.test_case "clear" `Quick test_stats_clear;
         Alcotest.test_case "snapshot delta" `Quick test_stats_snapshot_delta;
       ] );
@@ -653,6 +821,13 @@ let suites =
         Alcotest.test_case "record and find" `Quick test_trace_record_and_find;
         Alcotest.test_case "capacity" `Quick test_trace_capacity;
         Alcotest.test_case "dropped count" `Quick test_trace_dropped;
+        Alcotest.test_case "capacity one" `Quick test_trace_capacity_one;
+        Alcotest.test_case "drops across clear" `Quick test_trace_drops_across_clear;
+        Alcotest.test_case "render header gated on drops" `Quick
+          test_trace_render_header_gated_on_drops;
+        Alcotest.test_case "disabled no-op" `Quick test_trace_disabled_noop;
+        Alcotest.test_case "fold and index consistency" `Quick
+          test_trace_fold_and_index_consistency;
       ] );
     ( "sim.engine",
       [
@@ -662,6 +837,9 @@ let suites =
         Alcotest.test_case "max events" `Quick test_engine_max_events;
         Alcotest.test_case "negative delay" `Quick test_engine_negative_delay;
         Alcotest.test_case "same time fifo" `Quick test_engine_same_time_fifo;
+        Alcotest.test_case "profiling" `Quick test_engine_profiling;
+        Alcotest.test_case "profiling no perturbation" `Quick
+          test_engine_profiling_no_perturbation;
       ] );
     ( "sim.topology",
       [

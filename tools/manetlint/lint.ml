@@ -32,6 +32,7 @@ let rules =
     "failwith";
     "mli-coverage";
     "poly-compare";
+    "obs-no-printf";
   ]
 
 let to_string f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.msg
@@ -535,6 +536,30 @@ let check_obj_magic add src =
         "Obj.magic defeats the type system; find a typed encoding")
     (occurrences src.code "Obj.magic")
 
+(* Library code must not write to stdout directly: human-facing output
+   belongs to bin/ and bench/, and library telemetry must go through the
+   Trace/Obs sinks (or be returned as a string) so it stays queryable
+   and replay-deterministic.  [Printf.sprintf] and the [Format.pp_*]
+   formatter combinators remain fine — they build values. *)
+let printf_tokens =
+  [
+    "Printf.printf"; "Printf.eprintf"; "Format.printf"; "Format.eprintf";
+    "print_endline"; "print_string"; "print_newline"; "prerr_endline";
+  ]
+
+let check_obs_no_printf add src =
+  List.iter
+    (fun tok ->
+      List.iter
+        (fun p ->
+          add src src.line_at.(p) "obs-no-printf"
+            (Printf.sprintf
+               "%s under lib/ bypasses the Trace/Obs sinks; return a string \
+                or log through the telemetry layer"
+               tok))
+        (occurrences src.code tok))
+    printf_tokens
+
 let check_failwith add src =
   List.iter
     (fun p ->
@@ -957,6 +982,7 @@ let lint_files inputs =
         if in_lib then check_determinism add src;
         check_obj_magic add src;
         if in_lib then check_failwith add src;
+        if in_lib then check_obs_no_printf add src;
         check_catch_all add src;
         if
           under "lib/secure" src.path || under "lib/dad" src.path
