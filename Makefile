@@ -1,0 +1,20 @@
+.PHONY: all build lint test bench clean
+
+all: build lint test
+
+build:
+	dune build
+
+# Both analyzers: manetlint (lexical) and manetsem (AST-level semantic
+# dataflow).  Fails on any finding not pinned in tools/manetsem/baseline.
+lint:
+	dune build @lint
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

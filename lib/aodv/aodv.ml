@@ -209,7 +209,6 @@ let route_lookup t dst =
   | Some e when e.valid && e.expires > now t -> Some e
   | _ -> None
 
-let has_route t ~dst = route_lookup t dst <> None
 let next_hop t ~dst = Option.map (fun e -> e.next) (route_lookup t dst)
 
 (* AODV route update rule: fresher sequence number wins; equal freshness

@@ -92,8 +92,15 @@ let spam_rerrs t =
   (* For every flow we relay, fabricate a break of our next hop.  We are
      genuinely on the route, so even the secure protocol must accept the
      report (§4) — until frequency tracking blames us. *)
-  Hashtbl.iter
-    (fun _ (src, route) ->
+  let flows =
+    (* Deterministic emission order: iterate flows sorted by key, not in
+       hash-bucket order. *)
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.flows [])
+  in
+  List.iter
+    (fun (_, (src, route)) ->
       let me = address t in
       match split_route_at route me with
       | Some (before, after) ->
@@ -114,7 +121,7 @@ let spam_rerrs t =
             (Messages.Rerr
                { reporter = me; broken_next; dst = src; remaining = back; sig_; pk; rn })
       | None -> ())
-    t.flows
+    flows
 
 let churn_identity t =
   let ctx = t.ctx in

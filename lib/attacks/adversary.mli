@@ -38,6 +38,8 @@ type behavior = {
   mute : bool;  (** process nothing at all (a victim asleep or jammed) *)
 }
 
+(* manetsem: allow dead-export — public API: the documented base
+   behavior callers override to build custom adversaries. *)
 val honest : behavior
 (** No deviation — useful as a base to override. *)
 

@@ -24,6 +24,8 @@ type t
 
 val create : params -> t
 
+(* manetsem: allow dead-export — public API: engine accessor kept for
+   parity with Scenario.engine. *)
 val engine : t -> Engine.t
 val stats : t -> Manet_sim.Stats.t
 val agent : t -> int -> Manet_aodv.Aodv.t

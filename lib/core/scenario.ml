@@ -409,4 +409,3 @@ let crypto_ops t = (t.suite.Suite.sign_count, t.suite.Suite.verify_count)
 let mean_latency t =
   Option.map (fun s -> s.Stats.mean) (Stats.summary (stats t) "data.latency")
 
-let latency_percentile t q = Stats.percentile (stats t) "data.latency" q

@@ -99,6 +99,8 @@ val params : t -> params
 val node : t -> int -> node
 val nodes : t -> node array
 val dns_server : t -> Manet_dns.Dns.t option
+(* manetsem: allow dead-export — public API: exposes the shared crypto
+   suite so callers can read sign/verify counters directly. *)
 val suite : t -> Manet_crypto.Suite.t
 
 val address_of : t -> int -> Address.t
@@ -108,6 +110,8 @@ val bootstrap : ?stagger:float -> t -> unit
     apart (default 0.5), then run the engine until the network is quiet.
     Also starts mobility and adversary timers. *)
 
+(* manetsem: allow dead-export — public API: documented lifecycle
+   entry point for experiments that skip bootstrap. *)
 val start : t -> unit
 (** Start mobility and adversary timers without DAD (addresses were
     assigned at creation); for experiments that skip bootstrap. *)
@@ -162,5 +166,3 @@ val crypto_ops : t -> int * int
 val mean_latency : t -> float option
 (** Mean one-way data latency in seconds. *)
 
-val latency_percentile : t -> float -> float option
-(** [latency_percentile t 0.95] is the p95 one-way data latency. *)

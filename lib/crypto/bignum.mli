@@ -54,7 +54,6 @@ val divmod : t -> t -> t * t
 (** [divmod a b] is truncating division: quotient rounded toward zero,
     remainder carrying the sign of [a].  Raises [Division_by_zero]. *)
 
-val rem : t -> t -> t
 val mod_ : t -> t -> t
 (** [mod_ a m] is the least non-negative residue of [a] modulo [m];
     [m] must be positive. *)

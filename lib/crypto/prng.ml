@@ -90,10 +90,6 @@ let bytes g n =
   done;
   Bytes.unsafe_to_string b
 
-let pick g a =
-  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
-  a.(int g (Array.length a))
-
 let shuffle g a =
   for i = Array.length a - 1 downto 1 do
     let j = int g (i + 1) in

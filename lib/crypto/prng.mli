@@ -29,9 +29,6 @@ val bits64 : t -> int64
 val int : t -> int -> int
 (** [int g bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
 
-val int64 : t -> int64 -> int64
-(** [int64 g bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
-
 val float : t -> float -> float
 (** [float g bound] is uniform in [\[0, bound)]. *)
 
@@ -40,10 +37,6 @@ val bool : t -> bool
 
 val bytes : t -> int -> string
 (** [bytes g n] is an [n]-byte uniformly random string. *)
-
-val pick : t -> 'a array -> 'a
-(** [pick g a] is a uniformly random element of [a].  Raises
-    [Invalid_argument] on an empty array. *)
 
 val shuffle : t -> 'a array -> unit
 (** [shuffle g a] permutes [a] in place (Fisher-Yates). *)

@@ -52,7 +52,6 @@ let private_exp sk m =
   let h = Bignum.mod_ (Bignum.mul sk.crt_qinv (Bignum.sub sp sq)) sk.crt_p in
   Bignum.add sq (Bignum.mul sk.crt_q h)
 
-let public_of_private sk = sk.pub
 
 let modulus_bytes pk = (Bignum.numbits pk.n + 7) / 8
 

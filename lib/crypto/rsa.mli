@@ -18,8 +18,6 @@ val generate : Prng.t -> bits:int -> public_key * private_key
 (** [generate g ~bits] creates a key pair with a [bits]-bit modulus.
     [bits] must be at least 32. *)
 
-val public_of_private : private_key -> public_key
-
 val public_key_to_bytes : public_key -> string
 (** Length-prefixed big-endian encoding of [(n, e)]; this is the [PK]
     attached to protocol messages and hashed into CGA addresses. *)

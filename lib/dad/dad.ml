@@ -356,4 +356,11 @@ let handle t ~src msg =
         ~consume:(fun m -> consume_drep t m)
         ~forward:(fun ~next m -> Ctx.send_along t.ctx ~path:next m)
         ~not_mine:(fun _ -> ())
-  | _ -> ()
+  (* Routing, data and DNS-service traffic is not DAD's business; the
+     arms are spelled out so that adding a Messages constructor forces a
+     decision here (manetsem dispatch rule). *)
+  | Messages.Rreq _ | Messages.Rrep _ | Messages.Crep _ | Messages.Rerr _
+  | Messages.Data _ | Messages.Ack _ | Messages.Probe _
+  | Messages.Probe_reply _ | Messages.Name_query _ | Messages.Name_reply _
+  | Messages.Ip_change_request _ | Messages.Ip_change_challenge _
+  | Messages.Ip_change_proof _ | Messages.Ip_change_ack _ -> ()

@@ -78,6 +78,9 @@ val handle : t -> src:int -> Messages.t -> unit
     message kinds are ignored. *)
 
 val is_configured : t -> bool
+
+(* manetsem: allow dead-export — uniform agent accessor; every protocol
+   agent (Dad, Dsr, Srp, Secure_routing) exposes [address]. *)
 val address : t -> Address.t
 
 val set_areq_observer : t -> (Messages.t -> unit) -> unit
@@ -98,5 +101,4 @@ val set_warning_sink : t -> (Messages.t -> unit) -> unit
     signature bytes. *)
 
 val flood_key : sip:Address.t -> ch:int64 -> string
-val arep_corr : string -> string
 val drep_corr : string -> string

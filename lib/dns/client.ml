@@ -164,4 +164,11 @@ let handle t ~src msg =
           | _ -> ())
         ~forward:(fun ~next m -> Ctx.send_along t.ctx ~path:next m)
         ~not_mine:(fun _ -> ())
-  | _ -> ()
+  (* The client only consumes lookup/IP-change replies; everything else
+     is enumerated so a new Messages constructor fails the manetsem
+     dispatch rule instead of being silently dropped. *)
+  | Messages.Areq _ | Messages.Arep _ | Messages.Drep _ | Messages.Rreq _
+  | Messages.Rrep _ | Messages.Crep _ | Messages.Rerr _ | Messages.Data _
+  | Messages.Ack _ | Messages.Probe _ | Messages.Probe_reply _
+  | Messages.Name_query _ | Messages.Ip_change_request _
+  | Messages.Ip_change_proof _ -> ()

@@ -62,7 +62,6 @@ let entries t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let pending_count t = Hashtbl.length t.pending_by_dn
 
 let sip_key = Codec.addr
 
@@ -120,9 +119,11 @@ let stash_warning t ~sip msg =
   let now = Engine.now t.ctx.Ctx.engine in
   (* Prune expired stashes opportunistically. *)
   let expired =
-    Hashtbl.fold
-      (fun k (when_, _) acc -> if now -. when_ > stash_window t then k :: acc else acc)
-      t.stashed_warnings []
+    List.sort String.compare
+      (Hashtbl.fold
+         (fun k (when_, _) acc ->
+           if now -. when_ > stash_window t then k :: acc else acc)
+         t.stashed_warnings [])
   in
   List.iter (Hashtbl.remove t.stashed_warnings) expired;
   Hashtbl.replace t.stashed_warnings (sip_key sip) (now, msg)
@@ -190,6 +191,10 @@ let consume_warning t msg =
       match Hashtbl.find_opt t.pending_by_sip (sip_key sip) with
       | None ->
           (* Possibly ahead of its AREQ: keep it for a while. *)
+          (* manetsem: allow taint — the stash is quarantine, not trust:
+             a stashed warning only affects a registration decision after
+             stashed_warning_applies re-checks its CGA binding and
+             signature against the later AREQ's challenge. *)
           stash_warning t ~sip msg;
           Ctx.stat t.ctx "dns.warning_stashed"
       | Some reg ->
@@ -254,9 +259,11 @@ let serve_ip_change_proof t ~old_ip ~new_ip ~old_rn ~new_rn ~pk ~sig_ ~route =
   if accepted then begin
     (* Rebind every name mapped to the old address. *)
     let renames =
-      Hashtbl.fold
-        (fun dn addr acc -> if Address.equal addr old_ip then dn :: acc else acc)
-        t.table []
+      List.sort String.compare
+        (Hashtbl.fold
+           (fun dn addr acc ->
+             if Address.equal addr old_ip then dn :: acc else acc)
+           t.table [])
     in
     List.iter (fun dn -> Hashtbl.replace t.table dn new_ip) renames;
     Ctx.stat ctx "dns.ip_changed";
@@ -289,4 +296,12 @@ let handle t ~src msg =
           | _ -> ())
         ~forward:(fun ~next m -> Ctx.send_along t.ctx ~path:next m)
         ~not_mine:(fun _ -> ())
-  | _ -> ()
+  (* AREQ observation and duplicate warnings arrive through observe_areq
+     and consume_warning (wired by Scenario), not this dispatch; the
+     rest is enumerated so new constructors fail the manetsem dispatch
+     rule rather than vanish here. *)
+  | Messages.Areq _ | Messages.Arep _ | Messages.Drep _ | Messages.Rreq _
+  | Messages.Rrep _ | Messages.Crep _ | Messages.Rerr _ | Messages.Data _
+  | Messages.Ack _ | Messages.Probe _ | Messages.Probe_reply _
+  | Messages.Name_reply _ | Messages.Ip_change_challenge _
+  | Messages.Ip_change_ack _ -> ()

@@ -26,6 +26,8 @@ type config = {
       (** seconds a registration stays pending, waiting for warnings *)
 }
 
+(* manetsem: allow dead-export — public API: the documented starting
+   point for customised configs, symmetric with Srp.default_config. *)
 val default_config : config
 
 type t
@@ -45,8 +47,6 @@ val preload : t -> name:string -> Address.t -> unit
 val lookup : t -> string -> Address.t option
 val entries : t -> (string * Address.t) list
 (** Committed entries, sorted by name. *)
-
-val pending_count : t -> int
 
 val handle : t -> src:int -> Messages.t -> unit
 (** Server-side processing of routed [Name_query], [Ip_change_request]

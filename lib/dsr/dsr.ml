@@ -109,7 +109,6 @@ let cached_route t ~dst =
 let cached_routes t ~dst =
   List.map (fun e -> e.Route_cache.route) (Route_cache.entries t.cache ~dst)
 
-let invalidate_route t ~dst ~route = Route_cache.remove_route t.cache ~dst ~route
 
 (* --- data transmission ------------------------------------------------ *)
 
@@ -419,6 +418,9 @@ let consume_rrep t msg =
       (match Obs.lookup (obs t) (rrep_corr ~sip ~dip ~rr) with
       | Some sid -> Obs.finish (obs t) sid Obs.Ok
       | None -> ());
+      (* manetsem: allow taint — plain DSR is the deliberately
+         unauthenticated §4 baseline; accepting the reply without any
+         check is the vulnerability Secure_routing closes. *)
       route_found t ~dst:dip ~route:rr
   | _ -> ()
 
@@ -432,6 +434,8 @@ let consume_crep t msg =
       | None -> ());
       (* Splice: requester -> ... -> cacher -> ... -> destination. *)
       let route = rr_to_cacher @ (cacher :: rr_to_dest) in
+      (* manetsem: allow taint — same unauthenticated §4 baseline as
+         consume_rrep: cached replies are trusted verbatim by design. *)
       route_found t ~dst:dip ~route
   | _ -> ()
 
@@ -590,6 +594,8 @@ let consume_rerr t msg =
       Ctx.stat t.ctx "rerr.received";
       (* Plain DSR believes any error report. *)
       ignore
+        (* manetsem: allow taint — believing unauthenticated RERRs is the
+           exact §4 forgery exposure the baseline exists to measure. *)
         (Route_cache.remove_link t.cache ~owner:(address t) ~a:reporter ~b:broken_next)
   | _ -> ()
 

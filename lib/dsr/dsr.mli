@@ -69,8 +69,8 @@ val cached_route : t -> dst:Address.t -> Address.t list option
 val cached_routes : t -> dst:Address.t -> Address.t list list
 (** Every cached route for [dst] (inspection; most recently used first). *)
 
-val invalidate_route : t -> dst:Address.t -> route:Address.t list -> unit
-
+(* manetsem: allow dead-export — uniform agent accessor; every protocol
+   agent (Dad, Dsr, Srp, Secure_routing) exposes [address]. *)
 val address : t -> Address.t
 
 (** Statistics written to the engine's {!Manet_sim.Stats} registry, all

@@ -67,15 +67,12 @@ let best t ~dst ~score =
       in
       Option.map fst best
 
-let dests t =
-  Hashtbl.fold
-    (fun _ (dst, l) acc -> if !l <> [] then dst :: acc else acc)
-    t.by_dst []
-  |> List.sort Address.compare
-
 let filter_entries t keep =
   (* Apply [keep dst entry] to every entry; count removals. *)
   let removed = ref 0 in
+  (* manetsem: allow determinism — order-insensitive: each bucket's ref
+     cell is rewritten independently and the removal count is a
+     commutative sum, so visiting order cannot leak anywhere. *)
   Hashtbl.iter
     (fun _ (dst, l) ->
       let kept = List.filter (fun e -> keep dst e) !l in
@@ -107,4 +104,3 @@ let remove_route t ~dst ~route =
 
 let size t = Hashtbl.fold (fun _ (_, l) acc -> acc + List.length !l) t.by_dst 0
 
-let clear t = Hashtbl.reset t.by_dst

@@ -40,9 +40,6 @@ val best :
 (** Highest-scoring entry; marks it used.  [None] when the cache holds no
     route for [dst]. *)
 
-val dests : 'a t -> Address.t list
-(** Destinations with at least one cached route. *)
-
 val remove_link :
   'a t -> owner:Address.t -> a:Address.t -> b:Address.t -> int
 (** Purge every entry whose expanded path (owner, route, destination)
@@ -57,4 +54,3 @@ val remove_route : 'a t -> dst:Address.t -> route:Address.t list -> unit
 (** Drop one specific route (e.g. after an end-to-end ack timeout). *)
 
 val size : 'a t -> int
-val clear : 'a t -> unit

@@ -141,10 +141,6 @@ let event_detail = function
   | Heal -> "partition healed"
   | Channel c -> channel_detail c
 
-let pp_step fmt { at; event } =
-  Format.fprintf fmt "%10.4f  %-18s %s" at (event_name event)
-    (event_detail event)
-
 (* --- scheduling --------------------------------------------------------- *)
 
 type hooks = {

@@ -38,8 +38,13 @@ type plan = step list
     {!seq}. *)
 
 val crash : at:float -> int -> plan
+
+(* manetsem: allow dead-export — plan-builder symmetry with [crash];
+   [outage] composes it internally and callers may schedule it alone. *)
 val restart : at:float -> int -> plan
 val link_down : at:float -> int -> int -> plan
+(* manetsem: allow dead-export — plan-builder symmetry with
+   [link_down], same rationale as [restart]. *)
 val link_up : at:float -> int -> int -> plan
 
 val outage : from:float -> until:float -> int -> plan
@@ -89,15 +94,6 @@ val seq : plan list -> plan
 val validate : n:int -> plan -> unit
 (** Raise [Invalid_argument] if any step names a node outside [0, n),
     a self-link, or a negative time. *)
-
-(** {1 Rendering} *)
-
-val event_name : event -> string
-(** The [fault.*] tag used for both the stats counter and the trace
-    event. *)
-
-val event_detail : event -> string
-val pp_step : Format.formatter -> step -> unit
 
 (** {1 Execution} *)
 

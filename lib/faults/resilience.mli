@@ -23,9 +23,6 @@ val monitor : ?period:float -> until:float -> Engine.t -> t
 (** Schedule periodic sampling (default every simulated second) from
     now until [until].  Call before [Engine.run]. *)
 
-val samples : t -> sample list
-(** Chronological. *)
-
 val mark : t -> at:float -> string -> unit
 (** Snapshot every stats counter at absolute time [at] under a name,
     e.g. ["pre-fault"], ["heal"]. *)
@@ -34,10 +31,6 @@ val phase : t -> from_mark:string -> to_mark:string -> float option
 (** Delivery ratio of the window between two marks:
     (delivered in window) / (offered in window).  [None] if either mark
     is missing or nothing was offered in the window. *)
-
-val delivery_curve : t -> (float * float option) list
-(** Per-sampling-interval delivery ratio, keyed by interval end time;
-    [None] where nothing was offered in the interval. *)
 
 val route_repair_latency : t -> fault_at:float -> float option
 (** Time from [fault_at] until the first sample showing a delivery

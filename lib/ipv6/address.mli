@@ -15,9 +15,13 @@ val compare : t -> t -> int
 val equal : t -> t -> bool
 val hash : t -> int
 
+(* manetsem: allow dead-export — RFC 4291 constant; part of the
+   address-type API surface even when no current caller needs it. *)
 val unspecified : t
 (** [::] — the source of a host that does not yet have an address. *)
 
+(* manetsem: allow dead-export — RFC 4291 constant, same rationale as
+   [unspecified]. *)
 val loopback : t
 (** [::1]. *)
 
@@ -45,6 +49,8 @@ val to_string : t -> string
 
 val pp : Format.formatter -> t -> unit
 
+(* manetsem: allow dead-export — the paper's Figure 1 site prefix;
+   kept as the documented constant behind the default topology. *)
 val site_local_prefix : t
 (** [fec0::] — the 10-bit prefix of the paper's Figure 1 layout. *)
 

@@ -52,7 +52,6 @@ let create ?(event_capacity = 200_000) engine =
     events_dropped = 0;
   }
 
-let engine t = t.engine
 
 (* --- spans -------------------------------------------------------------- *)
 
@@ -75,7 +74,6 @@ let start t ?parent ~kind ~node ?(detail = "") () =
   Hashtbl.replace t.spans id span;
   id
 
-let find_span t id = Hashtbl.find_opt t.spans id
 
 let finish t id outcome =
   match Hashtbl.find_opt t.spans id with
@@ -104,7 +102,6 @@ let lookup t key = Hashtbl.find_opt t.corr key
 (* --- event sink --------------------------------------------------------- *)
 
 let set_capture t on = t.capture <- on
-let capture t = t.capture
 
 let log t ~node ~event ~detail =
   (* The ring-buffer Trace stays one sink (honouring its own enable

@@ -53,8 +53,6 @@ val create : ?event_capacity:int -> Engine.t -> t
 (** One per scenario, shared by all nodes.  [event_capacity] caps the
     JSONL event sink (default 200_000, oldest dropped first). *)
 
-val engine : t -> Engine.t
-
 (** {1 Spans} *)
 
 val start :
@@ -70,7 +68,6 @@ val note : t -> int -> node:int -> string -> unit
 (** Attach a timestamped annotation (e.g. a relay hop) to an open or
     closed span. *)
 
-val find_span : t -> int -> span option
 val span_count : t -> int
 
 val spans : t -> span list
@@ -94,7 +91,6 @@ val log : t -> node:int -> event:string -> detail:string -> unit
 val set_capture : t -> bool -> unit
 (** JSONL event capture; default off (spans are always recorded). *)
 
-val capture : t -> bool
 val events : t -> event list
 val events_dropped : t -> int
 

@@ -8,7 +8,6 @@
     prints; every renderer returns a string. *)
 
 val report_schema : string
-val report_version : int
 
 (** {1 Neutral span representation} *)
 
@@ -25,19 +24,11 @@ type span_info = {
   i_notes : (float * int * string) list;  (** oldest first *)
 }
 
-val info_of_span : Obs.span -> span_info
-val duration : span_info -> float option
-
 (** {1 Phases} *)
 
 val phase_names : string list
-
-val phase_durations : span_info list -> (string * float array) list
-(** Durations (sorted ascending) of the spans belonging to each derived
-    phase: [dad.convergence] (successful [dad.bootstrap] spans not
-    caused by an outage), [re_dad.convergence] (successful
-    [dad.bootstrap] spans whose parent is a [fault.outage] span) and
-    [route.discovery_rtt] (successful [route.discovery] spans). *)
+(** The derived phases the run report aggregates latency over:
+    [dad.convergence], [re_dad.convergence] and [route.discovery_rtt]. *)
 
 (** {1 JSON run report} *)
 

@@ -26,4 +26,3 @@ let refresh_address t g =
 let sign t msg = t.keypair.Suite.sign msg
 let pk_bytes t = t.keypair.Suite.pk_bytes
 
-let verify_cga _t addr ~pk_bytes ~rn = Cga.verify addr ~pk_bytes ~rn

@@ -35,8 +35,3 @@ val sign : t -> string -> string
     counters). *)
 
 val pk_bytes : t -> string
-
-val verify_cga : t -> Address.t -> pk_bytes:string -> rn:int64 -> bool
-(** CGA ownership check used everywhere in §3: does [addr] hash from
-    [pk_bytes] and [rn]?  (Delegates to {!Manet_ipv6.Cga.verify}; present
-    here so protocol code only needs this module.) *)

@@ -48,7 +48,6 @@ val size_of : t -> Messages.t -> int
 val stat : t -> string -> unit
 (** Increment a named counter in the engine's stats. *)
 
-val stat_by : t -> string -> int -> unit
 val observe : t -> string -> float -> unit
 val log : t -> event:string -> detail:string -> unit
 (** Telemetry event for this node, fanned out through {!Obs.log} (ring

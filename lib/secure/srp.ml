@@ -377,6 +377,9 @@ let consume_rerr t msg =
       Ctx.stat t.ctx "rerr.received";
       (* Unauthenticated, so believed — SRP's documented exposure. *)
       ignore
+        (* manetsem: allow taint — SRP has no security association with
+           relays, so RERR cannot be verified; acting on it unverified is
+           the §3.4 exposure this module exists to exhibit as a baseline. *)
         (Route_cache.remove_link t.cache ~owner:(address t) ~a:reporter ~b:broken_next)
   | _ -> ()
 
@@ -399,4 +402,11 @@ let handle t ~src msg =
       Ctx.deliver_up t.ctx ~src msg ~consume:(consume_rerr t)
         ~forward:(fun ~next m -> Ctx.send_along t.ctx ~path:next m)
         ~not_mine:(fun _ -> ())
-  | _ -> Ctx.forward_transit t.ctx ~src msg
+  (* SRP is routing-plane only: DAD/DNS traffic is transit to relay,
+     enumerated so a new Messages constructor forces a decision here. *)
+  | Messages.Areq _ | Messages.Arep _ | Messages.Drep _ | Messages.Crep _
+  | Messages.Probe _ | Messages.Probe_reply _ | Messages.Name_query _
+  | Messages.Name_reply _ | Messages.Ip_change_request _
+  | Messages.Ip_change_challenge _ | Messages.Ip_change_proof _
+  | Messages.Ip_change_ack _ ->
+      Ctx.forward_transit t.ctx ~src msg

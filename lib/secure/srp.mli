@@ -35,10 +35,9 @@ type config = {
   flood_jitter : float;
 }
 
+(* manetsem: allow dead-export — public API: the documented starting
+   point for customised configs, symmetric with Dns.default_config. *)
 val default_config : config
-
-val pair_key : master:string -> Address.t -> Address.t -> string
-(** The modelled security association for an unordered address pair. *)
 
 type t
 
@@ -51,8 +50,12 @@ val send : t -> dst:Address.t -> ?size:int -> unit -> unit
 val discover :
   t -> dst:Address.t -> on_route:(Address.t list option -> unit) -> unit
 
+(* manetsem: allow dead-export — inspection accessor kept for parity
+   with Dsr.cached_route, so experiments can compare like for like. *)
 val cached_route : t -> dst:Address.t -> Address.t list option
 val cached_routes : t -> dst:Address.t -> Address.t list list
+(* manetsem: allow dead-export — uniform agent accessor; every protocol
+   agent (Dad, Dsr, Srp, Secure_routing) exposes [address]. *)
 val address : t -> Address.t
 
 (** Stats: the shared [data.*]/[route.*]/[rerr.*] keys plus

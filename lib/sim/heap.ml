@@ -69,7 +69,3 @@ let pop h =
     end;
     Some (top.prio, top.value)
   end
-
-let clear h =
-  h.len <- 0;
-  h.data <- [||]

@@ -19,4 +19,3 @@ val peek : 'a t -> (float * 'a) option
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the smallest-priority entry. *)
 
-val clear : 'a t -> unit

@@ -75,7 +75,6 @@ let create ?(config = default_config) engine topo =
     unicast_failures = 0;
   }
 
-let config t = t.cfg
 let topology t = t.topo
 let engine t = t.engine
 let size t = Array.length t.handlers
@@ -108,7 +107,6 @@ let link_up t a b =
   && match t.partition with None -> true | Some side -> side.(a) = side.(b)
 
 let set_channel t c = t.channel <- c
-let channel t = t.channel
 
 (* One loss draw for a frame crossing link (a, b).  The uniform model is
    memoryless; Gilbert-Elliott keeps a per-link two-state Markov chain

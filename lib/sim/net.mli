@@ -59,10 +59,8 @@ val default_config : config
 
 val create : ?config:config -> Engine.t -> Topology.t -> 'msg t
 
-val config : 'msg t -> config
 val topology : 'msg t -> Topology.t
 val engine : 'msg t -> Engine.t
-val size : 'msg t -> int
 
 val set_handler : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
 (** Replace node [i]'s receive handler (default: drop). *)
@@ -94,7 +92,6 @@ val set_channel : 'msg t -> channel -> unit
 (** Swap the loss process.  Gilbert–Elliott per-link state persists
     across swaps back and forth. *)
 
-val channel : 'msg t -> channel
 
 val broadcast : 'msg t -> src:int -> size:int -> 'msg -> unit
 (** One radio transmission of [size] bytes to all current neighbours. *)

@@ -138,13 +138,3 @@ let delta ~(before : snapshot) ~(after : snapshot) : snapshot =
 let clear t =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.accs
-
-let pp fmt t =
-  Format.fprintf fmt "@[<v>";
-  List.iter (fun (k, v) -> Format.fprintf fmt "%-40s %d@," k v) (counters t);
-  List.iter
-    (fun (k, s) ->
-      Format.fprintf fmt "%-40s n=%d mean=%.4f sd=%.4f min=%.4f max=%.4f@," k
-        s.count s.mean s.stddev s.min s.max)
-    (summaries t);
-  Format.fprintf fmt "@]"

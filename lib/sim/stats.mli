@@ -68,6 +68,3 @@ val percentile : t -> string -> float -> float option
     everywhere. *)
 
 val clear : t -> unit
-
-val pp : Format.formatter -> t -> unit
-(** Render every counter and summary, for debugging and reports. *)

@@ -45,6 +45,27 @@ let test_determinism () =
 let test_determinism_suppression () =
   clean "allow on the line above" "determinism"
     [ ("lib/a.ml", "(* manetlint: allow determinism *)\nlet t = Sys.time ()\n") ];
+  (* A multi-line allow comment anchors to its *last* line: the flagged
+     construct directly below the closing line is suppressed... *)
+  clean "multi-line allow anchors to its last line" "determinism"
+    [
+      ( "lib/a.ml",
+        "(* manetlint: allow determinism\n   because the rationale\n   spans \
+         lines *)\nlet t = Sys.time ()\n" );
+    ];
+  (* ...but a construct past that anchor line is not. *)
+  fires "line beyond the anchor is not suppressed" "determinism"
+    [
+      ( "lib/a.ml",
+        "(* manetlint: allow determinism\n   spanning lines *)\nlet ok = 1\n\
+         let t = Sys.time ()\n" );
+    ];
+  fires "blank line breaks the anchor" "determinism"
+    [
+      ( "lib/a.ml",
+        "(* manetlint: allow determinism\n   spanning lines *)\n\nlet t = \
+         Sys.time ()\n" );
+    ];
   clean "allow-file" "determinism"
     [
       ( "lib/a.ml",

@@ -1,0 +1,372 @@
+(* Self-tests for manetsem, the AST-level analyzer: every rule family
+   must fire on a synthetic bad input, stay quiet on the matching good
+   input, and honour its suppression annotation.  Fixtures live in
+   string literals, so manetlint's lexical pass never sees them. *)
+
+module Sem = Manetsem.Sem
+
+let count ?uses rule files =
+  List.length
+    (List.filter (fun f -> f.Sem.rule = rule) (Sem.analyze ?uses files))
+
+let fires ?uses name rule files =
+  Alcotest.(check bool) name true (count ?uses rule files > 0)
+
+let clean ?uses name rule files =
+  Alcotest.(check int) name 0 (count ?uses rule files)
+
+(* --- taint: verify-before-use ------------------------------------------ *)
+
+let test_taint_fires () =
+  fires "unverified signed payload reaches a named sink" "taint"
+    [
+      ( "lib/x/h.ml",
+        {|let consume t msg =
+  match msg with
+  | Messages.Arep p ->
+      Route_cache.insert t.cache ~dst:p ~route:[] ~meta:() ~now:0.
+  | _ -> ()|}
+      );
+    ];
+  fires "Hashtbl.replace on a protocol state field" "taint"
+    [
+      ( "lib/x/h.ml",
+        {|let consume t msg =
+  match msg with Messages.Name_reply n -> Hashtbl.replace t.table n n | _ -> ()|}
+      );
+    ];
+  fires "mutation of a protocol state field" "taint"
+    [
+      ( "lib/x/h.ml",
+        {|let consume t msg =
+  match msg with Messages.Drep d -> t.trusted <- d | _ -> ()|}
+      );
+    ];
+  (* The taint must survive one call-graph hop: a helper that reaches a
+     sink makes its (unverified) callers findings too. *)
+  fires "sink reached through a helper function" "taint"
+    [
+      ( "lib/x/h.ml",
+        {|let remember t p = Route_cache.insert t.cache ~dst:p ~route:[] ~meta:() ~now:0.
+let consume t msg =
+  match msg with Messages.Rrep p -> remember t p | _ -> ()|}
+      );
+    ]
+
+let test_taint_not_a_source () =
+  (* Areq is unsigned — destructuring it is not a taint source. *)
+  clean "unsigned constructor payload" "taint"
+    [
+      ( "lib/x/h.ml",
+        {|let consume t msg =
+  match msg with
+  | Messages.Areq a ->
+      Route_cache.insert t.cache ~dst:a ~route:[] ~meta:() ~now:0.
+  | _ -> ()|}
+      );
+    ];
+  (* A bare [Ctor _] dispatch pattern binds nothing of the payload. *)
+  clean "pattern that binds no payload" "taint"
+    [
+      ( "lib/x/h.ml",
+        {|let consume t x =
+  match t.last with
+  | Messages.Arep _ ->
+      Route_cache.insert t.cache ~dst:x ~route:[] ~meta:() ~now:0.
+  | _ -> ()|}
+      );
+    ]
+
+let test_taint_verified_ok () =
+  clean "verify in the case guard blesses the body" "taint"
+    [
+      ( "lib/x/h.ml",
+        {|let consume t msg =
+  match msg with
+  | Messages.Arep p when Suite.verify t.suite p ->
+      Route_cache.insert t.cache ~dst:p ~route:[] ~meta:() ~now:0.
+  | _ -> ()|}
+      );
+    ];
+  clean "verify in an if condition blesses the branch" "taint"
+    [
+      ( "lib/x/h.ml",
+        {|let consume t msg =
+  match msg with
+  | Messages.Drep p ->
+      if Cga.verify p then
+        Route_cache.insert t.cache ~dst:p ~route:[] ~meta:() ~now:0.
+  | _ -> ()|}
+      );
+    ];
+  (* The verifier fixpoint: a helper whose body calls verify counts. *)
+  clean "verification through a helper function" "taint"
+    [
+      ( "lib/x/h.ml",
+        {|let check_arep t p = Suite.verify t.suite p
+let consume t msg =
+  match msg with
+  | Messages.Arep p when check_arep t p ->
+      Route_cache.insert t.cache ~dst:p ~route:[] ~meta:() ~now:0.
+  | _ -> ()|}
+      );
+    ];
+  (* SRP verifies by MAC recomputation: *_mac helpers are verifiers. *)
+  clean "MAC recomputation counts as verification" "taint"
+    [
+      ( "lib/x/h.ml",
+        {|let rrep_mac t p = Suite.mac t.key p
+let consume t msg =
+  match msg with
+  | Messages.Rrep p when String.equal (rrep_mac t p) p ->
+      Route_cache.insert t.cache ~dst:p ~route:[] ~meta:() ~now:0.
+  | _ -> ()|}
+      );
+    ]
+
+(* The ISSUE acceptance check, as a fixture pair: a handler modelled on
+   Dad.consume_arep passes with its verify guard and fails the moment
+   the guard is deleted. *)
+let test_taint_verify_deletion_regression () =
+  let with_verify =
+    {|let verify_arep t ~sig_ ~pk = Suite.verify t.suite ~sig_ ~pk
+let consume_arep t msg =
+  match msg with
+  | Messages.Arep (sig_, pk) when verify_arep t ~sig_ ~pk ->
+      Route_cache.insert t.cache ~dst:pk ~route:[] ~meta:() ~now:0.
+  | _ -> ()|}
+  in
+  let without_verify =
+    {|let consume_arep t msg =
+  match msg with
+  | Messages.Arep (sig_, pk) ->
+      ignore sig_;
+      Route_cache.insert t.cache ~dst:pk ~route:[] ~meta:() ~now:0.
+  | _ -> ()|}
+  in
+  clean "handler with verify guard" "taint" [ ("lib/dad/h.ml", with_verify) ];
+  fires "same handler, verify deleted" "taint"
+    [ ("lib/dad/h.ml", without_verify) ]
+
+(* --- dispatch coverage -------------------------------------------------- *)
+
+let msgs_mli =
+  ( "lib/proto/messages.mli",
+    "type t = Areq | Arep of string | Rreq of int | Data of string\n" )
+
+let test_dispatch () =
+  fires "catch-all arm in a dispatch dir" "dispatch"
+    [
+      msgs_mli;
+      ( "lib/dad/h.ml",
+        {|let handle t msg = match msg with Areq -> ignore t | _ -> ()|} );
+    ];
+  fires "missing constructor, no catch-all" "dispatch"
+    [
+      msgs_mli;
+      ( "lib/dsr/h.ml",
+        {|let handle t msg =
+  match msg with
+  | Areq -> ignore t
+  | Arep _ -> ()
+  | Rreq _ -> ()|}
+      );
+    ];
+  clean "full enumeration" "dispatch"
+    [
+      msgs_mli;
+      ( "lib/secure/h.ml",
+        {|let handle t msg =
+  match msg with
+  | Areq -> ignore t
+  | Arep _ -> ()
+  | Rreq _ -> ()
+  | Data _ -> ()|}
+      );
+    ];
+  clean "catch-all outside the dispatch dirs" "dispatch"
+    [
+      msgs_mli;
+      ( "lib/sim/h.ml",
+        {|let handle t msg = match msg with Areq -> ignore t | _ -> ()|} );
+    ];
+  clean "function not named handle" "dispatch"
+    [
+      msgs_mli;
+      ( "lib/dad/h.ml",
+        {|let process t msg = match msg with Areq -> ignore t | _ -> ()|} );
+    ]
+
+(* --- codec pairing ------------------------------------------------------ *)
+
+let codec_mli = ("lib/proto/codec.mli", "val areq_payload : string -> string\n")
+
+let sign_use =
+  {|let sign_it suite p = Suite.sign suite (Codec.areq_payload p)|}
+
+let verify_use =
+  {|let verify_it suite p s = Suite.verify suite (Codec.areq_payload p) s|}
+
+let test_codec () =
+  clean "builder signed and verified" "codec"
+    [ codec_mli; ("lib/x/a.ml", sign_use ^ "\n" ^ verify_use) ];
+  fires "builder never verified" "codec" [ codec_mli; ("lib/x/a.ml", sign_use) ];
+  fires "builder never signed" "codec" [ codec_mli; ("lib/x/a.ml", verify_use) ];
+  fires "orphan builder" "codec" [ codec_mli; ("lib/x/a.ml", "let z = 1\n") ]
+
+(* --- semantic determinism ----------------------------------------------- *)
+
+let test_determinism () =
+  fires "wall-clock read" "determinism"
+    [ ("lib/a.ml", {|let now () = Unix.gettimeofday ()|}) ];
+  fires "Hashtbl.iter leaks bucket order" "determinism"
+    [
+      ( "lib/a.ml",
+        {|let dump tbl = Hashtbl.iter (fun k v -> print_string k; print_int v) tbl|}
+      );
+    ];
+  fires "unordered Hashtbl.fold" "determinism"
+    [ ("lib/a.ml", {|let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []|}) ];
+  clean "fold into a sort" "determinism"
+    [
+      ( "lib/a.ml",
+        {|let keys tbl =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])|}
+      );
+    ];
+  clean "commutative fold" "determinism"
+    [ ("lib/a.ml", {|let total tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0|}) ];
+  fires "top-level mutable state" "determinism"
+    [ ("lib/a.ml", {|let cache = Hashtbl.create 16|}) ];
+  clean "function-local mutable state" "determinism"
+    [ ("lib/a.ml", {|let f () = let h = Hashtbl.create 16 in Hashtbl.length h|}) ]
+
+(* --- dead exports ------------------------------------------------------- *)
+
+let util = [ ("lib/util.mli", "val helper : int -> int\n"); ("lib/util.ml", "let helper x = x + 1\n") ]
+
+let test_dead_export () =
+  fires "unreferenced export" "dead-export" util;
+  clean "referenced from a use-site file" "dead-export" util
+    ~uses:[ ("bin/main.ml", "let () = print_int (Util.helper 1)\n") ];
+  clean "referenced from a sibling lib module" "dead-export"
+    (util @ [ ("lib/other.ml", "let y = Util.helper 3\n") ]);
+  (* A module using its own export keeps it dead. *)
+  fires "intra-module use does not count" "dead-export"
+    [
+      ("lib/util.mli", "val helper : int -> int\n");
+      ("lib/util.ml", "let helper x = x + 1\nlet double x = helper (helper x)\n");
+    ];
+  (* A stale local alias in an unrelated file must not capture a direct
+     sibling reference (the bin-aliases-Json regression). *)
+  clean "unrelated alias does not shadow a real module" "dead-export"
+    (util @ [ ("lib/other.ml", "let y = Util.helper 3\n") ])
+    ~uses:[ ("bin/main.ml", "module Util = Manetsec.Helpers\nlet () = ()\n") ]
+
+(* --- suppression -------------------------------------------------------- *)
+
+let test_suppression () =
+  clean "allow on the line above" "determinism"
+    [
+      ( "lib/a.ml",
+        "(* manetsem: allow determinism -- wall clock ok here *)\n\
+         let now () = Unix.gettimeofday ()\n" );
+    ];
+  (* A multi-line comment anchors to its last line. *)
+  clean "multi-line allow reaches the next line" "determinism"
+    [
+      ( "lib/a.ml",
+        "(* manetsem: allow determinism --\n\
+        \   a longer rationale spanning lines *)\n\
+         let now () = Unix.gettimeofday ()\n" );
+    ];
+  fires "a blank line breaks the anchor" "determinism"
+    [
+      ( "lib/a.ml",
+        "(* manetsem: allow determinism *)\n\nlet now () = Unix.gettimeofday ()\n"
+      );
+    ];
+  fires "allow for another rule does not apply" "determinism"
+    [
+      ( "lib/a.ml",
+        "(* manetsem: allow taint *)\nlet now () = Unix.gettimeofday ()\n" );
+    ];
+  clean "allow-file" "determinism"
+    [
+      ( "lib/a.ml",
+        "(* manetsem: allow-file determinism *)\n\n\
+         let now () = Unix.gettimeofday ()\n" );
+    ]
+
+(* --- baseline semantics ------------------------------------------------- *)
+
+let clock_fixture = [ ("lib/a.ml", "let now () = Unix.gettimeofday ()\n") ]
+
+let test_baseline () =
+  let fs = Sem.analyze clock_fixture in
+  Alcotest.(check bool) "fixture produces findings" true (fs <> []);
+  let fresh, stale = Sem.diff_baseline ~baseline:[] fs in
+  Alcotest.(check int) "everything fresh against empty baseline"
+    (List.length fs) (List.length fresh);
+  Alcotest.(check int) "no stale entries against empty baseline" 0
+    (List.length stale);
+  (* Pinning suppresses, and regeneration is a no-op: rendering the
+     current findings and diffing against the parse of that rendering
+     yields nothing fresh and nothing stale (baseline minimality). *)
+  let pinned = Sem.parse_baseline (Sem.render_baseline fs) in
+  let fresh, stale = Sem.diff_baseline ~baseline:pinned fs in
+  Alcotest.(check int) "pinned findings are not fresh" 0 (List.length fresh);
+  Alcotest.(check int) "rendered baseline has no stale keys" 0
+    (List.length stale);
+  (* An entry that no longer fires is itself an error. *)
+  let fresh, stale =
+    Sem.diff_baseline ~baseline:(pinned @ [ "lib/gone.ml|taint|old" ]) fs
+  in
+  Alcotest.(check int) "no fresh findings" 0 (List.length fresh);
+  Alcotest.(check (list string)) "stale key reported"
+    [ "lib/gone.ml|taint|old" ] stale
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_json () =
+  let fs = Sem.analyze clock_fixture in
+  let js = Sem.to_json ~baseline:[] fs in
+  Alcotest.(check bool) "unbaselined finding flagged false" true
+    (contains js "\"baselined\":false");
+  let pinned = Sem.parse_baseline (Sem.render_baseline fs) in
+  let js = Sem.to_json ~baseline:pinned fs in
+  Alcotest.(check bool) "baselined finding flagged true" true
+    (contains js "\"baselined\":true")
+
+(* --- parse failures ----------------------------------------------------- *)
+
+let test_parse_rule () =
+  fires "unparseable file is a finding" "parse"
+    [ ("lib/bad.ml", "let let let = (((\n") ];
+  clean "parse failures in use-site files are tolerated" "parse"
+    [ ("lib/ok.ml", "let x = 1\n") ]
+    ~uses:[ ("bin/bad.ml", "let let let = (((\n") ]
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "manetsem",
+      [
+        tc "taint fires" test_taint_fires;
+        tc "taint non-sources" test_taint_not_a_source;
+        tc "taint verified ok" test_taint_verified_ok;
+        tc "taint verify-deletion regression" test_taint_verify_deletion_regression;
+        tc "dispatch" test_dispatch;
+        tc "codec" test_codec;
+        tc "determinism" test_determinism;
+        tc "dead-export" test_dead_export;
+        tc "suppression" test_suppression;
+        tc "baseline" test_baseline;
+        tc "json" test_json;
+        tc "parse rule" test_parse_rule;
+      ] );
+  ]

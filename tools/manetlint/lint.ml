@@ -10,8 +10,9 @@
 
      (* manetlint: allow <rule> [<rule> ...] *)
          — suppresses the listed rules on the comment's own lines and on
-           the line directly below it (so the comment sits above the
-           flagged construct).
+           the line directly below the comment's *last* line, so a
+           multi-line rationale still anchors to the flagged construct
+           directly beneath it.
 
      (* manetlint: allow-file <rule> [<rule> ...] *)
          — suppresses the listed rules for the whole file.

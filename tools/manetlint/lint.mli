@@ -5,9 +5,10 @@
     paper's argument relies on (see README.md "Static analysis").
 
     Rules can be suppressed with in-source annotations:
-    [(* manetlint: allow <rule> ... *)] covers the comment's lines plus
-    the line below it; [(* manetlint: allow-file <rule> ... *)] covers
-    the whole file. *)
+    [(* manetlint: allow <rule> ... *)] covers the comment's own lines
+    plus the line directly below the comment's {e last} line — a
+    multi-line rationale still anchors to the construct beneath it;
+    [(* manetlint: allow-file <rule> ... *)] covers the whole file. *)
 
 type finding = { file : string; line : int; rule : string; msg : string }
 

@@ -1,0 +1,1214 @@
+(* manetsem — AST-level semantic analyzer.  See sem.mli for the rule
+   catalogue.  Built on compiler-libs only (Parse + Parsetree +
+   Ast_iterator); no ppxlib. *)
+
+open Parsetree
+
+type finding = { file : string; line : int; rule : string; msg : string }
+
+let rules =
+  [ "taint"; "dispatch"; "codec"; "determinism"; "dead-export"; "parse" ]
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%s:%d: [%s] %s" f.file f.line f.rule f.msg
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Suppression directives.  The parser drops comments, so they are
+   collected lexically: strings (plain and {id|...|id}), char literals
+   and nested comments are tracked so that comment line ranges are
+   exact.  An [allow] suppresses on the comment's own lines and on the
+   line directly below the comment's last line. *)
+
+type allows = {
+  a_ranges : (string * int * int) list; (* rule, first line, last line *)
+  a_whole : string list;
+}
+
+let no_allows = { a_ranges = []; a_whole = [] }
+
+let scan_comments src =
+  let n = String.length src in
+  let comments = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let l0 = !line in
+      let buf = Buffer.create 64 in
+      let depth = ref 1 in
+      i := !i + 2;
+      while !depth > 0 && !i < n do
+        if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
+          incr depth;
+          Buffer.add_string buf "(*";
+          i := !i + 2
+        end
+        else if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = ')' then begin
+          decr depth;
+          if !depth > 0 then Buffer.add_string buf "*)";
+          i := !i + 2
+        end
+        else begin
+          bump src.[!i];
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      comments := (Buffer.contents buf, l0, !line) :: !comments
+    end
+    else if c = '"' then begin
+      incr i;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        match src.[!i] with
+        | '\\' ->
+            if !i + 1 < n && src.[!i + 1] = '\n' then incr line;
+            i := !i + 2
+        | '"' ->
+            fin := true;
+            incr i
+        | ch ->
+            bump ch;
+            incr i
+      done
+    end
+    else if c = '{' then begin
+      let j = ref (!i + 1) in
+      while
+        !j < n && (match src.[!j] with 'a' .. 'z' | '_' -> true | _ -> false)
+      do
+        incr j
+      done;
+      if !j < n && src.[!j] = '|' then begin
+        let id = String.sub src (!i + 1) (!j - !i - 1) in
+        let close = "|" ^ id ^ "}" in
+        let cl = String.length close in
+        i := !j + 1;
+        let fin = ref false in
+        while (not !fin) && !i < n do
+          if !i + cl <= n && String.sub src !i cl = close then begin
+            fin := true;
+            i := !i + cl
+          end
+          else begin
+            bump src.[!i];
+            incr i
+          end
+        done
+      end
+      else begin
+        bump c;
+        incr i
+      end
+    end
+    else if c = '\'' then begin
+      if !i + 2 < n && src.[!i + 1] = '\\' then begin
+        let j = ref (!i + 2) in
+        while !j < n && src.[!j] <> '\'' && !j < !i + 6 do
+          incr j
+        done;
+        if !j < n && src.[!j] = '\'' then i := !j + 1 else incr i
+      end
+      else if !i + 2 < n && src.[!i + 2] = '\'' then begin
+        if src.[!i + 1] = '\n' then incr line;
+        i := !i + 3
+      end
+      else incr i
+    end
+    else begin
+      bump c;
+      incr i
+    end
+  done;
+  List.rev !comments
+
+let words_of s =
+  String.split_on_char '\n' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.filter (fun w -> w <> "")
+
+let rec take_rules = function
+  | w :: rest when List.mem w rules -> w :: take_rules rest
+  | _ -> []
+
+let scan_allows src =
+  List.fold_left
+    (fun acc (text, l0, l1) ->
+      match words_of text with
+      | "manetsem:" :: "allow-file" :: rest ->
+          { acc with a_whole = take_rules rest @ acc.a_whole }
+      | "manetsem:" :: "allow" :: rest ->
+          let rs = take_rules rest in
+          {
+            acc with
+            a_ranges = List.map (fun r -> (r, l0, l1 + 1)) rs @ acc.a_ranges;
+          }
+      | _ -> acc)
+    no_allows (scan_comments src)
+
+let suppressed allows f =
+  List.mem f.rule allows.a_whole
+  || List.exists
+       (fun (r, a, b) -> r = f.rule && a <= f.line && f.line <= b)
+       allows.a_ranges
+
+(* ------------------------------------------------------------------ *)
+(* Parsing and per-file units. *)
+
+type parsed =
+  | Impl of structure
+  | Intf of signature
+  | Fail of int * string
+
+type unit_ = {
+  u_path : string;
+  u_mod : string;
+  u_parsed : parsed;
+  u_aliases : (string, string) Hashtbl.t;
+  u_allows : allows;
+  u_analyzed : bool;
+}
+
+let first_line s =
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let parse_file path content =
+  let lexbuf = Lexing.from_string content in
+  Lexing.set_filename lexbuf path;
+  try
+    if Filename.check_suffix path ".mli" then Intf (Parse.interface lexbuf)
+    else Impl (Parse.implementation lexbuf)
+  with exn ->
+    let line = (Lexing.lexeme_start_p lexbuf).Lexing.pos_lnum in
+    Fail (line, first_line (Printexc.to_string exn))
+
+let rec lid_last = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (_, s) -> s
+  | Longident.Lapply (_, l) -> lid_last l
+
+(* [resolve] maps a reference to an (optional module last-component,
+   name) pair.  Local [module X = A.B] aliases are chased one step; all
+   library module basenames in this tree are distinct, so the last
+   component identifies a module uniquely. *)
+let resolve aliases lid =
+  match lid with
+  | Longident.Lident x -> (None, x)
+  | Longident.Ldot (p, x) ->
+      let m =
+        match p with
+        | Longident.Lident m0 -> (
+            match Hashtbl.find_opt aliases m0 with Some r -> r | None -> m0)
+        | _ -> lid_last p
+      in
+      (Some m, x)
+  | Longident.Lapply (_, _) -> (None, lid_last lid)
+
+let rec collect_aliases str tbl =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_module
+          {
+            pmb_name = { txt = Some name; _ };
+            pmb_expr = { pmod_desc = Pmod_ident { txt; _ }; _ };
+            _;
+          } ->
+          Hashtbl.replace tbl name (lid_last txt)
+      | Pstr_module
+          { pmb_expr = { pmod_desc = Pmod_structure sub; _ }; _ } ->
+          collect_aliases sub tbl
+      | _ -> ())
+    str
+
+let mk_unit ~analyzed (path, content) =
+  let parsed = parse_file path content in
+  let aliases = Hashtbl.create 8 in
+  (match parsed with Impl str -> collect_aliases str aliases | _ -> ());
+  {
+    u_path = path;
+    u_mod =
+      String.capitalize_ascii
+        (Filename.remove_extension (Filename.basename path));
+    u_parsed = parsed;
+    u_aliases = aliases;
+    u_allows = (if analyzed then scan_allows content else no_allows);
+    u_analyzed = analyzed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Top-level function summaries. *)
+
+type fn = {
+  f_unit : unit_;
+  f_mod : string; (* enclosing module: file module or submodule *)
+  f_name : string;
+  f_body : expression;
+  f_line : int;
+}
+
+let rec binding_name p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (q, _) -> binding_name q
+  | _ -> None
+
+let collect_fns u =
+  let out = ref [] in
+  let rec go modname items =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                match binding_name vb.pvb_pat with
+                | Some name ->
+                    out :=
+                      {
+                        f_unit = u;
+                        f_mod = modname;
+                        f_name = name;
+                        f_body = vb.pvb_expr;
+                        f_line = vb.pvb_loc.Location.loc_start.Lexing.pos_lnum;
+                      }
+                      :: !out
+                | None -> ())
+              vbs
+        | Pstr_module
+            {
+              pmb_name = { txt = Some sub; _ };
+              pmb_expr = { pmod_desc = Pmod_structure str; _ };
+              _;
+            } ->
+            go sub str
+        | _ -> ())
+      items
+  in
+  (match u.u_parsed with Impl str -> go u.u_mod str | _ -> ());
+  List.rev !out
+
+(* One-level expression children, for the generic traversal cases. *)
+let sub_expressions e =
+  let acc = ref [] in
+  let sub =
+    {
+      Ast_iterator.default_iterator with
+      expr = (fun _ x -> acc := x :: !acc);
+    }
+  in
+  Ast_iterator.default_iterator.expr sub e;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Verify-before-use taint. *)
+
+let signed_ctors =
+  [
+    "Arep"; "Drep"; "Rreq"; "Rrep"; "Crep"; "Rerr"; "Probe_reply";
+    "Name_reply"; "Ip_change_proof";
+  ]
+
+let named_sinks =
+  [
+    ("Route_cache", [ "insert"; "remove_link"; "remove_route"; "remove_containing" ]);
+    ("Credit", [ "slash"; "reward_route"; "record_rerr" ]);
+    ("Directory", [ "register"; "unregister" ]);
+    ("Identity", [ "refresh_address" ]);
+  ]
+
+let state_fields =
+  [
+    "table"; "pending_by_sip"; "pending_by_dn"; "pending_changes";
+    "stashed_warnings"; "trusted"; "reg_cancelled"; "p_resolved";
+  ]
+
+(* MAC recomputation counts as verification: SRP checks replies by
+   recomputing [*_mac] over the received fields and comparing. *)
+let name_is_verifier n =
+  contains n "verify" || Filename.check_suffix n "_mac"
+
+type scan_env = {
+  sv_self : string;
+  sv_aliases : (string, string) Hashtbl.t;
+  sv_is_verifier : string option * string -> bool;
+  sv_is_sinky : string option * string -> bool;
+  sv_sink : string -> Location.t -> string -> unit;
+}
+
+let callee_of env head =
+  match head.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match resolve env.sv_aliases txt with
+      | None, x -> Some (Some env.sv_self, x)
+      | r -> Some r)
+  | Pexp_field (_, { txt; _ }) -> Some (None, lid_last txt)
+  | _ -> None
+
+let callee_str = function
+  | Some m, x -> m ^ "." ^ x
+  | None, x -> x
+
+let first_positional args =
+  List.find_map
+    (fun (lbl, a) ->
+      match lbl with Asttypes.Nolabel -> Some a | _ -> None)
+    args
+
+let primitive_sink callee args =
+  match callee with
+  | Some m, x
+    when List.exists
+           (fun (sm, xs) -> sm = m && List.mem x xs)
+           named_sinks ->
+      Some ("sink " ^ m ^ "." ^ x)
+  | Some "Hashtbl", (("replace" | "add") as x) -> (
+      match first_positional args with
+      | Some { pexp_desc = Pexp_field (_, { txt; _ }); _ }
+        when List.mem (lid_last txt) state_fields ->
+          Some
+            ("Hashtbl." ^ x ^ " on state field " ^ lid_last txt)
+      | _ -> None)
+  | _ -> None
+
+let pattern_binds p =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self q ->
+          (match q.ppat_desc with
+          | Ppat_var _ | Ppat_alias _ -> found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self q);
+    }
+  in
+  it.pat it p;
+  !found
+
+(* A case taints when its pattern destructures a signed constructor and
+   actually binds part of the payload; a bare [Ctor _] dispatch pattern
+   is not a taint source. *)
+let taint_ctor pat =
+  let found = ref None in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self q ->
+          (match q.ppat_desc with
+          | Ppat_construct ({ txt; _ }, Some (_, arg)) ->
+              let name = lid_last txt in
+              if List.mem name signed_ctors && pattern_binds arg
+                 && !found = None
+              then found := Some name
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self q);
+    }
+  in
+  it.pat it pat;
+  !found
+
+(* The core threading scan.  [v] is "a verifier has run on this path";
+   joins are may-joins (any branch verifying blesses the continuation),
+   which keeps false positives down at the cost of missing flows that
+   verify on one branch only — the rule is a regression tripwire, not a
+   soundness proof.  Returns the verified state after [e]. *)
+let rec scan env ~tainted v e =
+  match e.pexp_desc with
+  | Pexp_let (_, vbs, body) ->
+      let v =
+        List.fold_left (fun v vb -> scan env ~tainted v vb.pvb_expr) v vbs
+      in
+      scan env ~tainted v body
+  | Pexp_sequence (a, b) -> scan env ~tainted (scan env ~tainted v a) b
+  | Pexp_ifthenelse (c, t, eo) ->
+      let vc = scan env ~tainted v c in
+      let vt = scan env ~tainted vc t in
+      let ve =
+        match eo with Some x -> scan env ~tainted vc x | None -> vc
+      in
+      vc || vt || ve
+  | Pexp_match (s, cases) | Pexp_try (s, cases) ->
+      let vs = scan env ~tainted v s in
+      List.fold_left (fun acc c -> acc || scan_case env ~tainted vs c) vs cases
+  | Pexp_function cases ->
+      List.iter (fun c -> ignore (scan_case env ~tainted v c)) cases;
+      v
+  | Pexp_fun (_, dflt, _, body) ->
+      (match dflt with
+      | Some d -> ignore (scan env ~tainted v d)
+      | None -> ());
+      ignore (scan env ~tainted v body);
+      v
+  | Pexp_apply (head, args) ->
+      let v_args =
+        List.fold_left (fun v (_, a) -> scan env ~tainted v a) v args
+      in
+      let v_args =
+        match head.pexp_desc with
+        | Pexp_ident _ -> v_args
+        | Pexp_field (b, _) -> scan env ~tainted v_args b
+        | _ -> scan env ~tainted v_args head
+      in
+      let callee = callee_of env head in
+      let verifies =
+        match callee with Some c -> env.sv_is_verifier c | None -> false
+      in
+      (match (callee, tainted) with
+      | Some c, Some ctor when not v_args -> (
+          match primitive_sink c args with
+          | Some desc ->
+              env.sv_sink ctor head.pexp_loc desc
+          | None ->
+              if env.sv_is_sinky c then
+                env.sv_sink ctor head.pexp_loc
+                  (callee_str c ^ ", which mutates protocol state"))
+      | _ -> ());
+      v_args || verifies
+  | Pexp_setfield (obj, fld, value) ->
+      let v' = scan env ~tainted (scan env ~tainted v obj) value in
+      let fname = lid_last fld.Location.txt in
+      (match tainted with
+      | Some ctor when (not v') && List.mem fname state_fields ->
+          env.sv_sink ctor e.pexp_loc ("mutation of state field " ^ fname)
+      | _ -> ());
+      v'
+  | _ -> List.fold_left (fun v x -> scan env ~tainted v x) v (sub_expressions e)
+
+and scan_case env ~tainted v c =
+  let t' =
+    match taint_ctor c.pc_lhs with Some ctor -> Some ctor | None -> tainted
+  in
+  let vg =
+    match c.pc_guard with
+    | Some g -> scan env ~tainted:t' v g
+    | None -> v
+  in
+  scan env ~tainted:t' vg c.pc_rhs
+
+(* Verifier fixpoint: a function verifies if its body applies something
+   whose name contains "verify" (Suite.verify, Cga.verify, hand-rolled
+   verify_* helpers) or another member of the set. *)
+let verifier_fixpoint fns =
+  let vset = Hashtbl.create 32 in
+  let member c =
+    match c with
+    | Some m, x -> name_is_verifier x || Hashtbl.mem vset (m, x)
+    | None, x -> name_is_verifier x
+  in
+  let body_verifies f =
+    let hit = ref false in
+    let env =
+      {
+        sv_self = f.f_mod;
+        sv_aliases = f.f_unit.u_aliases;
+        sv_is_verifier = member;
+        sv_is_sinky = (fun _ -> false);
+        sv_sink = (fun _ _ _ -> ());
+      }
+    in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self e ->
+            (match e.pexp_desc with
+            | Pexp_apply (head, _) -> (
+                match callee_of env head with
+                | Some c when member c -> hit := true
+                | _ -> ())
+            | _ -> ());
+            Ast_iterator.default_iterator.expr self e);
+      }
+    in
+    it.expr it f.f_body;
+    !hit
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun f ->
+        if (not (Hashtbl.mem vset (f.f_mod, f.f_name))) && body_verifies f
+        then begin
+          Hashtbl.replace vset (f.f_mod, f.f_name) ();
+          changed := true
+        end)
+      fns
+  done;
+  vset
+
+(* Unguarded-sink fixpoint: a function is "sinky" when some path through
+   its body reaches a state-mutating sink (or a sinky callee) without a
+   verifier having run first.  Calling one of these from a taint arm
+   without prior verification is exactly the bug class of §3.3/§3.4. *)
+let sinky_fixpoint fns vset =
+  let sinky = Hashtbl.create 32 in
+  let is_verifier c =
+    match c with
+    | Some m, x -> name_is_verifier x || Hashtbl.mem vset (m, x)
+    | None, x -> name_is_verifier x
+  in
+  let is_sinky c =
+    match c with Some m, x -> Hashtbl.mem sinky (m, x) | None, _ -> false
+  in
+  let body_sinks f =
+    let hit = ref false in
+    let env =
+      {
+        sv_self = f.f_mod;
+        sv_aliases = f.f_unit.u_aliases;
+        sv_is_verifier = is_verifier;
+        sv_is_sinky = is_sinky;
+        sv_sink = (fun _ _ _ -> hit := true);
+      }
+    in
+    ignore (scan env ~tainted:(Some "summary") false f.f_body);
+    !hit
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun f ->
+        if (not (Hashtbl.mem sinky (f.f_mod, f.f_name))) && body_sinks f
+        then begin
+          Hashtbl.replace sinky (f.f_mod, f.f_name) ();
+          changed := true
+        end)
+      fns
+  done;
+  sinky
+
+let taint_findings fns vset sinky =
+  let out = ref [] in
+  List.iter
+    (fun f ->
+      let env =
+        {
+          sv_self = f.f_mod;
+          sv_aliases = f.f_unit.u_aliases;
+          sv_is_verifier =
+            (fun c ->
+              match c with
+              | Some m, x -> name_is_verifier x || Hashtbl.mem vset (m, x)
+              | None, x -> name_is_verifier x);
+          sv_is_sinky =
+            (fun c ->
+              match c with
+              | Some m, x -> Hashtbl.mem sinky (m, x)
+              | None, _ -> false);
+          sv_sink =
+            (fun ctor loc desc ->
+              out :=
+                {
+                  file = f.f_unit.u_path;
+                  line = loc.Location.loc_start.Lexing.pos_lnum;
+                  rule = "taint";
+                  msg =
+                    Printf.sprintf "unverified %s payload reaches %s" ctor
+                      desc;
+                }
+                :: !out);
+        }
+      in
+      ignore (scan env ~tainted:None false f.f_body))
+    fns;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch coverage. *)
+
+let messages_ctors units =
+  let from_sig sg =
+    List.find_map
+      (fun item ->
+        match item.psig_desc with
+        | Psig_type (_, decls) ->
+            List.find_map
+              (fun d ->
+                match (d.ptype_name.Location.txt, d.ptype_kind) with
+                | "t", Ptype_variant cds ->
+                    Some (List.map (fun cd -> cd.pcd_name.Location.txt) cds)
+                | _ -> None)
+              decls
+        | _ -> None)
+      sg
+  in
+  List.find_map
+    (fun u ->
+      if Filename.basename u.u_path = "messages.mli" then
+        match u.u_parsed with Intf sg -> from_sig sg | _ -> None
+      else None)
+    units
+
+let dispatch_dirs = [ "dad"; "dns"; "dsr"; "secure" ]
+
+let in_dispatch_dir path =
+  let dir = Filename.basename (Filename.dirname path) in
+  List.mem dir dispatch_dirs
+
+(* The dispatch site is the outermost match of a [handle] function:
+   descend through parameters and leading bindings, stopping at the
+   first match/function in tail position. *)
+let rec dispatch_site e =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, _, body) -> dispatch_site body
+  | Pexp_let (_, _, body) -> dispatch_site body
+  | Pexp_sequence (_, b) -> dispatch_site b
+  | Pexp_constraint (x, _) | Pexp_open (_, x) -> dispatch_site x
+  | Pexp_match (_, cases) | Pexp_function cases -> Some (e.pexp_loc, cases)
+  | _ -> None
+
+let rec covers_all p =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_alias (q, _) | Ppat_constraint (q, _) | Ppat_open (_, q) ->
+      covers_all q
+  | Ppat_or (a, b) -> covers_all a || covers_all b
+  | _ -> false
+
+let pattern_ctors ctors p =
+  let out = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self q ->
+          (match q.ppat_desc with
+          | Ppat_construct ({ txt; _ }, _) ->
+              let n = lid_last txt in
+              if List.mem n ctors && not (List.mem n !out) then
+                out := n :: !out
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self q);
+    }
+  in
+  it.pat it p;
+  !out
+
+let dispatch_findings fns ctors =
+  let out = ref [] in
+  List.iter
+    (fun f ->
+      if f.f_name = "handle" && in_dispatch_dir f.f_unit.u_path then
+        match dispatch_site f.f_body with
+        | Some (loc, cases) ->
+            let mentioned =
+              List.concat_map (fun c -> pattern_ctors ctors c.pc_lhs) cases
+            in
+            if mentioned <> [] then begin
+              let line = loc.Location.loc_start.Lexing.pos_lnum in
+              let catch_alls =
+                List.filter (fun c -> covers_all c.pc_lhs) cases
+              in
+              List.iter
+                (fun c ->
+                  out :=
+                    {
+                      file = f.f_unit.u_path;
+                      line =
+                        c.pc_lhs.ppat_loc.Location.loc_start.Lexing.pos_lnum;
+                      rule = "dispatch";
+                      msg =
+                        "catch-all arm hides Messages.t constructors; \
+                         enumerate every arm explicitly";
+                    }
+                    :: !out)
+                catch_alls;
+              if catch_alls = [] then begin
+                let handled =
+                  List.sort_uniq compare
+                    (List.concat_map
+                       (fun c -> pattern_ctors ctors c.pc_lhs)
+                       cases)
+                in
+                let missing =
+                  List.filter (fun c -> not (List.mem c handled)) ctors
+                in
+                if missing <> [] then
+                  out :=
+                    {
+                      file = f.f_unit.u_path;
+                      line;
+                      rule = "dispatch";
+                      msg =
+                        "dispatch does not handle Messages.t constructors: "
+                        ^ String.concat ", " missing;
+                    }
+                    :: !out
+              end
+            end
+        | None -> ())
+    fns;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Codec pairing.  Classification is per enclosing top-level function:
+   a payload builder must be mentioned by at least one signing function
+   (applies something whose name contains "sign") and one verification
+   function (in the verifier fixpoint, or itself verify-named). *)
+
+let codec_payloads units =
+  List.concat_map
+    (fun u ->
+      if Filename.basename u.u_path = "codec.mli" then
+        match u.u_parsed with
+        | Intf sg ->
+            List.filter_map
+              (fun item ->
+                match item.psig_desc with
+                | Psig_value vd
+                  when Filename.check_suffix vd.pval_name.Location.txt
+                         "_payload" ->
+                    Some
+                      ( vd.pval_name.Location.txt,
+                        u.u_path,
+                        vd.pval_loc.Location.loc_start.Lexing.pos_lnum )
+                | _ -> None)
+              sg
+        | _ -> []
+      else [])
+    units
+
+let fn_payload_uses f =
+  let out = ref [] in
+  let has_sign = ref false in
+  let env =
+    {
+      sv_self = f.f_mod;
+      sv_aliases = f.f_unit.u_aliases;
+      sv_is_verifier = (fun _ -> false);
+      sv_is_sinky = (fun _ -> false);
+      sv_sink = (fun _ _ _ -> ());
+    }
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } ->
+              let _, x = resolve f.f_unit.u_aliases txt in
+              if Filename.check_suffix x "_payload" then out := x :: !out
+          | Pexp_apply (head, _) -> (
+              match callee_of env head with
+              | Some (_, n) when contains n "sign" && not (contains n "verify")
+                ->
+                  has_sign := true
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it f.f_body;
+  (!out, !has_sign)
+
+let codec_findings fns vset units =
+  let payloads = codec_payloads units in
+  if payloads = [] then []
+  else begin
+    let signed = Hashtbl.create 8 and verified = Hashtbl.create 8 in
+    let used = Hashtbl.create 8 in
+    List.iter
+      (fun f ->
+        (* the builder's own definition does not count as a use *)
+        if not (Filename.check_suffix f.f_name "_payload") then begin
+          let uses, has_sign = fn_payload_uses f in
+          let in_verify =
+            Hashtbl.mem vset (f.f_mod, f.f_name) || name_is_verifier f.f_name
+          in
+          List.iter
+            (fun p ->
+              Hashtbl.replace used p ();
+              if has_sign then Hashtbl.replace signed p ();
+              if in_verify then Hashtbl.replace verified p ())
+            uses
+        end)
+      fns;
+    List.filter_map
+      (fun (p, file, line) ->
+        let mk msg = Some { file; line; rule = "codec"; msg } in
+        if not (Hashtbl.mem used p) then
+          mk (Printf.sprintf "codec builder %s is never used (orphan wire helper)" p)
+        else if not (Hashtbl.mem signed p) then
+          mk (Printf.sprintf "codec builder %s never appears in a signing context" p)
+        else if not (Hashtbl.mem verified p) then
+          mk
+            (Printf.sprintf
+               "codec builder %s never appears in a verification context" p)
+        else None)
+      payloads
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Semantic determinism. *)
+
+let clock_idents =
+  [
+    ("Unix", "time"); ("Unix", "gettimeofday"); ("Unix", "localtime");
+    ("Unix", "gmtime"); ("Unix", "mktime"); ("Sys", "time");
+  ]
+
+let sortish n =
+  List.mem n [ "sort"; "sort_uniq"; "stable_sort"; "fast_sort" ]
+
+let commutative_ops =
+  [ "+"; "+."; "*"; "*."; "max"; "min"; "land"; "lor"; "lxor"; "&&"; "||" ]
+
+let rec comm_expr acc e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident x; _ } -> x = acc
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+    when List.mem (lid_last txt) commutative_ops ->
+      List.exists (fun (_, a) -> comm_expr acc a) args
+  | Pexp_ifthenelse (_, t, eo) -> (
+      comm_expr acc t
+      && match eo with Some x -> comm_expr acc x | None -> false)
+  | Pexp_match (_, cases) ->
+      cases <> [] && List.for_all (fun c -> comm_expr acc c.pc_rhs) cases
+  | Pexp_let (_, _, b) | Pexp_sequence (_, b) -> comm_expr acc b
+  | Pexp_constraint (x, _) -> comm_expr acc x
+  | _ -> false
+
+let commutative_fold_fn f =
+  let rec peel e =
+    match e.pexp_desc with
+    | Pexp_fun (_, _, p, body) -> (
+        match body.pexp_desc with
+        | Pexp_fun _ -> peel body
+        | _ -> (binding_name p, Some body))
+    | _ -> (None, None)
+  in
+  match peel f with
+  | Some acc, Some body -> comm_expr acc body
+  | _ -> false
+
+let head_is_sortish env e =
+  match e.pexp_desc with
+  | Pexp_apply (h, _) -> (
+      match callee_of env h with Some (_, n) -> sortish n | None -> false)
+  | Pexp_ident { txt; _ } -> sortish (lid_last txt)
+  | _ -> false
+
+let rec dwalk env report ~sorted e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match resolve env.sv_aliases txt with
+      | Some m, x when List.mem (m, x) clock_idents ->
+          report e.pexp_loc
+            (Printf.sprintf
+               "wall-clock read %s.%s is nondeterministic across runs" m x)
+      | _ -> ())
+  | Pexp_apply (h, args) -> (
+      match (callee_of env h, args) with
+      | Some (_, "|>"), [ (_, l); (_, r) ] ->
+          dwalk env report ~sorted:(sorted || head_is_sortish env r) l;
+          dwalk env report ~sorted r
+      | Some (_, "@@"), [ (_, fn); (_, x) ] ->
+          dwalk env report ~sorted fn;
+          dwalk env report ~sorted:(sorted || head_is_sortish env fn) x
+      | callee, _ ->
+          let sorted_args =
+            sorted
+            || match callee with Some (_, n) -> sortish n | None -> false
+          in
+          (match callee with
+          | Some (Some m, x) when List.mem (m, x) clock_idents ->
+              report h.pexp_loc
+                (Printf.sprintf
+                   "wall-clock read %s.%s is nondeterministic across runs" m
+                   x)
+          | Some (Some "Hashtbl", "iter") ->
+              report h.pexp_loc
+                "Hashtbl.iter order is unspecified and can leak into \
+                 traces; fold to a list and sort instead"
+          | Some (Some "Hashtbl", "fold") ->
+              let comm =
+                match first_positional args with
+                | Some f0 -> commutative_fold_fn f0
+                | None -> false
+              in
+              if not (sorted || comm) then
+                report h.pexp_loc
+                  "Hashtbl.fold order is unspecified; sort the result or \
+                   use a commutative accumulator"
+          | _ -> ());
+          List.iter (fun (_, a) -> dwalk env report ~sorted:sorted_args a) args;
+          (match h.pexp_desc with
+          | Pexp_ident _ -> ()
+          | _ -> dwalk env report ~sorted h))
+  | _ -> List.iter (dwalk env report ~sorted) (sub_expressions e)
+
+let rec mutable_creation e =
+  match e.pexp_desc with
+  | Pexp_constraint (x, _) | Pexp_coerce (x, _, _) -> mutable_creation x
+  | Pexp_array _ -> true
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match txt with
+      | Longident.Lident "ref" -> true
+      | Longident.Ldot (p, x) -> (
+          match (lid_last p, x) with
+          | ("Hashtbl" | "Queue" | "Buffer" | "Stack" | "Atomic"), "create" ->
+              true
+          | ("Array" | "Bytes"), ("make" | "create" | "init") -> true
+          | _ -> false)
+      | _ -> false)
+  | _ -> false
+
+let determinism_findings fns =
+  let out = ref [] in
+  List.iter
+    (fun f ->
+      let env =
+        {
+          sv_self = f.f_mod;
+          sv_aliases = f.f_unit.u_aliases;
+          sv_is_verifier = (fun _ -> false);
+          sv_is_sinky = (fun _ -> false);
+          sv_sink = (fun _ _ _ -> ());
+        }
+      in
+      let report_line line msg =
+        out :=
+          { file = f.f_unit.u_path; line; rule = "determinism"; msg } :: !out
+      in
+      let report loc msg =
+        report_line loc.Location.loc_start.Lexing.pos_lnum msg
+      in
+      if mutable_creation f.f_body then
+        report_line f.f_line
+          (Printf.sprintf
+             "top-level mutable value %s is shared across simulation runs"
+             f.f_name);
+      dwalk env report ~sorted:false f.f_body)
+    fns;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Dead exports. *)
+
+(* The core library (lib/core/manetsec.ml) re-exports modules under new
+   names ([module Obs_report = Manet_obs.Report]); bin/test reference
+   them through those names.  Chase aliases transitively across all
+   files so such uses land on the defining module. *)
+let global_chase units =
+  (* Names of real compilation units: a reference that already lands on
+     one must not be chased further — another file's alias of the same
+     bare name (e.g. bin's [module Json = Manetsec.Obs_json]) is a
+     different scope and must not capture it. *)
+  let real = Hashtbl.create 64 in
+  List.iter (fun u -> Hashtbl.replace real u.u_mod ()) units;
+  let pairs =
+    List.concat_map
+      (fun u ->
+        Hashtbl.fold
+          (fun k v acc -> if k <> v then (k, v) :: acc else acc)
+          u.u_aliases [])
+      units
+    |> List.sort_uniq compare
+  in
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) pairs;
+  let rec chase seen n =
+    if Hashtbl.mem real n then n
+    else
+      match Hashtbl.find_opt tbl n with
+      | Some v when (not (List.mem v seen)) && List.length seen < 8 ->
+          chase (n :: seen) v
+      | _ -> n
+  in
+  fun n -> chase [] n
+
+let collect_uses units =
+  let chase = global_chase units in
+  let used = Hashtbl.create 256 in
+  List.iter
+    (fun u ->
+      match u.u_parsed with
+      | Impl str ->
+          let it =
+            {
+              Ast_iterator.default_iterator with
+              expr =
+                (fun self e ->
+                  (match e.pexp_desc with
+                  | Pexp_ident { txt; _ } -> (
+                      match resolve u.u_aliases txt with
+                      | Some m, x ->
+                          Hashtbl.replace used (u.u_mod, chase m, x) ()
+                      | None, _ -> ())
+                  | _ -> ());
+                  Ast_iterator.default_iterator.expr self e);
+            }
+          in
+          List.iter (fun item -> it.structure_item it item) str
+      | _ -> ())
+    units;
+  used
+
+let is_operator_name n =
+  n = "" || match n.[0] with 'a' .. 'z' | '_' -> false | _ -> true
+
+let dead_export_findings units =
+  let used = Hashtbl.create 256 in
+  Hashtbl.iter (fun k () -> Hashtbl.replace used k ())
+    (collect_uses units);
+  let used_outside m x =
+    Hashtbl.fold
+      (fun (u, um, ux) () acc -> acc || (um = m && ux = x && u <> m))
+      used false
+  in
+  List.concat_map
+    (fun u ->
+      if not u.u_analyzed then []
+      else
+        match u.u_parsed with
+        | Intf sg ->
+            List.filter_map
+              (fun item ->
+                match item.psig_desc with
+                | Psig_value vd ->
+                    let name = vd.pval_name.Location.txt in
+                    if
+                      (not (is_operator_name name))
+                      && not (used_outside u.u_mod name)
+                    then
+                      Some
+                        {
+                          file = u.u_path;
+                          line =
+                            vd.pval_loc.Location.loc_start.Lexing.pos_lnum;
+                          rule = "dead-export";
+                          msg =
+                            Printf.sprintf
+                              "val %s.%s is never referenced outside its \
+                               module"
+                              u.u_mod name;
+                        }
+                    else None
+                | _ -> None)
+              sg
+        | _ -> [])
+    units
+
+(* ------------------------------------------------------------------ *)
+(* Assembly. *)
+
+let compare_findings a b =
+  match compare a.file b.file with
+  | 0 -> (
+      match compare a.line b.line with
+      | 0 -> (
+          match compare a.rule b.rule with 0 -> compare a.msg b.msg | c -> c)
+      | c -> c)
+  | c -> c
+
+let analyze ?(uses = []) files =
+  let analyzed = List.map (mk_unit ~analyzed:true) files in
+  let reference = List.map (mk_unit ~analyzed:false) uses in
+  let units = analyzed @ reference in
+  let fns = List.concat_map collect_fns analyzed in
+  let vset = verifier_fixpoint fns in
+  let sinky = sinky_fixpoint fns vset in
+  let parse_failures =
+    List.filter_map
+      (fun u ->
+        match u.u_parsed with
+        | Fail (line, msg) ->
+            Some
+              {
+                file = u.u_path;
+                line;
+                rule = "parse";
+                msg = "file does not parse: " ^ msg;
+              }
+        | _ -> None)
+      analyzed
+  in
+  let findings =
+    parse_failures
+    @ taint_findings fns vset sinky
+    @ (match messages_ctors analyzed with
+      | Some ctors -> dispatch_findings fns ctors
+      | None -> [])
+    @ codec_findings fns vset analyzed
+    @ determinism_findings fns
+    @ dead_export_findings units
+  in
+  let allows_for =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun u -> Hashtbl.replace tbl u.u_path u.u_allows) analyzed;
+    fun path ->
+      match Hashtbl.find_opt tbl path with
+      | Some a -> a
+      | None -> no_allows
+  in
+  findings
+  |> List.filter (fun f -> not (suppressed (allows_for f.file) f))
+  |> List.sort_uniq compare_findings
+
+(* ------------------------------------------------------------------ *)
+(* Baseline. *)
+
+let finding_key f = f.file ^ "|" ^ f.rule ^ "|" ^ f.msg
+
+let render_baseline findings =
+  let keys = List.sort_uniq compare (List.map finding_key findings) in
+  let header =
+    "# manetsem baseline — accepted pre-existing findings.\n\
+     # One key per line: file|rule|message.  Regenerate with:\n\
+     #   dune exec tools/manetsem/main.exe -- --write-baseline\n"
+  in
+  header ^ String.concat "" (List.map (fun k -> k ^ "\n") keys)
+
+let parse_baseline s =
+  String.split_on_char '\n' s
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+
+let diff_baseline ~baseline findings =
+  let fresh =
+    List.filter (fun f -> not (List.mem (finding_key f) baseline)) findings
+  in
+  let keys = List.map finding_key findings in
+  let stale = List.filter (fun k -> not (List.mem k keys)) baseline in
+  (fresh, stale)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ~baseline findings =
+  let obj f =
+    Printf.sprintf
+      "{\"file\":\"%s\",\"line\":%d,\"rule\":\"%s\",\"msg\":\"%s\",\"baselined\":%b}"
+      (json_escape f.file) f.line (json_escape f.rule) (json_escape f.msg)
+      (List.mem (finding_key f) baseline)
+  in
+  "[" ^ String.concat ",\n " (List.map obj findings) ^ "]\n"

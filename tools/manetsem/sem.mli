@@ -1,0 +1,77 @@
+(** manetsem — AST-level semantic analyzer for the MANET codebase.
+
+    Where manetlint (tools/manetlint) is lexical, manetsem parses every
+    source file with compiler-libs ([Parse] + [Parsetree]) and checks
+    dataflow-level properties of the paper's security argument:
+
+    - ["taint"] — verify-before-use: a value destructured from a signed
+      {!Messages.t} constructor must not reach a state-mutating sink
+      (routing table, DNS directory, credit store, protocol state
+      fields) on any path that has not passed a [verify]/CGA check.
+    - ["dispatch"] — every [Messages.t] constructor must be named (no
+      catch-all arm) in the protocol [handle] dispatch of [lib/dad],
+      [lib/dns], [lib/dsr] and [lib/secure], cross-checked against the
+      constructor list parsed from [messages.mli].
+    - ["codec"] — every [Codec.*_payload] wire builder must appear in
+      both a signing and a verification context; orphaned or asymmetric
+      helpers are flagged.
+    - ["determinism"] — wall-clock reads, [Hashtbl.iter]/unordered
+      [Hashtbl.fold] whose order can leak into traces, and top-level
+      mutable state shared across simulation runs.
+    - ["dead-export"] — [.mli] vals never referenced outside their own
+      module anywhere in the tree (uses the same cross-module reference
+      graph the taint rule builds).
+    - ["parse"] — a file failed to parse (internal error, never
+      baselined away silently).
+
+    Suppression mirrors manetlint: [(* manetsem: allow <rules> — why *)]
+    suppresses the named rules on the comment's own lines and on the
+    line directly below the comment's {e last} line;
+    [(* manetsem: allow-file <rules> *)] suppresses for the whole file. *)
+
+type finding = {
+  file : string;
+  line : int;
+  rule : string;
+  msg : string;
+}
+
+val rules : string list
+(** All rule identifiers accepted by the [allow] directives. *)
+
+val analyze :
+  ?uses:(string * string) list -> (string * string) list -> finding list
+(** [analyze ~uses files] runs every rule over [files] (path, content
+    pairs — the analyzed set, normally [lib/**/*.ml(i)]).  [uses] are
+    reference-only files (bin, test, bench, examples): they are parsed
+    for cross-module references feeding the dead-export rule but are
+    not themselves checked.  Findings are sorted by file, line, rule
+    and already filtered through in-source [allow] annotations. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+(** [file:line: [rule] msg] — one line, the format the CLI prints. *)
+
+(** {1 Baseline}
+
+    A baseline pins accepted pre-existing findings so that [@lint] only
+    fails on {e new} ones.  Keys deliberately omit the line number so
+    unrelated edits do not invalidate the baseline. *)
+
+val finding_key : finding -> string
+(** Stable identity of a finding: ["file|rule|msg"]. *)
+
+val render_baseline : finding list -> string
+(** Serialize findings as a sorted, de-duplicated baseline file. *)
+
+val parse_baseline : string -> string list
+(** Keys from a baseline file's contents ([#] comments, blanks skipped). *)
+
+val diff_baseline :
+  baseline:string list -> finding list -> finding list * string list
+(** [diff_baseline ~baseline findings] is [(fresh, stale)]: findings
+    whose key is not pinned, and pinned keys that no longer fire.  Both
+    are failures — stale keys keep the committed baseline minimal. *)
+
+val to_json : baseline:string list -> finding list -> string
+(** All findings as a JSON array (each with a ["baselined"] flag), for
+    the CI artifact. *)
