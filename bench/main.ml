@@ -23,6 +23,7 @@ let sections =
     ("e7", fun () -> Experiments.e7 ());
     ("resilience", fun () -> Resilience_bench.run ());
     ("profile", fun () -> Profile_bench.run ());
+    ("audit", fun () -> Audit_bench.run ());
     ("micro", fun () -> Micro.run ());
   ]
 

@@ -23,6 +23,9 @@ module Prng = Manetsec.Crypto.Prng
 module Obs = Manetsec.Obs
 module Json = Manetsec.Obs_json
 module Obs_report = Manetsec.Obs_report
+module Audit = Manetsec.Audit
+module Metrics = Manetsec.Metrics
+module Detector = Manetsec.Detector
 
 open Cmdliner
 
@@ -125,6 +128,34 @@ let profile_t =
           "Measure host wall-clock time per event class (does not perturb \
            the simulation) and print the breakdown.")
 
+let audit_jsonl_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "audit-jsonl" ] ~docv:"FILE"
+        ~doc:
+          "Write the security audit event stream as schema-versioned JSONL \
+           (byte-identical across replays of the same seed).  Query it \
+           offline with the audit subcommand.")
+
+let metrics_csv_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-csv" ] ~docv:"FILE"
+        ~doc:
+          "Write windowed per-node and global metrics as CSV (enables the \
+           metrics engine for the run).")
+
+let metrics_prom_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-prom" ] ~docv:"FILE"
+        ~doc:
+          "Write windowed metrics in Prometheus exposition format (enables \
+           the metrics engine for the run).")
+
 (* --- telemetry plumbing -------------------------------------------------- *)
 
 let write_file path contents =
@@ -132,10 +163,12 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
-(* Must run before any engine events fire: capture is append-only and the
-   profiler only samples the clock inside [Engine.run]. *)
-let telemetry_begin s ~profile ~jsonl_trace =
+(* Must run before any engine events fire: capture is append-only, the
+   profiler only samples the clock inside [Engine.run], and metric
+   windows only fill while the engine is enabled. *)
+let telemetry_begin ?(metrics = false) s ~profile ~jsonl_trace =
   if profile then Engine.set_profiling (Scenario.engine s) true;
+  if metrics then Metrics.set_enabled (Obs.metrics (Scenario.obs s)) true;
   if jsonl_trace <> None then Obs.set_capture (Scenario.obs s) true
 
 let print_profile s =
@@ -152,7 +185,28 @@ let print_profile s =
     (Engine.wall_in_run engine *. 1000.0)
     (Engine.events_per_sec engine)
 
-let telemetry_end s ~seed ~profile ~jsonl_trace ~json_report =
+let telemetry_end ?audit_jsonl ?metrics_csv ?metrics_prom s ~seed ~profile
+    ~jsonl_trace ~json_report =
+  (match audit_jsonl with
+  | Some path ->
+      write_file path
+        (Audit.to_jsonl
+           ~meta:[ ("seed", Json.Int seed) ]
+           (Obs.audit (Scenario.obs s)));
+      Printf.printf "audit jsonl         %s\n" path
+  | None -> ());
+  (match metrics_csv with
+  | Some path ->
+      write_file path
+        (Metrics.to_csv ~stats:(Scenario.stats s) (Obs.metrics (Scenario.obs s)));
+      Printf.printf "metrics csv         %s\n" path
+  | None -> ());
+  (match metrics_prom with
+  | Some path ->
+      write_file path
+        (Metrics.to_prom ~stats:(Scenario.stats s) (Obs.metrics (Scenario.obs s)));
+      Printf.printf "metrics prom        %s\n" path
+  | None -> ());
   (match jsonl_trace with
   | Some path ->
       write_file path
@@ -230,13 +284,14 @@ let report s =
 (* --- run ----------------------------------------------------------------- *)
 
 let run_cmd nodes seed protocol suite mobility blackholes spammers duration flows trace
-    jsonl_trace json_report profile =
+    jsonl_trace json_report profile audit_jsonl metrics_csv metrics_prom =
   let params =
     make_params ~nodes ~seed ~protocol ~suite ~mobility ~blackholes ~spammers
   in
   let s = Scenario.create params in
   if trace then Trace.enable (Engine.trace (Scenario.engine s));
-  telemetry_begin s ~profile ~jsonl_trace;
+  telemetry_begin s ~profile ~jsonl_trace
+    ~metrics:(metrics_csv <> None || metrics_prom <> None);
   Printf.printf "bootstrapping %d nodes...\n%!" nodes;
   Scenario.bootstrap s;
   let g = Prng.create ~seed:(seed + 99) in
@@ -255,7 +310,15 @@ let run_cmd nodes seed protocol suite mobility blackholes spammers duration flow
   Scenario.start_cbr s ~flows:flow_list ~interval:0.5 ~duration ();
   Scenario.run s ~until:(Engine.now (Scenario.engine s) +. duration +. 30.0);
   report s;
-  telemetry_end s ~seed ~profile ~jsonl_trace ~json_report;
+  Printf.printf "audit events        %d\n"
+    (Audit.count (Obs.audit (Scenario.obs s)));
+  (match Detector.suspects (Scenario.detector s) with
+  | [] -> ()
+  | suspects ->
+      Printf.printf "suspected nodes     %s\n"
+        (String.concat ", " (List.map string_of_int suspects)));
+  telemetry_end s ~seed ~profile ~jsonl_trace ~json_report ?audit_jsonl
+    ?metrics_csv ?metrics_prom;
   if trace then begin
     Printf.printf "\n-- trace --------------------------------------------\n";
     print_string (Trace.render (Engine.trace (Scenario.engine s)))
@@ -265,7 +328,8 @@ let run_term =
   Term.(
     const run_cmd $ nodes_t $ seed_t $ protocol_t $ suite_t $ mobility_t
     $ blackholes_t $ spammers_t $ duration_t $ flows_t $ trace_t
-    $ jsonl_trace_t $ json_report_t $ profile_t)
+    $ jsonl_trace_t $ json_report_t $ profile_t $ audit_jsonl_t $ metrics_csv_t
+    $ metrics_prom_t)
 
 (* --- dad ------------------------------------------------------------------ *)
 
@@ -329,11 +393,18 @@ let attacks_cmd nodes seed =
             ~flows:[ (1, nodes - 1); (nodes - 1, 1) ]
             ~interval:0.5 ~duration:30.0 ();
           Scenario.run s ~until:(Engine.now (Scenario.engine s) +. 60.0);
-          Printf.printf "%-16s vs %-7s delivery %.2f  suspected %d  rejected %d\n"
+          let det = Scenario.detector s in
+          let a = Detector.score det ~truth:(Scenario.adversary_ids s) in
+          Printf.printf
+            "%-16s vs %-7s delivery %.2f  suspected %d  rejected %d  flagged \
+             [%s]  precision %.2f recall %.2f\n"
             name pname (Scenario.delivery_ratio s)
             (Stats.get (Scenario.stats s) "secure.hostile_suspected")
             (Stats.get (Scenario.stats s) "secure.rreq_rejected"
-            + Stats.get (Scenario.stats s) "secure.rrep_rejected"))
+            + Stats.get (Scenario.stats s) "secure.rrep_rejected")
+            (String.concat ","
+               (List.map string_of_int (Detector.suspects det)))
+            a.Detector.precision a.Detector.recall)
         [ ("dsr", Scenario.Plain_dsr); ("secure", Scenario.Secure) ])
     [
       ("blackhole", Adversary.blackhole);
@@ -391,6 +462,54 @@ let no_tree_t =
 
 let report_term = Term.(ret (const report_cmd $ report_file_t $ top_t $ no_tree_t))
 
+(* --- audit ------------------------------------------------------------------ *)
+
+let audit_cmd file no_timeline =
+  let contents = In_channel.with_open_bin file In_channel.input_all in
+  match Audit.parse_jsonl contents with
+  | parsed ->
+      let evs = parsed.Audit.parsed_events in
+      let header field =
+        match Json.member field parsed.Audit.header with
+        | Some j -> Json.to_string j
+        | None -> "?"
+      in
+      Printf.printf "audit %s  (schema %s v%s, %d events, %d dropped)\n" file
+        (header "schema") (header "version") (List.length evs)
+        (match Json.member "dropped" parsed.Audit.header with
+        | Some (Json.Int d) -> d
+        | _ -> 0);
+      if not no_timeline then begin
+        Printf.printf "\n-- timeline -----------------------------------------\n";
+        print_string (Audit.render_timeline evs)
+      end;
+      Printf.printf "\n-- per-node scorecards ------------------------------\n";
+      print_string (Audit.render_scorecards evs);
+      (* Replaying the stream through a fresh detector reproduces the
+         online verdicts exactly: the detector is a pure fold over the
+         event sequence. *)
+      let det = Detector.create () in
+      List.iter (Detector.feed det) evs;
+      Printf.printf "\n-- detector verdicts --------------------------------\n";
+      print_string (Detector.render_verdicts det);
+      `Ok ()
+  | exception Json.Parse_error msg ->
+      `Error (false, Printf.sprintf "%s: %s" file msg)
+  | exception Sys_error msg -> `Error (false, msg)
+
+let audit_file_t =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"AUDIT.jsonl" ~doc:"A stream written by --audit-jsonl.")
+
+let no_timeline_t =
+  Arg.(
+    value & flag
+    & info [ "no-timeline" ] ~doc:"Skip the event timeline (large streams).")
+
+let audit_term = Term.(ret (const audit_cmd $ audit_file_t $ no_timeline_t))
+
 (* --- command tree ----------------------------------------------------------- *)
 
 let cmds =
@@ -410,6 +529,12 @@ let cmds =
            "Query an exported JSONL trace: span tree, per-phase latency \
             percentiles, top-k slow spans.")
       report_term;
+    Cmd.v
+      (Cmd.info "audit"
+         ~doc:
+           "Query an exported security audit stream: event timeline, \
+            per-node scorecards, offline detector verdicts.")
+      audit_term;
   ]
 
 let () =

@@ -5,6 +5,7 @@ module Codec = Manet_proto.Codec
 module Ctx = Manet_proto.Node_ctx
 module Directory = Manet_proto.Directory
 module Identity = Manet_proto.Identity
+module Audit = Manet_obs.Audit
 module Engine = Manet_sim.Engine
 
 type behavior = {
@@ -116,7 +117,14 @@ let spam_rerrs t =
                 id.Identity.rn )
             else ("", "", 0L)
           in
-          Ctx.stat t.ctx "attack.rerr_forged";
+          (* Ground truth for detector scoring: every mounted attack is
+             recorded under an [Attack_*] kind that the detector itself
+             never weighs. *)
+          Ctx.audit t.ctx ~kind:Audit.Attack_rerr
+            ~stats:[ "attack.rerr_forged" ]
+            ~cause:
+              ("fabricated break toward " ^ Address.to_string broken_next)
+            ();
           Ctx.send_along t.ctx ~path:back
             (Messages.Rerr
                { reporter = me; broken_next; dst = src; remaining = back; sig_; pk; rn })
@@ -129,7 +137,10 @@ let churn_identity t =
   Directory.unregister ctx.Ctx.directory id.Identity.address (Ctx.node_id ctx);
   Identity.refresh_address id ctx.Ctx.rng;
   Directory.register ctx.Ctx.directory id.Identity.address (Ctx.node_id ctx);
-  Ctx.stat ctx "attack.identity_changes";
+  Ctx.audit ctx ~kind:Audit.Attack_churn
+    ~stats:[ "attack.identity_changes" ]
+    ~cause:("identity shed for " ^ Address.to_string id.Identity.address)
+    ();
   Ctx.log ctx ~event:"attack.churn" ~detail:(Address.to_string id.Identity.address)
 
 let start t =
@@ -172,7 +183,10 @@ let forge_rrep t ~sip ~dip ~seq ~rr =
   (* Claim the destination is our direct neighbour: route S -> ... -> me
      -> D.  Under the secure protocol we cannot produce D's signature, so
      we attach junk; the baseline carries no signature at all. *)
-  Ctx.stat t.ctx "attack.rrep_forged";
+  Ctx.audit t.ctx ~kind:Audit.Attack_forgery
+    ~stats:[ "attack.rrep_forged" ]
+    ~cause:("forged one-hop route to " ^ Address.to_string dip)
+    ();
   let claimed_rr = rr @ [ address t ] in
   let back = List.rev rr @ [ sip ] in
   ignore seq;
@@ -193,7 +207,10 @@ let impersonate_relay t victim ~rreq =
          the victim's private key, so in secure mode we sign with our own
          key and attach our own key material — the CGA check at the
          destination is what catches the mismatch. *)
-      Ctx.stat t.ctx "attack.impersonations";
+      Ctx.audit t.ctx ~kind:Audit.Attack_impersonation
+        ~stats:[ "attack.impersonations" ]
+        ~cause:("appended victim " ^ Address.to_string victim ^ " to rreq")
+        ();
       let entry =
         if t.secure then begin
           let id = identity t in
@@ -217,7 +234,10 @@ let replay_captured t ~sip ~dip ~rr =
       (* Replay the old signed reply to the new requester, back along the
          live route record so it actually arrives.  The stale sequence
          binding is what the secure verification catches. *)
-      Ctx.stat t.ctx "attack.replayed";
+      Ctx.audit t.ctx ~kind:Audit.Attack_replay
+        ~stats:[ "attack.replayed" ]
+        ~cause:("captured rrep for " ^ Address.to_string dip ^ " re-sent")
+        ();
       let back = List.rev rr @ [ sip ] in
       Ctx.send_along t.ctx ~path:back
         (Messages.Rrep
@@ -296,16 +316,26 @@ let handle t ~src msg =
           (* Transit data: remember the flow (for RERR fabrication), then
              apply the drop policy. *)
           Hashtbl.replace t.flows (Address.to_bytes flow_src) (flow_src, route);
-          if should_drop t then Ctx.stat t.ctx "attack.data_dropped"
+          if should_drop t then
+            Ctx.audit t.ctx ~kind:Audit.Attack_drop
+              ~stats:[ "attack.data_dropped" ]
+              ~cause:"transit data silently dropped" ()
           else t.delegate ~src msg
       | None -> t.delegate ~src msg)
   | Messages.Probe { target; _ } -> (
       match transit_tail t msg with
       | Some _ ->
-          if t.behavior.drop_probes then Ctx.stat t.ctx "attack.probes_dropped"
+          if t.behavior.drop_probes then
+            Ctx.audit t.ctx ~kind:Audit.Attack_drop
+              ~stats:[ "attack.probes_dropped" ]
+              ~cause:"transit probe silently dropped" ()
           else t.delegate ~src msg
       | None ->
           if Address.equal target (address t) && not t.behavior.answer_probes
-          then Ctx.stat t.ctx "attack.probes_dropped"
+          then
+            Ctx.audit t.ctx ~kind:Audit.Attack_drop
+              ~stats:[ "attack.probes_dropped" ]
+              ~cause:("probe for " ^ Address.to_string target ^ " ignored")
+              ()
           else t.delegate ~src msg)
   | _ -> t.delegate ~src msg

@@ -30,6 +30,9 @@ module Sim = Manet_sim
 module Obs = Manet_obs.Obs
 module Obs_json = Manet_obs.Json
 module Obs_report = Manet_obs.Report
+module Audit = Manet_obs.Audit
+module Metrics = Manet_obs.Metrics
+module Detector = Manet_obs.Detector
 module Proto = Manet_proto
 module Dad = Manet_dad.Dad
 module Dns = Manet_dns.Dns

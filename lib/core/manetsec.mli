@@ -10,6 +10,9 @@
     - {!Obs} / {!Obs_json} / {!Obs_report}: causal telemetry spans,
       the hand-rolled JSON codec, and JSONL / run-report export and
       querying.
+    - {!Audit} / {!Metrics} / {!Detector}: the security observability
+      layer — the typed audit event stream, windowed metrics, and the
+      online misbehaviour detector.
     - {!Proto}: Table 1 message types, wire-size model, node identity.
     - {!Dad}: secure duplicate address detection (§3.1).
     - {!Dns} / {!Dns_client}: the DNS server and host-side services
@@ -33,6 +36,9 @@ module Sim = Manet_sim
 module Obs = Manet_obs.Obs
 module Obs_json = Manet_obs.Json
 module Obs_report = Manet_obs.Report
+module Audit = Manet_obs.Audit
+module Metrics = Manet_obs.Metrics
+module Detector = Manet_obs.Detector
 module Proto = Manet_proto
 module Dad = Manet_dad.Dad
 module Dns = Manet_dns.Dns

@@ -19,6 +19,7 @@ module Srp = Manet_secure.Srp
 module Adversary = Manet_attacks.Adversary
 module Faults = Manet_faults.Faults
 module Obs = Manet_obs.Obs
+module Detector = Manet_obs.Detector
 
 type topology_spec =
   | Chain of { spacing : float }
@@ -86,6 +87,7 @@ type t = {
   dns : Dns.t option;
   mobility : Mobility.t;
   obs : Obs.t;
+  detector : Detector.t;
   mutable started : bool;
 }
 
@@ -151,6 +153,12 @@ let create params =
      one node (e.g. an AREP answer) parent correctly to spans opened on
      another (the originating flood). *)
   let obs = Obs.create engine in
+  (* The misbehaviour detector rides the audit stream online: every
+     event any node emits feeds it at emission time, so verdicts are
+     available the moment the run stops (and are deterministic, being a
+     pure fold over the deterministic stream). *)
+  let detector = Detector.create () in
+  Detector.attach detector (Obs.audit obs);
   let ctxs =
     Array.map
       (fun id -> Ctx.create ~obs net directory id (Prng.split root))
@@ -245,11 +253,16 @@ let create params =
     dns;
     mobility;
     obs;
+    detector;
     started = false;
   }
 
 let engine t = t.engine
 let obs t = t.obs
+let detector t = t.detector
+
+let adversary_ids t =
+  List.sort_uniq Int.compare (List.map fst t.params.adversaries)
 let net t = t.net
 let stats t = Engine.stats t.engine
 let params t = t.params

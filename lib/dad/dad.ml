@@ -7,6 +7,7 @@ module Codec = Manet_proto.Codec
 module Ctx = Manet_proto.Node_ctx
 module Directory = Manet_proto.Directory
 module Identity = Manet_proto.Identity
+module Audit = Manet_obs.Audit
 module Engine = Manet_sim.Engine
 module Obs = Manet_obs.Obs
 
@@ -152,7 +153,12 @@ and retry_with_new_address t p =
   let ctx = t.ctx in
   p.p_resolved <- true;
   t.pending <- None;
-  Ctx.stat ctx "dad.collision";
+  (* The verified owner shares our tentative address; it is honest until
+     something else says otherwise, so nobody stands accused here. *)
+  Ctx.audit ctx ~kind:Audit.Dad_collision
+    ~stats:[ "dad.collision" ]
+    ~cause:("tentative address already owned: " ^ Address.to_string (address t))
+    ();
   finish_flood t (Obs.Rejected "address collision");
   if p.p_attempt + 1 >= t.config.max_attempts then begin
     Ctx.stat ctx "dad.failed";
@@ -170,7 +176,12 @@ and retry_with_new_name t p =
   let ctx = t.ctx in
   p.p_resolved <- true;
   t.pending <- None;
-  Ctx.stat ctx "dad.name_conflict";
+  Ctx.audit ctx ~kind:Audit.Dns_conflict
+    ~stats:[ "dad.name_conflict" ]
+    ~cause:
+      ("domain name already registered: "
+      ^ Option.value ~default:"-" p.p_dn)
+    ();
   finish_flood t (Obs.Rejected "domain name conflict");
   if not t.config.auto_rename then begin
     finish_bootstrap t (Obs.Failed "domain name conflict");
@@ -226,7 +237,12 @@ let answer_duplicate t (m : (* areq fields *) Address.t * int64 * Address.t list
   let sig_ = Identity.sign id (Codec.arep_payload ~sip ~ch) in
   let pk = Identity.pk_bytes id in
   let rn = id.Identity.rn in
-  Ctx.stat ctx "dad.duplicate_detected";
+  (* [sip] is also our address, so a directory lookup would name
+     ourselves: the claimant has no resolvable identity yet. *)
+  Ctx.audit ctx ~kind:Audit.Dad_collision
+    ~stats:[ "dad.duplicate_detected" ]
+    ~cause:("tentative claim of our address " ^ Address.to_string sip)
+    ();
   Ctx.log ctx ~event:"dad.duplicate" ~detail:(Address.to_string sip);
   (* AREP span: child of the initiator's flood span (shared Obs), open
      from here until the initiator accepts the reply. *)
@@ -273,31 +289,48 @@ let handle_areq t msg =
 
 (* --- initiator verification ------------------------------------------- *)
 
-let verify_arep t ~sip ~sig_ ~pk ~rn ~ch =
+type arep_check = Arep_ok | Arep_bad_binding | Arep_bad_sig
+
+let verify_arep_r t ~sip ~sig_ ~pk ~rn ~ch =
   let suite = Ctx.suite t.ctx in
   (* Check 1: R generated SIP by the CGA rule. *)
-  Cga.verify sip ~pk_bytes:pk ~rn
-  (* Check 2: R owns the private key — it answered our challenge. *)
-  && suite.Suite.verify ~pk_bytes:pk
-       ~msg:(Codec.arep_payload ~sip ~ch)
-       ~signature:sig_
+  if not (Cga.verify sip ~pk_bytes:pk ~rn) then Arep_bad_binding
+    (* Check 2: R owns the private key — it answered our challenge. *)
+  else if
+    suite.Suite.verify ~pk_bytes:pk
+      ~msg:(Codec.arep_payload ~sip ~ch)
+      ~signature:sig_
+  then Arep_ok
+  else Arep_bad_sig
 
 let consume_arep t msg =
   match msg with
   | Messages.Arep { sip; sig_; pk; rn; _ } -> (
       match t.pending with
-      | Some p
-        when (not p.p_resolved) && Address.equal sip (address t)
-             && verify_arep t ~sip ~sig_ ~pk ~rn ~ch:p.p_ch ->
-          (match Obs.lookup (obs t) (arep_corr sig_) with
-          | Some sid -> Obs.finish (obs t) sid Obs.Ok
-          | None -> ());
-          retry_with_new_address t p
-      | Some p when (not p.p_resolved) && Address.equal sip (address t) ->
-          (* An AREP for our pending address that fails verification is
-             a forgery or replay: ignore it (§4). *)
-          Ctx.stat t.ctx "dad.arep_rejected";
-          Ctx.log t.ctx ~event:"dad.arep_rejected" ~detail:(Address.to_string sip)
+      | Some p when (not p.p_resolved) && Address.equal sip (address t) -> (
+          match verify_arep_r t ~sip ~sig_ ~pk ~rn ~ch:p.p_ch with
+          | Arep_ok ->
+              (match Obs.lookup (obs t) (arep_corr sig_) with
+              | Some sid -> Obs.finish (obs t) sid Obs.Ok
+              | None -> ());
+              retry_with_new_address t p
+          | (Arep_bad_binding | Arep_bad_sig) as why ->
+              (* An AREP for our pending address that fails verification
+                 is a forgery or replay: ignore it (§4).  A bad CGA
+                 binding means the claimed owner fabricated its identity
+                 material; a bad signature, that the challenge was never
+                 really answered. *)
+              (match why with
+              | Arep_bad_binding ->
+                  Ctx.audit t.ctx ~kind:Audit.Cga_mismatch
+                    ~stats:[ "dad.arep_rejected" ]
+                    ~cause:"arep owner key/address binding" ()
+              | Arep_bad_sig | Arep_ok ->
+                  Ctx.audit t.ctx ~kind:Audit.Sig_verify_fail
+                    ~stats:[ "dad.arep_rejected" ]
+                    ~cause:"arep challenge signature" ());
+              Ctx.log t.ctx ~event:"dad.arep_rejected"
+                ~detail:(Address.to_string sip))
       | _ ->
           (* Not ours: if we host the DNS this is a duplicate warning. *)
           t.warning_sink msg)
@@ -320,7 +353,9 @@ let consume_drep t msg =
             retry_with_new_name t p
           end
           else begin
-            Ctx.stat t.ctx "dad.drep_rejected";
+            Ctx.audit t.ctx ~kind:Audit.Sig_verify_fail
+              ~stats:[ "dad.drep_rejected" ]
+              ~cause:"drep dns server signature" ();
             Ctx.log t.ctx ~event:"dad.drep_rejected" ~detail:dn
           end
       | _ -> ())

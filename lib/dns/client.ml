@@ -7,6 +7,7 @@ module Codec = Manet_proto.Codec
 module Ctx = Manet_proto.Node_ctx
 module Directory = Manet_proto.Directory
 module Identity = Manet_proto.Identity
+module Audit = Manet_obs.Audit
 module Obs = Manet_obs.Obs
 
 type pending_query = {
@@ -70,7 +71,10 @@ let consume_name_reply t (m : Messages.t) =
               | None -> Obs.Rejected "name not found");
             q.q_cb result
           end
-          else Ctx.stat t.ctx "dns_client.reply_rejected"
+          else
+            Ctx.audit t.ctx ~kind:Audit.Sig_verify_fail
+              ~stats:[ "dns_client.reply_rejected" ]
+              ~cause:"name reply dns server signature" ()
       | _ -> Ctx.stat t.ctx "dns_client.reply_unmatched")
   | _ -> ()
 
@@ -144,7 +148,10 @@ let consume_ack t (m : Messages.t) =
             Ctx.log ctx ~event:"dns_client.ip_changed"
               ~detail:(Address.to_string new_ip)
           end
-          else Ctx.stat ctx "dns_client.ip_change_rejected";
+          else
+            Ctx.audit ctx ~kind:Audit.Dns_conflict
+              ~stats:[ "dns_client.ip_change_rejected" ]
+              ~cause:"dns refused our ip change" ();
           Obs.finish ctx.Ctx.obs c.c_span
             (if accepted then Obs.Ok else Obs.Rejected "dns refused");
           c.c_cb accepted

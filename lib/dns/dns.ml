@@ -6,6 +6,7 @@ module Messages = Manet_proto.Messages
 module Codec = Manet_proto.Codec
 module Ctx = Manet_proto.Node_ctx
 module Identity = Manet_proto.Identity
+module Audit = Manet_obs.Audit
 module Engine = Manet_sim.Engine
 module Obs = Manet_obs.Obs
 module Dad = Manet_dad.Dad
@@ -153,7 +154,10 @@ let observe_areq t msg =
           (* A verified duplicate warning already arrived for this
              address: refuse the registration outright. *)
           Hashtbl.remove t.stashed_warnings (sip_key sip);
-          Ctx.stat t.ctx "dns.registration_cancelled";
+          Ctx.audit t.ctx ~kind:Audit.Dns_conflict ~subject:sip
+            ~stats:[ "dns.registration_cancelled" ]
+            ~cause:"registration refused: verified duplicate warning on file"
+            ();
           Ctx.log t.ctx ~event:"dns.warning"
             ~detail:(Printf.sprintf "stashed duplicate %s" (Address.to_string sip))
       | None, None ->
@@ -203,11 +207,16 @@ let consume_warning t msg =
             reg.reg_cancelled <- true;
             drop_pending t reg;
             finish_reg_span t reg (Obs.Rejected "duplicate warning");
-            Ctx.stat t.ctx "dns.registration_cancelled";
+            Ctx.audit t.ctx ~kind:Audit.Dns_conflict ~subject:sip
+              ~stats:[ "dns.registration_cancelled" ]
+              ~cause:"pending registration cancelled by duplicate warning" ();
             Ctx.log t.ctx ~event:"dns.warning"
               ~detail:(Printf.sprintf "duplicate %s" (Address.to_string sip))
           end
-          else Ctx.stat t.ctx "dns.warning_rejected")
+          else
+            Ctx.audit t.ctx ~kind:Audit.Sig_verify_fail
+              ~stats:[ "dns.warning_rejected" ]
+              ~cause:"duplicate-warning arep binding or signature" ())
   | _ -> ()
 
 let attach t dad =
@@ -272,7 +281,14 @@ let serve_ip_change_proof t ~old_ip ~new_ip ~old_rn ~new_rn ~pk ~sig_ ~route =
         (Printf.sprintf "%s -> %s (%d names)" (Address.to_string old_ip)
            (Address.to_string new_ip) (List.length renames))
   end
-  else Ctx.stat ctx "dns.ip_change_rejected";
+  else
+    Ctx.audit ctx ~kind:Audit.Sig_verify_fail
+      ~stats:[ "dns.ip_change_rejected" ]
+      ~cause:
+        ("ip-change proof for "
+        ^ Address.to_string old_ip
+        ^ ": CGA bindings or challenge signature")
+      ();
   (* The ack goes back to whoever holds the *old* address' return route;
      the proof's route field is the requester's path to us. *)
   let path = reply_path ~route ~requester:old_ip in

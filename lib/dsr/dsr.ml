@@ -3,6 +3,7 @@ module Prng = Manet_crypto.Prng
 module Messages = Manet_proto.Messages
 module Codec = Manet_proto.Codec
 module Ctx = Manet_proto.Node_ctx
+module Audit = Manet_obs.Audit
 module Engine = Manet_sim.Engine
 module Obs = Manet_obs.Obs
 
@@ -592,7 +593,14 @@ let consume_rerr t msg =
   (* manetlint: allow security *)
   | Messages.Rerr { reporter; broken_next; _ } ->
       Ctx.stat t.ctx "rerr.received";
-      (* Plain DSR believes any error report. *)
+      (* Plain DSR believes any error report.  The audit stream still
+         records the unverified acceptance so the exposure shows up in a
+         timeline next to the secure stack's rejections. *)
+      Ctx.audit t.ctx ~kind:Audit.Unverified_accept
+        ~cause:
+          ("unauthenticated rerr from " ^ Address.to_string reporter
+         ^ " believed")
+        ();
       ignore
         (* manetsem: allow taint — believing unauthenticated RERRs is the
            exact §4 forgery exposure the baseline exists to measure. *)

@@ -172,6 +172,7 @@ let apply hooks = function
   | Channel c -> hooks.set_channel c
 
 module Obs = Manet_obs.Obs
+module Audit = Manet_obs.Audit
 
 let outage_key i = "outage:" ^ string_of_int i
 let partition_key = "partition"
@@ -217,5 +218,16 @@ let schedule ?obs engine hooks plan =
           Engine.log engine ~node:(event_node event) ~event:(event_name event)
             ~detail:(event_detail event);
           (match obs with Some o -> record_span o event | None -> ());
+          (* Injected outages land in the audit stream too: the detector
+             must not mistake a crashed relay's silence for hostility,
+             and the ground truth for that distinction lives here. *)
+          (match (obs, event) with
+          | Some o, Crash i ->
+              Audit.emit (Obs.audit o) ~kind:Audit.Fault_crash ~node:i
+                ~cause:"injected crash" ()
+          | Some o, Restart i ->
+              Audit.emit (Obs.audit o) ~kind:Audit.Fault_restart ~node:i
+                ~cause:"injected restart" ()
+          | _ -> ());
           apply hooks event))
     sorted

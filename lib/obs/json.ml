@@ -14,8 +14,12 @@ exception Parse_error of string
 (* Canonical float rendering: integral values print with a single
    trailing ".0", everything else through %.12g.  Both are pure
    functions of the value, which is what keeps JSONL exports
-   byte-identical across replays of the same seed. *)
+   byte-identical across replays of the same seed.  NaN and the
+   infinities have no JSON representation at all, so they are rejected
+   here rather than silently emitted as unparseable tokens. *)
 let float_str x =
+  if not (Float.is_finite x) then
+    invalid_arg "Json.float_str: non-finite floats have no JSON encoding";
   if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
   else Printf.sprintf "%.12g" x
 

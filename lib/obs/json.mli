@@ -23,7 +23,12 @@ val to_string : t -> string
 val to_buffer : Buffer.t -> t -> unit
 
 val float_str : float -> string
-(** The canonical float rendering used by the printer. *)
+(** The canonical float rendering used by the printer: integral values
+    with magnitude below 1e15 print as ["<n>.0"], everything else via
+    [%.12g].  Raises [Invalid_argument] on NaN or the infinities — they
+    have no JSON encoding, and a canonical printer must fail loudly
+    rather than emit unparseable bytes.  {!to_string} / {!to_buffer}
+    inherit this behaviour for [Float] atoms. *)
 
 val parse : string -> t
 (** Parse one complete JSON document.  Raises {!Parse_error}. *)

@@ -1,0 +1,186 @@
+module Engine = Manet_sim.Engine
+module Stats = Manet_sim.Stats
+
+let global_node = -1
+
+type series = {
+  mutable s_count : int;
+  mutable s_sum : float;
+  mutable s_min : float;
+  mutable s_max : float;
+}
+
+(* Cells are keyed by (metric name, node, window index). *)
+type key = string * int * int
+
+type t = {
+  engine : Engine.t;
+  win : float;
+  mutable enabled : bool;
+  counters : (key, int ref) Hashtbl.t;
+  series : (key, series) Hashtbl.t;
+}
+
+let create ?(window = 1.0) engine =
+  if window <= 0.0 then invalid_arg "Metrics.create: window must be positive";
+  {
+    engine;
+    win = window;
+    enabled = false;
+    counters = Hashtbl.create 256;
+    series = Hashtbl.create 64;
+  }
+
+let window t = t.win
+let set_enabled t on = t.enabled <- on
+let enabled t = t.enabled
+
+let widx t = int_of_float (Engine.now t.engine /. t.win)
+
+let record t ~node ?(by = 1) name =
+  if t.enabled then begin
+    let w = widx t in
+    let bump node =
+      let key = (name, node, w) in
+      match Hashtbl.find_opt t.counters key with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.add t.counters key (ref by)
+    in
+    bump node;
+    if node <> global_node then bump global_node
+  end
+
+let observe t ~node name x =
+  if t.enabled then begin
+    let w = widx t in
+    let add node =
+      let key = (name, node, w) in
+      let s =
+        match Hashtbl.find_opt t.series key with
+        | Some s -> s
+        | None ->
+            let s =
+              { s_count = 0; s_sum = 0.0; s_min = infinity; s_max = neg_infinity }
+            in
+            Hashtbl.add t.series key s;
+            s
+      in
+      s.s_count <- s.s_count + 1;
+      s.s_sum <- s.s_sum +. x;
+      if x < s.s_min then s.s_min <- x;
+      if x > s.s_max then s.s_max <- x
+    in
+    add node;
+    if node <> global_node then add global_node
+  end
+
+let counter_total t ~node name =
+  Hashtbl.fold
+    (fun (n, nd, _) r acc ->
+      if String.equal n name && nd = node then acc + !r else acc)
+    t.counters 0
+
+(* --- export -------------------------------------------------------------- *)
+
+let compare_key (na, ia, wa) (nb, ib, wb) =
+  match String.compare na nb with
+  | 0 -> ( match Int.compare ia ib with 0 -> Int.compare wa wb | c -> c)
+  | c -> c
+
+let sorted_cells tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare_key a b)
+
+let window_start t w = Json.float_str (float_of_int w *. t.win)
+
+let to_csv ?stats t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "kind,name,node,window,count,mean,stddev,min,max\n";
+  List.iter
+    (fun ((name, node, w), r) ->
+      Buffer.add_string buf
+        (Printf.sprintf "counter,%s,%d,%s,%d,,,,\n" name node
+           (window_start t w) !r))
+    (sorted_cells t.counters);
+  List.iter
+    (fun ((name, node, w), s) ->
+      Buffer.add_string buf
+        (Printf.sprintf "series,%s,%d,%s,%d,%s,,%s,%s\n" name node
+           (window_start t w) s.s_count
+           (Json.float_str (s.s_sum /. float_of_int s.s_count))
+           (Json.float_str s.s_min) (Json.float_str s.s_max)))
+    (sorted_cells t.series);
+  (match stats with
+  | None -> ()
+  | Some st ->
+      List.iter
+        (fun (name, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "stat_counter,%s,,,%d,,,,\n" name v))
+        (Stats.counters st);
+      List.iter
+        (fun (name, s) ->
+          Buffer.add_string buf
+            (Printf.sprintf "stat_summary,%s,,,%d,%s,%s,%s,%s\n" name
+               s.Stats.count
+               (Json.float_str s.Stats.mean)
+               (Json.float_str s.Stats.stddev)
+               (Json.float_str s.Stats.min)
+               (Json.float_str s.Stats.max)))
+        (Stats.summaries st));
+  Buffer.contents buf
+
+let to_prom ?stats t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "# manetsim windowed metrics, window=%ss\n"
+       (Json.float_str t.win));
+  Buffer.add_string buf "# TYPE manetsim_counter gauge\n";
+  List.iter
+    (fun ((name, node, w), r) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "manetsim_counter{name=%S,node=\"%d\",window=%S} %d\n" name node
+           (window_start t w) !r))
+    (sorted_cells t.counters);
+  let series_field field value =
+    List.iter
+      (fun ((name, node, w), s) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "manetsim_series_%s{name=%S,node=\"%d\",window=%S} %s\n" field
+             name node (window_start t w) (value s)))
+      (sorted_cells t.series)
+  in
+  Buffer.add_string buf "# TYPE manetsim_series_count gauge\n";
+  series_field "count" (fun s -> string_of_int s.s_count);
+  Buffer.add_string buf "# TYPE manetsim_series_sum gauge\n";
+  series_field "sum" (fun s -> Json.float_str s.s_sum);
+  Buffer.add_string buf "# TYPE manetsim_series_min gauge\n";
+  series_field "min" (fun s -> Json.float_str s.s_min);
+  Buffer.add_string buf "# TYPE manetsim_series_max gauge\n";
+  series_field "max" (fun s -> Json.float_str s.s_max);
+  (match stats with
+  | None -> ()
+  | Some st ->
+      Buffer.add_string buf "# TYPE manetsim_stat_total counter\n";
+      List.iter
+        (fun (name, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "manetsim_stat_total{name=%S} %d\n" name v))
+        (Stats.counters st);
+      Buffer.add_string buf "# TYPE manetsim_stat_summary gauge\n";
+      List.iter
+        (fun (name, s) ->
+          let field f v =
+            Buffer.add_string buf
+              (Printf.sprintf "manetsim_stat_summary{name=%S,field=%S} %s\n"
+                 name f v)
+          in
+          field "count" (string_of_int s.Stats.count);
+          field "mean" (Json.float_str s.Stats.mean);
+          field "stddev" (Json.float_str s.Stats.stddev);
+          field "min" (Json.float_str s.Stats.min);
+          field "max" (Json.float_str s.Stats.max))
+        (Stats.summaries st));
+  Buffer.contents buf

@@ -38,9 +38,22 @@ type t = {
   events : event Queue.t;
   event_capacity : int;
   mutable events_dropped : int;
+  audit : Audit.t;
+  metrics : Metrics.t;
 }
 
 let create ?(event_capacity = 200_000) engine =
+  let audit = Audit.create engine in
+  let metrics = Metrics.create engine in
+  (* Every audit event also feeds the windowed metrics: once under the
+     emitter's node and, when someone stands accused, once under the
+     subject's.  Metrics themselves gate on their enabled switch. *)
+  Audit.on_emit audit (fun e ->
+      let label = Audit.kind_label e.Audit.kind in
+      Metrics.record metrics ~node:e.Audit.node ("audit." ^ label);
+      match e.Audit.subject_node with
+      | Some s -> Metrics.record metrics ~node:s ("accused." ^ label)
+      | None -> ());
   {
     engine;
     spans = Hashtbl.create 256;
@@ -50,7 +63,12 @@ let create ?(event_capacity = 200_000) engine =
     events = Queue.create ();
     event_capacity;
     events_dropped = 0;
+    audit;
+    metrics;
   }
+
+let audit t = t.audit
+let metrics t = t.metrics
 
 
 (* --- spans -------------------------------------------------------------- *)

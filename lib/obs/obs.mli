@@ -51,7 +51,17 @@ type t
 
 val create : ?event_capacity:int -> Engine.t -> t
 (** One per scenario, shared by all nodes.  [event_capacity] caps the
-    JSONL event sink (default 200_000, oldest dropped first). *)
+    JSONL event sink (default 200_000, oldest dropped first).  Also
+    creates the scenario's {!Audit} stream and windowed {!Metrics}
+    engine and wires every audit event into the metrics (under
+    ["audit.<kind>"] for the emitter, ["accused.<kind>"] for the
+    subject). *)
+
+val audit : t -> Audit.t
+(** The scenario-wide security audit stream. *)
+
+val metrics : t -> Metrics.t
+(** The scenario-wide windowed metrics engine (disabled by default). *)
 
 (** {1 Spans} *)
 

@@ -5,6 +5,8 @@ module Stats = Manet_sim.Stats
 module Prng = Manet_crypto.Prng
 module Suite = Manet_crypto.Suite
 module Obs = Manet_obs.Obs
+module Audit = Manet_obs.Audit
+module Metrics = Manet_obs.Metrics
 
 type t = {
   engine : Engine.t;
@@ -29,10 +31,30 @@ let now t = Engine.now t.engine
 
 let size_of _t msg = Wire.size_of msg
 
-let stat t name = Stats.incr (Engine.stats t.engine) name
-let stat_by t name by = Stats.incr ~by (Engine.stats t.engine) name
-let observe t name v = Stats.observe (Engine.stats t.engine) name v
+let stat t name =
+  Stats.incr (Engine.stats t.engine) name;
+  Metrics.record (Obs.metrics t.obs) ~node:(node_id t) name
+
+let stat_by t name by =
+  Stats.incr ~by (Engine.stats t.engine) name;
+  Metrics.record (Obs.metrics t.obs) ~node:(node_id t) ~by name
+
+let observe t name v =
+  Stats.observe (Engine.stats t.engine) name v;
+  Metrics.observe (Obs.metrics t.obs) ~node:(node_id t) name v
+
 let log t ~event ~detail = Obs.log t.obs ~node:(node_id t) ~event ~detail
+
+let audit t ~kind ?subject ?subject_node ?(stats = []) ~cause () =
+  List.iter (fun name -> stat t name) stats;
+  let subject_node =
+    match subject_node with
+    | Some _ as s -> s
+    | None -> Option.bind subject (fun a -> Directory.lookup t.directory a)
+  in
+  let subject_addr = Option.map Address.to_string subject in
+  Audit.emit (Obs.audit t.obs) ~kind ~node:(node_id t) ?subject_node
+    ?subject_addr ~cause ()
 
 let broadcast t msg =
   let tag = Messages.tag msg in

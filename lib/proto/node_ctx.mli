@@ -17,6 +17,7 @@ module Net = Manet_sim.Net
 module Prng = Manet_crypto.Prng
 module Suite = Manet_crypto.Suite
 module Obs = Manet_obs.Obs
+module Audit = Manet_obs.Audit
 
 type t = {
   engine : Engine.t;
@@ -46,12 +47,31 @@ val size_of : t -> Messages.t -> int
     their length prefixes, so the baseline is charged honestly. *)
 
 val stat : t -> string -> unit
-(** Increment a named counter in the engine's stats. *)
+(** Increment a named counter in the engine's stats, and — when the
+    scenario's windowed {!Manet_obs.Metrics} are enabled — in this
+    node's current metric window. *)
 
 val observe : t -> string -> float -> unit
 val log : t -> event:string -> detail:string -> unit
 (** Telemetry event for this node, fanned out through {!Obs.log} (ring
     trace always; JSONL sink when capture is on). *)
+
+val audit :
+  t ->
+  kind:Audit.kind ->
+  ?subject:Address.t ->
+  ?subject_node:int ->
+  ?stats:string list ->
+  cause:string ->
+  unit ->
+  unit
+(** Emit one security audit event from this node at the current
+    simulated time.  [stats] names legacy counters bumped atomically
+    with the event, so converted call sites keep their exact historical
+    counter semantics.  When only [subject] is given, the accused node
+    is resolved through the shared {!Directory} (first claimant); pass
+    [subject_node] when the protocol already knows the node (e.g. the
+    radio-level transmitter). *)
 
 val broadcast : t -> Messages.t -> unit
 (** One radio broadcast from this node, size-accounted. *)

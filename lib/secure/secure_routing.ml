@@ -10,6 +10,7 @@ module Engine = Manet_sim.Engine
 module Route_cache = Manet_dsr.Route_cache
 module Dsr = Manet_dsr.Dsr
 module Obs = Manet_obs.Obs
+module Audit = Manet_obs.Audit
 
 type config = {
   discovery_timeout : float;
@@ -91,6 +92,12 @@ type t = {
   in_flight : (string, packet) Hashtbl.t;
   seen_data : (string, unit) Hashtbl.t; (* delivered (src, seq): retries must not double-count *)
   last_rreq_seq : (string, int) Hashtbl.t; (* per-source replay window *)
+  (* Per-destination memory of our own superseded discovery sequence
+     numbers, with the time each stopped being current.  A reply whose
+     signature verifies against one of these long after it was retired
+     is a definite replay (§4) — an honest sibling can only trail the
+     seq bump by a path latency. *)
+  old_rrep_seqs : (string, (int * float) list) Hashtbl.t;
   probes : (int, probe_session * int) Hashtbl.t;
   (* Pre-distributed (address, public key) bindings.  The paper's only
      such binding is the DNS server: its well-known address is not a CGA,
@@ -123,6 +130,7 @@ let create ?(config = default_config) ?(trusted = []) ctx =
     in_flight = Hashtbl.create 32;
     seen_data = Hashtbl.create 64;
     last_rreq_seq = Hashtbl.create 32;
+    old_rrep_seqs = Hashtbl.create 16;
     probes = Hashtbl.create 16;
     trusted = trusted_tbl;
   }
@@ -137,17 +145,58 @@ let suite t = Ctx.suite t.ctx
 let verify t ~pk_bytes ~msg ~signature =
   (suite t).Suite.verify ~pk_bytes ~msg ~signature
 
-let verify_host t ~ip ~pk ~rn ~payload ~signature =
+type host_check = Host_ok | Bad_binding | Bad_sig
+
+let verify_host_r t ~ip ~pk ~rn ~payload ~signature =
   (* The two checks of §3: the address-to-key binding and the
      challenge/sequence signature.  The binding is the CGA rule for
      ordinary hosts; for pre-distributed identities (the DNS server) it
-     is exact equality with the known public key. *)
+     is exact equality with the known public key.  The split verdict
+     feeds the audit stream: a failed binding is a forged identity
+     (Cga_mismatch), a failed signature under a good binding points at
+     stale or tampered content. *)
   let binding_ok =
     match Hashtbl.find_opt t.trusted (Address.to_bytes ip) with
     | Some known_pk -> String.equal known_pk pk
     | None -> Cga.verify ip ~pk_bytes:pk ~rn
   in
-  binding_ok && verify t ~pk_bytes:pk ~msg:payload ~signature
+  if not binding_ok then Bad_binding
+  else if verify t ~pk_bytes:pk ~msg:payload ~signature then Host_ok
+  else Bad_sig
+
+let verify_host t ~ip ~pk ~rn ~payload ~signature =
+  match verify_host_r t ~ip ~pk ~rn ~payload ~signature with
+  | Host_ok -> true
+  | Bad_binding | Bad_sig -> false
+
+(* How long an honest sibling reply may trail its discovery attempt's
+   supersession before a match against the retired seq counts as a
+   replay: generous against path latency, far below a replayer's
+   capture-to-reuse gap. *)
+let stale_seq_grace = 3.0
+
+let note_superseded_seq t ~dst ~seq =
+  if seq > 0 then begin
+    let k = akey dst in
+    let prior = Option.value ~default:[] (Hashtbl.find_opt t.old_rrep_seqs k) in
+    let keep l = if List.length l > 8 then List.filteri (fun i _ -> i < 8) l else l in
+    Hashtbl.replace t.old_rrep_seqs k (keep ((seq, now t) :: prior))
+  end
+
+(* Does [payload_for seq_old] verify for any retired seq of [dst]?
+   Returns the retirement age when it does.  Only consulted on already
+   rejected replies, so the extra verifications stay off every honest
+   path. *)
+let match_retired_seq t ~dst ~pk ~signature ~payload_for =
+  match Hashtbl.find_opt t.old_rrep_seqs (akey dst) with
+  | None -> None
+  | Some seqs ->
+      List.find_map
+        (fun (seq, retired_at) ->
+          if verify t ~pk_bytes:pk ~msg:(payload_for ~seq) ~signature then
+            Some (now t -. retired_at)
+          else None)
+        seqs
 
 let route_score t e =
   let len = float_of_int (List.length e.Route_cache.route) in
@@ -268,8 +317,13 @@ and finish_probe t session =
     (match first_missing 0 with
     | Some i ->
         let suspect = session.pr_route.(i) in
-        Ctx.stat t.ctx "probe.suspect_found";
-        Ctx.stat t.ctx "secure.hostile_suspected";
+        Ctx.audit t.ctx ~kind:Audit.Blackhole_probe_result ~subject:suspect
+          ~stats:[ "probe.suspect_found"; "secure.hostile_suspected" ]
+          ~cause:
+            (Printf.sprintf "hop %d of %d silent on probed route to %s" (i + 1)
+               n
+               (Address.to_string session.pr_packet.p_dst))
+          ();
         Obs.note (obs t) session.pr_span ~node:(Ctx.node_id t.ctx)
           ("suspect " ^ Address.to_string suspect);
         Ctx.log t.ctx ~event:"secure.suspect" ~detail:(Address.to_string suspect);
@@ -277,7 +331,14 @@ and finish_probe t session =
         ignore (Route_cache.remove_containing t.cache suspect);
         (* The hop before the suspect may be the one silently dropping;
            under credits it simply stops earning until proven useful. *)
-        if i > 0 then Credit.slash t.credits session.pr_route.(i - 1)
+        if i > 0 then begin
+          let before = session.pr_route.(i - 1) in
+          Ctx.audit t.ctx ~kind:Audit.Credit_slash ~subject:before
+            ~cause:
+              ("predecessor of silent hop " ^ Address.to_string suspect)
+            ();
+          Credit.slash t.credits before
+        end
     | None ->
         (* Every hop answered the probe, yet the destination never acked
            and nobody reported a broken link.  The prime suspect is the
@@ -286,8 +347,15 @@ and finish_probe t session =
            caught — the forger happily proves its own liveness). *)
         if n > 0 then begin
           let suspect = session.pr_route.(n - 1) in
-          Ctx.stat t.ctx "probe.last_hop_suspected";
-          Ctx.stat t.ctx "secure.hostile_suspected";
+          Ctx.audit t.ctx ~kind:Audit.Blackhole_probe_result ~subject:suspect
+            ~stats:[ "probe.last_hop_suspected"; "secure.hostile_suspected" ]
+            ~cause:
+              (Printf.sprintf
+                 "all %d hops answered, destination %s never acked: last hop \
+                  claims the dead link"
+                 n
+                 (Address.to_string session.pr_packet.p_dst))
+            ();
           Obs.note (obs t) session.pr_span ~node:(Ctx.node_id t.ctx)
             ("last-hop suspect " ^ Address.to_string suspect);
           Ctx.log t.ctx ~event:"secure.suspect" ~detail:(Address.to_string suspect);
@@ -314,6 +382,9 @@ and start_discovery t dst =
   match Hashtbl.find_opt t.pending k with
   | Some d when not d.d_resolved -> ()
   | _ ->
+      (match Hashtbl.find_opt t.pending k with
+      | Some old -> note_superseded_seq t ~dst ~seq:old.d_seq
+      | None -> ());
       let d =
         {
           d_dst = dst;
@@ -336,6 +407,7 @@ and start_discovery t dst =
 and send_rreq t d =
   t.rreq_seq <- t.rreq_seq + 1;
   let seq = t.rreq_seq in
+  note_superseded_seq t ~dst:d.d_dst ~seq:d.d_seq;
   d.d_seq <- seq;
   d.d_attempts <- d.d_attempts + 1;
   Ctx.stat t.ctx "route.discoveries";
@@ -537,7 +609,13 @@ let fresh_rreq_for_destination t ~sip ~seq =
      distinct paths and earn distinct replies. *)
   match Hashtbl.find_opt t.last_rreq_seq (akey sip) with
   | Some last when seq < last ->
-      Ctx.stat t.ctx "secure.replayed_rreq";
+      (* A flood copy can outlive the next discovery's start, so the
+         stale request is rejected but nobody stands accused: the radio
+         transmitter of a flood copy is just the last honest relay. *)
+      Ctx.audit t.ctx ~kind:Audit.Replay_rejected
+        ~stats:[ "secure.replayed_rreq" ]
+        ~cause:(Printf.sprintf "rreq seq %d behind newest %d" seq last)
+        ();
       false
   | _ -> true
 
@@ -569,7 +647,13 @@ let handle_rreq t msg =
               Hashtbl.replace t.reply_counts key (sent + 1);
               answer_as_destination t ~sip ~seq ~rr
             end
-            else Ctx.stat t.ctx "secure.rreq_rejected"
+            else
+              (* The broken link of the signature chain is not
+                 localizable from here (any relay may have tampered or
+                 appended a forged entry), so no subject. *)
+              Ctx.audit t.ctx ~kind:Audit.Sig_verify_fail
+                ~stats:[ "secure.rreq_rejected" ]
+                ~cause:"rreq source or route-record signature chain" ()
           end
         end
       end
@@ -619,7 +703,7 @@ let handle_rreq t msg =
 
 (* --- replies ------------------------------------------------------------ *)
 
-let consume_rrep t msg =
+let consume_rrep t ~src msg =
   match msg with
   | Messages.Rrep { dip; rr; sig_; dpk; drn; _ } -> (
       (* Replies verify against the sequence number of our latest
@@ -629,25 +713,60 @@ let consume_rrep t msg =
       | Some d ->
           let payload = Codec.rrep_payload ~sip:(address t) ~seq:d.d_seq ~rr in
           let corr = Dsr.rrep_corr ~sip:(address t) ~dip ~rr in
-          if verify_host t ~ip:dip ~pk:dpk ~rn:drn ~payload ~signature:sig_
-          then begin
-            (match Obs.lookup (obs t) corr with
-            | Some sid -> Obs.finish (obs t) sid Obs.Ok
-            | None -> ());
-            route_found t ~dst:dip ~route:rr
-              ~endorsement:(Some { e_sig = sig_; e_pk = dpk; e_rn = drn; e_seq = d.d_seq })
-          end
-          else begin
-            (match Obs.lookup (obs t) corr with
-            | Some sid ->
-                Obs.finish (obs t) sid (Obs.Rejected "signature check failed")
-            | None -> ());
-            Ctx.stat t.ctx "secure.rrep_rejected"
-          end
+          (match
+             verify_host_r t ~ip:dip ~pk:dpk ~rn:drn ~payload ~signature:sig_
+           with
+          | Host_ok ->
+              (match Obs.lookup (obs t) corr with
+              | Some sid -> Obs.finish (obs t) sid Obs.Ok
+              | None -> ());
+              route_found t ~dst:dip ~route:rr
+                ~endorsement:
+                  (Some { e_sig = sig_; e_pk = dpk; e_rn = drn; e_seq = d.d_seq })
+          | (Bad_binding | Bad_sig) as why ->
+              (match Obs.lookup (obs t) corr with
+              | Some sid ->
+                  Obs.finish (obs t) sid (Obs.Rejected "signature check failed")
+              | None -> ());
+              let stats = [ "secure.rrep_rejected" ] in
+              (match why with
+              | Bad_binding ->
+                  (* The endorsement key does not bind to the claimed
+                     destination address: forged identity material.  The
+                     forger is not localizable from here — probes and
+                     credits take over. *)
+                  Ctx.audit t.ctx ~kind:Audit.Cga_mismatch ~subject:dip
+                    ~stats ~cause:"rrep endorsement key/address binding" ()
+              | Bad_sig | Host_ok -> (
+                  match
+                    match_retired_seq t ~dst:dip ~pk:dpk ~signature:sig_
+                      ~payload_for:(fun ~seq ->
+                        Codec.rrep_payload ~sip:(address t) ~seq ~rr)
+                  with
+                  | Some age when age > stale_seq_grace ->
+                      (* A once-valid endorsement bound to a discovery
+                         retired long ago: a replay, and whoever radioed
+                         it to us either mounted it or relayed a message
+                         no honest route carries. *)
+                      Ctx.audit t.ctx ~kind:Audit.Replay_rejected
+                        ~subject_node:src ~stats
+                        ~cause:
+                          (Printf.sprintf
+                             "rrep bound to seq retired %.1fs ago" age)
+                        ()
+                  | Some _ ->
+                      Ctx.audit t.ctx ~kind:Audit.Replay_rejected ~stats
+                        ~cause:"late sibling of a just-superseded attempt"
+                        ()
+                  | None ->
+                      Ctx.audit t.ctx ~kind:Audit.Sig_verify_fail ~stats
+                        ~cause:"rrep endorsement signature" ())))
       | None ->
           (* No discovery ever asked for this: unsolicited or replayed,
              so reject (§4). *)
-          Ctx.stat t.ctx "secure.rrep_rejected")
+          Ctx.audit t.ctx ~kind:Audit.Replay_rejected
+            ~stats:[ "secure.rrep_rejected" ]
+            ~cause:"unsolicited rrep" ())
   | _ -> ()
 
 let consume_crep t msg =
@@ -698,9 +817,20 @@ let consume_crep t msg =
             | Some sid ->
                 Obs.finish (obs t) sid (Obs.Rejected "signature check failed")
             | None -> ());
-            Ctx.stat t.ctx "secure.crep_rejected"
+            (* Either half may be at fault (cacher attestation or the
+               replayed destination endorsement); neither failure
+               localizes the forger from here. *)
+            Ctx.audit t.ctx ~kind:Audit.Sig_verify_fail
+              ~stats:[ "secure.crep_rejected" ]
+              ~cause:
+                (if not cacher_ok then "crep cacher attestation signature"
+                 else "crep destination endorsement signature")
+              ()
           end
-      | _ -> Ctx.stat t.ctx "secure.crep_rejected")
+      | _ ->
+          Ctx.audit t.ctx ~kind:Audit.Replay_rejected
+            ~stats:[ "secure.crep_rejected" ]
+            ~cause:"crep for no live discovery attempt" ())
   | _ -> ()
 
 (* --- data plane ---------------------------------------------------------- *)
@@ -807,7 +937,10 @@ let consume_rerr t msg =
           ~payload:(Codec.rerr_payload ~reporter ~broken_next)
           ~signature:sig_
       in
-      if not authentic then Ctx.stat t.ctx "secure.rerr_rejected"
+      if not authentic then
+        Ctx.audit t.ctx ~kind:Audit.Rerr_rejected
+          ~stats:[ "secure.rerr_rejected" ]
+          ~cause:"rerr reporter binding or signature" ()
       else begin
         (* Source routing lets us check plausibility: the reported link
            must lie on a route we actually hold. *)
@@ -815,11 +948,20 @@ let consume_rerr t msg =
           Route_cache.remove_link t.cache ~owner:(address t) ~a:reporter
             ~b:broken_next
         in
-        if removed = 0 then Ctx.stat t.ctx "secure.rerr_implausible";
+        if removed = 0 then
+          Ctx.audit t.ctx ~kind:Audit.Rerr_implausible ~subject:reporter
+            ~stats:[ "secure.rerr_implausible" ]
+            ~cause:
+              ("reported link to "
+              ^ Address.to_string broken_next
+              ^ " lies on no route we hold")
+            ();
         (* Track reporting frequency; §3.4 treats chronic reporters (or
            their successors) as hostile. *)
         if Credit.record_rerr t.credits reporter ~now:(now t) then begin
-          Ctx.stat t.ctx "secure.hostile_suspected";
+          Ctx.audit t.ctx ~kind:Audit.Rerr_frequency ~subject:reporter
+            ~stats:[ "secure.hostile_suspected" ]
+            ~cause:"route-error reporting rate over the hostile threshold" ();
           Credit.slash t.credits reporter;
           ignore (Route_cache.remove_containing t.cache reporter)
         end
@@ -867,16 +1009,39 @@ let consume_probe_reply t msg =
             Hashtbl.remove t.probes seq;
             Ctx.stat t.ctx "probe.replied"
           end
-          else Ctx.stat t.ctx "probe.reply_rejected"
+          else
+            Ctx.audit t.ctx ~kind:Audit.Sig_verify_fail
+              ~stats:[ "probe.reply_rejected" ]
+              ~cause:"probe reply responder binding or signature" ()
       | _ -> ())
   | _ -> ()
+
+let rec drop_first n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop_first (n - 1) tl
+
+let is_addr_suffix ~of_:full part =
+  let d = List.length full - List.length part in
+  d >= 0 && List.for_all2 Address.equal (drop_first d full) part
 
 let handle t ~src msg =
   match msg with
   | Messages.Rreq _ -> handle_rreq t msg
-  | Messages.Rrep _ ->
-      Ctx.deliver_up t.ctx ~src msg ~consume:(consume_rrep t)
-        ~forward:(fun ~next m -> Ctx.send_along t.ctx ~path:next m)
+  | Messages.Rrep { sip; rr; _ } ->
+      Ctx.deliver_up t.ctx ~src msg ~consume:(consume_rrep t ~src)
+        ~forward:(fun ~next m ->
+          (* Transit consistency (§4): an honest reply only ever travels
+             the reversed route record back toward its requester, so the
+             hops still to visit — us included — must form a suffix of
+             that path.  A reply whose forwarding state disagrees with
+             its own signed route record was re-injected off-path; drop
+             it here and point at the radio transmitter, before relays
+             further down can be fooled into accusing each other. *)
+          if is_addr_suffix ~of_:(List.rev rr @ [ sip ]) (address t :: next)
+          then Ctx.send_along t.ctx ~path:next m
+          else
+            Ctx.audit t.ctx ~kind:Audit.Replay_rejected ~subject_node:src
+              ~stats:[ "secure.rrep_rejected"; "secure.transit_rejected" ]
+              ~cause:"rrep in transit off its own reversed route record" ())
         ~not_mine:(fun _ -> ())
   | Messages.Crep _ ->
       Ctx.deliver_up t.ctx ~src msg ~consume:(consume_crep t)

@@ -4,6 +4,7 @@ module Hmac = Manet_crypto.Hmac
 module Messages = Manet_proto.Messages
 module Codec = Manet_proto.Codec
 module Ctx = Manet_proto.Node_ctx
+module Audit = Manet_obs.Audit
 module Engine = Manet_sim.Engine
 module Route_cache = Manet_dsr.Route_cache
 
@@ -270,7 +271,10 @@ let handle_rreq t msg =
                      drn = 0L;
                    })
             end
-            else Ctx.stat t.ctx "srp.rreq_rejected"
+            else
+              Ctx.audit t.ctx ~kind:Audit.Sig_verify_fail
+                ~stats:[ "srp.rreq_rejected" ]
+                ~cause:"rreq end-to-end MAC" ()
           end
         end
       end
@@ -302,8 +306,14 @@ let consume_rrep t msg =
             String.equal sig_
               (rrep_mac ~key:k_sd ~sip:(address t) ~seq:d.d_seq ~rr)
           then route_found t ~dst:dip ~route:rr
-          else Ctx.stat t.ctx "srp.rrep_rejected"
-      | None -> Ctx.stat t.ctx "srp.rrep_rejected")
+          else
+            Ctx.audit t.ctx ~kind:Audit.Sig_verify_fail
+              ~stats:[ "srp.rrep_rejected" ]
+              ~cause:"rrep end-to-end MAC" ()
+      | None ->
+          Ctx.audit t.ctx ~kind:Audit.Replay_rejected
+            ~stats:[ "srp.rrep_rejected" ]
+            ~cause:"unsolicited rrep" ())
   | _ -> ()
 
 (* --- maintenance / data -------------------------------------------------- *)

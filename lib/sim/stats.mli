@@ -25,7 +25,13 @@ val get : t -> string -> int
 (** Counter value; 0 when never incremented. *)
 
 val counters : t -> (string * int) list
-(** All counters, sorted by name. *)
+(** All counters, sorted by name ([String.compare], i.e. byte order).
+    The sort is a {e determinism contract}, not a courtesy: exports
+    built on this list (run reports, metrics CSV/Prometheus text) claim
+    byte-identical output across replays of a seed, which would not
+    survive iteration in [Hashtbl] bucket order — bucket order depends
+    on insertion history and the unspecified [Hashtbl.hash].  Tested in
+    [test_sim.ml]. *)
 
 type snapshot = (string * int) list
 (** A point-in-time copy of every counter, sorted by name — the raw
@@ -47,6 +53,8 @@ val summary : t -> string -> summary option
 (** [None] when no sample was ever observed under [name]. *)
 
 val summaries : t -> (string * summary) list
+(** All summaries, sorted by name — same byte-order determinism
+    contract as {!counters}, for the same exporters. *)
 
 val percentile : t -> string -> float -> float option
 (** [percentile t name q] estimates the [q]-quantile ([0..1]) of the

@@ -198,6 +198,37 @@ let test_poly_compare () =
         "(* manetlint: allow poly-compare *)\nlet same a b = a.sip = b.sip\n" );
     ]
 
+(* --- audit-counter ------------------------------------------------------ *)
+
+let test_audit_counter () =
+  fires "Ctx.stat on a rejection counter in lib/secure" "audit-counter"
+    [ ("lib/secure/x.ml", {|let f t = Ctx.stat t.ctx "secure.rrep_rejected"|}) ];
+  fires "Stats.incr on a replay counter in lib/dsr" "audit-counter"
+    [ ("lib/dsr/x.ml", {|let f s = Stats.incr s "rrep.replayed"|}) ];
+  fires "suspicion counter in lib/dad" "audit-counter"
+    [ ("lib/dad/x.ml", {|let f t = Ctx.stat t.ctx "dad.collision"|}) ];
+  fires "literal on the following line still found" "audit-counter"
+    [
+      ( "lib/dns/x.ml",
+        "let f t =\n  Ctx.stat t.ctx\n    \"dns.warning_rejected\"\n" );
+    ];
+  clean "neutral counter name is fine" "audit-counter"
+    [ ("lib/secure/x.ml", {|let f t = Ctx.stat t.ctx "data.delivered"|}) ];
+  clean "out of scope outside the protocol dirs" "audit-counter"
+    [ ("lib/sim/x.ml", {|let f s = Stats.incr s "queue.rejected"|}) ];
+  clean "the audit path itself is the fix, not a finding" "audit-counter"
+    [
+      ( "lib/secure/x.ml",
+        {|let f t src = Ctx.audit t.ctx ~kind:Audit.Replay_rejected ~subject_node:src ~stats:[ "secure.rrep_rejected" ] ~cause:"replayed rrep" ()|}
+      );
+    ];
+  clean "suppressed" "audit-counter"
+    [
+      ( "lib/secure/x.ml",
+        "(* manetlint: allow audit-counter *)\nlet f t = Ctx.stat t.ctx \
+         \"secure.rrep_rejected\"\n" );
+    ]
+
 (* --- mli coverage ------------------------------------------------------ *)
 
 let test_mli_coverage () =
@@ -463,6 +494,7 @@ let test_rule_names_documented () =
     [
       "proto-schema"; "security"; "placeholder-sig"; "determinism"; "obj-magic";
       "catch-all"; "failwith"; "mli-coverage"; "poly-compare"; "obs-no-printf";
+      "audit-counter";
     ]
 
 let tc name f = Alcotest.test_case name `Quick f
@@ -479,6 +511,7 @@ let suites =
         tc "obs-no-printf" test_obs_no_printf;
         tc "placeholder-sig" test_placeholder_sig;
         tc "poly-compare" test_poly_compare;
+        tc "audit-counter" test_audit_counter;
         tc "mli-coverage" test_mli_coverage;
         tc "security fires" test_security_fires;
         tc "security verified ok" test_security_verified_ok;

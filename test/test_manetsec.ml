@@ -3,4 +3,5 @@ let () =
     (Test_crypto.suites @ Test_ipv6.suites @ Test_sim.suites @ Test_proto.suites
    @ Test_binary.suites @ Test_dad_dns.suites @ Test_routing.suites
    @ Test_aodv.suites @ Test_faults.suites @ Test_integration.suites
-   @ Test_obs.suites @ Test_lint.suites @ Test_manetsem.suites)
+   @ Test_obs.suites @ Test_audit.suites @ Test_lint.suites
+   @ Test_manetsem.suites)

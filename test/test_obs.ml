@@ -103,6 +103,52 @@ let test_json_float_canonical () =
   Alcotest.(check bool) "large magnitudes use %g" true
     (float_of_string (Json.float_str 1e18) = 1e18)
 
+let test_json_nonfinite_rejected () =
+  let rejects x =
+    match Json.float_str x with
+    | (_ : string) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "nan" true (rejects Float.nan);
+  Alcotest.(check bool) "+inf" true (rejects Float.infinity);
+  Alcotest.(check bool) "-inf" true (rejects Float.neg_infinity);
+  (* The printers inherit the rejection, however deep the atom sits —
+     a non-finite float must never reach an exported line. *)
+  let printer_rejects v =
+    match Json.to_string v with
+    | (_ : string) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "to_string Float nan" true
+    (printer_rejects (Json.Float Float.nan));
+  Alcotest.(check bool) "nested inf" true
+    (printer_rejects
+       (Json.Obj [ ("x", Json.List [ Json.Int 1; Json.Float Float.infinity ]) ]))
+
+(* Exact-byte pins for the canonical formatter.  These strings are what
+   live audit/trace exports contain; changing any of them changes every
+   export's bytes, so a formatter tweak must be a deliberate,
+   test-visible schema decision — not an accident. *)
+let test_json_float_pinned () =
+  List.iter
+    (fun (x, expect) ->
+      Alcotest.(check string) expect expect (Json.float_str x))
+    [
+      (0.0, "0.0");
+      (1.0, "1.0");
+      (-3.0, "-3.0");
+      (0.5, "0.5");
+      (0.1, "0.1");
+      (1.0 /. 3.0, "0.333333333333");
+      (6.50148517107, "6.50148517107");
+      (12345.6789, "12345.6789");
+      (1.5e-5, "1.5e-05");
+      (* the integral-rendering boundary sits exactly at 1e15 *)
+      (1e15 -. 1.0, "999999999999999.0");
+      (1e15, "1e+15");
+      (1e18, "1e+18");
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Scenario-level: parenting, determinism, report                      *)
 (* ------------------------------------------------------------------ *)
@@ -340,6 +386,8 @@ let suites =
         tc "json roundtrip" test_json_roundtrip;
         tc "json parse errors" test_json_parse_errors;
         tc "json float canonical" test_json_float_canonical;
+        tc "json non-finite rejected" test_json_nonfinite_rejected;
+        tc "json float pinned bytes" test_json_float_pinned;
         tc "jsonl byte determinism" test_jsonl_byte_determinism;
         tc "causal parenting" test_causal_parenting;
         tc "arep on collision" test_arep_on_collision;

@@ -94,6 +94,28 @@ let test_stats_summary () =
       (* sample stddev of 1,2,3,4 = sqrt(5/3) *)
       Alcotest.(check (float 1e-9)) "stddev" (sqrt (5.0 /. 3.0)) sm.Stats.stddev
 
+(* The sorted-output contract of Stats.counters / Stats.summaries
+   (stats.mli): insertion order must never leak through, because the
+   byte-determinism of every exporter built on these lists depends on
+   it.  Names are inserted in an order chosen to disagree with byte
+   order, across enough keys to force Hashtbl resizes. *)
+let prop_stats_output_sorted =
+  qtest ~count:50 "stats: counters and summaries sorted regardless of insertion"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 100) (int_bound 500))
+    (fun keys ->
+      let s = Stats.create () in
+      List.iter
+        (fun k ->
+          let name = Printf.sprintf "k%03d" k in
+          Stats.incr s name;
+          Stats.observe s name (float_of_int k))
+        keys;
+      let is_sorted names =
+        List.equal String.equal (List.sort String.compare names) names
+      in
+      is_sorted (List.map fst (Stats.counters s))
+      && is_sorted (List.map fst (Stats.summaries s)))
+
 let prop_stats_welford =
   qtest ~count:100 "stats: welford mean matches direct sum"
     QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (float_bound_exclusive 1000.0))
@@ -806,6 +828,7 @@ let suites =
       [
         Alcotest.test_case "counters" `Quick test_stats_counters;
         Alcotest.test_case "summary" `Quick test_stats_summary;
+        prop_stats_output_sorted;
         prop_stats_welford;
         Alcotest.test_case "percentiles exact" `Quick test_stats_percentiles_exact;
         Alcotest.test_case "percentiles reservoir" `Quick test_stats_percentiles_reservoir;

@@ -34,6 +34,7 @@ let rules =
     "mli-coverage";
     "poly-compare";
     "obs-no-printf";
+    "audit-counter";
   ]
 
 let to_string f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.msg
@@ -282,6 +283,7 @@ let sanitize raw =
 type source = {
   path : string;
   code : string; (* sanitized *)
+  raw : string; (* original text, same length/offsets as [code] *)
   line_at : int array; (* line_at.(i) = 1-based line of offset i *)
   allow_file : (string, unit) Hashtbl.t;
   allow_ranges : (string * int * int) list; (* rule, first line, last line *)
@@ -324,7 +326,7 @@ let make_source path raw =
           List.iter (fun r -> Hashtbl.replace allow_file r ()) rs
       | None -> ())
     comments;
-  { path; code; line_at; allow_file; allow_ranges = !allow_ranges }
+  { path; code; raw; line_at; allow_file; allow_ranges = !allow_ranges }
 
 let suppressed src f =
   Hashtbl.mem src.allow_file f.rule
@@ -688,6 +690,65 @@ let check_poly_compare add src =
     then flag_eq p 2
   done
 
+(* A counter whose name says "rejected", "replayed", "suspected", ...
+   carries the same information as a security audit event but none of the
+   structure: no subject, no cause, no entry in the JSONL stream the
+   misbehaviour detector consumes.  Under the protocol layers such
+   counters must be bumped *through* the audit path — [Node_ctx.audit]
+   / [Audit.emit] with [~stats] keep the legacy counter and emit the
+   typed event atomically — never with a raw [Ctx.stat] / [Stats.incr]
+   that leaves the audit stream blind. *)
+let audit_counter_markers =
+  [
+    "reject"; "replay"; "suspect"; "slash"; "forged"; "hostile"; "mismatch";
+    "implausible"; "conflict"; "collision"; "duplicate";
+  ]
+
+let audit_counter_dirs = [ "lib/dad"; "lib/dns"; "lib/dsr"; "lib/secure" ]
+
+let check_audit_counter add src =
+  let code = src.code in
+  let n = String.length code in
+  (* First "..." literal within a short window after the call token.
+     The sanitizer kept the quote characters and blanked the body in
+     place, so the literal's content is read back from [src.raw] at the
+     very same offsets. *)
+  let string_lit_after p =
+    let limit = min n (p + 160) in
+    let rec find_quote i =
+      if i >= limit then None
+      else if code.[i] = '"' then Some i
+      else find_quote (i + 1)
+    in
+    match find_quote p with
+    | None -> None
+    | Some q ->
+        let j = ref (q + 1) in
+        while !j < n && code.[!j] <> '"' do incr j done;
+        if !j < n then Some (String.sub src.raw (q + 1) (!j - q - 1)) else None
+  in
+  List.iter
+    (fun tok ->
+      List.iter
+        (fun p ->
+          match string_lit_after (p + String.length tok) with
+          | None -> ()
+          | Some name ->
+              let lname = String.lowercase_ascii name in
+              if
+                List.exists
+                  (fun m -> find_sub lname m <> None)
+                  audit_counter_markers
+              then
+                add src src.line_at.(p) "audit-counter"
+                  (Printf.sprintf
+                     "security-shaped counter %S bumped directly; emit the \
+                      typed event instead (Node_ctx.audit / Audit.emit with \
+                      ~stats keeps the counter and feeds the audit stream)"
+                     name))
+        (occurrences code tok))
+    [ "Ctx.stat"; "Stats.incr" ]
+
 let check_security add src =
   let code = src.code in
   let n = String.length code in
@@ -990,6 +1051,8 @@ let lint_files inputs =
           || under "lib/dns" src.path
         then check_placeholder_sig add src;
         if in_lib then check_poly_compare add src;
+        if List.exists (fun d -> under d src.path) audit_counter_dirs then
+          check_audit_counter add src;
         if in_lib then check_security add src
       end)
     srcs;
