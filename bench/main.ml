@@ -25,6 +25,7 @@ let sections =
     ("profile", fun () -> Profile_bench.run ());
     ("audit", fun () -> Audit_bench.run ());
     ("micro", fun () -> Micro.run ());
+    ("perf", fun () -> Perf_bench.run ());
   ]
 
 let () =

@@ -1,0 +1,150 @@
+(* The perf trajectory snapshot: one JSON document per PR recording the
+   numbers ROADMAP tracks — engine throughput, hot-path ns/op, peak
+   heap, and the multicore sweep wall-clock that PR 6's domain-safety
+   certificate unlocked.  CI regenerates and archives the file; the
+   committed copy records the reference machine.
+
+     dune exec bench/main.exe -- perf        # writes BENCH_6.json *)
+
+module Scenario = Manetsec.Scenario
+module Engine = Manetsec.Sim.Engine
+module Mono_clock = Manetsec.Sim.Mono_clock
+module Parallel = Manetsec.Sim.Parallel
+module Heap = Manetsec.Sim.Heap
+module Sweep = Manetsec.Sweep
+module Prng = Manetsec.Crypto.Prng
+module Sha256 = Manetsec.Crypto.Sha256
+module Rsa = Manetsec.Crypto.Rsa
+module Json = Manetsec.Obs_json
+
+let pr = 6
+let out_file = Printf.sprintf "BENCH_%d.json" pr
+
+(* Mean ns per call, timed over enough batches to fill [target_s] of
+   wall clock (after one warmup batch). *)
+let ns_per_op ?(batch = 100) ?(target_s = 0.2) f =
+  for _ = 1 to batch do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let t0 = Mono_clock.now_s () in
+  let calls = ref 0 in
+  while Mono_clock.now_s () -. t0 < target_s do
+    for _ = 1 to batch do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    calls := !calls + batch
+  done;
+  (Mono_clock.now_s () -. t0) *. 1e9 /. float_of_int (max 1 !calls)
+
+let hot_paths () =
+  let g = Prng.create ~seed:4242 in
+  let data_1k = Prng.bytes g 1024 in
+  let rsa_pub, rsa_priv = Rsa.generate g ~bits:512 in
+  let signature = Rsa.sign rsa_priv data_1k in
+  let sha = ns_per_op (fun () -> Sha256.digest data_1k) in
+  let verify =
+    ns_per_op ~batch:10
+      (fun () -> Rsa.verify rsa_pub ~msg:data_1k ~signature)
+  in
+  let heap =
+    let h = Heap.create () in
+    let i = ref 0 in
+    ns_per_op (fun () ->
+        incr i;
+        Heap.push h (float_of_int (!i land 1023)) !i;
+        Heap.pop h)
+  in
+  [
+    ("sha256_1k_ns", Json.Float sha);
+    ("rsa512_verify_ns", Json.Float verify);
+    ("heap_push_pop_ns", Json.Float heap);
+  ]
+
+(* A representative secure run (30 nodes, traffic, 2 black holes) for
+   engine throughput and peak heap. *)
+let engine_run () =
+  let params =
+    {
+      Scenario.default_params with
+      n = 30;
+      seed = 11;
+      topology = Scenario.Random { width = 1200.0; height = 1200.0 };
+      adversaries =
+        [ (5, Manetsec.Adversary.blackhole); (9, Manetsec.Adversary.blackhole) ];
+    }
+  in
+  let s = Scenario.create params in
+  Engine.set_profiling (Scenario.engine s) true;
+  Scenario.bootstrap s;
+  Scenario.start_cbr s
+    ~flows:[ (1, 17); (3, 21); (8, 28); (14, 2) ]
+    ~interval:0.25 ~duration:60.0 ();
+  Scenario.run s ~until:120.0;
+  (Engine.events_per_sec (Scenario.engine s), (Gc.stat ()).Gc.top_heap_words)
+
+(* The sweep grid used for wall-clock scaling; small enough for CI,
+   large enough that fan-out dominates scheduling overhead. *)
+let sweep_spec =
+  {
+    Sweep.e1_fractions = [ 0.0; 0.2 ];
+    e1_nodes = 30;
+    e1_duration = 120.0;
+    e6_sizes = [ 24 ];
+    seeds = [ 1; 2; 3 ];
+  }
+
+let sweep_wall ~domains =
+  let t0 = Mono_clock.now_s () in
+  ignore (Sys.opaque_identity (Sweep.run ~domains sweep_spec));
+  Mono_clock.now_s () -. t0
+
+let run () =
+  Util.heading (Printf.sprintf "perf -- BENCH_%d.json" pr);
+  let cores = Parallel.default_domains () in
+  let events_per_sec, peak_heap = engine_run () in
+  Printf.printf "engine              %.0f events/s, peak heap %d words\n%!"
+    events_per_sec peak_heap;
+  let hot = hot_paths () in
+  List.iter
+    (fun (name, j) ->
+      Printf.printf "%-19s %s\n%!" name (Json.to_string j))
+    hot;
+  let walls =
+    List.map
+      (fun d ->
+        let w = sweep_wall ~domains:d in
+        Printf.printf "sweep @%d domain(s)  %.2f s wall\n%!" d w;
+        (Printf.sprintf "d%d" d, Json.Float w))
+      [ 1; 2; 4 ]
+  in
+  let wall d = match List.assoc (Printf.sprintf "d%d" d) walls with
+    | Json.Float w -> w
+    | _ -> nan
+  in
+  let speedup_4 = wall 1 /. wall 4 in
+  Printf.printf "4-domain speedup    %.2fx (host has %d core(s))\n%!" speedup_4
+    cores;
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "manetsim-bench");
+        ("version", Json.Int 1);
+        ("pr", Json.Int pr);
+        ("host_cores", Json.Int cores);
+        ("events_per_sec", Json.Float events_per_sec);
+        ("peak_heap_words", Json.Int peak_heap);
+        ("hot_paths", Json.Obj hot);
+        ( "sweep",
+          Json.Obj
+            [
+              ("points", Json.Int (List.length (Sweep.points sweep_spec)));
+              ("wall_s", Json.Obj walls);
+              ("speedup_4", Json.Float speedup_4);
+            ] );
+      ]
+  in
+  let oc = open_out_bin out_file in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" out_file

@@ -510,6 +510,127 @@ let no_timeline_t =
 
 let audit_term = Term.(ret (const audit_cmd $ audit_file_t $ no_timeline_t))
 
+(* --- sweep ------------------------------------------------------------------ *)
+
+module Sweep = Manetsec.Sweep
+module Merge = Manetsec.Merge
+module Parallel = Manetsec.Sim.Parallel
+module Mono_clock = Manetsec.Sim.Mono_clock
+
+let sweep_cmd domains e1_fractions e1_nodes e1_duration e6_sizes seeds stats_csv
+    audit_out trace_out =
+  let spec =
+    { Sweep.e1_fractions; e1_nodes; e1_duration; e6_sizes; seeds }
+  in
+  let domains = if domains <= 0 then Parallel.default_domains () else domains in
+  let points = Sweep.points spec in
+  Printf.printf "sweep: %d grid point(s) across %d domain(s)\n%!"
+    (List.length points) domains;
+  let t0 = Mono_clock.now_s () in
+  let runs = Sweep.run ~domains spec in
+  let wall = Mono_clock.now_s () -. t0 in
+  List.iter
+    (fun r ->
+      let field name =
+        match List.assoc_opt name r.Merge.key with
+        | Some j -> Json.to_string j
+        | None -> "?"
+      in
+      let stat name =
+        match List.assoc_opt name r.Merge.stats with Some v -> v | None -> 0
+      in
+      Printf.printf
+        "  %-4s n=%-3s fraction=%-4s seed=%-3s delivered %d/%d  configured %d  \
+         dropped %d\n"
+        (field "experiment") (field "n") (field "fraction") (field "seed")
+        (stat "data.delivered") (stat "data.offered") (stat "dad.configured")
+        (stat "attack.data_dropped"))
+    runs;
+  Printf.printf "wall clock          %.2f s\n" wall;
+  (match stats_csv with
+  | Some path ->
+      write_file path (Merge.stats_csv runs);
+      Printf.printf "stats csv           %s\n" path
+  | None -> ());
+  (match audit_out with
+  | Some path ->
+      write_file path (Merge.stream_jsonl ~name:"audit" runs);
+      Printf.printf "audit jsonl         %s\n" path
+  | None -> ());
+  match trace_out with
+  | Some path ->
+      write_file path (Merge.stream_jsonl ~name:"trace" runs);
+      Printf.printf "trace jsonl         %s\n" path
+  | None -> ()
+
+let domains_t =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Concurrent domains to fan grid points across; 1 runs inline \
+           (single-core fallback), 0 uses the host's recommended domain \
+           count.  Merged exports are byte-identical at any value.")
+
+let e1_fractions_t =
+  Arg.(
+    value
+    & opt (list float) Sweep.default_spec.Sweep.e1_fractions
+    & info [ "e1-fractions" ] ~docv:"F,..."
+        ~doc:"E1 black-hole fractions; empty disables the E1 grid.")
+
+let e1_nodes_t =
+  Arg.(
+    value
+    & opt int Sweep.default_spec.Sweep.e1_nodes
+    & info [ "e1-nodes" ] ~docv:"N" ~doc:"E1 network size.")
+
+let e1_duration_t =
+  Arg.(
+    value
+    & opt float Sweep.default_spec.Sweep.e1_duration
+    & info [ "e1-duration" ] ~docv:"SECONDS"
+        ~doc:"E1 CBR traffic duration (simulated).")
+
+let e6_sizes_t =
+  Arg.(
+    value
+    & opt (list int) Sweep.default_spec.Sweep.e6_sizes
+    & info [ "e6-sizes" ] ~docv:"N,..."
+        ~doc:"E6 network sizes; empty disables the E6 grid.")
+
+let seeds_t =
+  Arg.(
+    value
+    & opt (list int) Sweep.default_spec.Sweep.seeds
+    & info [ "seeds" ] ~docv:"S,..." ~doc:"Seed replications per grid point.")
+
+let sweep_stats_csv_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-csv" ] ~docv:"FILE"
+        ~doc:"Write merged per-run counters as CSV.")
+
+let sweep_audit_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "audit-jsonl" ] ~docv:"FILE"
+        ~doc:"Write the merged audit streams of every run as JSONL.")
+
+let sweep_trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-jsonl" ] ~docv:"FILE"
+        ~doc:"Write the merged telemetry traces of every run as JSONL.")
+
+let sweep_term =
+  Term.(
+    const sweep_cmd $ domains_t $ e1_fractions_t $ e1_nodes_t $ e1_duration_t
+    $ e6_sizes_t $ seeds_t $ sweep_stats_csv_t $ sweep_audit_t $ sweep_trace_t)
+
 (* --- command tree ----------------------------------------------------------- *)
 
 let cmds =
@@ -523,6 +644,13 @@ let cmds =
     Cmd.v
       (Cmd.info "attacks" ~doc:"Run the canned attack behaviours against both protocols.")
       attacks_term;
+    Cmd.v
+      (Cmd.info "sweep"
+         ~doc:
+           "Fan the E1/E6 experiment grids across concurrent domains and \
+            merge stats, audit and telemetry exports deterministically \
+            (byte-identical at any --domains value).")
+      sweep_term;
     Cmd.v
       (Cmd.info "report"
          ~doc:

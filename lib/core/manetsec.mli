@@ -23,6 +23,9 @@
     - {!Faults} / {!Resilience}: deterministic fault injection (node
       churn, link flaps, partitions, bursty channels) and recovery
       metrics.
+    - {!Merge} / {!Sweep}: deterministic merging of per-run exports
+      and the multicore E1/E6 parameter-sweep runner (fanned across
+      domains via {!Sim}[.Parallel]).
     - {!Adversary}: the §4 attack behaviours.
     - {!Aodv} / {!Aodv_adversary} / {!Aodv_world}: the AODV and
       SAODV-style comparison substrate (the paper's "other routing
@@ -36,6 +39,7 @@ module Sim = Manet_sim
 module Obs = Manet_obs.Obs
 module Obs_json = Manet_obs.Json
 module Obs_report = Manet_obs.Report
+module Merge = Manet_obs.Merge
 module Audit = Manet_obs.Audit
 module Metrics = Manet_obs.Metrics
 module Detector = Manet_obs.Detector
@@ -55,3 +59,4 @@ module Aodv = Manet_aodv.Aodv
 module Aodv_adversary = Manet_attacks.Aodv_adversary
 module Aodv_world = Manet_attacks.Aodv_world
 module Scenario = Scenario
+module Sweep = Sweep

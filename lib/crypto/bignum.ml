@@ -33,7 +33,14 @@ let of_int i =
     { sign; mag = Array.of_list (List.rev !limbs) }
   end
 
+(* manetdom: allow toplevel-state — interned constants: a bignum's limb
+   array is never written after construction (every operation allocates
+   a fresh magnitude), so sharing [one]/[two] across domains is
+   read-only sharing. *)
 let one = of_int 1
+
+(* manetdom: allow toplevel-state — same read-only bignum-constant
+   argument as [one] above. *)
 let two = of_int 2
 
 let sign n = n.sign
@@ -618,6 +625,10 @@ let random_below g n =
   in
   loop ()
 
+(* manetdom: allow toplevel-state escaping-memo — the sieve array is
+   local to this initialiser and the resulting prime table is only ever
+   indexed, never written, after module init: read-only across
+   domains. *)
 let small_primes =
   (* Primes below 1000, enough trial division to reject most candidates
      before a Miller-Rabin round. *)

@@ -13,6 +13,9 @@ type private_key = {
   crt_qinv : Bignum.t; (* q^-1 mod p *)
 }
 
+(* manetdom: allow toplevel-state — F4 public-exponent constant; bignum
+   limb arrays are never written after construction, so cross-domain
+   sharing is read-only. *)
 let default_e = Bignum.of_int 65537
 
 let generate g ~bits =

@@ -5,7 +5,9 @@
 let mask32 = 0xFFFFFFFF
 
 (* manetsem: allow determinism — FIPS round constants: the array is
-   created once and never written, only indexed. *)
+   created once and never written, only indexed.
+   manetdom: allow toplevel-state — same argument across domains:
+   read-only after module init. *)
 let k =
   [|
     0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;

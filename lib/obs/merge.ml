@@ -1,0 +1,107 @@
+type run = {
+  key : (string * Json.t) list;
+  stats : (string * int) list;
+  streams : (string * string) list;
+}
+
+let schema = "manetsim-sweep"
+let schema_version = 1
+
+(* Scalar comparison for key coordinates: numbers numerically (so seed
+   10 sorts after seed 2), everything else by canonical rendering. *)
+let compare_value a b =
+  match (a, b) with
+  | Json.Int x, Json.Int y -> Int.compare x y
+  | Json.Float x, Json.Float y -> Float.compare x y
+  | Json.Int x, Json.Float y -> Float.compare (float_of_int x) y
+  | Json.Float x, Json.Int y -> Float.compare x (float_of_int y)
+  | Json.String x, Json.String y -> String.compare x y
+  | a, b -> String.compare (Json.to_string a) (Json.to_string b)
+
+let rec compare_key a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | (na, va) :: ta, (nb, vb) :: tb ->
+      let c = String.compare na nb in
+      if c <> 0 then c
+      else begin
+        let c = compare_value va vb in
+        if c <> 0 then c else compare_key ta tb
+      end
+
+let sorted runs = List.stable_sort (fun a b -> compare_key a.key b.key) runs
+
+let split_header text =
+  match String.index_opt text '\n' with
+  | Some i ->
+      (String.sub text 0 i, String.sub text (i + 1) (String.length text - i - 1))
+  | None -> (text, "")
+
+let stream_jsonl ~name runs =
+  let runs = sorted runs in
+  let buf = Buffer.create 4096 in
+  let line v =
+    Json.to_buffer buf v;
+    Buffer.add_char buf '\n'
+  in
+  line
+    (Json.Obj
+       [
+         ("schema", Json.String schema);
+         ("version", Json.Int schema_version);
+         ("stream", Json.String name);
+         ("runs", Json.Int (List.length runs));
+       ]);
+  List.iteri
+    (fun i r ->
+      match List.assoc_opt name r.streams with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Merge.stream_jsonl: run %d has no %S stream" i name)
+      | Some text ->
+          let header, rest = split_header text in
+          (* Re-parse and re-print the per-run header so the embedded
+             copy is canonical whatever whitespace the source used. *)
+          line
+            (Json.Obj (("run", Json.Int i) :: r.key @ [ ("source", Json.parse header) ]));
+          Buffer.add_string buf rest;
+          if rest <> "" && rest.[String.length rest - 1] <> '\n' then
+            Buffer.add_char buf '\n')
+    runs;
+  Buffer.contents buf
+
+let cell = function
+  | Json.String s -> s
+  | Json.Int i -> string_of_int i
+  | Json.Float f -> Json.float_str f
+  | j -> Json.to_string j
+
+let stats_csv runs =
+  let runs = sorted runs in
+  let buf = Buffer.create 1024 in
+  let key_names =
+    match runs with r :: _ -> List.map fst r.key | [] -> []
+  in
+  List.iter
+    (fun n ->
+      Buffer.add_string buf n;
+      Buffer.add_char buf ',')
+    key_names;
+  Buffer.add_string buf "counter,value\n";
+  List.iter
+    (fun r ->
+      let prefix =
+        String.concat "" (List.map (fun (_, v) -> cell v ^ ",") r.key)
+      in
+      List.iter
+        (fun (name, v) ->
+          Buffer.add_string buf prefix;
+          Buffer.add_string buf name;
+          Buffer.add_char buf ',';
+          Buffer.add_string buf (string_of_int v);
+          Buffer.add_char buf '\n')
+        r.stats)
+    runs;
+  Buffer.contents buf

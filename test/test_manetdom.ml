@@ -1,0 +1,217 @@
+(* Self-tests for manetdom, the domain-safety analyzer: every rule must
+   fire on a synthetic bad input, stay quiet on the matching good input,
+   and honour the annotation grammar (including its mandatory-rationale
+   tightening).  Fixtures live in string literals, so manetlint's
+   lexical pass never sees them. *)
+
+module Dom = Manetdom.Dom
+module Sem = Manetsem.Sem
+
+let count rule files =
+  List.length (List.filter (fun f -> f.Dom.rule = rule) (Dom.analyze files))
+
+let fires name rule files =
+  Alcotest.(check bool) name true (count rule files > 0)
+
+let clean name rule files =
+  Alcotest.(check int) name 0 (count rule files)
+
+(* --- toplevel-state ----------------------------------------------------- *)
+
+let test_toplevel_state_fires () =
+  fires "top-level ref cell" "toplevel-state"
+    [ ("lib/x/m.ml", "let counter = ref 0\n") ];
+  fires "top-level non-empty array literal" "toplevel-state"
+    [ ("lib/x/m.ml", "let table = [| 1; 2; 3 |]\n") ];
+  fires "top-level Hashtbl" "toplevel-state"
+    [ ("lib/x/m.ml", "let cache = Hashtbl.create 16\n") ];
+  fires "top-level Bytes builder" "toplevel-state"
+    [ ("lib/x/m.ml", "let scratch = Bytes.create 64\n") ];
+  fires "mutable state bound through a local let" "toplevel-state"
+    [ ("lib/x/m.ml", "let t = let h = Hashtbl.create 8 in h\n") ];
+  fires "mutable record literal" "toplevel-state"
+    [
+      ( "lib/x/m.ml",
+        "type t = { mutable hits : int }\nlet global = { hits = 0 }\n" );
+    ];
+  fires "nested module is not a hiding place" "toplevel-state"
+    [ ("lib/x/m.ml", "module Inner = struct let q = Queue.create () end\n") ];
+  (* A constructor function returning mutable state taints its full
+     applications at top level (the Bignum.of_int shape). *)
+  fires "call to a mutable-returning constructor" "toplevel-state"
+    [
+      ( "lib/x/m.ml",
+        "type cell = { mutable v : int }\nlet make n = { v = n }\nlet shared = make 0\n"
+      );
+    ]
+
+let test_toplevel_state_clean () =
+  clean "immutable scalars and strings" "toplevel-state"
+    [ ("lib/x/m.ml", "let x = 42\nlet s = \"hi\"\nlet p = (1, \"a\")\n") ];
+  clean "empty array literal has no cells" "toplevel-state"
+    [ ("lib/x/m.ml", "let empty = [||]\n") ];
+  clean "immutable record" "toplevel-state"
+    [
+      ( "lib/x/m.ml",
+        "type t = { hits : int }\nlet zero = { hits = 0 }\n" );
+    ];
+  clean "functions allocate per call, not at init" "toplevel-state"
+    [
+      ( "lib/x/m.ml",
+        "let f () = ref 0\nlet g x = Hashtbl.create x\nlet h = fun () -> [| 1 |]\n"
+      );
+    ];
+  clean "local mutable state inside a function body" "toplevel-state"
+    [
+      ( "lib/x/m.ml",
+        "let sum xs =\n  let acc = ref 0 in\n  List.iter (fun x -> acc := !acc + x) xs;\n  !acc\n"
+      );
+    ]
+
+(* --- toplevel-lazy / escaping-memo -------------------------------------- *)
+
+let test_lazy_and_memo () =
+  fires "top-level lazy thunk" "toplevel-lazy"
+    [ ("lib/x/m.ml", "let table = lazy (List.init 10 (fun i -> i))\n") ];
+  fires "memo table captured by returned closure" "escaping-memo"
+    [
+      ( "lib/x/m.ml",
+        "let memo =\n  let tbl = Hashtbl.create 16 in\n  fun x ->\n    match Hashtbl.find_opt tbl x with\n    | Some y -> y\n    | None -> Hashtbl.add tbl x (x * x); x * x\n"
+      );
+    ];
+  clean "per-call table is fine" "escaping-memo"
+    [
+      ( "lib/x/m.ml",
+        "let f x =\n  let tbl = Hashtbl.create 16 in\n  Hashtbl.add tbl x x;\n  Hashtbl.length tbl\n"
+      );
+    ]
+
+(* --- global-rng ---------------------------------------------------------- *)
+
+let test_global_rng () =
+  fires "Random.self_init" "global-rng"
+    [ ("lib/x/m.ml", "let seed () = Random.self_init ()\n") ];
+  fires "Random.int draws from the process-global state" "global-rng"
+    [ ("lib/x/m.ml", "let roll () = Random.int 6\n") ];
+  fires "Random.State.make_self_init" "global-rng"
+    [ ("lib/x/m.ml", "let s () = Random.State.make_self_init ()\n") ];
+  (* Reachability: the exported entry point reaches the global RNG
+     through a private helper, so it is reported too. *)
+  let files =
+    [
+      ( "lib/x/m.ml",
+        "let helper () = Random.int 10\nlet entry () = helper () + 1\n" );
+      ("lib/x/m.mli", "val entry : unit -> int\n");
+    ]
+  in
+  Alcotest.(check bool)
+    "exported entry point reaching Random is reported" true
+    (List.exists
+       (fun f ->
+         f.Dom.rule = "global-rng"
+         && f.Dom.line = 2 (* the entry, beyond the direct use on line 1 *))
+       (Dom.analyze files));
+  clean "engine-owned Prng streams are fine" "global-rng"
+    [ ("lib/x/m.ml", "let roll g = Prng.int g 6\n") ]
+
+(* --- domain-primitive ---------------------------------------------------- *)
+
+let test_domain_primitive () =
+  fires "Domain.spawn outside the scheduler" "domain-primitive"
+    [ ("lib/x/m.ml", "let go f = Domain.join (Domain.spawn f)\n") ];
+  fires "Atomic outside the scheduler" "domain-primitive"
+    [ ("lib/x/m.ml", "let c = fun () -> Atomic.make 0\n") ];
+  fires "open Domain counts too" "domain-primitive"
+    [ ("lib/x/m.ml", "open Domain\nlet f x = x\n") ];
+  clean "lib/sim/parallel.ml is allowlisted" "domain-primitive"
+    [ ("lib/sim/parallel.ml", "let go f = Domain.join (Domain.spawn f)\n") ]
+
+(* --- annotations --------------------------------------------------------- *)
+
+let test_annotation_suppresses () =
+  clean "allow with rationale suppresses" "toplevel-state"
+    [
+      ( "lib/x/m.ml",
+        "(* manetdom: allow toplevel-state — read-only constant table. *)\nlet k = [| 1; 2 |]\n"
+      );
+    ];
+  clean "allow-file with rationale suppresses everywhere" "toplevel-state"
+    [
+      ( "lib/x/m.ml",
+        "(* manetdom: allow-file toplevel-state — fixture module. *)\nlet a = ref 0\nlet b = ref 1\n"
+      );
+    ];
+  (* The directive may sit anywhere inside a shared comment block. *)
+  clean "directive embedded mid-comment" "toplevel-state"
+    [
+      ( "lib/x/m.ml",
+        "(* manetsem: allow determinism — constant.\n   manetdom: allow toplevel-state — never written after init. *)\nlet k = [| 1 |]\n"
+      );
+    ]
+
+let test_annotation_requires_rationale () =
+  (* No prose after the rule names: the allow is rejected and reported,
+     and the underlying finding still fires. *)
+  let files =
+    [ ("lib/x/m.ml", "(* manetdom: allow toplevel-state *)\nlet r = ref 0\n") ]
+  in
+  fires "rationale-free allow is an annotation finding" "annotation" files;
+  fires "rationale-free allow does not suppress" "toplevel-state" files;
+  (* And the annotation finding itself cannot be allowed away. *)
+  fires "annotation findings are unsuppressible" "annotation"
+    [
+      ( "lib/x/m.ml",
+        "(* manetdom: allow-file annotation — because. *)\n(* manetdom: allow toplevel-state *)\nlet r = ref 0\n"
+      );
+    ]
+
+(* --- parse + baseline plumbing ------------------------------------------- *)
+
+let test_parse_and_baseline () =
+  fires "syntax errors are findings" "parse"
+    [ ("lib/x/m.ml", "let let let\n") ];
+  let findings = Dom.analyze [ ("lib/x/m.ml", "let r = ref 0\n") ] in
+  let baseline =
+    Sem.parse_baseline (Sem.render_baseline ~tool:"manetdom" findings)
+  in
+  let fresh, stale = Sem.diff_baseline ~baseline findings in
+  Alcotest.(check int) "pinned findings are not fresh" 0 (List.length fresh);
+  Alcotest.(check int) "no stale keys when all still fire" 0 (List.length stale);
+  (* Fix the code: the pinned key must now be reported stale. *)
+  let fresh', stale' = Sem.diff_baseline ~baseline [] in
+  Alcotest.(check int) "nothing fresh after the fix" 0 (List.length fresh');
+  Alcotest.(check int) "fixed finding leaves a stale key" 1 (List.length stale');
+  (* And a new finding in another file is fresh against the old pin. *)
+  let fresh'', _ =
+    Sem.diff_baseline ~baseline
+      (Dom.analyze [ ("lib/y/n.ml", "let q = Queue.create ()\n") ])
+  in
+  Alcotest.(check int) "new finding is fresh" 1 (List.length fresh'')
+
+let test_real_tree_shape () =
+  (* The committed baseline is empty, so the real tree must analyze
+     clean — the same invariant @lint enforces, checked here without
+     the file system walk: rules list is stable and non-empty. *)
+  Alcotest.(check bool) "rule catalogue non-empty" true (Dom.rules <> []);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "annotation is not an allowable rule" true
+        (r <> "annotation"))
+    Dom.rules
+
+let suites =
+  [
+    ( "manetdom",
+      [
+        Alcotest.test_case "toplevel-state fires" `Quick test_toplevel_state_fires;
+        Alcotest.test_case "toplevel-state clean" `Quick test_toplevel_state_clean;
+        Alcotest.test_case "lazy and escaping memo" `Quick test_lazy_and_memo;
+        Alcotest.test_case "global rng" `Quick test_global_rng;
+        Alcotest.test_case "domain primitives" `Quick test_domain_primitive;
+        Alcotest.test_case "annotations suppress" `Quick test_annotation_suppresses;
+        Alcotest.test_case "annotations need rationale" `Quick
+          test_annotation_requires_rationale;
+        Alcotest.test_case "parse and baseline" `Quick test_parse_and_baseline;
+        Alcotest.test_case "rule catalogue" `Quick test_real_tree_shape;
+      ] );
+  ]

@@ -1,0 +1,750 @@
+(* manetdom — domain-safety analyzer.  See dom.mli for the rule
+   catalogue.  Built on compiler-libs only (Parse + Parsetree +
+   Ast_iterator), sharing the comment scanner and baseline machinery
+   with manetsem so all three analyzers keep one suppression grammar and
+   one diff/stale semantics. *)
+
+open Parsetree
+module Sem = Manetsem.Sem
+
+type finding = Sem.finding = {
+  file : string;
+  line : int;
+  rule : string;
+  msg : string;
+}
+
+let rules =
+  [
+    "toplevel-state"; "toplevel-lazy"; "escaping-memo"; "global-rng";
+    "domain-primitive"; "parse";
+  ]
+
+(* The one module allowed to touch the domain primitives: the reviewed
+   fan-out scheduler.  Matched by path suffix so fixtures can opt in. *)
+let domain_allowlisted path =
+  Filename.basename path = "parallel.ml"
+  && Filename.basename (Filename.dirname path) = "sim"
+
+let domain_modules =
+  [ "Domain"; "Atomic"; "Mutex"; "Condition"; "Semaphore"; "Thread" ]
+
+(* ------------------------------------------------------------------ *)
+(* Suppression.  Same scanner and line ranges as manetsem, with one
+   tightening: the directive must carry a rationale (prose after the
+   rule names), otherwise it does not suppress and instead yields an
+   "annotation" finding — which itself cannot be allowed away. *)
+
+type allows = {
+  a_ranges : (string * int * int) list;
+  a_whole : string list;
+  a_bad : int list; (* directive lines missing their rationale *)
+}
+
+let no_allows = { a_ranges = []; a_whole = []; a_bad = [] }
+
+let words_of s =
+  String.split_on_char '\n' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.filter (fun w -> w <> "")
+
+let rec take_rules = function
+  | w :: rest when List.mem w rules -> w :: take_rules rest
+  | _ -> []
+
+let rec drop n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
+
+let has_prose ws =
+  List.exists
+    (fun w ->
+      String.exists (function 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false) w)
+    ws
+
+(* Unlike manetsem, the directive may sit anywhere inside a comment —
+   so one comment can carry both a manetsem and a manetdom allow when
+   both analyzers flag the same binding.  The rationale is the prose
+   between the rule names and the next [manetdom:] marker (or the
+   comment's end). *)
+let scan_allows src =
+  List.fold_left
+    (fun acc (text, l0, l1) ->
+      let rec until_next acc = function
+        | [] -> List.rev acc
+        | "manetdom:" :: _ -> List.rev acc
+        | w :: rest -> until_next (w :: acc) rest
+      in
+      let rec go acc = function
+        | [] -> acc
+        | "manetdom:" :: kw :: rest when kw = "allow" || kw = "allow-file" ->
+            let rs = take_rules rest in
+            let tail = drop (List.length rs) rest in
+            let rationale = until_next [] tail in
+            let acc =
+              if rs = [] || not (has_prose rationale) then
+                { acc with a_bad = l0 :: acc.a_bad }
+              else if kw = "allow-file" then
+                { acc with a_whole = rs @ acc.a_whole }
+              else
+                {
+                  acc with
+                  a_ranges =
+                    List.map (fun r -> (r, l0, l1 + 1)) rs @ acc.a_ranges;
+                }
+            in
+            go acc tail
+        | _ :: rest -> go acc rest
+      in
+      go acc (words_of text))
+    no_allows (Sem.scan_comments src)
+
+let suppressed allows f =
+  f.rule <> "annotation"
+  && (List.mem f.rule allows.a_whole
+     || List.exists
+          (fun (r, a, b) -> r = f.rule && a <= f.line && f.line <= b)
+          allows.a_ranges)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing and per-file units. *)
+
+type parsed = Impl of structure | Intf of signature | Fail of int * string
+
+type unit_ = {
+  u_path : string;
+  u_mod : string;
+  u_parsed : parsed;
+  u_aliases : (string, string) Hashtbl.t;
+  u_allows : allows;
+}
+
+let first_line s =
+  match String.index_opt s '\n' with Some i -> String.sub s 0 i | None -> s
+
+let parse_file path content =
+  let lexbuf = Lexing.from_string content in
+  Lexing.set_filename lexbuf path;
+  try
+    if Filename.check_suffix path ".mli" then Intf (Parse.interface lexbuf)
+    else Impl (Parse.implementation lexbuf)
+  with exn ->
+    let line = (Lexing.lexeme_start_p lexbuf).Lexing.pos_lnum in
+    Fail (line, first_line (Printexc.to_string exn))
+
+let rec lid_last = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (_, s) -> s
+  | Longident.Lapply (_, l) -> lid_last l
+
+(* Map a reference to (optional module last-component, name), chasing
+   one step of local [module X = A.B] aliases — the same resolution
+   contract as manetsem: library module basenames in this tree are
+   distinct, so the last component identifies a module. *)
+let resolve aliases lid =
+  match lid with
+  | Longident.Lident x -> (None, x)
+  | Longident.Ldot (p, x) ->
+      let m =
+        match p with
+        | Longident.Lident m0 -> (
+            match Hashtbl.find_opt aliases m0 with Some r -> r | None -> m0)
+        | _ -> lid_last p
+      in
+      (Some m, x)
+  | Longident.Lapply (_, _) -> (None, lid_last lid)
+
+let rec collect_aliases str tbl =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_module
+          {
+            pmb_name = { txt = Some name; _ };
+            pmb_expr = { pmod_desc = Pmod_ident { txt; _ }; _ };
+            _;
+          } ->
+          Hashtbl.replace tbl name (lid_last txt)
+      | Pstr_module { pmb_expr = { pmod_desc = Pmod_structure sub; _ }; _ } ->
+          collect_aliases sub tbl
+      | _ -> ())
+    str
+
+let mk_unit (path, content) =
+  let parsed = parse_file path content in
+  let aliases = Hashtbl.create 8 in
+  (match parsed with Impl str -> collect_aliases str aliases | _ -> ());
+  {
+    u_path = path;
+    u_mod =
+      String.capitalize_ascii
+        (Filename.remove_extension (Filename.basename path));
+    u_parsed = parsed;
+    u_aliases = aliases;
+    u_allows = scan_allows content;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Record mutability: collect (label set, has mutable field) for every
+   record type declared anywhere in the analyzed tree (.ml and .mli).
+   A record literal is judged mutable only when at least one declaration
+   matches its labels and every matching declaration has a mutable
+   field, so label collisions between mutable and immutable types do
+   not produce false positives. *)
+
+let record_decls units =
+  let out = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      type_declaration =
+        (fun self d ->
+          (match d.ptype_kind with
+          | Ptype_record lds ->
+              let labels = List.map (fun ld -> ld.pld_name.Location.txt) lds in
+              let has_mut =
+                List.exists (fun ld -> ld.pld_mutable = Asttypes.Mutable) lds
+              in
+              out := (labels, has_mut) :: !out
+          | _ -> ());
+          Ast_iterator.default_iterator.type_declaration self d);
+    }
+  in
+  List.iter
+    (fun u ->
+      match u.u_parsed with
+      | Impl str -> it.structure it str
+      | Intf sg -> it.signature it sg
+      | Fail _ -> ())
+    units;
+  !out
+
+let record_literal_mutable decls fields =
+  let labels =
+    List.map (fun (l, _) -> lid_last l.Location.txt) fields
+  in
+  let matching =
+    List.filter
+      (fun (ls, _) -> List.for_all (fun l -> List.mem l ls) labels)
+      decls
+  in
+  matching <> [] && List.for_all (fun (_, m) -> m) matching
+
+(* ------------------------------------------------------------------ *)
+(* Mutable-allocation classifier.  Returns a human description of the
+   first mutable allocation the expression evaluates to, peeling
+   wrappers and looking through branches; [returns_mut] answers for
+   full applications of local constructor functions (fixpoint below). *)
+
+let mutable_builders =
+  [
+    ("Hashtbl", [ "create"; "copy"; "of_seq" ]);
+    ("Queue", [ "create"; "copy"; "of_seq" ]);
+    ("Buffer", [ "create" ]);
+    ("Stack", [ "create"; "copy"; "of_seq" ]);
+    ("Atomic", [ "make" ]);
+    ("Weak", [ "create" ]);
+    ( "Array",
+      [
+        "make"; "create"; "init"; "of_list"; "copy"; "make_matrix"; "append";
+        "concat"; "sub";
+      ] );
+    ("Bytes", [ "make"; "create"; "init"; "of_string"; "copy"; "sub" ]);
+  ]
+
+let rec mutable_alloc ~decls ~aliases ~returns_mut e =
+  let recur = mutable_alloc ~decls ~aliases ~returns_mut in
+  match e.pexp_desc with
+  | Pexp_constraint (x, _) | Pexp_coerce (x, _, _) | Pexp_open (_, x) ->
+      recur x
+  | Pexp_let (_, _, b) | Pexp_sequence (_, b) -> recur b
+  | Pexp_array [] -> None (* zero cells: nothing to race on *)
+  | Pexp_array _ -> Some "array literal"
+  | Pexp_tuple xs -> List.find_map recur xs
+  | Pexp_record (fields, base) ->
+      if record_literal_mutable decls fields then
+        Some "record with mutable fields"
+      else (
+        match List.find_map (fun (_, x) -> recur x) fields with
+        | Some _ as r -> r
+        | None -> Option.bind base recur)
+  | Pexp_construct (_, Some x) | Pexp_variant (_, Some x) -> recur x
+  | Pexp_ifthenelse (_, t, eo) -> (
+      match recur t with Some _ as r -> r | None -> Option.bind eo recur)
+  | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+      List.find_map (fun c -> recur c.pc_rhs) cases
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match resolve aliases txt with
+      | None, "ref" -> Some "ref cell"
+      | Some m, x ->
+          if
+            List.exists
+              (fun (bm, xs) -> bm = m && List.mem x xs)
+              mutable_builders
+          then Some (m ^ "." ^ x)
+          else if returns_mut (Some m, x) then
+            Some
+              (Printf.sprintf "call to %s.%s, which returns mutable state" m x)
+          else None
+      | None, x ->
+          if returns_mut (None, x) then
+            Some (Printf.sprintf "call to %s, which returns mutable state" x)
+          else None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Top-level value summaries, nested modules included. *)
+
+type top = {
+  t_unit : unit_;
+  t_mod : string;
+  t_name : string;
+  t_expr : expression;
+  t_line : int;
+}
+
+let rec binding_name p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (q, _) -> binding_name q
+  | _ -> None
+
+let collect_tops u =
+  let out = ref [] in
+  let rec go modname items =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                match binding_name vb.pvb_pat with
+                | Some name ->
+                    out :=
+                      {
+                        t_unit = u;
+                        t_mod = modname;
+                        t_name = name;
+                        t_expr = vb.pvb_expr;
+                        t_line = vb.pvb_loc.Location.loc_start.Lexing.pos_lnum;
+                      }
+                      :: !out
+                | None -> ())
+              vbs
+        | Pstr_module
+            {
+              pmb_name = { txt = Some sub; _ };
+              pmb_expr = { pmod_desc = Pmod_structure str; _ };
+              _;
+            } ->
+            go sub str
+        | _ -> ())
+      items
+  in
+  (match u.u_parsed with Impl str -> go u.u_mod str | _ -> ());
+  List.rev !out
+
+let rec is_function e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ -> true
+  | Pexp_constraint (x, _) | Pexp_open (_, x) -> is_function x
+  | _ -> false
+
+let rec peel_funs e =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, _, body) -> peel_funs body
+  | Pexp_newtype (_, body) -> peel_funs body
+  | Pexp_constraint (x, _) -> peel_funs x
+  | _ -> e
+
+let rec peel_wrappers e =
+  match e.pexp_desc with
+  | Pexp_constraint (x, _) | Pexp_coerce (x, _, _) | Pexp_open (_, x) ->
+      peel_wrappers x
+  | _ -> e
+
+let rec strip_lets e =
+  match e.pexp_desc with
+  | Pexp_let (_, _, b) | Pexp_sequence (_, b) -> strip_lets b
+  | Pexp_constraint (x, _) | Pexp_open (_, x) -> strip_lets x
+  | _ -> e
+
+(* Constructor-function fixpoint: a top-level function "returns mutable
+   state" when, after peeling its parameters, some evaluation path ends
+   in a mutable allocation or a full application of another such
+   function.  This lets [let make () = Hashtbl.create 64] taint
+   [let registry = make ()] even across modules. *)
+let returns_mut_fixpoint decls tops =
+  let tbl = Hashtbl.create 32 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun t ->
+        if (not (Hashtbl.mem tbl (t.t_mod, t.t_name))) && is_function t.t_expr
+        then begin
+          let member c =
+            match c with
+            | None, x -> Hashtbl.mem tbl (t.t_mod, x)
+            | Some m, x -> Hashtbl.mem tbl (m, x)
+          in
+          let ret = peel_funs t.t_expr in
+          match
+            mutable_alloc ~decls ~aliases:t.t_unit.u_aliases
+              ~returns_mut:member ret
+          with
+          | Some _ ->
+              Hashtbl.replace tbl (t.t_mod, t.t_name) ();
+              changed := true
+          | None -> ()
+        end)
+      tops
+  done;
+  fun t_mod c ->
+    match c with
+    | None, x -> Hashtbl.mem tbl (t_mod, x)
+    | Some m, x -> Hashtbl.mem tbl (m, x)
+
+(* ------------------------------------------------------------------ *)
+(* Rules (a)+(b): top-level mutable state, lazy bindings, escaping memo
+   tables. *)
+
+let toplevel_findings decls returns_mut tops =
+  let out = ref [] in
+  let emit t line rule msg =
+    out := { file = t.t_unit.u_path; line; rule; msg } :: !out
+  in
+  List.iter
+    (fun t ->
+      let alloc e =
+        mutable_alloc ~decls ~aliases:t.t_unit.u_aliases
+          ~returns_mut:(returns_mut t.t_mod) e
+      in
+      let e = peel_wrappers t.t_expr in
+      (* A plain function value holds no state of its own; lets inside
+         its body allocate per call. *)
+      if not (is_function e) then begin
+        (* The memo-table idiom: a let-chain that allocates mutable
+           state and then evaluates to a closure capturing it.  The
+           allocation happens once, at module init. *)
+        let mut_locals = Hashtbl.create 4 in
+        let rec memo_chain e =
+          match e.pexp_desc with
+          | Pexp_let (_, vbs, body) ->
+              let body_is_closure = is_function (strip_lets body) in
+              List.iter
+                (fun vb ->
+                  match alloc vb.pvb_expr with
+                  | Some what ->
+                      (match binding_name vb.pvb_pat with
+                      | Some n -> Hashtbl.replace mut_locals n what
+                      | None -> ());
+                      if body_is_closure then
+                        emit t vb.pvb_loc.Location.loc_start.Lexing.pos_lnum
+                          "escaping-memo"
+                          (Printf.sprintf
+                             "%s allocated at module init escapes into the \
+                              closure %s.%s; every domain shares one table"
+                             what t.t_mod t.t_name)
+                  | None -> ())
+                vbs;
+              memo_chain body
+          | Pexp_constraint (x, _) | Pexp_open (_, x) -> memo_chain x
+          | _ -> ()
+        in
+        memo_chain e;
+        let final = peel_wrappers (strip_lets e) in
+        match final.pexp_desc with
+        | Pexp_lazy _ ->
+            emit t t.t_line "toplevel-lazy"
+              (Printf.sprintf
+                 "top-level lazy %s.%s: forcing is not atomic across \
+                  domains; make it a per-scenario value"
+                 t.t_mod t.t_name)
+        | Pexp_ident { txt = Longident.Lident n; _ }
+          when Hashtbl.mem mut_locals n ->
+            emit t t.t_line "toplevel-state"
+              (Printf.sprintf
+                 "top-level mutable value %s.%s (%s bound in its own let \
+                  chain) is shared by every domain"
+                 t.t_mod t.t_name (Hashtbl.find mut_locals n))
+        | _ when is_function final -> ()
+        | _ -> (
+            match alloc e with
+            | Some what ->
+                emit t t.t_line "toplevel-state"
+                  (Printf.sprintf
+                     "top-level mutable value %s.%s (%s) is shared by every \
+                      domain; allocate it per scenario or prove it read-only"
+                     t.t_mod t.t_name what)
+            | None -> ())
+      end)
+    tops;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Rule (c): global RNG. *)
+
+let rng_ident aliases txt =
+  match resolve aliases txt with
+  | Some "Random", x ->
+      Some
+        (Printf.sprintf
+           "Random.%s draws from the process-global RNG; split the \
+            engine's Prng instead"
+           x)
+  | Some "State", "make_self_init" ->
+      Some
+        "Random.State.make_self_init seeds from the environment; derive \
+         the state from the run seed"
+  | _ -> None
+
+let global_rng_direct u =
+  let out = ref [] in
+  (match u.u_parsed with
+  | Impl str ->
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun self e ->
+              (match e.pexp_desc with
+              | Pexp_ident { txt; loc } -> (
+                  match rng_ident u.u_aliases txt with
+                  | Some msg ->
+                      out :=
+                        (loc.Location.loc_start.Lexing.pos_lnum, msg) :: !out
+                  | None -> ())
+              | _ -> ());
+              Ast_iterator.default_iterator.expr self e);
+        }
+      in
+      it.structure it str
+  | _ -> ());
+  List.rev !out
+
+(* Call-graph reachability: exported functions that can reach a
+   global-RNG user through local calls without using it directly
+   themselves (direct uses are already reported at the use site). *)
+let rng_reach_findings units tops =
+  let idents_of t =
+    let acc = ref [] in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self e ->
+            (match e.pexp_desc with
+            | Pexp_ident { txt; _ } ->
+                acc := resolve t.t_unit.u_aliases txt :: !acc
+            | _ -> ());
+            Ast_iterator.default_iterator.expr self e);
+      }
+    in
+    it.expr it t.t_expr;
+    !acc
+  in
+  let direct = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      if
+        List.exists
+          (function
+            | Some "Random", _ | Some "State", "make_self_init" -> true
+            | _ -> false)
+          (idents_of t)
+      then Hashtbl.replace direct (t.t_mod, t.t_name) ())
+    tops;
+  let reach = Hashtbl.copy direct in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun t ->
+        if
+          (not (Hashtbl.mem reach (t.t_mod, t.t_name)))
+          && List.exists
+               (function
+                 | None, x -> Hashtbl.mem reach (t.t_mod, x)
+                 | Some m, x -> Hashtbl.mem reach (m, x))
+               (idents_of t)
+        then begin
+          Hashtbl.replace reach (t.t_mod, t.t_name) ();
+          changed := true
+        end)
+      tops
+  done;
+  let exported = Hashtbl.create 64 in
+  List.iter
+    (fun u ->
+      match u.u_parsed with
+      | Intf sg ->
+          List.iter
+            (fun item ->
+              match item.psig_desc with
+              | Psig_value vd ->
+                  Hashtbl.replace exported (u.u_mod, vd.pval_name.Location.txt)
+                    ()
+              | _ -> ())
+            sg
+      | _ -> ())
+    units;
+  List.filter_map
+    (fun t ->
+      if
+        Hashtbl.mem reach (t.t_mod, t.t_name)
+        && (not (Hashtbl.mem direct (t.t_mod, t.t_name)))
+        && Hashtbl.mem exported (t.t_mod, t.t_name)
+      then
+        Some
+          {
+            file = t.t_unit.u_path;
+            line = t.t_line;
+            rule = "global-rng";
+            msg =
+              Printf.sprintf
+                "exported %s.%s reaches the process-global Random through \
+                 its call graph; thread an engine Prng down instead"
+                t.t_mod t.t_name;
+          }
+      else None)
+    tops
+
+(* ------------------------------------------------------------------ *)
+(* Rule (d): domain primitives outside the sanctioned scheduler. *)
+
+let domain_findings u =
+  if domain_allowlisted u.u_path then []
+  else
+    let out = ref [] in
+    let emit line m x =
+      out :=
+        {
+          file = u.u_path;
+          line;
+          rule = "domain-primitive";
+          msg =
+            Printf.sprintf
+              "%s outside lib/sim/parallel.ml: concurrency primitives \
+               belong only in the sanctioned scheduler"
+              (match x with Some x -> m ^ "." ^ x | None -> "open " ^ m);
+        }
+        :: !out
+    in
+    (match u.u_parsed with
+    | Impl str ->
+        let check_open loc lid =
+          let m = lid_last lid in
+          let m =
+            match Hashtbl.find_opt u.u_aliases m with Some r -> r | None -> m
+          in
+          if List.mem m domain_modules then
+            emit loc.Location.loc_start.Lexing.pos_lnum m None
+        in
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr =
+              (fun self e ->
+                (match e.pexp_desc with
+                | Pexp_ident { txt; loc } -> (
+                    match resolve u.u_aliases txt with
+                    | Some m, x when List.mem m domain_modules ->
+                        emit loc.Location.loc_start.Lexing.pos_lnum m (Some x)
+                    | _ -> ())
+                | _ -> ());
+                Ast_iterator.default_iterator.expr self e);
+            open_declaration =
+              (fun self od ->
+                (match od.popen_expr.pmod_desc with
+                | Pmod_ident { txt; _ } -> check_open od.popen_loc txt
+                | _ -> ());
+                Ast_iterator.default_iterator.open_declaration self od);
+            module_binding =
+              (fun self mb ->
+                (match (mb.pmb_name.Location.txt, mb.pmb_expr.pmod_desc) with
+                | Some _, Pmod_ident { txt; _ } ->
+                    let m = lid_last txt in
+                    if List.mem m domain_modules then
+                      emit mb.pmb_loc.Location.loc_start.Lexing.pos_lnum m None
+                | _ -> ());
+                Ast_iterator.default_iterator.module_binding self mb);
+          }
+        in
+        it.structure it str
+    | _ -> ());
+    List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Assembly. *)
+
+let compare_findings a b =
+  match compare a.file b.file with
+  | 0 -> (
+      match compare a.line b.line with
+      | 0 -> (
+          match compare a.rule b.rule with 0 -> compare a.msg b.msg | c -> c)
+      | c -> c)
+  | c -> c
+
+let analyze files =
+  let units = List.map mk_unit files in
+  let decls = record_decls units in
+  let tops = List.concat_map collect_tops units in
+  let returns_mut = returns_mut_fixpoint decls tops in
+  let parse_failures =
+    List.filter_map
+      (fun u ->
+        match u.u_parsed with
+        | Fail (line, msg) ->
+            Some
+              {
+                file = u.u_path;
+                line;
+                rule = "parse";
+                msg = "file does not parse: " ^ msg;
+              }
+        | _ -> None)
+      units
+  in
+  let rng_direct =
+    List.concat_map
+      (fun u ->
+        List.map
+          (fun (line, msg) -> { file = u.u_path; line; rule = "global-rng"; msg })
+          (global_rng_direct u))
+      units
+  in
+  let annotation_failures =
+    List.concat_map
+      (fun u ->
+        List.map
+          (fun line ->
+            {
+              file = u.u_path;
+              line;
+              rule = "annotation";
+              msg =
+                "manetdom allow directive needs at least one known rule name \
+                 and a rationale (prose after the rule names)";
+            })
+          u.u_allows.a_bad)
+      units
+  in
+  let findings =
+    parse_failures
+    @ toplevel_findings decls returns_mut tops
+    @ rng_direct
+    @ rng_reach_findings units tops
+    @ List.concat_map domain_findings units
+    @ annotation_failures
+  in
+  let allows_for =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun u -> Hashtbl.replace tbl u.u_path u.u_allows) units;
+    fun path ->
+      match Hashtbl.find_opt tbl path with Some a -> a | None -> no_allows
+  in
+  findings
+  |> List.filter (fun f -> not (suppressed (allows_for f.file) f))
+  |> List.sort_uniq compare_findings

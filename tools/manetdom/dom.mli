@@ -1,0 +1,79 @@
+(** manetdom — domain-safety analyzer for the MANET codebase.
+
+    OCaml 5 domains share the heap: any mutable value created at module
+    initialisation time is reached by {e every} domain, so a simulation
+    core that hides top-level state cannot be fanned across
+    [Domain.spawn] workers without racing.  manetdom proves the absence
+    of that state class over [lib/] the same way manetsem proves the
+    security dataflow properties: parse with compiler-libs, walk the
+    AST, diff against a committed baseline.  The certificate it emits is
+    what lets [manetsim sweep] run seed replications and parameter grids
+    concurrently while keeping byte-determinism.
+
+    Rules:
+
+    - ["toplevel-state"] — a top-level binding (at any module nesting
+      depth) whose initialiser allocates mutable state: [ref] cells,
+      non-empty array literals, [Array]/[Bytes] builders,
+      [Hashtbl]/[Queue]/[Buffer]/[Stack]/[Atomic]/[Weak] creation,
+      record literals whose inferred type carries [mutable] fields, or a
+      full application of a function that (transitively) returns such a
+      value.  Zero-length array literals ([[||]]) are exempt: they have
+      no mutable cells.
+    - ["toplevel-lazy"] — a top-level [lazy] binding.  Forcing is not
+      atomic across domains ([CamlinternalLazy.Undefined] races), so
+      module-level thunks and memoised constants must become
+      per-scenario values or [Domain.DLS] slots.
+    - ["escaping-memo"] — the memoisation idiom
+      [let f = let tbl = Hashtbl.create .. in fun x -> ..]: the table is
+      created once at module init and captured by the returned closure,
+      i.e. shared by every domain that calls [f].
+    - ["global-rng"] — any use of the stdlib's process-global [Random]
+      (including [Random.self_init] and
+      [Random.State.make_self_init]), plus call-graph reachability:
+      an [.mli]-exported function that can reach a global-RNG user
+      through local calls is reported even when the use sits in a
+      private helper.  The simulation must draw only from engine-owned
+      {!Manet_crypto.Prng} streams.
+    - ["domain-primitive"] — [Domain]/[Atomic]/[Mutex]/[Condition]/
+      [Semaphore]/[Thread] references (or [open]s) anywhere except the
+      sanctioned scheduler, [lib/sim/parallel.ml].  Concurrency
+      primitives outside the one reviewed module mean shared state
+      snuck in somewhere.
+    - ["parse"] — a file failed to parse (never baselined away
+      silently).
+
+    Suppression mirrors manetsem with two deltas.  First, a rationale
+    is mandatory: [(* manetdom: allow <rules> — why it is safe *)]
+    suppresses the named rules on the comment's lines and the line
+    below; [(* manetdom: allow-file <rules> — why *)] suppresses
+    file-wide; a directive whose text after the rule names carries no
+    prose raises an ["annotation"] finding instead of suppressing —
+    un-annotatable by design.  Second, the directive may appear
+    {e anywhere} inside a comment, not only at its start, so a single
+    comment block can carry a manetsem directive and a manetdom one
+    when both analyzers flag the same binding. *)
+
+type finding = Manetsem.Sem.finding = {
+  file : string;
+  line : int;
+  rule : string;
+  msg : string;
+}
+
+val rules : string list
+(** Rule identifiers accepted by the [allow] directives (excludes
+    ["annotation"], which cannot be suppressed). *)
+
+val analyze : (string * string) list -> finding list
+(** [analyze files] runs every rule over [files] (path, content pairs —
+    normally [lib/**/*.ml(i)]; [.mli]s feed the mutable-record-label and
+    exported-entry-point tables and are checked for parse failures).
+    Findings are sorted by file, line, rule and already filtered through
+    in-source [allow] annotations.
+
+    Baseline handling (keys, diff, stale detection, JSON export) is
+    shared verbatim with manetsem: use {!Manetsem.Sem.finding_key},
+    {!Manetsem.Sem.diff_baseline}, {!Manetsem.Sem.parse_baseline},
+    {!Manetsem.Sem.render_baseline} and {!Manetsem.Sem.to_json} on the
+    findings this function returns. *)

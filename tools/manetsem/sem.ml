@@ -1166,12 +1166,14 @@ let analyze ?(uses = []) files =
 
 let finding_key f = f.file ^ "|" ^ f.rule ^ "|" ^ f.msg
 
-let render_baseline findings =
+let render_baseline ?(tool = "manetsem") findings =
   let keys = List.sort_uniq compare (List.map finding_key findings) in
   let header =
-    "# manetsem baseline — accepted pre-existing findings.\n\
-     # One key per line: file|rule|message.  Regenerate with:\n\
-     #   dune exec tools/manetsem/main.exe -- --write-baseline\n"
+    Printf.sprintf
+      "# %s baseline — accepted pre-existing findings.\n\
+       # One key per line: file|rule|message.  Regenerate with:\n\
+       #   dune exec tools/%s/main.exe -- --write-baseline\n"
+      tool tool
   in
   header ^ String.concat "" (List.map (fun k -> k ^ "\n") keys)
 

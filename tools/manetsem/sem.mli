@@ -51,6 +51,13 @@ val analyze :
 val pp_finding : Format.formatter -> finding -> unit
 (** [file:line: [rule] msg] — one line, the format the CLI prints. *)
 
+val scan_comments : string -> (string * int * int) list
+(** Every comment of an OCaml source, as (text, first line, last line).
+    Strings (plain and [{id|...|id}]), char literals and nested comments
+    are tracked lexically so the line ranges are exact.  Exposed for the
+    sibling analyzers (manetdom) so every tool reads suppression
+    directives from the same scanner. *)
+
 (** {1 Baseline}
 
     A baseline pins accepted pre-existing findings so that [@lint] only
@@ -60,8 +67,10 @@ val pp_finding : Format.formatter -> finding -> unit
 val finding_key : finding -> string
 (** Stable identity of a finding: ["file|rule|msg"]. *)
 
-val render_baseline : finding list -> string
-(** Serialize findings as a sorted, de-duplicated baseline file. *)
+val render_baseline : ?tool:string -> finding list -> string
+(** Serialize findings as a sorted, de-duplicated baseline file.
+    [tool] (default ["manetsem"]) only names the regeneration command in
+    the header comment. *)
 
 val parse_baseline : string -> string list
 (** Keys from a baseline file's contents ([#] comments, blanks skipped). *)
