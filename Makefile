@@ -1,12 +1,14 @@
-.PHONY: all build lint test bench clean
+.PHONY: all build lint test bench scenarios perf benchgate clean
 
 all: build lint test
 
 build:
 	dune build
 
-# Both analyzers: manetlint (lexical) and manetsem (AST-level semantic
-# dataflow).  Fails on any finding not pinned in tools/manetsem/baseline.
+# All analyzers: manetlint (lexical), manetsem (AST-level semantic
+# dataflow), manetdom (domain safety), plus `manetsim scenario check`
+# over the committed example scenarios.  Fails on any finding not
+# pinned in the analyzers' baselines.
 lint:
 	dune build @lint
 
@@ -15,6 +17,22 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Validate and smoke-run every committed scenario file.
+scenarios:
+	dune exec bin/manetsim.exe -- scenario check examples/scenarios/*.scn
+	mkdir -p _scn_out
+	for f in examples/scenarios/*.scn; do \
+	  dune exec bin/manetsim.exe -- run --scenario $$f --out-dir _scn_out || exit 1; \
+	done
+
+# Regenerate this PR's perf snapshot and gate it against the previous
+# PR's committed one (hard-fails only on matching host core counts).
+perf:
+	dune exec bench/main.exe -- perf
+
+benchgate: perf
+	dune exec tools/benchgate/main.exe -- BENCH_6.json BENCH_7.json
 
 clean:
 	dune clean

@@ -4,7 +4,11 @@
    certificate unlocked.  CI regenerates and archives the file; the
    committed copy records the reference machine.
 
-     dune exec bench/main.exe -- perf        # writes BENCH_6.json *)
+     dune exec bench/main.exe -- perf        # writes BENCH_<pr>.json
+
+   tools/benchgate compares the fresh snapshot against the previous
+   PR's committed one and fails CI on a >20% throughput or hot-path
+   regression. *)
 
 module Scenario = Manetsec.Scenario
 module Engine = Manetsec.Sim.Engine
@@ -17,7 +21,7 @@ module Sha256 = Manetsec.Crypto.Sha256
 module Rsa = Manetsec.Crypto.Rsa
 module Json = Manetsec.Obs_json
 
-let pr = 6
+let pr = 7
 let out_file = Printf.sprintf "BENCH_%d.json" pr
 
 (* Mean ns per call, timed over enough batches to fill [target_s] of

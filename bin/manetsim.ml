@@ -26,6 +26,8 @@ module Obs_report = Manetsec.Obs_report
 module Audit = Manetsec.Audit
 module Metrics = Manetsec.Metrics
 module Detector = Manetsec.Detector
+module Scn = Manet_scenario.Scn
+module Sexp = Manet_scenario.Sexp
 
 open Cmdliner
 
@@ -281,10 +283,63 @@ let report s =
       "attack.rrep_forged"; "attack.rerr_forged";
     ]
 
+(* --- scenario files ------------------------------------------------------ *)
+
+let load_scenario path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> (
+      match Scn.parse contents with
+      | scn -> Ok scn
+      | exception Scn.Error { pos; msg } ->
+          Error (Printf.sprintf "%s:%d:%d: %s" path pos.Sexp.line pos.Sexp.col msg)
+      | exception Sexp.Parse_error { pos; msg } ->
+          Error (Printf.sprintf "%s:%d:%d: %s" path pos.Sexp.line pos.Sexp.col msg))
+  | exception Sys_error msg -> Error msg
+
+let scenario_run file out_dir =
+  match load_scenario file with
+  | Error msg -> `Error (false, msg)
+  | Ok scn ->
+      Printf.printf "scenario %s  (%d nodes, seed %d)\n%!" scn.Scn.name
+        scn.Scn.nodes scn.Scn.seed;
+      let s = Scn.execute scn in
+      report s;
+      Printf.printf "audit events        %d\n"
+        (Audit.count (Obs.audit (Scenario.obs s)));
+      (match Detector.suspects (Scenario.detector s) with
+      | [] -> ()
+      | suspects ->
+          Printf.printf "suspected nodes     %s\n"
+            (String.concat ", " (List.map string_of_int suspects)));
+      List.iter
+        (fun (_, filename, contents) ->
+          let path = Filename.concat out_dir filename in
+          write_file path contents;
+          Printf.printf "export              %s\n" path)
+        (Scn.render_exports scn ~seed:scn.Scn.seed s);
+      `Ok ()
+
+let scenario_file_t =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "scenario" ] ~docv:"FILE"
+        ~doc:
+          "Run a declarative scenario file (see examples/scenarios/) instead \
+           of a flag-built configuration; every other run flag is ignored and \
+           exports are the ones the file requests.")
+
+let out_dir_t =
+  Arg.(
+    value & opt dir "."
+    & info [ "out-dir" ] ~docv:"DIR"
+        ~doc:"Directory that receives the exports a scenario file requests.")
+
 (* --- run ----------------------------------------------------------------- *)
 
-let run_cmd nodes seed protocol suite mobility blackholes spammers duration flows trace
-    jsonl_trace json_report profile audit_jsonl metrics_csv metrics_prom =
+let run_flags_cmd ~nodes ~seed ~protocol ~suite ~mobility ~blackholes ~spammers
+    ~duration ~flows ~trace ~jsonl_trace ~json_report ~profile ~audit_jsonl
+    ~metrics_csv ~metrics_prom =
   let params =
     make_params ~nodes ~seed ~protocol ~suite ~mobility ~blackholes ~spammers
   in
@@ -324,12 +379,24 @@ let run_cmd nodes seed protocol suite mobility blackholes spammers duration flow
     print_string (Trace.render (Engine.trace (Scenario.engine s)))
   end
 
+let run_cmd scenario_file out_dir nodes seed protocol suite mobility blackholes
+    spammers duration flows trace jsonl_trace json_report profile audit_jsonl
+    metrics_csv metrics_prom =
+  match scenario_file with
+  | Some file -> scenario_run file out_dir
+  | None ->
+      run_flags_cmd ~nodes ~seed ~protocol ~suite ~mobility ~blackholes
+        ~spammers ~duration ~flows ~trace ~jsonl_trace ~json_report ~profile
+        ~audit_jsonl ~metrics_csv ~metrics_prom;
+      `Ok ()
+
 let run_term =
   Term.(
-    const run_cmd $ nodes_t $ seed_t $ protocol_t $ suite_t $ mobility_t
-    $ blackholes_t $ spammers_t $ duration_t $ flows_t $ trace_t
-    $ jsonl_trace_t $ json_report_t $ profile_t $ audit_jsonl_t $ metrics_csv_t
-    $ metrics_prom_t)
+    ret
+      (const run_cmd $ scenario_file_t $ out_dir_t $ nodes_t $ seed_t
+     $ protocol_t $ suite_t $ mobility_t $ blackholes_t $ spammers_t
+     $ duration_t $ flows_t $ trace_t $ jsonl_trace_t $ json_report_t
+     $ profile_t $ audit_jsonl_t $ metrics_csv_t $ metrics_prom_t))
 
 (* --- dad ------------------------------------------------------------------ *)
 
@@ -517,36 +584,15 @@ module Merge = Manetsec.Merge
 module Parallel = Manetsec.Sim.Parallel
 module Mono_clock = Manetsec.Sim.Mono_clock
 
-let sweep_cmd domains e1_fractions e1_nodes e1_duration e6_sizes seeds stats_csv
-    audit_out trace_out =
-  let spec =
-    { Sweep.e1_fractions; e1_nodes; e1_duration; e6_sizes; seeds }
-  in
-  let domains = if domains <= 0 then Parallel.default_domains () else domains in
-  let points = Sweep.points spec in
-  Printf.printf "sweep: %d grid point(s) across %d domain(s)\n%!"
-    (List.length points) domains;
-  let t0 = Mono_clock.now_s () in
-  let runs = Sweep.run ~domains spec in
-  let wall = Mono_clock.now_s () -. t0 in
-  List.iter
-    (fun r ->
-      let field name =
-        match List.assoc_opt name r.Merge.key with
-        | Some j -> Json.to_string j
-        | None -> "?"
-      in
-      let stat name =
-        match List.assoc_opt name r.Merge.stats with Some v -> v | None -> 0
-      in
-      Printf.printf
-        "  %-4s n=%-3s fraction=%-4s seed=%-3s delivered %d/%d  configured %d  \
-         dropped %d\n"
-        (field "experiment") (field "n") (field "fraction") (field "seed")
-        (stat "data.delivered") (stat "data.offered") (stat "dad.configured")
-        (stat "attack.data_dropped"))
-    runs;
-  Printf.printf "wall clock          %.2f s\n" wall;
+let run_field r name =
+  match List.assoc_opt name r.Merge.key with
+  | Some j -> Json.to_string j
+  | None -> "?"
+
+let run_stat r name =
+  match List.assoc_opt name r.Merge.stats with Some v -> v | None -> 0
+
+let write_merged ~stats_csv ~audit_out ~trace_out runs =
   (match stats_csv with
   | Some path ->
       write_file path (Merge.stats_csv runs);
@@ -562,6 +608,59 @@ let sweep_cmd domains e1_fractions e1_nodes e1_duration e6_sizes seeds stats_csv
       write_file path (Merge.stream_jsonl ~name:"trace" runs);
       Printf.printf "trace jsonl         %s\n" path
   | None -> ()
+
+let sweep_scenario file ~domains ~seeds ~stats_csv ~audit_out ~trace_out =
+  match load_scenario file with
+  | Error msg -> `Error (false, msg)
+  | Ok scn ->
+      Printf.printf "sweep: scenario %s across %d seed(s) on %d domain(s)\n%!"
+        scn.Scn.name (List.length seeds) domains;
+      let t0 = Mono_clock.now_s () in
+      let runs = Scn.sweep ~domains ~seeds scn in
+      let wall = Mono_clock.now_s () -. t0 in
+      List.iter
+        (fun r ->
+          Printf.printf "  %s seed=%-3s delivered %d/%d  dropped %d\n"
+            (run_field r "scenario") (run_field r "seed")
+            (run_stat r "data.delivered")
+            (run_stat r "data.offered")
+            (run_stat r "attack.data_dropped"))
+        runs;
+      Printf.printf "wall clock          %.2f s\n" wall;
+      write_merged ~stats_csv ~audit_out ~trace_out runs;
+      `Ok ()
+
+let sweep_cmd scenario_file domains e1_fractions e1_nodes e1_duration e6_sizes
+    seeds stats_csv audit_out trace_out =
+  let domains = if domains <= 0 then Parallel.default_domains () else domains in
+  match scenario_file with
+  | Some file ->
+      sweep_scenario file ~domains ~seeds ~stats_csv ~audit_out ~trace_out
+  | None ->
+      let spec =
+        { Sweep.e1_fractions; e1_nodes; e1_duration; e6_sizes; seeds }
+      in
+      let points = Sweep.points spec in
+      Printf.printf "sweep: %d grid point(s) across %d domain(s)\n%!"
+        (List.length points) domains;
+      let t0 = Mono_clock.now_s () in
+      let runs = Sweep.run ~domains spec in
+      let wall = Mono_clock.now_s () -. t0 in
+      List.iter
+        (fun r ->
+          Printf.printf
+            "  %-4s n=%-3s fraction=%-4s seed=%-3s delivered %d/%d  configured \
+             %d  dropped %d\n"
+            (run_field r "experiment") (run_field r "n") (run_field r "fraction")
+            (run_field r "seed")
+            (run_stat r "data.delivered")
+            (run_stat r "data.offered")
+            (run_stat r "dad.configured")
+            (run_stat r "attack.data_dropped"))
+        runs;
+      Printf.printf "wall clock          %.2f s\n" wall;
+      write_merged ~stats_csv ~audit_out ~trace_out runs;
+      `Ok ()
 
 let domains_t =
   Arg.(
@@ -626,10 +725,56 @@ let sweep_trace_t =
     & info [ "trace-jsonl" ] ~docv:"FILE"
         ~doc:"Write the merged telemetry traces of every run as JSONL.")
 
+let sweep_scenario_t =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "scenario" ] ~docv:"FILE"
+        ~doc:
+          "Fan a declarative scenario file across the --seeds list instead of \
+           the E1/E6 grids (the e1-*/e6-* flags are ignored).")
+
 let sweep_term =
   Term.(
-    const sweep_cmd $ domains_t $ e1_fractions_t $ e1_nodes_t $ e1_duration_t
-    $ e6_sizes_t $ seeds_t $ sweep_stats_csv_t $ sweep_audit_t $ sweep_trace_t)
+    ret
+      (const sweep_cmd $ sweep_scenario_t $ domains_t $ e1_fractions_t
+     $ e1_nodes_t $ e1_duration_t $ e6_sizes_t $ seeds_t $ sweep_stats_csv_t
+     $ sweep_audit_t $ sweep_trace_t))
+
+(* --- scenario check --------------------------------------------------------- *)
+
+let scenario_check_cmd files =
+  let failures =
+    List.filter_map
+      (fun file ->
+        match load_scenario file with
+        | Ok scn ->
+            Printf.printf
+              "ok %s  (%s: %d nodes, %d flow(s), %d adversar(ies), %d \
+               fault(s), %d export(s))\n"
+              file scn.Scn.name scn.Scn.nodes
+              (List.length scn.Scn.flows)
+              (List.length scn.Scn.adversaries)
+              (List.length scn.Scn.faults)
+              (List.length scn.Scn.exports);
+            None
+        | Error msg ->
+            Printf.printf "error %s\n" msg;
+            Some file)
+      files
+  in
+  match failures with
+  | [] -> `Ok ()
+  | _ ->
+      `Error
+        (false, Printf.sprintf "%d invalid scenario file(s)" (List.length failures))
+
+let scenario_files_t =
+  Arg.(
+    non_empty & pos_all file []
+    & info [] ~docv:"FILE" ~doc:"Scenario files to validate.")
+
+let scenario_check_term = Term.(ret (const scenario_check_cmd $ scenario_files_t))
 
 (* --- command tree ----------------------------------------------------------- *)
 
@@ -647,10 +792,22 @@ let cmds =
     Cmd.v
       (Cmd.info "sweep"
          ~doc:
-           "Fan the E1/E6 experiment grids across concurrent domains and \
-            merge stats, audit and telemetry exports deterministically \
-            (byte-identical at any --domains value).")
+           "Fan the E1/E6 experiment grids — or a scenario file across a \
+            seed list — over concurrent domains and merge stats, audit and \
+            telemetry exports deterministically (byte-identical at any \
+            --domains value).")
       sweep_term;
+    Cmd.group
+      (Cmd.info "scenario"
+         ~doc:"Work with declarative scenario files (see examples/scenarios/).")
+      [
+        Cmd.v
+          (Cmd.info "check"
+             ~doc:
+               "Parse and validate scenario files, rejecting malformed input \
+                with positioned (line:column) errors.")
+          scenario_check_term;
+      ];
     Cmd.v
       (Cmd.info "report"
          ~doc:

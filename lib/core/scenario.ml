@@ -25,6 +25,7 @@ type topology_spec =
   | Chain of { spacing : float }
   | Grid of { cols : int; spacing : float }
   | Random of { width : float; height : float }
+  | Explicit of { width : float; height : float; positions : (float * float) list }
 
 type suite_spec = Mock_suite | Rsa_suite of int
 type protocol = Plain_dsr | Secure | Srp_protocol
@@ -105,6 +106,12 @@ let build_topology params g =
       exact
   | Random { width; height } ->
       Topology.random_connected g ~n:params.n ~width ~height ~range:params.range
+  | Explicit { width; height; positions } ->
+      if List.length positions <> params.n then
+        invalid_arg "Scenario.create: explicit topology must place every node";
+      let t = Topology.create ~n:params.n ~width ~height in
+      List.iteri (fun i p -> Topology.set_position t i p) positions;
+      t
 
 let create params =
   if params.n < 2 then invalid_arg "Scenario.create: need at least 2 nodes";

@@ -27,6 +27,9 @@ type topology_spec =
   | Grid of { cols : int; spacing : float }
   | Random of { width : float; height : float }
       (** resampled until connected at the configured radio range *)
+  | Explicit of { width : float; height : float; positions : (float * float) list }
+      (** one position per node, in node order; {!create} raises
+          [Invalid_argument] unless exactly [n] positions are given *)
 
 type suite_spec =
   | Mock_suite  (** idealized signatures; large sweeps *)

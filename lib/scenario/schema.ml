@@ -1,0 +1,165 @@
+(* The single keyword table of the scenario format.  manetlint's
+   scenario-keyword rule enforces that every keyword-shaped string
+   literal under lib/scenario lives in this file: the parser, the
+   validator and the CLI all reference these constants, so the concrete
+   grammar is enumerable in one place (and the docs table in README.md
+   can be checked against it by eye). *)
+
+let schema_name = "manetsim-scenario"
+let version = 1
+
+(* --- toplevel ----------------------------------------------------- *)
+
+let kw_scenario = "scenario"
+let kw_schema = "schema"
+
+(* --- fields ------------------------------------------------------- *)
+
+let kw_name = "name"
+let kw_seed = "seed"
+let kw_nodes = "nodes"
+let kw_range = "range"
+let kw_loss = "loss"
+let kw_promiscuous = "promiscuous"
+let kw_protocol = "protocol"
+let kw_suite = "suite"
+let kw_dns = "dns"
+let kw_topology = "topology"
+let kw_mobility = "mobility"
+let kw_bootstrap = "bootstrap"
+let kw_duration = "duration"
+let kw_run_until = "run-until"
+let kw_traffic = "traffic"
+let kw_adversaries = "adversaries"
+let kw_faults = "faults"
+let kw_exports = "exports"
+
+let fields =
+  [
+    kw_schema; kw_name; kw_seed; kw_nodes; kw_range; kw_loss; kw_promiscuous;
+    kw_protocol; kw_suite; kw_dns; kw_topology; kw_mobility; kw_bootstrap;
+    kw_duration; kw_run_until; kw_traffic; kw_adversaries; kw_faults;
+    kw_exports;
+  ]
+
+(* --- atoms -------------------------------------------------------- *)
+
+let kw_true = "true"
+let kw_false = "false"
+
+(* --- protocol / suite --------------------------------------------- *)
+
+let kw_secure = "secure"
+let kw_dsr = "dsr"
+let kw_srp = "srp"
+let protocols = [ kw_secure; kw_dsr; kw_srp ]
+
+let kw_mock = "mock"
+let kw_rsa = "rsa"
+let suites = [ kw_mock; kw_rsa ]
+
+(* --- topology ----------------------------------------------------- *)
+
+let kw_chain = "chain"
+let kw_grid = "grid"
+let kw_random = "random"
+let kw_explicit = "explicit"
+let topologies = [ kw_chain; kw_grid; kw_random; kw_explicit ]
+
+let kw_spacing = "spacing"
+let kw_cols = "cols"
+let kw_width = "width"
+let kw_height = "height"
+let kw_node = "node"
+
+(* --- mobility ----------------------------------------------------- *)
+
+let kw_static = "static"
+let kw_waypoint = "waypoint"
+let kw_walk = "walk"
+let mobilities = [ kw_static; kw_waypoint; kw_walk ]
+
+let kw_min_speed = "min-speed"
+let kw_max_speed = "max-speed"
+let kw_pause = "pause"
+let kw_speed = "speed"
+let kw_turn_interval = "turn-interval"
+
+(* --- bootstrap / traffic ------------------------------------------ *)
+
+let kw_stagger = "stagger"
+
+let kw_cbr = "cbr"
+let kw_src = "src"
+let kw_dst = "dst"
+let kw_interval = "interval"
+let kw_size = "size"
+let kw_start = "start"
+
+(* --- adversaries (lib/attacks vocabulary) ------------------------- *)
+
+let kw_blackhole = "blackhole"
+let kw_grayhole = "grayhole"
+let kw_replayer = "replayer"
+let kw_rerr_spammer = "rerr-spammer"
+let kw_identity_churner = "identity-churner"
+let kw_sleeper = "sleeper"
+
+let adversary_kinds =
+  [
+    kw_blackhole; kw_grayhole; kw_replayer; kw_rerr_spammer;
+    kw_identity_churner; kw_sleeper;
+  ]
+
+let kw_prob = "prob"
+let kw_every = "every"
+
+(* --- faults (lib/faults vocabulary) ------------------------------- *)
+
+let kw_crash = "crash"
+let kw_restart = "restart"
+let kw_outage = "outage"
+let kw_link_down = "link-down"
+let kw_link_up = "link-up"
+let kw_flap = "flap"
+let kw_partition = "partition"
+let kw_degrade = "degrade"
+let kw_churn = "churn"
+
+let fault_kinds =
+  [
+    kw_crash; kw_restart; kw_outage; kw_link_down; kw_link_up; kw_flap;
+    kw_partition; kw_degrade; kw_churn;
+  ]
+
+let kw_at = "at"
+let kw_from = "from"
+let kw_until = "until"
+let kw_period = "period"
+let kw_loss_good = "loss-good"
+let kw_loss_bad = "loss-bad"
+let kw_p_good_to_bad = "p-good-to-bad"
+let kw_p_bad_to_good = "p-bad-to-good"
+let kw_horizon = "horizon"
+let kw_mean_up = "mean-up"
+let kw_mean_down = "mean-down"
+
+(* --- exports ------------------------------------------------------ *)
+
+let kw_stats_csv = "stats-csv"
+let kw_audit_jsonl = "audit-jsonl"
+let kw_trace_jsonl = "trace-jsonl"
+let kw_metrics_csv = "metrics-csv"
+let kw_metrics_prom = "metrics-prom"
+let kw_report_json = "report-json"
+
+let export_kinds =
+  [
+    kw_stats_csv; kw_audit_jsonl; kw_trace_jsonl; kw_metrics_csv;
+    kw_metrics_prom; kw_report_json;
+  ]
+
+(* --- merged-stream names (sweep exports) -------------------------- *)
+
+let stream_audit = "audit"
+let stream_trace = "trace"

@@ -1,0 +1,129 @@
+type pos = { line : int; col : int }
+
+type t =
+  | Atom of pos * string
+  | List of pos * t list
+
+exception Parse_error of { pos : pos; msg : string }
+
+let pos_of = function Atom (p, _) -> p | List (p, _) -> p
+
+type cursor = {
+  text : string;
+  mutable off : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of the current line's first byte *)
+}
+
+let cur_pos c = { line = c.line; col = c.off - c.bol + 1 }
+
+let fail_at pos msg = raise (Parse_error { pos; msg })
+let fail c msg = fail_at (cur_pos c) msg
+
+let peek c =
+  if c.off < String.length c.text then Some c.text.[c.off] else None
+
+let advance c =
+  (match peek c with
+  | Some '\n' ->
+      c.line <- c.line + 1;
+      c.bol <- c.off + 1
+  | _ -> ());
+  c.off <- c.off + 1
+
+let is_ws ch = ch = ' ' || ch = '\t' || ch = '\n' || ch = '\r'
+
+(* An atom ends at whitespace, a bracket, a quote or a comment. *)
+let is_atom_char ch =
+  not (is_ws ch) && ch <> '(' && ch <> ')' && ch <> '"' && ch <> ';'
+
+let rec skip_blanks c =
+  match peek c with
+  | Some ch when is_ws ch ->
+      advance c;
+      skip_blanks c
+  | Some ';' ->
+      let rec to_eol () =
+        match peek c with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance c;
+            to_eol ()
+      in
+      to_eol ();
+      skip_blanks c
+  | _ -> ()
+
+let quoted_atom c =
+  let start = cur_pos c in
+  advance c (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail_at start "unterminated quoted atom"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | None -> fail_at start "unterminated quoted atom"
+        | Some esc ->
+            advance c;
+            (match esc with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | _ -> fail c (Printf.sprintf "unknown escape \\%c in quoted atom" esc));
+            go ())
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Atom (start, Buffer.contents buf)
+
+let bare_atom c =
+  let start = cur_pos c in
+  let from = c.off in
+  while (match peek c with Some ch -> is_atom_char ch | None -> false) do
+    advance c
+  done;
+  Atom (start, String.sub c.text from (c.off - from))
+
+let rec form c =
+  skip_blanks c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '(' ->
+      let start = cur_pos c in
+      advance c;
+      let items = ref [] in
+      let rec elements () =
+        skip_blanks c;
+        match peek c with
+        | None ->
+            fail_at start "unclosed parenthesis: no matching closing parenthesis"
+        | Some ')' -> advance c
+        | Some _ ->
+            items := form c :: !items;
+            elements ()
+      in
+      elements ();
+      List (start, List.rev !items)
+  | Some ')' -> fail c "unmatched closing parenthesis"
+  | Some '"' -> quoted_atom c
+  | Some _ -> bare_atom c
+
+let parse text =
+  let c = { text; off = 0; line = 1; bol = 0 } in
+  let forms = ref [] in
+  let rec go () =
+    skip_blanks c;
+    if peek c <> None then begin
+      forms := form c :: !forms;
+      go ()
+    end
+  in
+  go ();
+  List.rev !forms

@@ -1,0 +1,25 @@
+(** Positioned S-expressions — the concrete syntax of scenario files.
+
+    A deliberately small dialect, hand-rolled in the spirit of
+    {!Manet_obs.Json} (no new dependencies): atoms, double-quoted atoms
+    with the usual backslash escapes, parenthesised lists, and [;]
+    line comments.  Every node carries the 1-based line/column where it
+    started, so the typed decoder in {!Scn} can reject malformed files
+    with positioned, human-readable errors. *)
+
+type pos = { line : int; col : int }
+(** 1-based source position. *)
+
+type t =
+  | Atom of pos * string
+  | List of pos * t list
+
+exception Parse_error of { pos : pos; msg : string }
+
+val pos_of : t -> pos
+(** The position where the form starts. *)
+
+val parse : string -> t list
+(** All toplevel forms of the input.  Raises {!Parse_error} on lexical
+    or bracketing errors (with the position of the offending byte, or of
+    the unclosed opening parenthesis). *)

@@ -481,6 +481,47 @@ val tag : t -> int
   clean "annotated constructor" "proto-schema"
     (proto_files ~messages ~tests:{|let roundtrip = [ check Ping ]|} ())
 
+(* --- scenario-keyword --------------------------------------------------- *)
+
+let scenario_schema =
+  {|let kw_blackhole = "blackhole"
+let kw_nodes = "nodes"
+|}
+
+let test_scenario_keyword_fires () =
+  fires "stray vocabulary literal outside schema.ml" "scenario-keyword"
+    [
+      ("lib/scenario/schema.ml", scenario_schema);
+      ("lib/scenario/scn.ml", {|let k = "blackhole"|});
+    ]
+
+let test_scenario_keyword_clean () =
+  clean "schema.ml itself and non-vocabulary strings" "scenario-keyword"
+    [
+      ("lib/scenario/schema.ml", scenario_schema);
+      ("lib/scenario/scn.ml", {|let msg = "not a keyword here"|});
+    ]
+
+let test_scenario_keyword_outside_tree () =
+  clean "vocabulary literal outside lib/scenario" "scenario-keyword"
+    [
+      ("lib/scenario/schema.ml", scenario_schema);
+      ("lib/core/other.ml", {|let k = "blackhole"|});
+    ]
+
+let test_scenario_keyword_missing_schema () =
+  fires "lib/scenario without a schema.ml keyword table" "scenario-keyword"
+    [ ("lib/scenario/scn.ml", {|let k = "blackhole"|}) ]
+
+let test_scenario_keyword_suppression () =
+  clean "annotated stray literal" "scenario-keyword"
+    [
+      ("lib/scenario/schema.ml", scenario_schema);
+      ( "lib/scenario/scn.ml",
+        {|(* manetlint: allow scenario-keyword *)
+let k = "blackhole"|} );
+    ]
+
 (* --- the repo itself is clean ------------------------------------------ *)
 
 let test_rule_names_documented () =
@@ -494,7 +535,7 @@ let test_rule_names_documented () =
     [
       "proto-schema"; "security"; "placeholder-sig"; "determinism"; "obj-magic";
       "catch-all"; "failwith"; "mli-coverage"; "poly-compare"; "obs-no-printf";
-      "audit-counter";
+      "audit-counter"; "scenario-keyword";
     ]
 
 let tc name f = Alcotest.test_case name `Quick f
@@ -524,6 +565,11 @@ let suites =
         tc "proto-schema missing decode" test_proto_schema_missing_decode;
         tc "proto-schema missing test" test_proto_schema_missing_test;
         tc "proto-schema suppression" test_proto_schema_suppression;
+        tc "scenario-keyword fires" test_scenario_keyword_fires;
+        tc "scenario-keyword clean" test_scenario_keyword_clean;
+        tc "scenario-keyword scoping" test_scenario_keyword_outside_tree;
+        tc "scenario-keyword missing schema" test_scenario_keyword_missing_schema;
+        tc "scenario-keyword suppression" test_scenario_keyword_suppression;
         tc "rule registry" test_rule_names_documented;
       ] );
   ]

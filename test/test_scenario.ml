@@ -1,0 +1,285 @@
+(* The scenario subsystem's contract: malformed files are rejected with
+   positioned (line/col) errors, every committed example validates, a
+   scenario-file run is byte-identical to the equivalent hand-coded
+   configuration, and fanning one file across seeds is byte-deterministic
+   in the domain count. *)
+
+module Scn = Manet_scenario.Scn
+module Sexp = Manet_scenario.Sexp
+module Scenario = Manetsec.Scenario
+module Mobility = Manetsec.Sim.Mobility
+module Engine = Manetsec.Sim.Engine
+module Adversary = Manetsec.Adversary
+module Obs = Manetsec.Obs
+module Json = Manetsec.Obs_json
+module Audit = Manetsec.Audit
+module Merge = Manetsec.Merge
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  go 0
+
+(* Decoding [text] must fail at exactly [line]:[col] with a message
+   mentioning [needle] — the positioned-error contract a user sees as
+   file:line:col from `manetsim scenario check`. *)
+let check_err name text ~line ~col ~needle =
+  let fail_pos (pos : Sexp.pos) msg =
+    Alcotest.(check (pair int int))
+      (name ^ ": position") (line, col)
+      (pos.Sexp.line, pos.Sexp.col);
+    if not (contains msg needle) then
+      Alcotest.failf "%s: error %S does not mention %S" name msg needle
+  in
+  match Scn.parse text with
+  | _decoded -> Alcotest.failf "%s: expected a positioned error" name
+  | exception Scn.Error { pos; msg } -> fail_pos pos msg
+  | exception Sexp.Parse_error { pos; msg } -> fail_pos pos msg
+
+let test_error_positions () =
+  check_err "malformed sexp"
+    "(scenario (schema manetsim-scenario 1)\n  (name x)\n" ~line:1 ~col:1
+    ~needle:"unclosed parenthesis";
+  check_err "unknown field"
+    "(scenario\n  (schema manetsim-scenario 1)\n  (name ok)\n  (nodes 4)\n\
+    \  (frobnicate 1))"
+    ~line:5 ~col:4 ~needle:"unknown field frobnicate";
+  check_err "duplicate field"
+    "(scenario\n  (schema manetsim-scenario 1)\n  (name ok)\n  (nodes 4)\n\
+    \  (seed 2)\n  (seed 3))"
+    ~line:6 ~col:4 ~needle:"duplicate field seed";
+  check_err "duplicate node id"
+    "(scenario\n  (schema manetsim-scenario 1)\n  (name ok)\n  (nodes 3)\n\
+    \  (topology (explicit (width 100.0) (height 100.0)\n\
+    \    (node 0 1.0 1.0)\n    (node 1 2.0 2.0)\n    (node 1 3.0 3.0))))"
+    ~line:8 ~col:11 ~needle:"duplicate node id 1";
+  check_err "out-of-range fraction"
+    "(scenario\n  (schema manetsim-scenario 1)\n  (name ok)\n  (nodes 4)\n\
+    \  (loss 1.5))"
+    ~line:5 ~col:9 ~needle:"out of range";
+  check_err "unknown adversary kind"
+    "(scenario\n  (schema manetsim-scenario 1)\n  (name ok)\n  (nodes 4)\n\
+    \  (adversaries (wormhole 2)))"
+    ~line:5 ~col:17 ~needle:"unknown adversary kind wormhole";
+  check_err "unsupported schema version"
+    "(scenario\n  (schema manetsim-scenario 2)\n  (name ok)\n  (nodes 4))"
+    ~line:2 ~col:29 ~needle:"unsupported schema version 2";
+  check_err "adversary on the DNS node"
+    "(scenario\n  (schema manetsim-scenario 1)\n  (name ok)\n  (nodes 4)\n\
+    \  (adversaries (blackhole 0)))"
+    ~line:5 ~col:27 ~needle:"node 0 hosts the DNS";
+  check_err "flow to itself"
+    "(scenario\n  (schema manetsim-scenario 1)\n  (name ok)\n  (nodes 4)\n\
+    \  (traffic (cbr (src 2) (dst 2))))"
+    ~line:5 ~col:12 ~needle:"source and destination are both node 2";
+  check_err "node index out of range"
+    "(scenario\n  (schema manetsim-scenario 1)\n  (name ok)\n  (nodes 4)\n\
+    \  (faults (crash 9 (at 5.0))))"
+    ~line:5 ~col:18 ~needle:"not in [0, 4)"
+
+(* The full vocabulary decodes to the expected typed form. *)
+let test_vocabulary () =
+  let scn =
+    Scn.parse
+      "(scenario\n\
+      \  (schema manetsim-scenario 1)\n\
+      \  (name kitchen-sink)\n\
+      \  (seed 9)\n\
+      \  (nodes 8)\n\
+      \  (range 300.0)\n\
+      \  (loss 0.1)\n\
+      \  (promiscuous true)\n\
+      \  (protocol dsr)\n\
+      \  (suite (rsa 512))\n\
+      \  (dns false)\n\
+      \  (topology (grid (cols 4) (spacing 150.0)))\n\
+      \  (mobility (walk (speed 3.0) (turn-interval 2.0)))\n\
+      \  (bootstrap (stagger 0.25))\n\
+      \  (duration 10.0)\n\
+      \  (run-until 40.0)\n\
+      \  (traffic (cbr (src 0) (dst 7) (interval 0.25) (size 256) (start 12.0)\n\
+      \    (duration 8.0)))\n\
+      \  (adversaries (grayhole 3 (prob 0.25)) (rerr-spammer 5 (every 2.0))\n\
+      \    (identity-churner 0 (every 5.0)) (sleeper 6))\n\
+      \  (faults (crash 2 (at 15.0)) (restart 2 (at 20.0))\n\
+      \    (link-down 1 4 (at 16.0)) (link-up 1 4 (at 18.0))\n\
+      \    (flap 4 7 (from 20.0) (until 30.0) (period 2.5))\n\
+      \    (outage 3 (from 22.0) (until 28.0)))\n\
+      \  (exports metrics-prom report-json))"
+  in
+  Alcotest.(check int) "seed" 9 scn.Scn.seed;
+  Alcotest.(check bool) "promiscuous" true scn.Scn.promiscuous;
+  Alcotest.(check bool) "dns off" false scn.Scn.dns;
+  (match scn.Scn.protocol with
+  | Scn.Dsr -> ()
+  | Scn.Secure | Scn.Srp -> Alcotest.fail "expected the dsr protocol");
+  (match scn.Scn.suite with
+  | Scn.Rsa 512 -> ()
+  | Scn.Rsa _ | Scn.Mock -> Alcotest.fail "expected (rsa 512)");
+  (match scn.Scn.topology with
+  | Scn.Grid { cols = 4; _ } -> ()
+  | _ -> Alcotest.fail "expected a 4-column grid");
+  (match scn.Scn.mobility with
+  | Scn.Walk { speed; _ } -> Alcotest.(check (float 1e-9)) "speed" 3.0 speed
+  | _ -> Alcotest.fail "expected walk mobility");
+  (match scn.Scn.flows with
+  | [ f ] ->
+      Alcotest.(check int) "size" 256 f.Scn.flow_size;
+      Alcotest.(check (option (float 1e-9))) "start" (Some 12.0) f.Scn.flow_start
+  | _ -> Alcotest.fail "expected one flow");
+  Alcotest.(check int) "adversaries" 4 (List.length scn.Scn.adversaries);
+  Alcotest.(check int) "faults" 6 (List.length scn.Scn.faults);
+  Alcotest.(check int) "exports" 2 (List.length scn.Scn.exports)
+
+let test_defaults () =
+  let scn =
+    Scn.parse "(scenario (schema manetsim-scenario 1) (name mini) (nodes 4))"
+  in
+  Alcotest.(check int) "default seed" 1 scn.Scn.seed;
+  Alcotest.(check (float 1e-9)) "default duration" 60.0 scn.Scn.duration;
+  Alcotest.(check (float 1e-9)) "default range" 250.0 scn.Scn.range;
+  Alcotest.(check bool) "dns on" true scn.Scn.dns;
+  (match scn.Scn.protocol with
+  | Scn.Secure -> ()
+  | Scn.Dsr | Scn.Srp -> Alcotest.fail "default protocol is secure");
+  (match scn.Scn.topology with
+  | Scn.Random { width; height } ->
+      Alcotest.(check (float 1e-9)) "width" 1000.0 width;
+      Alcotest.(check (float 1e-9)) "height" 1000.0 height
+  | _ -> Alcotest.fail "default topology is random 1000x1000");
+  match scn.Scn.mobility with
+  | Scn.Static -> ()
+  | _ -> Alcotest.fail "default mobility is static"
+
+(* Under `dune runtest` the cwd is _build/default/test; under
+   `dune exec` it is the project root. *)
+let scenarios_dir =
+  let from_test = Filename.concat (Filename.concat ".." "examples") "scenarios" in
+  if Sys.file_exists from_test then from_test
+  else Filename.concat "examples" "scenarios"
+
+let read_scenario file =
+  In_channel.with_open_bin (Filename.concat scenarios_dir file)
+    In_channel.input_all
+
+let test_examples_validate () =
+  let files =
+    Sys.readdir scenarios_dir |> Array.to_list
+    |> List.filter (String.ends_with ~suffix:".scn")
+    |> List.sort String.compare
+  in
+  Alcotest.(check bool)
+    "at least six committed scenarios" true
+    (List.length files >= 6);
+  List.iter
+    (fun file ->
+      match Scn.parse (read_scenario file) with
+      | scn ->
+          Alcotest.(check bool)
+            (file ^ " requests at least one export")
+            true
+            (List.length scn.Scn.exports >= 1)
+      | exception Scn.Error { pos; msg } ->
+          Alcotest.failf "%s:%d:%d: %s" file pos.Sexp.line pos.Sexp.col msg
+      | exception Sexp.Parse_error { pos; msg } ->
+          Alcotest.failf "%s:%d:%d: %s" file pos.Sexp.line pos.Sexp.col msg)
+    files
+
+(* The acceptance property: running blackhole_e1.scn produces exports
+   byte-identical to the equivalent configuration written directly
+   against the Manetsec API. *)
+let test_file_equals_hand_coded () =
+  let scn = Scn.parse (read_scenario "blackhole_e1.scn") in
+  let file_side = Scn.execute scn in
+  let exports = Scn.render_exports scn ~seed:scn.Scn.seed file_side in
+  let contents_of kind =
+    match List.find_opt (fun (k, _, _) -> k = kind) exports with
+    | Some (_, _, contents) -> contents
+    | None -> Alcotest.fail "missing export"
+  in
+  (* Hand-coded equivalent of the file, step by step. *)
+  let params =
+    {
+      Scenario.default_params with
+      n = 36;
+      seed = 1;
+      range = 250.0;
+      topology = Scenario.Random { width = 900.0; height = 900.0 };
+      mobility =
+        Mobility.Random_waypoint { min_speed = 1.0; max_speed = 10.0; pause = 2.0 };
+      protocol = Scenario.Secure;
+      adversaries =
+        List.map (fun i -> (i, Adversary.blackhole)) [ 5; 9; 13; 20; 27; 31; 35 ];
+    }
+  in
+  let s = Scenario.create params in
+  Obs.set_capture (Scenario.obs s) true;
+  List.iter
+    (fun (a, b) ->
+      Scenario.start_cbr s ~flows:[ (a, b) ] ~interval:0.5 ~size:512
+        ~start_at:0.0 ~duration:60.0 ())
+    [ (1, 17); (3, 21); (8, 28); (14, 2); (6, 30); (11, 25); (19, 33); (22, 4) ];
+  Scenario.run s ~until:120.0;
+  let meta = Scn.meta scn ~seed:1 in
+  (match meta with
+  | [ (k1, Json.String v); (k2, Json.Int seed) ] ->
+      Alcotest.(check (list string)) "meta keys" [ "scenario"; "seed" ] [ k1; k2 ];
+      Alcotest.(check string) "meta name" "blackhole_e1" v;
+      Alcotest.(check int) "meta seed" 1 seed
+  | _ -> Alcotest.fail "unexpected meta shape");
+  Alcotest.(check string) "stats csv byte-identical" (Scn.stats_csv s)
+    (contents_of Scn.Stats_csv);
+  Alcotest.(check string) "audit jsonl byte-identical"
+    (Audit.to_jsonl ~meta (Obs.audit (Scenario.obs s)))
+    (contents_of Scn.Audit_jsonl);
+  Alcotest.(check string) "trace jsonl byte-identical"
+    (Obs.to_jsonl ~meta (Scenario.obs s))
+    (contents_of Scn.Trace_jsonl)
+
+(* Fanning one scenario across seeds is byte-deterministic in the
+   domain count (the Parallel/Merge contract, end to end). *)
+let test_sweep_domain_invariant () =
+  let scn =
+    Scn.parse
+      "(scenario\n\
+      \  (schema manetsim-scenario 1)\n\
+      \  (name chain-sweep)\n\
+      \  (nodes 5)\n\
+      \  (topology (chain (spacing 200.0)))\n\
+      \  (bootstrap (stagger 0.5))\n\
+      \  (duration 5.0)\n\
+      \  (run-until 30.0)\n\
+      \  (traffic (cbr (src 1) (dst 4) (interval 1.0)))\n\
+      \  (exports stats-csv))"
+  in
+  let runs1 = Scn.sweep ~domains:1 ~seeds:[ 1; 2 ] scn in
+  let runs2 = Scn.sweep ~domains:2 ~seeds:[ 1; 2 ] scn in
+  (match runs1 with
+  | r :: _ ->
+      Alcotest.(check bool)
+        "run key is the scenario meta" true
+        (r.Merge.key = Scn.meta scn ~seed:1)
+  | [] -> Alcotest.fail "no runs");
+  Alcotest.(check string) "merged stats byte-identical"
+    (Merge.stats_csv runs1) (Merge.stats_csv runs2);
+  Alcotest.(check string) "merged audit byte-identical"
+    (Merge.stream_jsonl ~name:"audit" runs1)
+    (Merge.stream_jsonl ~name:"audit" runs2);
+  Alcotest.(check string) "merged trace byte-identical"
+    (Merge.stream_jsonl ~name:"trace" runs1)
+    (Merge.stream_jsonl ~name:"trace" runs2)
+
+let suites =
+  [
+    ( "scenario",
+      [
+        Alcotest.test_case "positioned errors" `Quick test_error_positions;
+        Alcotest.test_case "vocabulary decode" `Quick test_vocabulary;
+        Alcotest.test_case "defaults" `Quick test_defaults;
+        Alcotest.test_case "examples validate" `Quick test_examples_validate;
+        Alcotest.test_case "file run equals hand-coded run" `Slow
+          test_file_equals_hand_coded;
+        Alcotest.test_case "sweep domain-invariant" `Slow
+          test_sweep_domain_invariant;
+      ] );
+  ]

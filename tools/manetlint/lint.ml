@@ -35,6 +35,7 @@ let rules =
     "poly-compare";
     "obs-no-printf";
     "audit-counter";
+    "scenario-keyword";
   ]
 
 let to_string f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.msg
@@ -1011,6 +1012,71 @@ let check_proto_schema add srcs =
       end)
 
 (* ------------------------------------------------------------------ *)
+(* scenario-keyword: schema.ml is the single keyword table            *)
+(* ------------------------------------------------------------------ *)
+
+(* String literals of a sanitized source: the sanitizer kept the quote
+   characters and blanked the body in place, so each literal's content
+   is read back from [src.raw] at the same offsets (the audit-counter
+   technique). *)
+let iter_string_literals src f =
+  let code = src.code in
+  let n = String.length code in
+  let i = ref 0 in
+  while !i < n do
+    if code.[!i] = '"' then begin
+      let j = ref (!i + 1) in
+      while !j < n && code.[!j] <> '"' do incr j done;
+      if !j < n then begin
+        f !i (String.sub src.raw (!i + 1) (!j - !i - 1));
+        i := !j + 1
+      end
+      else i := n
+    end
+    else incr i
+  done
+
+let keyword_shaped s =
+  String.length s >= 2
+  && s.[0] >= 'a'
+  && s.[0] <= 'z'
+  && String.for_all
+       (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-')
+       s
+
+(* The scenario grammar's vocabulary must be enumerable in one place:
+   schema.ml's keyword-shaped literals *are* the table, and any other
+   lib/scenario module spelling one of those words as a fresh literal
+   (instead of referencing the Schema constant) silently forks the
+   grammar the moment either copy changes. *)
+let check_scenario_keywords add srcs =
+  let in_scenario s = under "lib/scenario" s.path && ends_with ".ml" s.path in
+  match List.filter in_scenario srcs with
+  | [] -> ()
+  | scn -> (
+      match List.find_opt (fun s -> ends_with "schema.ml" s.path) scn with
+      | None ->
+          add (List.hd scn) 1 "scenario-keyword"
+            "lib/scenario has no schema.ml keyword table; the scenario \
+             grammar's vocabulary must live in one file"
+      | Some table ->
+          let vocab = Hashtbl.create 128 in
+          iter_string_literals table (fun _ lit ->
+              if keyword_shaped lit then Hashtbl.replace vocab lit ());
+          List.iter
+            (fun s ->
+              if not (ends_with "schema.ml" s.path) then
+                iter_string_literals s (fun p lit ->
+                    if Hashtbl.mem vocab lit then
+                      add s s.line_at.(p) "scenario-keyword"
+                        (Printf.sprintf
+                           "scenario keyword %S spelled as a stray literal; \
+                            reference the Schema constant (the grammar's \
+                            vocabulary lives in schema.ml alone)"
+                           lit)))
+            scn)
+
+(* ------------------------------------------------------------------ *)
 (* mli coverage                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1058,6 +1124,7 @@ let lint_files inputs =
     srcs;
   check_mli_coverage add srcs;
   check_proto_schema add srcs;
+  check_scenario_keywords add srcs;
   List.sort
     (fun a b ->
       match String.compare a.file b.file with
