@@ -32,7 +32,10 @@ perf:
 	dune exec bench/main.exe -- perf
 
 benchgate: perf
-	dune exec tools/benchgate/main.exe -- BENCH_6.json BENCH_7.json
+	dune exec tools/benchgate/main.exe -- BENCH_7.json BENCH_8.json
+
+benchtrend:
+	dune exec tools/benchtrend/main.exe -- BENCH_6.json BENCH_7.json BENCH_8.json
 
 clean:
 	dune clean

@@ -15,13 +15,17 @@ module Engine = Manetsec.Sim.Engine
 module Mono_clock = Manetsec.Sim.Mono_clock
 module Parallel = Manetsec.Sim.Parallel
 module Heap = Manetsec.Sim.Heap
+module Net = Manetsec.Sim.Net
+module Hist = Manetsec.Sim.Hist
+module Stats = Manetsec.Sim.Stats
 module Sweep = Manetsec.Sweep
 module Prng = Manetsec.Crypto.Prng
 module Sha256 = Manetsec.Crypto.Sha256
 module Rsa = Manetsec.Crypto.Rsa
+module Suite = Manetsec.Crypto.Suite
 module Json = Manetsec.Obs_json
 
-let pr = 7
+let pr = 8
 let out_file = Printf.sprintf "BENCH_%d.json" pr
 
 (* Mean ns per call, timed over enough batches to fill [target_s] of
@@ -79,12 +83,47 @@ let engine_run () =
   in
   let s = Scenario.create params in
   Engine.set_profiling (Scenario.engine s) true;
+  let g0 = Gc.quick_stat () in
   Scenario.bootstrap s;
   Scenario.start_cbr s
     ~flows:[ (1, 17); (3, 21); (8, 28); (14, 2) ]
     ~interval:0.25 ~duration:60.0 ();
   Scenario.run s ~until:120.0;
-  (Engine.events_per_sec (Scenario.engine s), (Gc.stat ()).Gc.top_heap_words)
+  let g1 = Gc.quick_stat () in
+  let events = max 1 (Engine.events_processed (Scenario.engine s)) in
+  let minor_per_event =
+    (g1.Gc.minor_words -. g0.Gc.minor_words) /. float_of_int events
+  in
+  let scan_mean =
+    match Hist.mean (Net.scan_hist (Scenario.net s)) with
+    | Some m -> m
+    | None -> 0.0
+  in
+  ( Engine.events_per_sec (Scenario.engine s),
+    (Gc.stat ()).Gc.top_heap_words,
+    scan_mean,
+    minor_per_event )
+
+(* A small real-RSA run for the paper's E2-style cost metric: signature
+   verifications per delivered data message. *)
+let rsa_cost_run () =
+  let params =
+    {
+      Scenario.default_params with
+      n = 12;
+      seed = 5;
+      suite = Scenario.Rsa_suite 512;
+    }
+  in
+  let s = Scenario.create params in
+  Scenario.bootstrap s;
+  Scenario.start_cbr s
+    ~flows:[ (1, 7); (3, 10) ]
+    ~interval:1.0 ~duration:20.0 ();
+  Scenario.run s ~until:60.0;
+  let delivered = Stats.get (Scenario.stats s) "data.delivered" in
+  let verifies = (Scenario.suite s).Suite.verify_count in
+  float_of_int verifies /. float_of_int (max 1 delivered)
 
 (* The sweep grid used for wall-clock scaling; small enough for CI,
    large enough that fan-out dominates scheduling overhead. *)
@@ -105,9 +144,13 @@ let sweep_wall ~domains =
 let run () =
   Util.heading (Printf.sprintf "perf -- BENCH_%d.json" pr);
   let cores = Parallel.default_domains () in
-  let events_per_sec, peak_heap = engine_run () in
+  let events_per_sec, peak_heap, scan_mean, minor_per_event = engine_run () in
   Printf.printf "engine              %.0f events/s, peak heap %d words\n%!"
     events_per_sec peak_heap;
+  Printf.printf "neighbour scan      %.1f nodes/broadcast mean\n%!" scan_mean;
+  Printf.printf "alloc               %.1f minor words/event\n%!" minor_per_event;
+  let rsa_per_msg = rsa_cost_run () in
+  Printf.printf "rsa cost            %.2f verifies/delivered msg\n%!" rsa_per_msg;
   let hot = hot_paths () in
   List.iter
     (fun (name, j) ->
@@ -137,6 +180,9 @@ let run () =
         ("host_cores", Json.Int cores);
         ("events_per_sec", Json.Float events_per_sec);
         ("peak_heap_words", Json.Int peak_heap);
+        ("neighbour_scan_mean", Json.Float scan_mean);
+        ("gc_minor_words_per_event", Json.Float minor_per_event);
+        ("rsa_verifies_per_delivered_msg", Json.Float rsa_per_msg);
         ("hot_paths", Json.Obj hot);
         ( "sweep",
           Json.Obj

@@ -23,6 +23,7 @@ module Prng = Manetsec.Crypto.Prng
 module Obs = Manetsec.Obs
 module Json = Manetsec.Obs_json
 module Obs_report = Manetsec.Obs_report
+module Perf = Manetsec.Perf
 module Audit = Manetsec.Audit
 module Metrics = Manetsec.Metrics
 module Detector = Manetsec.Detector
@@ -158,6 +159,19 @@ let metrics_prom_t =
           "Write windowed metrics in Prometheus exposition format (enables \
            the metrics engine for the run).")
 
+let perf_json_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "perf-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the performance telemetry export: a schema-versioned JSON \
+           document with a deterministic section (event-label counts, \
+           scheduler occupancy, neighbour-scan/fan-out histograms, crypto-op \
+           accounting — byte-identical across replays of the same seed) and \
+           a wall-clock section (timings, GC/alloc words; excluded from \
+           determinism gates).  Query it with the perf subcommand.")
+
 (* --- telemetry plumbing -------------------------------------------------- *)
 
 let write_file path contents =
@@ -187,8 +201,16 @@ let print_profile s =
     (Engine.wall_in_run engine *. 1000.0)
     (Engine.events_per_sec engine)
 
-let telemetry_end ?audit_jsonl ?metrics_csv ?metrics_prom s ~seed ~profile
-    ~jsonl_trace ~json_report =
+let telemetry_end ?audit_jsonl ?metrics_csv ?metrics_prom ?perf_json s ~seed
+    ~profile ~jsonl_trace ~json_report =
+  (match perf_json with
+  | Some path ->
+      write_file path
+        (Json.to_string
+           (Scenario.perf_json ~meta:[ ("seed", Json.Int seed) ] s)
+        ^ "\n");
+      Printf.printf "perf json           %s\n" path
+  | None -> ());
   (match audit_jsonl with
   | Some path ->
       write_file path
@@ -296,7 +318,7 @@ let load_scenario path =
           Error (Printf.sprintf "%s:%d:%d: %s" path pos.Sexp.line pos.Sexp.col msg))
   | exception Sys_error msg -> Error msg
 
-let scenario_run file out_dir =
+let scenario_run file out_dir perf_json =
   match load_scenario file with
   | Error msg -> `Error (false, msg)
   | Ok scn ->
@@ -317,6 +339,20 @@ let scenario_run file out_dir =
           write_file path contents;
           Printf.printf "export              %s\n" path)
         (Scn.render_exports scn ~seed:scn.Scn.seed s);
+      (match perf_json with
+      | Some path ->
+          write_file path
+            (Json.to_string
+               (Scenario.perf_json
+                  ~meta:
+                    [
+                      ("scenario", Json.String scn.Scn.name);
+                      ("seed", Json.Int scn.Scn.seed);
+                    ]
+                  s)
+            ^ "\n");
+          Printf.printf "perf json           %s\n" path
+      | None -> ());
       `Ok ()
 
 let scenario_file_t =
@@ -326,8 +362,8 @@ let scenario_file_t =
     & info [ "scenario" ] ~docv:"FILE"
         ~doc:
           "Run a declarative scenario file (see examples/scenarios/) instead \
-           of a flag-built configuration; every other run flag is ignored and \
-           exports are the ones the file requests.")
+           of a flag-built configuration; exports are the ones the file \
+           requests and every other run flag except --perf-json is ignored.")
 
 let out_dir_t =
   Arg.(
@@ -339,7 +375,7 @@ let out_dir_t =
 
 let run_flags_cmd ~nodes ~seed ~protocol ~suite ~mobility ~blackholes ~spammers
     ~duration ~flows ~trace ~jsonl_trace ~json_report ~profile ~audit_jsonl
-    ~metrics_csv ~metrics_prom =
+    ~metrics_csv ~metrics_prom ~perf_json =
   let params =
     make_params ~nodes ~seed ~protocol ~suite ~mobility ~blackholes ~spammers
   in
@@ -373,7 +409,7 @@ let run_flags_cmd ~nodes ~seed ~protocol ~suite ~mobility ~blackholes ~spammers
       Printf.printf "suspected nodes     %s\n"
         (String.concat ", " (List.map string_of_int suspects)));
   telemetry_end s ~seed ~profile ~jsonl_trace ~json_report ?audit_jsonl
-    ?metrics_csv ?metrics_prom;
+    ?metrics_csv ?metrics_prom ?perf_json;
   if trace then begin
     Printf.printf "\n-- trace --------------------------------------------\n";
     print_string (Trace.render (Engine.trace (Scenario.engine s)))
@@ -381,13 +417,13 @@ let run_flags_cmd ~nodes ~seed ~protocol ~suite ~mobility ~blackholes ~spammers
 
 let run_cmd scenario_file out_dir nodes seed protocol suite mobility blackholes
     spammers duration flows trace jsonl_trace json_report profile audit_jsonl
-    metrics_csv metrics_prom =
+    metrics_csv metrics_prom perf_json =
   match scenario_file with
-  | Some file -> scenario_run file out_dir
+  | Some file -> scenario_run file out_dir perf_json
   | None ->
       run_flags_cmd ~nodes ~seed ~protocol ~suite ~mobility ~blackholes
         ~spammers ~duration ~flows ~trace ~jsonl_trace ~json_report ~profile
-        ~audit_jsonl ~metrics_csv ~metrics_prom;
+        ~audit_jsonl ~metrics_csv ~metrics_prom ~perf_json;
       `Ok ()
 
 let run_term =
@@ -396,7 +432,8 @@ let run_term =
       (const run_cmd $ scenario_file_t $ out_dir_t $ nodes_t $ seed_t
      $ protocol_t $ suite_t $ mobility_t $ blackholes_t $ spammers_t
      $ duration_t $ flows_t $ trace_t $ jsonl_trace_t $ json_report_t
-     $ profile_t $ audit_jsonl_t $ metrics_csv_t $ metrics_prom_t))
+     $ profile_t $ audit_jsonl_t $ metrics_csv_t $ metrics_prom_t
+     $ perf_json_t))
 
 (* --- dad ------------------------------------------------------------------ *)
 
@@ -592,7 +629,7 @@ let run_field r name =
 let run_stat r name =
   match List.assoc_opt name r.Merge.stats with Some v -> v | None -> 0
 
-let write_merged ~stats_csv ~audit_out ~trace_out runs =
+let write_merged ~stats_csv ~audit_out ~trace_out ~perf_out runs =
   (match stats_csv with
   | Some path ->
       write_file path (Merge.stats_csv runs);
@@ -603,13 +640,19 @@ let write_merged ~stats_csv ~audit_out ~trace_out runs =
       write_file path (Merge.stream_jsonl ~name:"audit" runs);
       Printf.printf "audit jsonl         %s\n" path
   | None -> ());
-  match trace_out with
+  (match trace_out with
   | Some path ->
       write_file path (Merge.stream_jsonl ~name:"trace" runs);
       Printf.printf "trace jsonl         %s\n" path
+  | None -> ());
+  match perf_out with
+  | Some path ->
+      write_file path (Merge.stream_jsonl ~name:"perf" runs);
+      Printf.printf "perf jsonl          %s\n" path
   | None -> ()
 
-let sweep_scenario file ~domains ~seeds ~stats_csv ~audit_out ~trace_out =
+let sweep_scenario file ~domains ~seeds ~stats_csv ~audit_out ~trace_out
+    ~perf_out =
   match load_scenario file with
   | Error msg -> `Error (false, msg)
   | Ok scn ->
@@ -627,15 +670,16 @@ let sweep_scenario file ~domains ~seeds ~stats_csv ~audit_out ~trace_out =
             (run_stat r "attack.data_dropped"))
         runs;
       Printf.printf "wall clock          %.2f s\n" wall;
-      write_merged ~stats_csv ~audit_out ~trace_out runs;
+      write_merged ~stats_csv ~audit_out ~trace_out ~perf_out runs;
       `Ok ()
 
 let sweep_cmd scenario_file domains e1_fractions e1_nodes e1_duration e6_sizes
-    seeds stats_csv audit_out trace_out =
+    seeds stats_csv audit_out trace_out perf_out =
   let domains = if domains <= 0 then Parallel.default_domains () else domains in
   match scenario_file with
   | Some file ->
       sweep_scenario file ~domains ~seeds ~stats_csv ~audit_out ~trace_out
+        ~perf_out
   | None ->
       let spec =
         { Sweep.e1_fractions; e1_nodes; e1_duration; e6_sizes; seeds }
@@ -659,7 +703,7 @@ let sweep_cmd scenario_file domains e1_fractions e1_nodes e1_duration e6_sizes
             (run_stat r "attack.data_dropped"))
         runs;
       Printf.printf "wall clock          %.2f s\n" wall;
-      write_merged ~stats_csv ~audit_out ~trace_out runs;
+      write_merged ~stats_csv ~audit_out ~trace_out ~perf_out runs;
       `Ok ()
 
 let domains_t =
@@ -725,6 +769,15 @@ let sweep_trace_t =
     & info [ "trace-jsonl" ] ~docv:"FILE"
         ~doc:"Write the merged telemetry traces of every run as JSONL.")
 
+let sweep_perf_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "perf-jsonl" ] ~docv:"FILE"
+        ~doc:
+          "Write the merged deterministic perf sections of every run as \
+           JSONL (byte-identical at any --domains value).")
+
 let sweep_scenario_t =
   Arg.(
     value
@@ -739,7 +792,7 @@ let sweep_term =
     ret
       (const sweep_cmd $ sweep_scenario_t $ domains_t $ e1_fractions_t
      $ e1_nodes_t $ e1_duration_t $ e6_sizes_t $ seeds_t $ sweep_stats_csv_t
-     $ sweep_audit_t $ sweep_trace_t))
+     $ sweep_audit_t $ sweep_trace_t $ sweep_perf_t))
 
 (* --- scenario check --------------------------------------------------------- *)
 
@@ -775,6 +828,210 @@ let scenario_files_t =
     & info [] ~docv:"FILE" ~doc:"Scenario files to validate.")
 
 let scenario_check_term = Term.(ret (const scenario_check_cmd $ scenario_files_t))
+
+(* --- perf -------------------------------------------------------------------- *)
+
+let jint ?(default = 0) j =
+  match Json.to_int_opt j with Some i -> i | None -> default
+
+let jmember_int name j = match Json.member name j with Some v -> jint v | None -> 0
+
+let jpath doc path =
+  List.fold_left
+    (fun acc name -> Option.bind acc (Json.member name))
+    (Some doc) path
+
+let render_hist title j =
+  let buckets =
+    match Json.member "buckets" j with
+    | Some (Json.List l) ->
+        List.filter_map
+          (fun b ->
+            match b with
+            | Json.List [ lo; hi; c ] -> Some (jint lo, jint hi, jint c)
+            | _ -> None)
+          l
+    | _ -> []
+  in
+  Printf.printf "\n-- %s %s\n" title
+    (String.make (max 0 (51 - String.length title)) '-');
+  let mean =
+    match Json.member "mean" j with
+    | Some (Json.Float f) -> Printf.sprintf "%.1f" f
+    | Some (Json.Int i) -> Printf.sprintf "%d.0" i
+    | _ -> "-"
+  in
+  Printf.printf "samples %d  sum %d  mean %s  max %d\n" (jmember_int "count" j)
+    (jmember_int "sum" j) mean (jmember_int "max" j);
+  let cmax = List.fold_left (fun acc (_, _, c) -> max acc c) 1 buckets in
+  List.iter
+    (fun (lo, hi, c) ->
+      let width = c * 40 / cmax in
+      Printf.printf "%8d..%-8d %10d  %s\n" lo hi c (String.make width '#'))
+    buckets
+
+let perf_render file doc top =
+  Printf.printf "perf %s  (schema %s v%d)\n" file
+    (match jpath doc [ "schema" ] with
+    | Some (Json.String s) -> s
+    | _ -> "?")
+    (match jpath doc [ "version" ] with
+    | Some v -> jint ~default:Perf.schema_version v
+    | None -> 0);
+  let det =
+    match Json.member "deterministic" doc with Some d -> d | None -> Json.Null
+  in
+  let wall =
+    match Json.member "wall_clock" doc with Some w -> w | None -> Json.Null
+  in
+  (* Per-label table: deterministic counts joined with wall profile
+     seconds when the run was profiled. *)
+  let labels =
+    match jpath det [ "events"; "labels" ] with
+    | Some (Json.Obj fields) -> List.map (fun (l, v) -> (l, jint v)) fields
+    | _ -> []
+  in
+  let profile =
+    match Json.member "profile" wall with
+    | Some (Json.List l) ->
+        List.filter_map
+          (fun e ->
+            match
+              (Json.member "label" e, Json.member "wall_s" e)
+            with
+            | Some (Json.String l), Some w ->
+                Option.map (fun f -> (l, f)) (Json.to_float_opt w)
+            | _ -> None)
+          l
+    | _ -> []
+  in
+  Printf.printf "\n-- events by label ----------------------------------\n";
+  Printf.printf "%-12s %10s %12s\n" "label" "events" "wall ms";
+  List.iter
+    (fun (l, c) ->
+      match List.assoc_opt l profile with
+      | Some w -> Printf.printf "%-12s %10d %12.3f\n" l c (w *. 1000.0)
+      | None -> Printf.printf "%-12s %10d %12s\n" l c "-")
+    labels;
+  Printf.printf "%-12s %10d  (max pending %d)\n" "total"
+    (match jpath det [ "events"; "total" ] with Some v -> jint v | None -> 0)
+    (match jpath det [ "events"; "max_pending" ] with
+    | Some v -> jint v
+    | None -> 0);
+  (* Top-k hottest: by wall seconds when profiled, else by event count. *)
+  let hottest =
+    if profile <> [] then
+      List.map (fun (l, w) -> (l, Printf.sprintf "%.3f ms" (w *. 1000.0)))
+        (List.filteri
+           (fun i _ -> i < top)
+           (List.sort (fun (_, a) (_, b) -> Float.compare b a) profile))
+    else
+      List.map (fun (l, c) -> (l, Printf.sprintf "%d events" c))
+        (List.filteri
+           (fun i _ -> i < top)
+           (List.sort (fun (_, a) (_, b) -> Int.compare b a) labels))
+  in
+  Printf.printf "\n-- top %d hottest labels -----------------------------\n" top;
+  List.iter (fun (l, v) -> Printf.printf "%-12s %s\n" l v) hottest;
+  (match jpath det [ "net"; "neighbour_scan" ] with
+  | Some h -> render_hist "neighbour scan lengths" h
+  | None -> ());
+  (match jpath det [ "net"; "fanout" ] with
+  | Some h -> render_hist "broadcast fan-out" h
+  | None -> ());
+  (match jpath det [ "net" ] with
+  | Some n ->
+      Printf.printf "retries %d  transmissions %d  deliveries %d\n"
+        (jmember_int "retries" n)
+        (jmember_int "transmissions" n)
+        (jmember_int "deliveries" n)
+  | None -> ());
+  (* Crypto: per message kind. *)
+  (match jpath det [ "crypto"; "by_kind" ] with
+  | Some (Json.Obj kinds) when kinds <> [] ->
+      Printf.printf "\n-- crypto by message kind ---------------------------\n";
+      Printf.printf "%-12s %10s %10s %12s\n" "kind" "signs" "verifies"
+        "hash blocks";
+      List.iter
+        (fun (kind, v) ->
+          Printf.printf "%-12s %10d %10d %12d\n" kind (jmember_int "signs" v)
+            (jmember_int "verifies" v)
+            (jmember_int "hash_blocks" v))
+        kinds
+  | _ -> ());
+  (* GC/alloc: deterministic event counts per phase joined with the
+     wall-clock allocation words for that phase. *)
+  Printf.printf "\n-- gc / alloc ---------------------------------------\n";
+  Printf.printf "%-12s %10s %14s %12s\n" "phase" "events" "minor words"
+    "words/event";
+  (match jpath det [ "phases" ] with
+  | Some (Json.Obj phases) ->
+      List.iter
+        (fun (name, p) ->
+          let events = jmember_int "events" p in
+          let words =
+            match jpath wall [ "gc"; "phases"; name; "minor_words" ] with
+            | Some w -> ( match Json.to_float_opt w with Some f -> f | None -> 0.0)
+            | None -> 0.0
+          in
+          Printf.printf "%-12s %10d %14.0f %12.1f\n" name events words
+            (if events = 0 then 0.0 else words /. float_of_int events))
+        phases
+  | _ -> ());
+  match Json.member "gc" wall with
+  | Some g ->
+      Printf.printf "heap %d words (peak %d), %d minor / %d major collections\n"
+        (jmember_int "heap_words" g)
+        (jmember_int "top_heap_words" g)
+        (jmember_int "minor_collections" g)
+        (jmember_int "major_collections" g)
+  | None -> ()
+
+let perf_cmd file det top =
+  match In_channel.with_open_bin file In_channel.input_all with
+  | exception Sys_error msg -> `Error (false, msg)
+  | contents -> (
+      match Json.parse contents with
+      | exception Json.Parse_error msg ->
+          `Error (false, Printf.sprintf "%s: %s" file msg)
+      | doc -> (
+          (match jpath doc [ "schema" ] with
+          | Some (Json.String s) when s = Perf.schema -> ()
+          | _ ->
+              prerr_endline
+                (Printf.sprintf "warning: %s does not declare schema %s" file
+                   Perf.schema));
+          match Json.member "deterministic" doc with
+          | None -> `Error (false, file ^ ": no deterministic section")
+          | Some detj ->
+              if det then begin
+                (* Canonical re-render of the deterministic section only:
+                   the byte-stable form CI cmp's across runs and domain
+                   counts. *)
+                print_string (Json.to_string detj);
+                print_newline ();
+                `Ok ()
+              end
+              else begin
+                perf_render file doc top;
+                `Ok ()
+              end))
+
+let perf_file_t =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"PERF.json" ~doc:"An export written by --perf-json.")
+
+let det_t =
+  Arg.(
+    value & flag
+    & info [ "det" ]
+        ~doc:
+          "Print only the canonical deterministic section (byte-identical \
+           across same-seed replays; what the CI determinism gates compare).")
+
+let perf_term = Term.(ret (const perf_cmd $ perf_file_t $ det_t $ top_t))
 
 (* --- command tree ----------------------------------------------------------- *)
 
@@ -814,6 +1071,13 @@ let cmds =
            "Query an exported JSONL trace: span tree, per-phase latency \
             percentiles, top-k slow spans.")
       report_term;
+    Cmd.v
+      (Cmd.info "perf"
+         ~doc:
+           "Query a --perf-json export: per-label event table, top-k hottest \
+            labels, neighbour-scan and fan-out histograms, GC/alloc \
+            accounting.")
+      perf_term;
     Cmd.v
       (Cmd.info "audit"
          ~doc:

@@ -190,7 +190,7 @@ let unicast_addr t ~next ?(on_fail = fun () -> ()) m =
   let sig_size, pk_size = sig_sizes t in
   stat t ("tx." ^ tag m);
   match Directory.lookup_all t.directory next with
-  | [] -> Engine.schedule t.engine ~delay:0.01 on_fail
+  | [] -> Engine.schedule t.engine ~label:"aodv" ~delay:0.01 on_fail
   | claimants ->
       let size = msg_size ~sig_size ~pk_size m in
       List.iter
@@ -250,6 +250,7 @@ let rrep_payload ~rep_src ~rep_dst ~dst_seq ~top_hash ~max_hops =
   ^ string_of_int dst_seq ^ top_hash ^ string_of_int max_hops
 
 let verify_origin t ~ip ~pk ~rn ~payload ~signature =
+  Suite.count_hash (suite t) ~bytes:(String.length pk + 8);
   Manet_ipv6.Cga.verify ip ~pk_bytes:pk ~rn
   && (suite t).Suite.verify ~pk_bytes:pk ~msg:payload ~signature
 
@@ -274,7 +275,8 @@ let rec transmit t packet =
       in
       unicast_addr t ~next:entry.next m ~on_fail:(fun () ->
           invalidate_route t packet.p_dst);
-      Engine.schedule t.engine ~delay:t.config.ack_timeout (fun () ->
+      Engine.schedule t.engine ~label:"aodv" ~delay:t.config.ack_timeout
+        (fun () ->
           let k = fkey packet.p_dst packet.p_seq in
           match Hashtbl.find_opt t.in_flight k with
           | Some p when p == packet ->
@@ -344,7 +346,8 @@ and send_rreq t d =
          top_hash;
          max_hops = t.config.max_hops;
        });
-  Engine.schedule t.engine ~delay:t.config.discovery_timeout (fun () ->
+  Engine.schedule t.engine ~label:"aodv" ~delay:t.config.discovery_timeout
+    (fun () ->
       if not d.d_resolved then begin
         if d.d_attempts < t.config.max_discovery_attempts then send_rreq t d
         else begin
@@ -480,7 +483,8 @@ let handle_rreq t ~src m =
                 }
             in
             let delay = Prng.float t.rng t.config.flood_jitter in
-            Engine.schedule t.engine ~delay (fun () -> broadcast t relayed)
+            Engine.schedule t.engine ~label:"aodv" ~delay (fun () ->
+                broadcast t relayed)
           end
         end
       end

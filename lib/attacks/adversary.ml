@@ -158,20 +158,22 @@ let start t =
         let rec tick () =
           if t.running then begin
             spam_rerrs t;
-            Engine.schedule t.ctx.Ctx.engine ~delay:every tick
+            Engine.schedule t.ctx.Ctx.engine ~label:"adversary" ~delay:every
+              tick
           end
         in
-        Engine.schedule t.ctx.Ctx.engine ~delay:every tick
+        Engine.schedule t.ctx.Ctx.engine ~label:"adversary" ~delay:every tick
     | None -> ());
     match t.behavior.churn_interval with
     | Some every ->
         let rec tick () =
           if t.running then begin
             churn_identity t;
-            Engine.schedule t.ctx.Ctx.engine ~delay:every tick
+            Engine.schedule t.ctx.Ctx.engine ~label:"adversary" ~delay:every
+              tick
           end
         in
-        Engine.schedule t.ctx.Ctx.engine ~delay:every tick
+        Engine.schedule t.ctx.Ctx.engine ~label:"adversary" ~delay:every tick
     | None -> ()
   end
 

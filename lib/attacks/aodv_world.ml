@@ -101,7 +101,7 @@ let start_cbr t ~flows ~interval ?(size = 512) ~duration () =
     (fun (src, dst) ->
       let rec tick at =
         if at <= t0 +. duration then
-          Engine.schedule_at t.engine ~time:at (fun () ->
+          Engine.schedule_at t.engine ~label:"traffic" ~time:at (fun () ->
               send t ~src ~dst ~size ();
               tick (at +. interval))
       in

@@ -39,6 +39,7 @@ module Sim = Manet_sim
 module Obs = Manet_obs.Obs
 module Obs_json = Manet_obs.Json
 module Obs_report = Manet_obs.Report
+module Perf = Manet_obs.Perf
 module Merge = Manet_obs.Merge
 module Audit = Manet_obs.Audit
 module Metrics = Manet_obs.Metrics

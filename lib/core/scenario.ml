@@ -19,6 +19,7 @@ module Srp = Manet_secure.Srp
 module Adversary = Manet_attacks.Adversary
 module Faults = Manet_faults.Faults
 module Obs = Manet_obs.Obs
+module Perf = Manet_obs.Perf
 module Detector = Manet_obs.Detector
 
 type topology_spec =
@@ -160,6 +161,10 @@ let create params =
      one node (e.g. an AREP answer) parent correctly to spans opened on
      another (the originating flood). *)
   let obs = Obs.create engine in
+  (* Crypto ops feed the perf registry from day one: the subscription
+     only bumps side counters, so it perturbs no event order, PRNG draw
+     or export byte. *)
+  Perf.subscribe (Obs.perf obs) suite;
   (* The misbehaviour detector rides the audit stream online: every
      event any node emits feeds it at emission time, so verdicts are
      available the moment the run stops (and are deterministic, being a
@@ -223,11 +228,17 @@ let create params =
           adversary;
         })
   in
-  (* Per-node reception dispatch. *)
+  (* Per-node reception dispatch.  This closure is the one place that
+     knows both the receiving node and the message kind, so it carries
+     the perf registry's crypto attribution: every sign/verify/hash the
+     handlers perform below is charged to (kind, node). *)
+  let perf = Obs.perf obs in
   Array.iter
     (fun node ->
       let i = node.index in
       Net.set_handler net i (fun ~src msg ->
+          Perf.with_attribution perf ~kind:(Messages.tag msg) ~node:i
+          @@ fun () ->
           match msg with
           | Messages.Areq _ | Messages.Arep _ | Messages.Drep _ ->
               Dad.handle node.dad ~src msg
@@ -307,7 +318,8 @@ let bootstrap ?(stagger = 0.5) t =
     +. (2.0 *. t.params.dad_config.Dad.arep_wait)
     +. 10.0
   in
-  Engine.run ~until:(Engine.now t.engine +. horizon) t.engine
+  Perf.phase (Obs.perf t.obs) ~engine:t.engine "bootstrap" (fun () ->
+      Engine.run ~until:(Engine.now t.engine +. horizon) t.engine)
 
 let send t ~src ~dst ?(size = 512) () =
   let dst_addr = address_of t dst in
@@ -338,9 +350,10 @@ let discover t ~src ~dst on_route =
 
 let run ?until t =
   start t;
-  match until with
-  | Some limit -> Engine.run ~until:limit t.engine
-  | None -> Engine.run t.engine
+  Perf.phase (Obs.perf t.obs) ~engine:t.engine "run" (fun () ->
+      match until with
+      | Some limit -> Engine.run ~until:limit t.engine
+      | None -> Engine.run t.engine)
 
 (* --- fault injection ---------------------------------------------------- *)
 
@@ -428,4 +441,14 @@ let crypto_ops t = (t.suite.Suite.sign_count, t.suite.Suite.verify_count)
 
 let mean_latency t =
   Option.map (fun s -> s.Stats.mean) (Stats.summary (stats t) "data.latency")
+
+(* --- perf export -------------------------------------------------------- *)
+
+let perf_json ?meta t =
+  Perf.to_json ?meta (Obs.perf t.obs) ~engine:t.engine ~net:t.net
+    ~suite:t.suite
+
+let perf_det_jsonl ?meta t =
+  Perf.det_jsonl ?meta (Obs.perf t.obs) ~engine:t.engine ~net:t.net
+    ~suite:t.suite
 

@@ -179,3 +179,15 @@ val crypto_ops : t -> int * int
 val mean_latency : t -> float option
 (** Mean one-way data latency in seconds. *)
 
+(* --- perf export -------------------------------------------------------- *)
+
+val perf_json : ?meta:(string * Manet_obs.Json.t) list -> t -> Manet_obs.Json.t
+(** The scenario's full performance export
+    ({!Manet_obs.Perf.to_json}): schema header, [meta], a
+    byte-deterministic section and a wall-clock section. *)
+
+val perf_det_jsonl : ?meta:(string * Manet_obs.Json.t) list -> t -> string
+(** The sweep-mergeable deterministic-only perf stream
+    ({!Manet_obs.Perf.det_jsonl}); byte-identical across same-seed
+    replays and domain counts. *)
+

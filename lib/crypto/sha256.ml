@@ -156,3 +156,10 @@ let hex s =
   Buffer.contents buf
 
 let digest_hex s = hex (digest s)
+
+(* Compression-function invocations for a message of [len] bytes: the
+   padded input is len + 1 (0x80) + >=8 (length field) bytes rounded up
+   to a 64-byte block, i.e. ceil((len + 9) / 64) blocks. *)
+let blocks_of_len len =
+  if len < 0 then invalid_arg "Sha256.blocks_of_len: negative length";
+  (len + 72) / 64

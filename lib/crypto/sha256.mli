@@ -25,3 +25,9 @@ val digest_hex : string -> string
 
 val hex : string -> string
 (** [hex s] renders an arbitrary byte string in lower-case hex. *)
+
+val blocks_of_len : int -> int
+(** Number of 64-byte compression blocks a one-shot digest of a
+    [len]-byte message processes: [ceil ((len + 9) / 64)].  The perf
+    registry uses it to account hash cost in architecture-independent
+    units.  Raises [Invalid_argument] on a negative length. *)

@@ -1,5 +1,7 @@
 type keypair = { pk_bytes : string; sign : string -> string }
 
+type op = Sign | Verify | Hash
+
 type t = {
   scheme_name : string;
   generate : unit -> keypair;
@@ -8,7 +10,23 @@ type t = {
   public_key_size : int;
   mutable sign_count : int;
   mutable verify_count : int;
+  mutable sha256_blocks : int;
+  mutable on_op : (op:op -> bytes:int -> unit) option;
 }
+
+(* One accounting point for every operation the suite performs: bump
+   the op counter, charge the hash blocks the input costs, and notify
+   the subscriber (the perf registry) so it can attribute the op to the
+   message kind and node currently being dispatched. *)
+let record t op ~bytes =
+  (match op with
+  | Sign -> t.sign_count <- t.sign_count + 1
+  | Verify -> t.verify_count <- t.verify_count + 1
+  | Hash -> ());
+  t.sha256_blocks <- t.sha256_blocks + Sha256.blocks_of_len bytes;
+  match t.on_op with None -> () | Some f -> f ~op ~bytes
+
+let count_hash t ~bytes = record t Hash ~bytes
 
 let rsa ?(bits = 512) prng =
   let rec suite =
@@ -21,12 +39,12 @@ let rsa ?(bits = 512) prng =
             pk_bytes = Rsa.public_key_to_bytes pub;
             sign =
               (fun msg ->
-                suite.sign_count <- suite.sign_count + 1;
+                record suite Sign ~bytes:(String.length msg);
                 Rsa.sign priv msg);
           });
       verify =
         (fun ~pk_bytes ~msg ~signature ->
-          suite.verify_count <- suite.verify_count + 1;
+          record suite Verify ~bytes:(String.length msg);
           match Rsa.public_key_of_bytes pk_bytes with
           | None -> false
           | Some pk -> Rsa.verify pk ~msg ~signature);
@@ -36,6 +54,8 @@ let rsa ?(bits = 512) prng =
       public_key_size = ((bits + 7) / 8) + 3 + 4;
       sign_count = 0;
       verify_count = 0;
+      sha256_blocks = 0;
+      on_op = None;
     }
   in
   suite
@@ -52,21 +72,26 @@ let mock prng =
             pk_bytes;
             sign =
               (fun msg ->
-                suite.sign_count <- suite.sign_count + 1;
+                record suite Sign ~bytes:(String.length msg);
                 Mock_sig.sign sk msg);
           });
       verify =
         (fun ~pk_bytes ~msg ~signature ->
-          suite.verify_count <- suite.verify_count + 1;
+          record suite Verify ~bytes:(String.length msg);
           Mock_sig.verify registry ~pk_bytes ~msg ~signature);
       signature_size = Mock_sig.signature_size;
       public_key_size = Mock_sig.public_key_size;
       sign_count = 0;
       verify_count = 0;
+      sha256_blocks = 0;
+      on_op = None;
     }
   in
   suite
 
+let set_on_op t f = t.on_op <- f
+
 let reset_counters t =
   t.sign_count <- 0;
-  t.verify_count <- 0
+  t.verify_count <- 0;
+  t.sha256_blocks <- 0

@@ -13,6 +13,12 @@ type keypair = {
   sign : string -> string;  (** sign a message with the private key *)
 }
 
+type op = Sign | Verify | Hash
+(** Operation classes the suite accounts: signature creation, signature
+    verification, and bare hashing charged by a caller through
+    {!count_hash} (e.g. the CGA binding checks, which hash but neither
+    sign nor verify). *)
+
 type t = {
   scheme_name : string;
   generate : unit -> keypair;
@@ -21,6 +27,13 @@ type t = {
   public_key_size : int;  (** wire bytes per public key *)
   mutable sign_count : int;
   mutable verify_count : int;
+  mutable sha256_blocks : int;
+      (** 64-byte compression blocks hashed across all operations
+          (message digests for sign/verify plus {!count_hash} charges) *)
+  mutable on_op : (op:op -> bytes:int -> unit) option;
+      (** subscriber notified on every operation with the input size;
+          set via {!set_on_op} (the perf registry uses it to attribute
+          ops to the message kind and node under dispatch) *)
 }
 
 val rsa : ?bits:int -> Prng.t -> t
@@ -31,5 +44,14 @@ val mock : Prng.t -> t
 (** Idealized fast suite backed by {!Mock_sig}; its registry is private to
     the returned suite value. *)
 
+val count_hash : t -> bytes:int -> unit
+(** Charge the cost of hashing [bytes] bytes outside sign/verify (a CGA
+    interface-identifier recomputation, say): adds
+    [Sha256.blocks_of_len bytes] to [sha256_blocks] and notifies the
+    {!t.on_op} subscriber with the {!Hash} op.  No op counter moves. *)
+
+val set_on_op : t -> (op:op -> bytes:int -> unit) option -> unit
+(** Install (or clear) the per-operation subscriber. *)
+
 val reset_counters : t -> unit
-(** Zero the sign/verify counters before a measured run. *)
+(** Zero the sign/verify/hash-block counters before a measured run. *)

@@ -134,7 +134,7 @@ let rec begin_attempt t ~attempt ~dn =
          (Option.value ~default:"-" dn)
          attempt);
   Ctx.broadcast ctx (Messages.Areq { sip; seq = t.seq; dn; ch; rr = [] });
-  Engine.schedule ctx.Ctx.engine ~delay:t.config.arep_wait (fun () ->
+  Engine.schedule ctx.Ctx.engine ~label:"dad" ~delay:t.config.arep_wait (fun () ->
       match t.pending with
       | Some p when p == pending && not p.p_resolved ->
           p.p_resolved <- true;
@@ -282,7 +282,7 @@ let handle_areq t msg =
            de-synchronize the flood. *)
         let rr' = rr @ [ address t ] in
         let delay = Prng.float ctx.Ctx.rng t.config.flood_jitter in
-        Engine.schedule ctx.Ctx.engine ~delay (fun () ->
+        Engine.schedule ctx.Ctx.engine ~label:"dad" ~delay (fun () ->
             Ctx.broadcast ctx (Messages.Areq { sip; seq; dn; ch; rr = rr' }))
       end
   | _ -> ()
@@ -293,6 +293,7 @@ type arep_check = Arep_ok | Arep_bad_binding | Arep_bad_sig
 
 let verify_arep_r t ~sip ~sig_ ~pk ~rn ~ch =
   let suite = Ctx.suite t.ctx in
+  Suite.count_hash suite ~bytes:(String.length pk + 8);
   (* Check 1: R generated SIP by the CGA rule. *)
   if not (Cga.verify sip ~pk_bytes:pk ~rn) then Arep_bad_binding
     (* Check 2: R owns the private key — it answered our challenge. *)
@@ -373,7 +374,7 @@ let relay_warning t msg =
       if not (Hashtbl.mem t.seen_warning sig_) then begin
         Hashtbl.replace t.seen_warning sig_ ();
         let delay = Prng.float t.ctx.Ctx.rng t.config.flood_jitter in
-        Engine.schedule t.ctx.Ctx.engine ~delay (fun () ->
+        Engine.schedule t.ctx.Ctx.engine ~label:"dad" ~delay (fun () ->
             Ctx.broadcast t.ctx msg)
       end
   | _ -> ()

@@ -109,6 +109,7 @@ let commit_pending t reg =
 
 let verify_warning t ~sip ~sig_ ~pk ~rn ~ch =
   let suite = Ctx.suite t.ctx in
+  Suite.count_hash suite ~bytes:(String.length pk + 8);
   Cga.verify sip ~pk_bytes:pk ~rn
   && suite.Suite.verify ~pk_bytes:pk
        ~msg:(Codec.arep_payload ~sip ~ch)
@@ -182,7 +183,8 @@ let observe_areq t msg =
           Hashtbl.replace t.pending_by_sip (sip_key sip) reg;
           Hashtbl.replace t.pending_by_dn dn reg;
           Ctx.stat t.ctx "dns.pending";
-          Engine.schedule t.ctx.Ctx.engine ~delay:t.config.commit_wait (fun () ->
+          Engine.schedule t.ctx.Ctx.engine ~label:"dns"
+            ~delay:t.config.commit_wait (fun () ->
               (* Only commit if this exact registration is still current. *)
               match Hashtbl.find_opt t.pending_by_dn dn with
               | Some r when r == reg -> commit_pending t reg
@@ -258,8 +260,12 @@ let serve_ip_change_proof t ~old_ip ~new_ip ~old_rn ~new_rn ~pk ~sig_ ~route =
     | None -> false
     | Some chg ->
         let suite = Ctx.suite ctx in
-        Cga.verify old_ip ~pk_bytes:pk ~rn:old_rn
-        && Cga.verify new_ip ~pk_bytes:pk ~rn:new_rn
+        let cga_ok ip rn =
+          Suite.count_hash suite ~bytes:(String.length pk + 8);
+          Cga.verify ip ~pk_bytes:pk ~rn
+        in
+        cga_ok old_ip old_rn
+        && cga_ok new_ip new_rn
         && suite.Suite.verify ~pk_bytes:pk
              ~msg:(Codec.ip_change_payload ~old_ip ~new_ip ~ch:chg.chg_ch)
              ~signature:sig_

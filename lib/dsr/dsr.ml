@@ -148,8 +148,8 @@ let rec transmit t packet route =
       | [] -> ignore (Route_cache.remove_route t.cache ~dst ~route)))
     msg;
   if t.config.use_acks then
-    Engine.schedule t.ctx.Ctx.engine ~delay:t.config.ack_timeout (fun () ->
-        ack_timeout t packet route)
+    Engine.schedule t.ctx.Ctx.engine ~label:"dsr" ~delay:t.config.ack_timeout
+      (fun () -> ack_timeout t packet route)
 
 and ack_timeout t packet route =
   let k = fkey packet.p_dst packet.p_seq in
@@ -221,7 +221,8 @@ and send_rreq t d =
   Ctx.broadcast t.ctx
     (Messages.Rreq
        { sip = address t; dip = d.d_dst; seq; srr = []; sig_ = ""; spk = ""; srn = 0L });
-  Engine.schedule t.ctx.Ctx.engine ~delay:t.config.discovery_timeout (fun () ->
+  Engine.schedule t.ctx.Ctx.engine ~label:"dsr" ~delay:t.config.discovery_timeout
+    (fun () ->
       if not d.d_resolved then begin
         Obs.finish (obs t) fl Obs.Timeout;
         if d.d_attempts < t.config.max_discovery_attempts then send_rreq t d
@@ -403,7 +404,7 @@ let handle_rreq t msg =
                   { sip; dip; seq; srr = srr @ [ entry ]; sig_ = ""; spk = ""; srn = 0L }
               in
               let delay = Prng.float t.ctx.Ctx.rng t.config.flood_jitter in
-              Engine.schedule t.ctx.Ctx.engine ~delay (fun () ->
+              Engine.schedule t.ctx.Ctx.engine ~label:"dsr" ~delay (fun () ->
                   Ctx.broadcast t.ctx relayed)
         end
       end

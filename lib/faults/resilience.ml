@@ -29,7 +29,7 @@ let monitor ?(period = 1.0) ~until engine =
   let t = { engine; samples = []; marks = [] } in
   let rec at time =
     if time <= until then
-      Engine.schedule_at engine ~time (fun () ->
+      Engine.schedule_at engine ~label:"fault" ~time (fun () ->
           t.samples <- take_sample engine :: t.samples;
           at (time +. period))
   in
@@ -39,7 +39,7 @@ let monitor ?(period = 1.0) ~until engine =
 let samples t = List.rev t.samples
 
 let mark t ~at name =
-  Engine.schedule_at t.engine ~time:at (fun () ->
+  Engine.schedule_at t.engine ~label:"fault" ~time:at (fun () ->
       t.marks <- (name, at, Stats.snapshot (Engine.stats t.engine)) :: t.marks)
 
 let find_mark t name =

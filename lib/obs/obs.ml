@@ -40,6 +40,7 @@ type t = {
   mutable events_dropped : int;
   audit : Audit.t;
   metrics : Metrics.t;
+  perf : Perf.t;
 }
 
 let create ?(event_capacity = 200_000) engine =
@@ -65,10 +66,12 @@ let create ?(event_capacity = 200_000) engine =
     events_dropped = 0;
     audit;
     metrics;
+    perf = Perf.create ();
   }
 
 let audit t = t.audit
 let metrics t = t.metrics
+let perf t = t.perf
 
 
 (* --- spans -------------------------------------------------------------- *)

@@ -63,6 +63,10 @@ val audit : t -> Audit.t
 val metrics : t -> Metrics.t
 (** The scenario-wide windowed metrics engine (disabled by default). *)
 
+val perf : t -> Perf.t
+(** The scenario-wide performance telemetry registry (always
+    collecting; its deterministic counters perturb nothing). *)
+
 (** {1 Spans} *)
 
 val start :

@@ -79,7 +79,7 @@ let send_along t ~path ?(on_fail = fun () -> ()) msg =
           (* The next-hop address resolves to nobody: the neighbour is
              gone (address changed or node left).  Behaves like a MAC
              failure after the retries' worth of time. *)
-          Engine.schedule t.engine ~delay:0.01 on_fail
+          Engine.schedule t.engine ~label:"net" ~delay:0.01 on_fail
       | claimants ->
           let size = size_of t msg in
           List.iter

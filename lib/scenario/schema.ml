@@ -163,3 +163,4 @@ let export_kinds =
 
 let stream_audit = "audit"
 let stream_trace = "trace"
+let stream_perf = "perf"

@@ -158,7 +158,9 @@ let verify_host_r t ~ip ~pk ~rn ~payload ~signature =
   let binding_ok =
     match Hashtbl.find_opt t.trusted (Address.to_bytes ip) with
     | Some known_pk -> String.equal known_pk pk
-    | None -> Cga.verify ip ~pk_bytes:pk ~rn
+    | None ->
+        Suite.count_hash (Ctx.suite t.ctx) ~bytes:(String.length pk + 8);
+        Cga.verify ip ~pk_bytes:pk ~rn
   in
   if not binding_ok then Bad_binding
   else if verify t ~pk_bytes:pk ~msg:payload ~signature then Host_ok
@@ -252,8 +254,8 @@ let rec transmit t packet route =
                ~b:next)
       | [] -> ignore (Route_cache.remove_route t.cache ~dst ~route))
     msg;
-  Engine.schedule t.ctx.Ctx.engine ~delay:t.config.ack_timeout (fun () ->
-      ack_timeout t packet route)
+  Engine.schedule t.ctx.Ctx.engine ~label:"secure" ~delay:t.config.ack_timeout
+    (fun () -> ack_timeout t packet route)
 
 and ack_timeout t packet route =
   let k = fkey packet.p_dst packet.p_seq in
@@ -306,7 +308,8 @@ and start_probe t packet route =
         (Messages.Probe
            { origin = address t; target; seq; route = prefix; remaining = path }))
     hops;
-  Engine.schedule t.ctx.Ctx.engine ~delay:t.config.probe_timeout (fun () ->
+  Engine.schedule t.ctx.Ctx.engine ~label:"secure" ~delay:t.config.probe_timeout
+    (fun () ->
       finish_probe t session)
 
 and finish_probe t session =
@@ -437,7 +440,8 @@ and send_rreq t d =
          spk = Identity.pk_bytes id;
          srn = id.Identity.rn;
        });
-  Engine.schedule t.ctx.Ctx.engine ~delay:t.config.discovery_timeout (fun () ->
+  Engine.schedule t.ctx.Ctx.engine ~label:"secure"
+    ~delay:t.config.discovery_timeout (fun () ->
       if not d.d_resolved then begin
         Obs.finish (obs t) fl Obs.Timeout;
         if d.d_attempts < t.config.max_discovery_attempts then send_rreq t d
@@ -695,7 +699,7 @@ let handle_rreq t msg =
                 Messages.Rreq { sip; dip; seq; srr = srr @ [ entry ]; sig_; spk; srn }
               in
               let delay = Prng.float t.ctx.Ctx.rng t.config.flood_jitter in
-              Engine.schedule t.ctx.Ctx.engine ~delay (fun () ->
+              Engine.schedule t.ctx.Ctx.engine ~label:"secure" ~delay (fun () ->
                   Ctx.broadcast t.ctx relayed)
         end
       end

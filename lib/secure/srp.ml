@@ -130,7 +130,8 @@ let rec transmit t packet route =
          payload_size = packet.p_size;
          sent_at = packet.p_first_sent;
        });
-  Engine.schedule t.ctx.Ctx.engine ~delay:t.config.ack_timeout (fun () ->
+  Engine.schedule t.ctx.Ctx.engine ~label:"srp" ~delay:t.config.ack_timeout
+    (fun () ->
       let k = fkey dst packet.p_seq in
       match Hashtbl.find_opt t.in_flight k with
       | Some p when p == packet ->
@@ -175,7 +176,8 @@ and send_rreq t d =
   Hashtbl.replace t.seen_rreq (fkey sip seq) ();
   Ctx.broadcast t.ctx
     (Messages.Rreq { sip; dip = d.d_dst; seq; srr = []; sig_ = mac; spk = ""; srn = 0L });
-  Engine.schedule t.ctx.Ctx.engine ~delay:t.config.discovery_timeout (fun () ->
+  Engine.schedule t.ctx.Ctx.engine ~label:"srp"
+    ~delay:t.config.discovery_timeout (fun () ->
       if not d.d_resolved then begin
         if d.d_attempts < t.config.max_discovery_attempts then send_rreq t d
         else begin
@@ -291,7 +293,8 @@ let handle_rreq t msg =
             Messages.Rreq { sip; dip; seq; srr = srr @ [ entry ]; sig_; spk = ""; srn = 0L }
           in
           let delay = Prng.float t.ctx.Ctx.rng t.config.flood_jitter in
-          Engine.schedule t.ctx.Ctx.engine ~delay (fun () -> Ctx.broadcast t.ctx relayed)
+          Engine.schedule t.ctx.Ctx.engine ~label:"srp" ~delay (fun () ->
+              Ctx.broadcast t.ctx relayed)
         end
       end
   | _ -> ()

@@ -4,6 +4,14 @@ type profile_entry = { p_count : int; p_wall_s : float }
 
 type prof_cell = { mutable c_count : int; mutable c_wall_s : float }
 
+(* The occupancy series decimates itself to stay bounded: samples are
+   taken every [occ_stride] processed events, and when the buffer would
+   exceed [occ_capacity] every other sample is dropped and the stride
+   doubles.  Both operations depend only on the processed-event count,
+   so the series is a pure function of the run — byte-identical across
+   replays and domain counts. *)
+let occ_capacity = 512
+
 type t = {
   mutable now : float;
   queue : (string * (unit -> unit)) Heap.t;
@@ -11,6 +19,16 @@ type t = {
   stats : Stats.t;
   trace : Trace.t;
   mutable processed : int;
+  (* Deterministic perf accounting (always on): per-label processed
+     event counts, queue high-water mark, and the sampled occupancy
+     series.  All are pure functions of the event sequence — they read
+     no clock and draw no randomness — so keeping them on costs a few
+     table updates per event and perturbs nothing. *)
+  counts : (string, int ref) Hashtbl.t;
+  mutable max_pending : int;
+  mutable occ : (int * int) list; (* (processed index, pending) newest first *)
+  mutable occ_len : int;
+  mutable occ_stride : int;
   (* Wall-clock profiling (opt-in).  Lives entirely outside the
      deterministic domain: enabling it changes no event order, no PRNG
      draw and no trace byte. *)
@@ -27,6 +45,11 @@ let create ~seed () =
     stats = Stats.create ();
     trace = Trace.create ();
     processed = 0;
+    counts = Hashtbl.create 32;
+    max_pending = 0;
+    occ = [];
+    occ_len = 0;
+    occ_stride = 1;
     profiling = false;
     prof = Hashtbl.create 32;
     wall_in_run = 0.0;
@@ -39,13 +62,36 @@ let trace t = t.trace
 
 let default_label = "other"
 
+let note_push t =
+  let depth = Heap.size t.queue in
+  if depth > t.max_pending then t.max_pending <- depth
+
 let schedule t ?(label = default_label) ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  Heap.push t.queue (t.now +. delay) (label, f)
+  Heap.push t.queue (t.now +. delay) (label, f);
+  note_push t
 
 let schedule_at t ?(label = default_label) ~time f =
   if time < t.now then invalid_arg "Engine.schedule_at: time in the past";
-  Heap.push t.queue time (label, f)
+  Heap.push t.queue time (label, f);
+  note_push t
+
+let count_label t label =
+  match Hashtbl.find_opt t.counts label with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.counts label (ref 1)
+
+let sample_occupancy t =
+  if t.processed mod t.occ_stride = 0 then begin
+    t.occ <- (t.processed, Heap.size t.queue) :: t.occ;
+    t.occ_len <- t.occ_len + 1;
+    if t.occ_len > occ_capacity then begin
+      let stride = t.occ_stride * 2 in
+      t.occ_stride <- stride;
+      t.occ <- List.filter (fun (i, _) -> i mod stride = 0) t.occ;
+      t.occ_len <- List.length t.occ
+    end
+  end
 
 let charge t label dt =
   let cell =
@@ -79,6 +125,8 @@ let run ?until ?max_events t =
             | Some (time, (label, f)) ->
                 t.now <- time;
                 t.processed <- t.processed + 1;
+                count_label t label;
+                sample_occupancy t;
                 decr budget;
                 if t.profiling then begin
                   let t0 = Mono_clock.now_s () in
@@ -92,6 +140,14 @@ let run ?until ?max_events t =
 
 let pending t = Heap.size t.queue
 let events_processed t = t.processed
+
+let label_counts t =
+  Hashtbl.fold (fun label r acc -> (label, !r) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let occupancy t = List.rev t.occ
+let occupancy_stride t = t.occ_stride
+let max_pending t = t.max_pending
 
 let set_profiling t on = t.profiling <- on
 let profiling t = t.profiling

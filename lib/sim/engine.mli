@@ -37,6 +37,29 @@ val pending : t -> int
 
 val events_processed : t -> int
 
+(** {1 Deterministic perf accounting}
+
+    Always-on counters consumed by the perf registry
+    ([lib/obs/perf.ml]).  They are pure functions of the event sequence
+    — no clock reads, no PRNG draws — so they are byte-identical across
+    replays of the same seed and across domain counts, and keeping them
+    on perturbs nothing. *)
+
+val label_counts : t -> (string * int) list
+(** Processed events per schedule label, sorted by label. *)
+
+val occupancy : t -> (int * int) list
+(** The sampled scheduler occupancy series, oldest first:
+    [(processed_index, pending_after_pop)] taken every
+    {!occupancy_stride} events.  The series decimates itself (stride
+    doubles) to stay within a fixed capacity, deterministically. *)
+
+val occupancy_stride : t -> int
+(** Current sampling stride (starts at 1, doubles on decimation). *)
+
+val max_pending : t -> int
+(** High-water mark of the event queue depth. *)
+
 (** {1 Wall-clock profiling}
 
     Opt-in accounting of host time spent per event class.  The samples

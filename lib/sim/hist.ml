@@ -1,0 +1,85 @@
+(* Buckets are fixed for the life of the module: bucket 0 holds exactly
+   the value 0 and bucket k >= 1 holds [2^(k-1), 2^k - 1].  A fixed table
+   (rather than adaptive bounds) keeps exports byte-stable: the same
+   samples always land in the same buckets regardless of arrival order
+   or of how a sweep was split across domains. *)
+
+let bucket_count = 63
+
+type t = {
+  mutable count : int;
+  mutable sum : int;
+  mutable vmin : int;
+  mutable vmax : int;
+  buckets : int array;
+}
+
+let create () =
+  { count = 0; sum = 0; vmin = max_int; vmax = 0; buckets = Array.make bucket_count 0 }
+
+let bucket_of_value v =
+  if v < 0 then invalid_arg "Hist.add: negative value"
+  else if v = 0 then 0
+  else begin
+    (* 1 + floor(log2 v): the index whose range [2^(i-1), 2^i - 1]
+       contains v. *)
+    let i = ref 0 and x = ref v in
+    while !x > 0 do
+      incr i;
+      x := !x lsr 1
+    done;
+    !i
+  end
+
+let bounds i =
+  if i < 0 || i >= bucket_count then invalid_arg "Hist.bounds: bucket index"
+  else if i = 0 then (0, 0)
+  else (1 lsl (i - 1), (1 lsl i) - 1)
+
+let add_n t v n =
+  if n < 0 then invalid_arg "Hist.add_n: negative count";
+  if n > 0 then begin
+    let b = bucket_of_value v in
+    t.buckets.(b) <- t.buckets.(b) + n;
+    t.count <- t.count + n;
+    t.sum <- t.sum + (v * n);
+    if v < t.vmin then t.vmin <- v;
+    if v > t.vmax then t.vmax <- v
+  end
+
+let add t v = add_n t v 1
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = if t.count = 0 then None else Some t.vmin
+let max_value t = if t.count = 0 then None else Some t.vmax
+
+let mean t =
+  if t.count = 0 then None
+  else Some (float_of_int t.sum /. float_of_int t.count)
+
+let merge a b =
+  let m = create () in
+  m.count <- a.count + b.count;
+  m.sum <- a.sum + b.sum;
+  m.vmin <- min a.vmin b.vmin;
+  m.vmax <- max a.vmax b.vmax;
+  Array.iteri (fun i v -> m.buckets.(i) <- v + b.buckets.(i)) a.buckets;
+  m
+
+let nonzero_buckets t =
+  let acc = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    if t.buckets.(i) > 0 then begin
+      let lo, hi = bounds i in
+      acc := (lo, hi, t.buckets.(i)) :: !acc
+    end
+  done;
+  !acc
+
+let reset t =
+  t.count <- 0;
+  t.sum <- 0;
+  t.vmin <- max_int;
+  t.vmax <- 0;
+  Array.fill t.buckets 0 bucket_count 0

@@ -101,7 +101,7 @@ let rec tick t =
             | Walk w -> step_walk t i w ~speed ~turn_interval
             | Wp _ | Still -> ())
           t.nodes);
-    Engine.schedule t.engine ~delay:t.tick (fun () -> tick t)
+    Engine.schedule t.engine ~label:"mobility" ~delay:t.tick (fun () -> tick t)
   end
 
 let start t =
@@ -110,7 +110,8 @@ let start t =
     match t.model with
     | Static -> ()
     | Random_waypoint _ | Random_walk _ ->
-        Engine.schedule t.engine ~delay:t.tick (fun () -> tick t)
+        Engine.schedule t.engine ~label:"mobility" ~delay:t.tick (fun () ->
+            tick t)
   end
 
 let stop t = t.running <- false

@@ -54,6 +54,14 @@ type 'msg t = {
   mutable transmissions : int;
   mutable deliveries : int;
   mutable unicast_failures : int;
+  (* Deterministic cost accounting for the perf registry: how many
+     candidate positions each neighbour lookup examined (today O(N) —
+     the histogram quantifies exactly the cost a spatial index would
+     remove), how many deliveries each broadcast fanned out to, and how
+     many MAC-level retries unicast needed. *)
+  scan_hist : Hist.t;
+  fanout_hist : Hist.t;
+  mutable retries : int;
 }
 
 let create ?(config = default_config) engine topo =
@@ -73,6 +81,9 @@ let create ?(config = default_config) engine topo =
     transmissions = 0;
     deliveries = 0;
     unicast_failures = 0;
+    scan_hist = Hist.create ();
+    fanout_hist = Hist.create ();
+    retries = 0;
   }
 
 let topology t = t.topo
@@ -132,22 +143,35 @@ let channel_pass t a b =
 let tx_time t size = float_of_int (size * 8) /. t.cfg.bit_rate
 
 let deliver t ~src ~dst msg delay =
-  Engine.schedule t.engine ~delay (fun () ->
+  Engine.schedule t.engine ~label:"net" ~delay (fun () ->
       if not t.down.(dst) then begin
         t.deliveries <- t.deliveries + 1;
         t.handlers.(dst) ~src msg
       end)
+
+(* One neighbour lookup: record how many candidate positions it
+   examined.  [Topology.neighbors] walks every node today, so the cost
+   is the topology size; when a spatial index lands this is the number
+   it must shrink. *)
+let scanned_neighbors t src =
+  Hist.add t.scan_hist (Topology.size t.topo);
+  Topology.neighbors t.topo ~range:t.cfg.range src
 
 let broadcast t ~src ~size msg =
   if not t.down.(src) then begin
     t.bytes_sent <- t.bytes_sent + size;
     t.transmissions <- t.transmissions + 1;
     let base = tx_time t size +. t.cfg.prop_delay in
+    let fanout = ref 0 in
     List.iter
       (fun dst ->
         if (not t.down.(dst)) && link_up t src dst && channel_pass t src dst
-        then deliver t ~src ~dst msg (base +. Prng.float t.rng t.cfg.jitter))
-      (Topology.neighbors t.topo ~range:t.cfg.range src)
+        then begin
+          incr fanout;
+          deliver t ~src ~dst msg (base +. Prng.float t.rng t.cfg.jitter)
+        end)
+      (scanned_neighbors t src);
+    Hist.add t.fanout_hist !fanout
   end
 
 let unicast t ~src ~dst ~size ?(on_fail = fun () -> ()) msg =
@@ -185,17 +209,20 @@ let unicast t ~src ~dst ~size ?(on_fail = fun () -> ()) msg =
               then
                 deliver t ~src ~dst:other msg
                   (delay +. Prng.float t.rng t.cfg.jitter))
-            (Topology.neighbors t.topo ~range:t.cfg.range src)
+            (scanned_neighbors t src)
       end
       else begin
         (* No link-layer ack: wait one transmission + ack-timeout's worth
            of time, then retry or give up. *)
         let ack_wait = tx_time t size +. (2.0 *. t.cfg.prop_delay) in
-        if k + 1 < attempts then
-          Engine.schedule t.engine ~delay:ack_wait (fun () -> attempt (k + 1))
+        if k + 1 < attempts then begin
+          t.retries <- t.retries + 1;
+          Engine.schedule t.engine ~label:"net" ~delay:ack_wait (fun () ->
+              attempt (k + 1))
+        end
         else begin
           t.unicast_failures <- t.unicast_failures + 1;
-          Engine.schedule t.engine
+          Engine.schedule t.engine ~label:"net"
             ~delay:(ack_wait +. Prng.float t.rng t.cfg.jitter)
             on_fail
         end
@@ -208,9 +235,15 @@ let bytes_sent t = t.bytes_sent
 let transmissions t = t.transmissions
 let deliveries t = t.deliveries
 let unicast_failures t = t.unicast_failures
+let scan_hist t = t.scan_hist
+let fanout_hist t = t.fanout_hist
+let retries t = t.retries
 
 let reset_counters t =
   t.bytes_sent <- 0;
   t.transmissions <- 0;
   t.deliveries <- 0;
-  t.unicast_failures <- 0
+  t.unicast_failures <- 0;
+  Hist.reset t.scan_hist;
+  Hist.reset t.fanout_hist;
+  t.retries <- 0

@@ -110,4 +110,18 @@ val transmissions : 'msg t -> int
 val deliveries : 'msg t -> int
 val unicast_failures : 'msg t -> int
 
+val scan_hist : 'msg t -> Hist.t
+(** Candidate positions examined per neighbour lookup (one sample per
+    broadcast or promiscuous overhear scan).  Today the lookup walks the
+    whole topology, so the samples quantify the O(N) cost a spatial
+    index would remove.  Deterministic; read by the perf registry. *)
+
+val fanout_hist : 'msg t -> Hist.t
+(** Deliveries actually scheduled per broadcast (after down/link/loss
+    filtering).  Deterministic; read by the perf registry. *)
+
+val retries : 'msg t -> int
+(** MAC-level unicast retransmission attempts (beyond each first
+    attempt).  Deterministic; read by the perf registry. *)
+
 val reset_counters : 'msg t -> unit

@@ -522,6 +522,65 @@ let test_scenario_keyword_suppression () =
 let k = "blackhole"|} );
     ]
 
+(* --- schedule-label ---------------------------------------------------- *)
+
+let test_schedule_label_fires () =
+  fires "unlabeled schedule" "schedule-label"
+    [
+      ( "lib/dsr/dsr.ml",
+        {|let arm t = Engine.schedule t.engine ~delay:1.0 (fun () -> fire t)|}
+      );
+    ];
+  fires "unlabeled schedule_at" "schedule-label"
+    [
+      ( "lib/faults/faults.ml",
+        {|let arm t = Engine.schedule_at t.engine ~time:3.0 (fun () -> fire t)|}
+      );
+    ];
+  fires "unlabeled eta-passed callback" "schedule-label"
+    [ ("lib/a.ml", {|let arm t cb = Engine.schedule t.engine ~delay:0.1 cb|}) ]
+
+let test_schedule_label_clean () =
+  clean "labeled schedule" "schedule-label"
+    [
+      ( "lib/dsr/dsr.ml",
+        {|let arm t =
+  Engine.schedule t.engine ~label:"dsr" ~delay:1.0 (fun () -> fire t)|}
+      );
+    ];
+  clean "labeled schedule_at" "schedule-label"
+    [
+      ( "lib/faults/faults.ml",
+        {|let arm t =
+  Engine.schedule_at t.engine ~label:"fault" ~time:3.0 (fun () -> fire t)|}
+      );
+    ];
+  (* A ~label inside the scheduled closure must not satisfy the call
+     site: the window stops at the first "(fun". *)
+  fires "label only inside the closure" "schedule-label"
+    [
+      ( "lib/a.ml",
+        {|let arm t =
+  Engine.schedule t.engine ~delay:1.0 (fun () ->
+      Engine.schedule t.engine ~label:"x" ~delay:1.0 ignore)|}
+      );
+    ];
+  clean "same code outside lib" "schedule-label"
+    [
+      ( "bin/main.ml",
+        {|let arm t = Engine.schedule t.engine ~delay:1.0 (fun () -> fire t)|}
+      );
+    ]
+
+let test_schedule_label_suppression () =
+  clean "annotated unlabeled schedule" "schedule-label"
+    [
+      ( "lib/a.ml",
+        {|(* manetlint: allow schedule-label — generic timer helper *)
+let arm t cb = Engine.schedule t.engine ~delay:0.1 cb|}
+      );
+    ]
+
 (* --- the repo itself is clean ------------------------------------------ *)
 
 let test_rule_names_documented () =
@@ -535,7 +594,7 @@ let test_rule_names_documented () =
     [
       "proto-schema"; "security"; "placeholder-sig"; "determinism"; "obj-magic";
       "catch-all"; "failwith"; "mli-coverage"; "poly-compare"; "obs-no-printf";
-      "audit-counter"; "scenario-keyword";
+      "audit-counter"; "scenario-keyword"; "schedule-label";
     ]
 
 let tc name f = Alcotest.test_case name `Quick f
@@ -570,6 +629,9 @@ let suites =
         tc "scenario-keyword scoping" test_scenario_keyword_outside_tree;
         tc "scenario-keyword missing schema" test_scenario_keyword_missing_schema;
         tc "scenario-keyword suppression" test_scenario_keyword_suppression;
+        tc "schedule-label fires" test_schedule_label_fires;
+        tc "schedule-label clean" test_schedule_label_clean;
+        tc "schedule-label suppression" test_schedule_label_suppression;
         tc "rule registry" test_rule_names_documented;
       ] );
   ]

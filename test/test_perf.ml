@@ -1,0 +1,283 @@
+(* The perf registry contract: the log₂ histogram is a stable,
+   mergeable representation (qcheck properties), the engine's always-on
+   accounting is exact, and the deterministic export section is
+   byte-identical across same-seed replays and sweep domain counts —
+   the property the CI determinism gates also check end-to-end through
+   the CLI. *)
+
+module Engine = Manet_sim.Engine
+module Hist = Manet_sim.Hist
+module Suite = Manet_crypto.Suite
+module Perf = Manetsec.Perf
+module Json = Manetsec.Obs_json
+module Obs = Manetsec.Obs
+module Merge = Manetsec.Merge
+module Sweep = Manetsec.Sweep
+module Scenario = Manetsec.Scenario
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* --- histogram properties ---------------------------------------------- *)
+
+let nat_gen = QCheck.map (fun i -> abs (i land max_int)) QCheck.int
+
+let prop_bucket_contains =
+  qtest "bounds (bucket_of_value v) contains v" nat_gen (fun v ->
+      let lo, hi = Hist.bounds (Hist.bucket_of_value v) in
+      lo <= v && v <= hi)
+
+let prop_bucket_monotone =
+  qtest "bucket_of_value is monotone" (QCheck.pair nat_gen nat_gen)
+    (fun (a, b) ->
+      let lo, hi = (min a b, max a b) in
+      Hist.bucket_of_value lo <= Hist.bucket_of_value hi)
+
+let of_list vs =
+  let h = Hist.create () in
+  List.iter (Hist.add h) vs;
+  h
+
+(* The exported representation: everything the wire form renders. *)
+let repr h =
+  ( Hist.count h,
+    Hist.sum h,
+    Hist.min_value h,
+    Hist.max_value h,
+    Hist.nonzero_buckets h )
+
+let small_nats = QCheck.(list (int_bound 100_000))
+
+let prop_count_preserved =
+  qtest "count and sum preserved" small_nats (fun vs ->
+      let h = of_list vs in
+      Hist.count h = List.length vs
+      && Hist.sum h = List.fold_left ( + ) 0 vs
+      && List.fold_left (fun acc (_, _, c) -> acc + c) 0 (Hist.nonzero_buckets h)
+         = List.length vs)
+
+let prop_merge_commutative =
+  qtest "merge is commutative" (QCheck.pair small_nats small_nats)
+    (fun (a, b) ->
+      repr (Hist.merge (of_list a) (of_list b))
+      = repr (Hist.merge (of_list b) (of_list a)))
+
+let prop_merge_associative =
+  qtest "merge is associative"
+    (QCheck.triple small_nats small_nats small_nats)
+    (fun (a, b, c) ->
+      let ha () = of_list a and hb () = of_list b and hc () = of_list c in
+      repr (Hist.merge (ha ()) (Hist.merge (hb ()) (hc ())))
+      = repr (Hist.merge (Hist.merge (ha ()) (hb ())) (hc ())))
+
+let prop_merge_is_concat =
+  qtest "merge equals histogram of concatenation"
+    (QCheck.pair small_nats small_nats) (fun (a, b) ->
+      repr (Hist.merge (of_list a) (of_list b)) = repr (of_list (a @ b)))
+
+let test_hist_add_n () =
+  let h = Hist.create () in
+  Hist.add_n h 7 3;
+  Hist.add_n h 0 2;
+  Hist.add_n h 9 0;
+  Alcotest.(check int) "count" 5 (Hist.count h);
+  Alcotest.(check int) "sum" 21 (Hist.sum h);
+  Alcotest.(check (option int)) "min" (Some 0) (Hist.min_value h);
+  Alcotest.(check (option int)) "max" (Some 7) (Hist.max_value h);
+  Alcotest.check
+    (Alcotest.option (Alcotest.float 1e-9))
+    "mean" (Some 4.2) (Hist.mean h);
+  Alcotest.check_raises "negative value rejected"
+    (Invalid_argument "Hist.add: negative value") (fun () -> Hist.add h (-1));
+  Hist.reset h;
+  Alcotest.(check int) "reset" 0 (Hist.count h)
+
+(* --- engine accounting ------------------------------------------------- *)
+
+let test_engine_label_counts () =
+  let e = Engine.create ~seed:1 () in
+  let fired = ref 0 in
+  let rec chain k =
+    if k > 0 then
+      Engine.schedule e ~label:"chain" ~delay:0.5 (fun () ->
+          incr fired;
+          chain (k - 1))
+  in
+  chain 10;
+  for _ = 1 to 25 do
+    Engine.schedule e ~label:"burst" ~delay:1.0 (fun () -> incr fired)
+  done;
+  Engine.schedule e ~delay:2.0 (fun () -> incr fired);
+  Engine.run e;
+  Alcotest.(check int) "all events fired" 36 !fired;
+  Alcotest.(check (list (pair string int)))
+    "per-label counts, sorted"
+    [ ("burst", 25); ("chain", 10); ("other", 1) ]
+    (Engine.label_counts e);
+  Alcotest.(check int)
+    "label counts sum to events processed"
+    (Engine.events_processed e)
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 (Engine.label_counts e));
+  Alcotest.(check bool)
+    "max_pending saw the burst" true
+    (Engine.max_pending e >= 25)
+
+let test_engine_occupancy () =
+  let e = Engine.create ~seed:1 () in
+  for _ = 1 to 5000 do
+    Engine.schedule e ~label:"x" ~delay:1.0 (fun () -> ())
+  done;
+  Engine.run e;
+  let occ = Engine.occupancy e in
+  Alcotest.(check bool) "bounded" true (List.length occ <= 512);
+  Alcotest.(check bool) "non-empty" true (occ <> []);
+  let stride = Engine.occupancy_stride e in
+  Alcotest.(check bool)
+    "stride is a power of two" true
+    (stride > 0 && stride land (stride - 1) = 0);
+  let rec increasing = function
+    | (a, _) :: ((b, _) :: _ as tl) -> a < b && increasing tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "sample indices strictly increasing" true
+    (increasing occ);
+  List.iter
+    (fun (i, _) ->
+      Alcotest.(check int)
+        "sample index on the stride grid" 0
+        (i mod stride))
+    occ
+
+(* --- registry counters and attribution --------------------------------- *)
+
+let test_counters_and_attribution () =
+  let p = Perf.create () in
+  Perf.incr p "cache_miss";
+  Perf.incr ~n:3 p "cache_hit";
+  Perf.incr p "cache_miss";
+  Alcotest.(check (list (pair string int)))
+    "counters sorted"
+    [ ("cache_hit", 3); ("cache_miss", 2) ]
+    (Perf.counters p);
+  Perf.with_attribution p ~kind:"rreq" ~node:2 (fun () ->
+      Perf.crypto_op p ~op:Suite.Verify ~bytes:100;
+      Perf.crypto_op p ~op:Suite.Hash ~bytes:64);
+  Perf.crypto_op p ~op:Suite.Sign ~bytes:10;
+  (* Render through a real (tiny, idle) scenario's engine/net/suite so
+     the export paths are exercised directly. *)
+  let s = Scenario.create { Scenario.default_params with n = 2; seed = 1 } in
+  let det =
+    Perf.deterministic_json p ~engine:(Scenario.engine s)
+      ~net:(Scenario.net s) ~suite:(Scenario.suite s)
+  in
+  let wall = Perf.wall_json p ~engine:(Scenario.engine s) in
+  let at path j =
+    List.fold_left
+      (fun acc name -> Option.bind acc (Json.member name))
+      (Some j) path
+  in
+  Alcotest.(check (option int))
+    "rreq verify attributed" (Some 1)
+    (Option.bind
+       (at [ "crypto"; "by_kind"; "rreq"; "verifies" ] det)
+       Json.to_int_opt);
+  Alcotest.(check (option int))
+    "unattributed sign under the none kind" (Some 1)
+    (Option.bind
+       (at [ "crypto"; "by_kind"; Perf.no_kind; "signs" ] det)
+       Json.to_int_opt);
+  Alcotest.(check (option int))
+    "named counter exported" (Some 3)
+    (Option.bind (at [ "counters"; "cache_hit" ] det) Json.to_int_opt);
+  Alcotest.(check bool)
+    "wall section carries gc member" true
+    (at [ "gc" ] wall <> None)
+
+(* --- deterministic-section byte-identity -------------------------------- *)
+
+let small_run seed =
+  let params =
+    {
+      Scenario.default_params with
+      n = 8;
+      seed;
+      protocol = Scenario.Secure;
+    }
+  in
+  let s = Scenario.create params in
+  Obs.set_capture (Scenario.obs s) true;
+  Scenario.bootstrap ~stagger:0.3 s;
+  Scenario.send s ~src:1 ~dst:5 ();
+  Scenario.run s ~until:30.0;
+  s
+
+let test_det_jsonl_replay_identical () =
+  let export s = Scenario.perf_det_jsonl ~meta:[ ("seed", Json.Int 7) ] s in
+  let a = export (small_run 7) and b = export (small_run 7) in
+  Alcotest.(check string) "same-seed perf det export byte-identical" a b;
+  (* And the deterministic member of the full export agrees with it. *)
+  let s = small_run 7 in
+  match Json.member "deterministic" (Scenario.perf_json s) with
+  | None -> Alcotest.fail "perf_json has no deterministic member"
+  | Some det ->
+      let in_jsonl =
+        match String.split_on_char '\n' (export s) with
+        | _header :: record :: _ -> record
+        | _ -> ""
+      in
+      Alcotest.(check bool)
+        "jsonl record embeds the same deterministic section" true
+        (let sub = Json.to_string det in
+         let n = String.length in_jsonl and m = String.length sub in
+         let rec find i =
+           i + m <= n && (String.sub in_jsonl i m = sub || find (i + 1))
+         in
+         find 0)
+
+(* A grid small enough for the suite but fanning genuinely across
+   domains (4 points). *)
+let spec =
+  {
+    Sweep.e1_fractions = [ 0.2 ];
+    e1_nodes = 12;
+    e1_duration = 5.0;
+    e6_sizes = [ 8 ];
+    seeds = [ 1; 2 ];
+  }
+
+let test_det_jsonl_domain_invariant () =
+  let export domains =
+    Merge.stream_jsonl ~name:"perf" (Sweep.run ~domains spec)
+  in
+  let base = export 1 in
+  Alcotest.(check bool) "perf stream non-empty" true (base <> "");
+  List.iter
+    (fun domains ->
+      Alcotest.(check string)
+        (Printf.sprintf "perf jsonl byte-identical at %d domain(s)" domains)
+        base (export domains))
+    [ 2; 4 ]
+
+let suites =
+  [
+    ( "perf",
+      [
+        prop_bucket_contains;
+        prop_bucket_monotone;
+        prop_count_preserved;
+        prop_merge_commutative;
+        prop_merge_associative;
+        prop_merge_is_concat;
+        Alcotest.test_case "hist add_n / reset" `Quick test_hist_add_n;
+        Alcotest.test_case "engine label counts" `Quick
+          test_engine_label_counts;
+        Alcotest.test_case "engine occupancy series" `Quick
+          test_engine_occupancy;
+        Alcotest.test_case "counters and crypto attribution" `Quick
+          test_counters_and_attribution;
+        Alcotest.test_case "det export replay-identical" `Quick
+          test_det_jsonl_replay_identical;
+        Alcotest.test_case "det export domain-invariant" `Quick
+          test_det_jsonl_domain_invariant;
+      ] );
+  ]

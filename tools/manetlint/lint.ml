@@ -36,6 +36,7 @@ let rules =
     "obs-no-printf";
     "audit-counter";
     "scenario-keyword";
+    "schedule-label";
   ]
 
 let to_string f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.msg
@@ -691,6 +692,38 @@ let check_poly_compare add src =
     then flag_eq p 2
   done
 
+(* Every event entering the engine queue must carry a ~label: the
+   deterministic per-label counters of the perf registry (and the
+   opt-in wall-clock profile) attribute hot-path cost by label, and an
+   unlabeled schedule call silently files its events under "other",
+   which makes `manetsim perf` blind to that subsystem.  The label
+   argument always precedes the closure, so the scan window runs from
+   the call token to the first "(fun" (or a fixed horizon for the rare
+   eta-passed callback). *)
+let check_schedule_label add src =
+  let code = src.code in
+  let n = String.length code in
+  List.iter
+    (fun tok ->
+      List.iter
+        (fun p ->
+          let limit = min n (p + 160) in
+          let window = String.sub code p (limit - p) in
+          let window =
+            match find_sub window "(fun" with
+            | Some q -> String.sub window 0 q
+            | None -> window
+          in
+          if find_sub window "~label" = None then
+            add src src.line_at.(p) "schedule-label"
+              (Printf.sprintf
+                 "%s without ~label files its events under \"other\"; name the \
+                  scheduling subsystem so perf counters and profiles can \
+                  attribute it"
+                 tok))
+        (occurrences code tok))
+    [ "Engine.schedule"; "Engine.schedule_at" ]
+
 (* A counter whose name says "rejected", "replayed", "suspected", ...
    carries the same information as a security audit event but none of the
    structure: no subject, no cause, no entry in the JSONL stream the
@@ -1119,6 +1152,7 @@ let lint_files inputs =
         if in_lib then check_poly_compare add src;
         if List.exists (fun d -> under d src.path) audit_counter_dirs then
           check_audit_counter add src;
+        if in_lib then check_schedule_label add src;
         if in_lib then check_security add src
       end)
     srcs;
