@@ -6,9 +6,10 @@ build:
 	dune build
 
 # All analyzers: manetlint (lexical), manetsem (AST-level semantic
-# dataflow), manetdom (domain safety), plus `manetsim scenario check`
-# over the committed example scenarios.  Fails on any finding not
-# pinned in the analyzers' baselines.
+# dataflow), manetdom (domain safety), manethot (hot-path allocation &
+# complexity), plus `manetsim scenario check` over the committed
+# example scenarios.  Fails on any finding not pinned in the
+# analyzers' baselines.
 lint:
 	dune build @lint
 
@@ -32,10 +33,10 @@ perf:
 	dune exec bench/main.exe -- perf
 
 benchgate: perf
-	dune exec tools/benchgate/main.exe -- BENCH_7.json BENCH_8.json
+	dune exec tools/benchgate/main.exe -- BENCH_8.json BENCH_9.json
 
 benchtrend:
-	dune exec tools/benchtrend/main.exe -- BENCH_6.json BENCH_7.json BENCH_8.json
+	dune exec tools/benchtrend/main.exe -- BENCH_6.json BENCH_7.json BENCH_8.json BENCH_9.json
 
 clean:
 	dune clean

@@ -25,7 +25,7 @@ module Rsa = Manetsec.Crypto.Rsa
 module Suite = Manetsec.Crypto.Suite
 module Json = Manetsec.Obs_json
 
-let pr = 8
+let pr = 9
 let out_file = Printf.sprintf "BENCH_%d.json" pr
 
 (* Mean ns per call, timed over enough batches to fill [target_s] of
@@ -54,18 +54,25 @@ let hot_paths () =
     ns_per_op ~batch:10
       (fun () -> Rsa.verify rsa_pub ~msg:data_1k ~signature)
   in
+  (* The PR-8 metric heap_push_pop_ns timed the old allocating API
+     (pop returning Some (prio, v)); the SoA heap has no such
+     operation, so the metric is renamed rather than compared across
+     incompatible shapes: heap_cycle_ns is one allocation-free
+     push / min_snd / drop_min cycle. *)
   let heap =
     let h = Heap.create () in
     let i = ref 0 in
     ns_per_op (fun () ->
         incr i;
-        Heap.push h (float_of_int (!i land 1023)) !i;
-        Heap.pop h)
+        Heap.push h (float_of_int (!i land 1023)) () !i;
+        let v = Heap.min_snd h in
+        Heap.drop_min h;
+        v)
   in
   [
     ("sha256_1k_ns", Json.Float sha);
     ("rsa512_verify_ns", Json.Float verify);
-    ("heap_push_pop_ns", Json.Float heap);
+    ("heap_cycle_ns", Json.Float heap);
   ]
 
 (* A representative secure run (30 nodes, traffic, 2 black holes) for

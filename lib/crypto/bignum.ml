@@ -1,7 +1,15 @@
 (* Sign-magnitude bignums over 26-bit limbs stored little-endian in int
    arrays.  26 bits keeps every intermediate product (2^52) and the
    double-limb dividends of Knuth division well inside OCaml's 63-bit
-   native integers. *)
+   native integers.
+
+   manethot: allow-file hot-alloc hot-poly — arbitrary-precision
+   arithmetic allocates a fresh limb array per result by design (values
+   are immutable, and the working refs/loops below are the limb-school
+   algorithms themselves); the verify path pays for one modular
+   exponentiation per signature, which the perf registry accounts as a
+   single crypto op, so per-limb allocation here is not a per-event
+   cost. *)
 
 let base_bits = 26
 let base = 1 lsl base_bits

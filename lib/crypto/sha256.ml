@@ -32,29 +32,69 @@ type ctx = {
 }
 
 let init () =
+  (* manethot: allow hot-alloc — one context per digest: this is the
+     streaming API's state, reused across every block of the message;
+     sharing it across digests would be cross-domain mutable state. *)
   {
     h =
+      (* manethot: allow hot-alloc — initial chaining values of the same
+         per-digest context. *)
       [|
         0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
         0x9b05688c; 0x1f83d9ab; 0x5be0cd19;
       |];
+    (* manethot: allow hot-alloc — block buffer and message schedule of
+       the same per-digest context, allocated once and reused for every
+       block. *)
     buf = Bytes.create 64;
     buf_len = 0;
     total = 0;
+    (* manethot: allow hot-alloc — message schedule scratch of the same
+       per-digest context. *)
     w = Array.make 64 0;
   }
 
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
 
+(* The 64-round compression loop as a tail recursion over the eight
+   working variables (plain int arguments, so no ref cells and no
+   boxing); the final feed-forward adds them into the chaining array in
+   the base case, so nothing is returned or boxed. *)
+let rec rounds h w t a b c d e f g hh =
+  if t = 64 then begin
+    h.(0) <- (h.(0) + a) land mask32;
+    h.(1) <- (h.(1) + b) land mask32;
+    h.(2) <- (h.(2) + c) land mask32;
+    h.(3) <- (h.(3) + d) land mask32;
+    h.(4) <- (h.(4) + e) land mask32;
+    h.(5) <- (h.(5) + f) land mask32;
+    h.(6) <- (h.(6) + g) land mask32;
+    h.(7) <- (h.(7) + hh) land mask32
+  end
+  else begin
+    let s1 = rotr e 6 lxor rotr e 11 lxor rotr e 25 in
+    let ch = (e land f) lxor (lnot e land g) in
+    let t1 = (hh + s1 + ch + k.(t) + w.(t)) land mask32 in
+    let s0 = rotr a 2 lxor rotr a 13 lxor rotr a 22 in
+    let maj = (a land b) lxor (a land c) lxor (b land c) in
+    let t2 = (s0 + maj) land mask32 in
+    rounds h w (t + 1) ((t1 + t2) land mask32) a b c ((d + t1) land mask32) e
+      f g
+  end
+
+(* Compress one 64-byte block read directly out of [block] at [off] —
+   a string, so whole blocks of the input are consumed in place with
+   no staging copy (the partial-block buffer goes through
+   [Bytes.unsafe_to_string], which copies nothing either). *)
 let compress ctx block off =
   let w = ctx.w in
   for t = 0 to 15 do
     let i = off + (t * 4) in
     w.(t) <-
-      (Char.code (Bytes.get block i) lsl 24)
-      lor (Char.code (Bytes.get block (i + 1)) lsl 16)
-      lor (Char.code (Bytes.get block (i + 2)) lsl 8)
-      lor Char.code (Bytes.get block (i + 3))
+      (Char.code (String.unsafe_get block i) lsl 24)
+      lor (Char.code (String.unsafe_get block (i + 1)) lsl 16)
+      lor (Char.code (String.unsafe_get block (i + 2)) lsl 8)
+      lor Char.code (String.unsafe_get block (i + 3))
   done;
   for t = 16 to 63 do
     let s0 = rotr w.(t - 15) 7 lxor rotr w.(t - 15) 18 lxor (w.(t - 15) lsr 3) in
@@ -62,77 +102,60 @@ let compress ctx block off =
     w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land mask32
   done;
   let h = ctx.h in
-  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
-  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
-  for t = 0 to 63 do
-    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
-    let ch = (!e land !f) lxor (lnot !e land !g) in
-    let t1 = (!hh + s1 + ch + k.(t) + w.(t)) land mask32 in
-    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
-    let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
-    let t2 = (s0 + maj) land mask32 in
-    hh := !g;
-    g := !f;
-    f := !e;
-    e := (!d + t1) land mask32;
-    d := !c;
-    c := !b;
-    b := !a;
-    a := (t1 + t2) land mask32
-  done;
-  h.(0) <- (h.(0) + !a) land mask32;
-  h.(1) <- (h.(1) + !b) land mask32;
-  h.(2) <- (h.(2) + !c) land mask32;
-  h.(3) <- (h.(3) + !d) land mask32;
-  h.(4) <- (h.(4) + !e) land mask32;
-  h.(5) <- (h.(5) + !f) land mask32;
-  h.(6) <- (h.(6) + !g) land mask32;
-  h.(7) <- (h.(7) + !hh) land mask32
+  rounds h w 0 h.(0) h.(1) h.(2) h.(3) h.(4) h.(5) h.(6) h.(7)
+
+(* Whole blocks straight from the input, no staging copy. *)
+let rec absorb ctx s pos len =
+  if len - pos >= 64 then begin
+    compress ctx s pos;
+    absorb ctx s (pos + 64) len
+  end
+  else pos
 
 let update ctx s =
   let len = String.length s in
   ctx.total <- ctx.total + len;
-  let pos = ref 0 in
   (* Top up a partial block first. *)
-  if ctx.buf_len > 0 then begin
-    let need = 64 - ctx.buf_len in
-    let take = min need len in
-    Bytes.blit_string s 0 ctx.buf ctx.buf_len take;
-    ctx.buf_len <- ctx.buf_len + take;
-    pos := take;
-    if ctx.buf_len = 64 then begin
-      compress ctx ctx.buf 0;
-      ctx.buf_len <- 0
+  let start =
+    if ctx.buf_len > 0 then begin
+      let need = 64 - ctx.buf_len in
+      let take = if need < len then need else len in
+      Bytes.blit_string s 0 ctx.buf ctx.buf_len take;
+      ctx.buf_len <- ctx.buf_len + take;
+      if ctx.buf_len = 64 then begin
+        compress ctx (Bytes.unsafe_to_string ctx.buf) 0;
+        ctx.buf_len <- 0
+      end;
+      take
     end
-  end;
-  (* Whole blocks straight from the input. *)
-  let tmp = Bytes.create 64 in
-  while len - !pos >= 64 do
-    Bytes.blit_string s !pos tmp 0 64;
-    compress ctx tmp 0;
-    pos := !pos + 64
-  done;
-  if !pos < len then begin
-    Bytes.blit_string s !pos ctx.buf ctx.buf_len (len - !pos);
-    ctx.buf_len <- ctx.buf_len + (len - !pos)
+    else 0
+  in
+  let pos = absorb ctx s start len in
+  if pos < len then begin
+    Bytes.blit_string s pos ctx.buf ctx.buf_len (len - pos);
+    ctx.buf_len <- ctx.buf_len + (len - pos)
   end
 
+(* Padding happens inside the context's own block buffer: append 0x80,
+   zero-fill, spill into a second compression if the 8-byte length
+   field does not fit, then write the bit length big-endian into bytes
+   56..63.  No pad block is allocated. *)
 let finalize ctx =
   let total_bits = ctx.total * 8 in
-  (* Pad: 0x80, zeros, 64-bit big-endian length. *)
-  let pad_len =
-    let r = (ctx.total + 1 + 8) mod 64 in
-    if r = 0 then 1 else 1 + (64 - r)
-  in
-  let pad = Bytes.make (pad_len + 8) '\000' in
-  Bytes.set pad 0 '\x80';
+  Bytes.set ctx.buf ctx.buf_len '\x80';
+  Bytes.fill ctx.buf (ctx.buf_len + 1) (63 - ctx.buf_len) '\000';
+  if ctx.buf_len + 1 > 56 then begin
+    compress ctx (Bytes.unsafe_to_string ctx.buf) 0;
+    Bytes.fill ctx.buf 0 64 '\000'
+  end;
   for i = 0 to 7 do
-    Bytes.set pad
-      (pad_len + i)
+    Bytes.set ctx.buf (56 + i)
       (Char.chr ((total_bits lsr ((7 - i) * 8)) land 0xFF))
   done;
-  update ctx (Bytes.unsafe_to_string pad);
-  assert (ctx.buf_len = 0);
+  compress ctx (Bytes.unsafe_to_string ctx.buf) 0;
+  ctx.buf_len <- 0;
+  (* manethot: allow hot-alloc — the 32-byte digest is the return
+     value. *)
   let out = Bytes.create 32 in
   for i = 0 to 7 do
     let v = ctx.h.(i) in

@@ -3,6 +3,16 @@ module Net = Manet_sim.Net
 module Hist = Manet_sim.Hist
 module Suite = Manet_crypto.Suite
 
+(* Name-keyed registries use a monomorphic string hash: the generic
+   [Hashtbl] would hash and compare through the polymorphic primitives
+   on every recorded op. *)
+module Stbl = Hashtbl.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = String.hash
+end)
+
 let schema = "manetsim-perf"
 let schema_version = 1
 
@@ -27,37 +37,40 @@ type gc_phase = {
 let no_kind = "none"
 
 type t = {
-  counters : (string, int ref) Hashtbl.t;
-  by_kind : (string, kind_ops) Hashtbl.t;
+  counters : int ref Stbl.t;
+  by_kind : kind_ops Stbl.t;
   mutable node_signs : int array;
   mutable node_verifies : int array;
   mutable max_node : int;
   mutable cur_kind : string;
   mutable cur_node : int;
-  phases : (string, gc_phase) Hashtbl.t;
+  phases : gc_phase Stbl.t;
 }
 
 let create () =
   {
-    counters = Hashtbl.create 16;
-    by_kind = Hashtbl.create 16;
+    counters = Stbl.create 16;
+    by_kind = Stbl.create 16;
     node_signs = Array.make 16 0;
     node_verifies = Array.make 16 0;
     max_node = -1;
     cur_kind = no_kind;
     cur_node = -1;
-    phases = Hashtbl.create 4;
+    phases = Stbl.create 4;
   }
 
 (* --- generic counters --------------------------------------------------- *)
 
 let incr ?(n = 1) t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some r -> r := !r + n
-  | None -> Hashtbl.add t.counters name (ref n)
+  match Stbl.find t.counters name with
+  | r -> r := !r + n
+  | exception Not_found ->
+      (* manethot: allow hot-alloc — one ref per distinct counter name
+         over the whole run, not per recorded op. *)
+      Stbl.add t.counters name (ref n)
 
 let counters t =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  Stbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* --- crypto attribution ------------------------------------------------- *)
@@ -65,23 +78,25 @@ let counters t =
 let ensure_node t n =
   let len = Array.length t.node_signs in
   if n >= len then begin
-    let nlen = max (n + 1) (2 * len) in
-    let grow a =
-      let b = Array.make nlen 0 in
-      Array.blit a 0 b 0 len;
-      b
-    in
-    t.node_signs <- grow t.node_signs;
-    t.node_verifies <- grow t.node_verifies
+    let nlen = if n + 1 > 2 * len then n + 1 else 2 * len in
+    (* manethot: allow hot-alloc — per-node counter arrays double
+       O(log n) times over a run, amortized to nothing per op. *)
+    let signs = Array.make nlen 0 and verifies = Array.make nlen 0 in
+    Array.blit t.node_signs 0 signs 0 len;
+    Array.blit t.node_verifies 0 verifies 0 len;
+    t.node_signs <- signs;
+    t.node_verifies <- verifies
   end;
   if n > t.max_node then t.max_node <- n
 
 let kind_cell t kind =
-  match Hashtbl.find_opt t.by_kind kind with
-  | Some c -> c
-  | None ->
+  match Stbl.find t.by_kind kind with
+  | c -> c
+  | exception Not_found ->
+      (* manethot: allow hot-alloc — one cell per distinct message kind
+         over the whole run, not per crypto op. *)
       let c = { k_signs = 0; k_verifies = 0; k_hash_blocks = 0 } in
-      Hashtbl.add t.by_kind kind c;
+      Stbl.add t.by_kind kind c;
       c
 
 let crypto_op t ~op ~bytes =
@@ -118,7 +133,7 @@ let subscribe t suite =
 (* --- GC phase accounting ------------------------------------------------ *)
 
 let phase_cell t name =
-  match Hashtbl.find_opt t.phases name with
+  match Stbl.find_opt t.phases name with
   | Some p -> p
   | None ->
       let p =
@@ -131,7 +146,7 @@ let phase_cell t name =
           ph_major_collections = 0;
         }
       in
-      Hashtbl.add t.phases name p;
+      Stbl.add t.phases name p;
       p
 
 let phase t ~engine name f =
@@ -155,7 +170,7 @@ let phase t ~engine name f =
     f
 
 let phases t =
-  Hashtbl.fold (fun name p acc -> (name, p) :: acc) t.phases []
+  Stbl.fold (fun name p acc -> (name, p) :: acc) t.phases []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* --- export ------------------------------------------------------------- *)
@@ -188,7 +203,7 @@ let hist_of_array a n =
 
 let by_kind_json t =
   let kinds =
-    Hashtbl.fold (fun kind c acc -> (kind, c) :: acc) t.by_kind []
+    Stbl.fold (fun kind c acc -> (kind, c) :: acc) t.by_kind []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   Json.Obj

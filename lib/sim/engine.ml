@@ -4,17 +4,28 @@ type profile_entry = { p_count : int; p_wall_s : float }
 
 type prof_cell = { mutable c_count : int; mutable c_wall_s : float }
 
+(* Label-keyed side tables use a monomorphic string hash: the generic
+   [Hashtbl] would hash and compare labels through the polymorphic
+   primitives on every processed event. *)
+module Stbl = Hashtbl.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = String.hash
+end)
+
 (* The occupancy series decimates itself to stay bounded: samples are
    taken every [occ_stride] processed events, and when the buffer would
    exceed [occ_capacity] every other sample is dropped and the stride
    doubles.  Both operations depend only on the processed-event count,
    so the series is a pure function of the run — byte-identical across
-   replays and domain counts. *)
+   replays and domain counts.  Samples live in two parallel int arrays
+   (index, pending) so sampling allocates nothing. *)
 let occ_capacity = 512
 
 type t = {
   mutable now : float;
-  queue : (string * (unit -> unit)) Heap.t;
+  queue : (string, unit -> unit) Heap.t;
   rng : Prng.t;
   stats : Stats.t;
   trace : Trace.t;
@@ -24,16 +35,17 @@ type t = {
      series.  All are pure functions of the event sequence — they read
      no clock and draw no randomness — so keeping them on costs a few
      table updates per event and perturbs nothing. *)
-  counts : (string, int ref) Hashtbl.t;
+  counts : int ref Stbl.t;
   mutable max_pending : int;
-  mutable occ : (int * int) list; (* (processed index, pending) newest first *)
+  occ_idx : int array; (* processed index of sample i, oldest first *)
+  occ_pend : int array; (* pending depth of sample i *)
   mutable occ_len : int;
   mutable occ_stride : int;
   (* Wall-clock profiling (opt-in).  Lives entirely outside the
      deterministic domain: enabling it changes no event order, no PRNG
      draw and no trace byte. *)
   mutable profiling : bool;
-  prof : (string, prof_cell) Hashtbl.t;
+  prof : prof_cell Stbl.t;
   mutable wall_in_run : float;
 }
 
@@ -45,13 +57,14 @@ let create ~seed () =
     stats = Stats.create ();
     trace = Trace.create ();
     processed = 0;
-    counts = Hashtbl.create 32;
+    counts = Stbl.create 32;
     max_pending = 0;
-    occ = [];
+    occ_idx = Array.make (occ_capacity + 1) 0;
+    occ_pend = Array.make (occ_capacity + 1) 0;
     occ_len = 0;
     occ_stride = 1;
     profiling = false;
-    prof = Hashtbl.create 32;
+    prof = Stbl.create 32;
     wall_in_run = 0.0;
   }
 
@@ -68,73 +81,91 @@ let note_push t =
 
 let schedule t ?(label = default_label) ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  Heap.push t.queue (t.now +. delay) (label, f);
+  Heap.push t.queue (t.now +. delay) label f;
   note_push t
 
 let schedule_at t ?(label = default_label) ~time f =
   if time < t.now then invalid_arg "Engine.schedule_at: time in the past";
-  Heap.push t.queue time (label, f);
+  Heap.push t.queue time label f;
   note_push t
 
 let count_label t label =
-  match Hashtbl.find_opt t.counts label with
-  | Some r -> incr r
-  | None -> Hashtbl.add t.counts label (ref 1)
+  match Stbl.find t.counts label with
+  | r -> incr r
+  | exception Not_found ->
+      (* manethot: allow hot-alloc — one ref per distinct label over the
+         whole run, not per event. *)
+      Stbl.add t.counts label (ref 1)
+
+(* In-place decimation: keep samples whose processed index is a
+   multiple of the doubled stride, preserving order.  Returns the new
+   length. *)
+let rec occ_compact t stride r w =
+  if r >= t.occ_len then w
+  else if t.occ_idx.(r) mod stride = 0 then begin
+    t.occ_idx.(w) <- t.occ_idx.(r);
+    t.occ_pend.(w) <- t.occ_pend.(r);
+    occ_compact t stride (r + 1) (w + 1)
+  end
+  else occ_compact t stride (r + 1) w
 
 let sample_occupancy t =
   if t.processed mod t.occ_stride = 0 then begin
-    t.occ <- (t.processed, Heap.size t.queue) :: t.occ;
+    t.occ_idx.(t.occ_len) <- t.processed;
+    t.occ_pend.(t.occ_len) <- Heap.size t.queue;
     t.occ_len <- t.occ_len + 1;
     if t.occ_len > occ_capacity then begin
       let stride = t.occ_stride * 2 in
       t.occ_stride <- stride;
-      t.occ <- List.filter (fun (i, _) -> i mod stride = 0) t.occ;
-      t.occ_len <- List.length t.occ
+      t.occ_len <- occ_compact t stride 0 0
     end
   end
 
 let charge t label dt =
   let cell =
-    match Hashtbl.find_opt t.prof label with
-    | Some c -> c
-    | None ->
+    match Stbl.find t.prof label with
+    | c -> c
+    | exception Not_found ->
+        (* manethot: allow hot-alloc — one cell per distinct label over
+           the whole profiled run, not per event. *)
         let c = { c_count = 0; c_wall_s = 0.0 } in
-        Hashtbl.add t.prof label c;
+        Stbl.add t.prof label c;
         c
   in
   cell.c_count <- cell.c_count + 1;
   cell.c_wall_s <- cell.c_wall_s +. dt
 
+(* The event loop proper, as a top-level tail recursion so a run
+   allocates nothing of its own: the budget rides in an argument and
+   the top entry is read field by field out of the SoA heap. *)
+let rec run_loop t until budget =
+  if budget > 0 && not (Heap.is_empty t.queue) then begin
+    let time = Heap.min_prio t.queue in
+    match until with
+    | Some limit when time > limit ->
+        (* Leave future events queued; advance the clock to the
+           horizon so repeated bounded runs make progress. *)
+        t.now <- limit
+    | _ ->
+        let label = Heap.min_fst t.queue in
+        let f = Heap.min_snd t.queue in
+        Heap.drop_min t.queue;
+        t.now <- time;
+        t.processed <- t.processed + 1;
+        count_label t label;
+        sample_occupancy t;
+        if t.profiling then begin
+          let t0 = Mono_clock.now_s () in
+          f ();
+          charge t label (Mono_clock.now_s () -. t0)
+        end
+        else f ();
+        run_loop t until (budget - 1)
+  end
+
 let run ?until ?max_events t =
-  let budget = ref (match max_events with Some n -> n | None -> max_int) in
-  let continue = ref true in
   let run_t0 = if t.profiling then Mono_clock.now_s () else 0.0 in
-  while !continue && !budget > 0 do
-    match Heap.peek t.queue with
-    | None -> continue := false
-    | Some (time, _) -> (
-        match until with
-        | Some limit when time > limit ->
-            (* Leave future events queued; advance the clock to the
-               horizon so repeated bounded runs make progress. *)
-            t.now <- limit;
-            continue := false
-        | _ -> (
-            match Heap.pop t.queue with
-            | None -> continue := false
-            | Some (time, (label, f)) ->
-                t.now <- time;
-                t.processed <- t.processed + 1;
-                count_label t label;
-                sample_occupancy t;
-                decr budget;
-                if t.profiling then begin
-                  let t0 = Mono_clock.now_s () in
-                  f ();
-                  charge t label (Mono_clock.now_s () -. t0)
-                end
-                else f ()))
-  done;
+  run_loop t until (match max_events with Some n -> n | None -> max_int);
   if t.profiling then
     t.wall_in_run <- t.wall_in_run +. (Mono_clock.now_s () -. run_t0)
 
@@ -142,10 +173,12 @@ let pending t = Heap.size t.queue
 let events_processed t = t.processed
 
 let label_counts t =
-  Hashtbl.fold (fun label r acc -> (label, !r) :: acc) t.counts []
+  Stbl.fold (fun label r acc -> (label, !r) :: acc) t.counts []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let occupancy t = List.rev t.occ
+let occupancy t =
+  List.init t.occ_len (fun i -> (t.occ_idx.(i), t.occ_pend.(i)))
+
 let occupancy_stride t = t.occ_stride
 let max_pending t = t.max_pending
 
@@ -153,7 +186,7 @@ let set_profiling t on = t.profiling <- on
 let profiling t = t.profiling
 
 let profile t =
-  Hashtbl.fold
+  Stbl.fold
     (fun label c acc ->
       (label, { p_count = c.c_count; p_wall_s = c.c_wall_s }) :: acc)
     t.prof []
@@ -162,9 +195,7 @@ let profile t =
 let wall_in_run t = t.wall_in_run
 
 let events_per_sec t =
-  let profiled =
-    Hashtbl.fold (fun _ c acc -> acc + c.c_count) t.prof 0
-  in
+  let profiled = Stbl.fold (fun _ c acc -> acc + c.c_count) t.prof 0 in
   if t.wall_in_run > 0.0 && profiled > 0 then
     float_of_int profiled /. t.wall_in_run
   else 0.0

@@ -1,71 +1,120 @@
-type 'a entry = { prio : float; seq : int; value : 'a }
+(* Structure-of-arrays layout: priorities live in an unboxed float
+   array and the two payload halves in their own arrays, so a push
+   allocates nothing (no entry record, no payload tuple) and a pop
+   returns nothing the caller must destructure.  The event loop reads
+   the top entry field by field ([min_prio]/[min_fst]/[min_snd]) and
+   then [drop_min]s it — zero allocation per event. *)
 
-type 'a t = {
-  mutable data : 'a entry array;
+type ('a, 'b) t = {
+  mutable prios : float array;
+  mutable seqs : int array;
+  mutable fsts : 'a array;
+  mutable snds : 'b array;
   mutable len : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; len = 0; next_seq = 0 }
+let create () =
+  { prios = [||]; seqs = [||]; fsts = [||]; snds = [||]; len = 0; next_seq = 0 }
+
 let is_empty h = h.len = 0
 let size h = h.len
 
-let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+(* Both sifts carry the migrating element in locals (a hole): each
+   level shifts one entry into the hole instead of 4-array-swapping,
+   halving the stores per level, and the element is written exactly
+   once at its final slot.  Indices are bounded by [len] (itself
+   bounded by capacity), so the accesses use the unsafe primitives. *)
+let place h i prio seq a b =
+  Array.unsafe_set h.prios i prio;
+  Array.unsafe_set h.seqs i seq;
+  Array.unsafe_set h.fsts i a;
+  Array.unsafe_set h.snds i b
 
-let grow h entry =
-  let cap = Array.length h.data in
-  if h.len = cap then begin
-    let ncap = max 16 (cap * 2) in
-    let data = Array.make ncap entry in
-    Array.blit h.data 0 data 0 h.len;
-    h.data <- data
-  end
+let shift h i j =
+  Array.unsafe_set h.prios i (Array.unsafe_get h.prios j);
+  Array.unsafe_set h.seqs i (Array.unsafe_get h.seqs j);
+  Array.unsafe_set h.fsts i (Array.unsafe_get h.fsts j);
+  Array.unsafe_set h.snds i (Array.unsafe_get h.snds j)
 
-let push h prio value =
-  let entry = { prio; seq = h.next_seq; value } in
-  h.next_seq <- h.next_seq + 1;
-  grow h entry;
-  let i = ref h.len in
-  h.len <- h.len + 1;
-  h.data.(!i) <- entry;
-  (* sift up *)
-  let continue = ref true in
-  while !continue && !i > 0 do
-    let parent = (!i - 1) / 2 in
-    if less h.data.(!i) h.data.(parent) then begin
-      let tmp = h.data.(parent) in
-      h.data.(parent) <- h.data.(!i);
-      h.data.(!i) <- tmp;
-      i := parent
-    end
-    else continue := false
-  done
-
-let peek h = if h.len = 0 then None else Some (h.data.(0).prio, h.data.(0).value)
-
-let pop h =
-  if h.len = 0 then None
+let rec sift_up h i prio seq a b =
+  if i = 0 then place h 0 prio seq a b
   else begin
-    let top = h.data.(0) in
-    h.len <- h.len - 1;
-    if h.len > 0 then begin
-      h.data.(0) <- h.data.(h.len);
-      (* sift down *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.len && less h.data.(l) h.data.(!smallest) then smallest := l;
-        if r < h.len && less h.data.(r) h.data.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = h.data.(!smallest) in
-          h.data.(!smallest) <- h.data.(!i);
-          h.data.(!i) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
-    Some (top.prio, top.value)
+    let parent = (i - 1) / 2 in
+    let pp = Array.unsafe_get h.prios parent in
+    if prio < pp || (prio = pp && seq < Array.unsafe_get h.seqs parent)
+    then begin
+      shift h i parent;
+      sift_up h parent prio seq a b
+    end
+    else place h i prio seq a b
   end
+
+let rec sift_down h i prio seq a b =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  if l >= h.len then place h i prio seq a b
+  else begin
+    let c =
+      if r < h.len then begin
+        let pl = Array.unsafe_get h.prios l
+        and pr = Array.unsafe_get h.prios r in
+        if
+          pr < pl
+          || (pr = pl && Array.unsafe_get h.seqs r < Array.unsafe_get h.seqs l)
+        then r
+        else l
+      end
+      else l
+    in
+    let pc = Array.unsafe_get h.prios c in
+    if pc < prio || (pc = prio && Array.unsafe_get h.seqs c < seq) then begin
+      shift h i c;
+      sift_down h c prio seq a b
+    end
+    else place h i prio seq a b
+  end
+
+let grow h a b =
+  let cap = Array.length h.prios in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  (* manethot: allow hot-alloc — capacity doubling: the backing arrays
+     are reallocated O(log n) times over a run, amortized to nothing
+     per push. *)
+  let prios = Array.make ncap 0.0 and seqs = Array.make ncap 0 in
+  (* manethot: allow hot-alloc — payload halves of the same amortized
+     capacity doubling. *)
+  let fsts = Array.make ncap a and snds = Array.make ncap b in
+  Array.blit h.prios 0 prios 0 h.len;
+  Array.blit h.seqs 0 seqs 0 h.len;
+  Array.blit h.fsts 0 fsts 0 h.len;
+  Array.blit h.snds 0 snds 0 h.len;
+  h.prios <- prios;
+  h.seqs <- seqs;
+  h.fsts <- fsts;
+  h.snds <- snds
+
+let push h prio a b =
+  if h.len = Array.length h.prios then grow h a b;
+  let i = h.len in
+  let seq = h.next_seq in
+  h.next_seq <- seq + 1;
+  h.len <- i + 1;
+  sift_up h i prio seq a b
+
+let min_prio h =
+  if h.len = 0 then invalid_arg "Heap.min_prio: empty heap";
+  h.prios.(0)
+
+let min_fst h =
+  if h.len = 0 then invalid_arg "Heap.min_fst: empty heap";
+  h.fsts.(0)
+
+let min_snd h =
+  if h.len = 0 then invalid_arg "Heap.min_snd: empty heap";
+  h.snds.(0)
+
+let drop_min h =
+  if h.len = 0 then invalid_arg "Heap.drop_min: empty heap";
+  let n = h.len - 1 in
+  h.len <- n;
+  if n > 0 then sift_down h 0 h.prios.(n) h.seqs.(n) h.fsts.(n) h.snds.(n)

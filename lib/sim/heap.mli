@@ -1,21 +1,35 @@
-(** A binary min-heap keyed by float priority.
+(** A binary min-heap keyed by float priority, structure-of-arrays.
 
     The event queue of the discrete-event engine.  Entries with equal
     priority pop in insertion order (a monotone sequence number breaks
-    ties), which keeps simulations deterministic. *)
+    ties), which keeps simulations deterministic.
 
-type 'a t
+    The layout is allocation-free on the hot path: priorities live in
+    an unboxed float array, and each entry carries two payload halves
+    in parallel arrays — for the engine, the label and the event
+    closure — so neither push nor pop boxes a tuple or an entry
+    record.  The minimum entry is read field by field ({!min_prio},
+    {!min_fst}, {!min_snd}) and removed with {!drop_min}; callers
+    check {!is_empty} first, and the accessors raise
+    [Invalid_argument] on an empty heap. *)
 
-val create : unit -> 'a t
-val is_empty : 'a t -> bool
-val size : 'a t -> int
+type ('a, 'b) t
 
-val push : 'a t -> float -> 'a -> unit
-(** [push h p v] inserts [v] with priority [p]. *)
+val create : unit -> ('a, 'b) t
+val is_empty : ('a, 'b) t -> bool
+val size : ('a, 'b) t -> int
 
-val peek : 'a t -> (float * 'a) option
-(** Smallest priority without removing it. *)
+val push : ('a, 'b) t -> float -> 'a -> 'b -> unit
+(** [push h p a b] inserts the entry [(a, b)] with priority [p]. *)
 
-val pop : 'a t -> (float * 'a) option
-(** Remove and return the smallest-priority entry. *)
+val min_prio : ('a, 'b) t -> float
+(** Smallest priority.  Raises [Invalid_argument] if empty. *)
 
+val min_fst : ('a, 'b) t -> 'a
+(** First payload half of the minimum entry. *)
+
+val min_snd : ('a, 'b) t -> 'b
+(** Second payload half of the minimum entry. *)
+
+val drop_min : ('a, 'b) t -> unit
+(** Remove the minimum entry.  Raises [Invalid_argument] if empty. *)

@@ -17,19 +17,13 @@ type t = {
 let create () =
   { count = 0; sum = 0; vmin = max_int; vmax = 0; buckets = Array.make bucket_count 0 }
 
+(* 1 + floor(log2 v) for v > 0, and 0 for 0: the index whose range
+   [2^(i-1), 2^i - 1] contains v.  Tail recursion over two ints so the
+   per-sample path allocates nothing. *)
+let rec bit_width acc x = if x = 0 then acc else bit_width (acc + 1) (x lsr 1)
+
 let bucket_of_value v =
-  if v < 0 then invalid_arg "Hist.add: negative value"
-  else if v = 0 then 0
-  else begin
-    (* 1 + floor(log2 v): the index whose range [2^(i-1), 2^i - 1]
-       contains v. *)
-    let i = ref 0 and x = ref v in
-    while !x > 0 do
-      incr i;
-      x := !x lsr 1
-    done;
-    !i
-  end
+  if v < 0 then invalid_arg "Hist.add: negative value" else bit_width 0 v
 
 let bounds i =
   if i < 0 || i >= bucket_count then invalid_arg "Hist.bounds: bucket index"

@@ -30,12 +30,17 @@ let default_config =
     promiscuous = false;
   }
 
+(* A link is keyed by the packed pair (min lsl 20) lor max — node
+   indices are bounded far below 2^20 — so looking one up neither
+   allocates a tuple nor hashes through the polymorphic primitives. *)
 module Link = Hashtbl.Make (struct
-  type t = int * int
+  type t = int
 
-  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
-  let hash (a, b) = (a * 65_599) + b
+  let equal = Int.equal
+  let hash k = (k * 0x9E3779B1) land max_int
 end)
+
+let link_key a b = if a <= b then (a lsl 20) lor b else (b lsl 20) lor a
 
 type 'msg t = {
   engine : Engine.t;
@@ -62,6 +67,7 @@ type 'msg t = {
   scan_hist : Hist.t;
   fanout_hist : Hist.t;
   mutable retries : int;
+  mutable fanout_tmp : int; (* scratch counter for the broadcast loop *)
 }
 
 let create ?(config = default_config) engine topo =
@@ -84,6 +90,7 @@ let create ?(config = default_config) engine topo =
     scan_hist = Hist.create ();
     fanout_hist = Hist.create ();
     retries = 0;
+    fanout_tmp = 0;
   }
 
 let topology t = t.topo
@@ -94,8 +101,6 @@ let set_down t i b = t.down.(i) <- b
 let is_down t i = t.down.(i)
 
 (* --- fault state -------------------------------------------------------- *)
-
-let link_key a b = if a <= b then (a, b) else (b, a)
 
 let set_link t a b ~up =
   if a = b then invalid_arg "Net.set_link: a = b";
@@ -128,7 +133,9 @@ let channel_pass t a b =
   | Gilbert_elliott { p_good_to_bad; p_bad_to_good; loss_good; loss_bad } ->
       let k = link_key a b in
       let was_bad =
-        match Link.find_opt t.ge_bad k with Some b -> b | None -> false
+        match Link.find t.ge_bad k with
+        | b -> b
+        | exception Not_found -> false
       in
       let flip = Prng.float t.rng 1.0 in
       let bad =
@@ -143,6 +150,9 @@ let channel_pass t a b =
 let tx_time t size = float_of_int (size * 8) /. t.cfg.bit_rate
 
 let deliver t ~src ~dst msg delay =
+  (* manethot: allow hot-alloc — the scheduled closure IS the delivery
+     event; the engine holds exactly one per in-flight frame and it
+     dies when the frame lands. *)
   Engine.schedule t.engine ~label:"net" ~delay (fun () ->
       if not t.down.(dst) then begin
         t.deliveries <- t.deliveries + 1;
@@ -150,38 +160,53 @@ let deliver t ~src ~dst msg delay =
       end)
 
 (* One neighbour lookup: record how many candidate positions it
-   examined.  [Topology.neighbors] walks every node today, so the cost
-   is the topology size; when a spatial index lands this is the number
-   it must shrink. *)
-let scanned_neighbors t src =
-  Hist.add t.scan_hist (Topology.size t.topo);
-  Topology.neighbors t.topo ~range:t.cfg.range src
+   examined.  The scan itself walks every node index in ascending
+   order without materializing a neighbour list, so its cost is the
+   topology size; the histogram quantifies exactly the cost a spatial
+   index would remove. *)
+let note_scan t = Hist.add t.scan_hist (Topology.size t.topo)
 
 let broadcast t ~src ~size msg =
   if not t.down.(src) then begin
     t.bytes_sent <- t.bytes_sent + size;
     t.transmissions <- t.transmissions + 1;
     let base = tx_time t size +. t.cfg.prop_delay in
-    let fanout = ref 0 in
-    List.iter
-      (fun dst ->
-        if (not t.down.(dst)) && link_up t src dst && channel_pass t src dst
-        then begin
-          incr fanout;
-          deliver t ~src ~dst msg (base +. Prng.float t.rng t.cfg.jitter)
-        end)
-      (scanned_neighbors t src);
-    Hist.add t.fanout_hist !fanout
+    note_scan t;
+    t.fanout_tmp <- 0;
+    for dst = 0 to Topology.size t.topo - 1 do
+      if
+        Topology.in_range t.topo ~range:t.cfg.range src dst
+        && (not t.down.(dst))
+        && link_up t src dst
+        && channel_pass t src dst
+      then begin
+        t.fanout_tmp <- t.fanout_tmp + 1;
+        deliver t ~src ~dst msg (base +. Prng.float t.rng t.cfg.jitter)
+      end
+    done;
+    Hist.add t.fanout_hist t.fanout_tmp
   end
 
-let unicast t ~src ~dst ~size ?(on_fail = fun () -> ()) msg =
+let no_fail () = ()
+
+let unicast t ~src ~dst ~size ?(on_fail = no_fail) msg =
   let attempts = 1 + t.cfg.mac_retries in
+  (* Both times are invariant across retries (frame size and
+     propagation delay do not change mid-exchange), so they are
+     computed once here rather than once per attempt.  No link-layer
+     ack: after a failed attempt the sender waits one transmission +
+     ack-timeout's worth of time, then retries or gives up. *)
+  let tx = tx_time t size in
+  let ack_wait = tx +. (2.0 *. t.cfg.prop_delay) in
   (* Each attempt inspects the world at its own transmission time, so a
      node crash or link fault landing mid-retry is honoured and the
      counters account exactly the frames that actually went on the air.
      A sender that goes down mid-retry falls silent: no further
      transmissions, and no [on_fail] either -- its MAC state died with
      it. *)
+  (* manethot: allow hot-alloc — the retry state machine is one closure
+     per unicast transmission, not per event; flattening it would mean
+     threading every capture through each scheduled retry. *)
   let rec attempt k =
     if not t.down.(src) then begin
       t.bytes_sent <- t.bytes_sent + size;
@@ -192,40 +217,37 @@ let unicast t ~src ~dst ~size ?(on_fail = fun () -> ()) msg =
         && Topology.in_range t.topo ~range:t.cfg.range src dst
       in
       if reachable && channel_pass t src dst then begin
-        let delay =
-          tx_time t size +. t.cfg.prop_delay +. Prng.float t.rng t.cfg.jitter
-        in
+        let delay = tx +. t.cfg.prop_delay +. Prng.float t.rng t.cfg.jitter in
         deliver t ~src ~dst msg delay;
         (* Promiscuous radios overhear unicast frames addressed to
            others (each overhearing subject to its own channel draw). *)
-        if t.cfg.promiscuous then
-          List.iter
-            (fun other ->
-              if
-                other <> dst
-                && (not t.down.(other))
-                && link_up t src other
-                && channel_pass t src other
-              then
-                deliver t ~src ~dst:other msg
-                  (delay +. Prng.float t.rng t.cfg.jitter))
-            (scanned_neighbors t src)
+        if t.cfg.promiscuous then begin
+          note_scan t;
+          for other = 0 to Topology.size t.topo - 1 do
+            if
+              other <> dst
+              && Topology.in_range t.topo ~range:t.cfg.range src other
+              && (not t.down.(other))
+              && link_up t src other
+              && channel_pass t src other
+            then
+              deliver t ~src ~dst:other msg
+                (delay +. Prng.float t.rng t.cfg.jitter)
+          done
+        end
+      end
+      else if k + 1 < attempts then begin
+        t.retries <- t.retries + 1;
+        (* manethot: allow hot-alloc — the scheduled closure carries the
+           retry continuation; one per failed attempt by design. *)
+        Engine.schedule t.engine ~label:"net" ~delay:ack_wait (fun () ->
+            attempt (k + 1))
       end
       else begin
-        (* No link-layer ack: wait one transmission + ack-timeout's worth
-           of time, then retry or give up. *)
-        let ack_wait = tx_time t size +. (2.0 *. t.cfg.prop_delay) in
-        if k + 1 < attempts then begin
-          t.retries <- t.retries + 1;
-          Engine.schedule t.engine ~label:"net" ~delay:ack_wait (fun () ->
-              attempt (k + 1))
-        end
-        else begin
-          t.unicast_failures <- t.unicast_failures + 1;
-          Engine.schedule t.engine ~label:"net"
-            ~delay:(ack_wait +. Prng.float t.rng t.cfg.jitter)
-            on_fail
-        end
+        t.unicast_failures <- t.unicast_failures + 1;
+        Engine.schedule t.engine ~label:"net"
+          ~delay:(ack_wait +. Prng.float t.rng t.cfg.jitter)
+          on_fail
       end
     end
   in

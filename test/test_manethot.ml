@@ -1,0 +1,244 @@
+(* Self-tests for manethot, the hot-path allocation & complexity
+   analyzer: every rule must fire on a synthetic hot fixture, stay
+   quiet when the same code is cold (not reachable from the roster),
+   and honour the roster propagation and strict annotation grammar.
+   Fixtures live in string literals, so manetlint's lexical pass never
+   sees them. *)
+
+module Hot = Manethot.Hot
+module Sem = Manetsem.Sem
+
+let roster = ("tools/manethot/hotpaths.sexp", "(M hot)\n")
+
+let analyze ?(roster = roster) files = Hot.analyze ~roster files
+
+let count ?roster rule files =
+  List.length
+    (List.filter (fun f -> f.Hot.rule = rule) (analyze ?roster files))
+
+let fires ?roster name rule files =
+  Alcotest.(check bool) name true (count ?roster rule files > 0)
+
+let clean ?roster name rule files =
+  Alcotest.(check int) name 0 (count ?roster rule files)
+
+(* --- hot-alloc ----------------------------------------------------------- *)
+
+let test_hot_alloc_fires () =
+  fires "tuple per call" "hot-alloc"
+    [ ("lib/x/m.ml", "let hot x = (x, x + 1)\n") ];
+  fires "record per call" "hot-alloc"
+    [ ("lib/x/m.ml", "type r = { a : int }\nlet hot x = { a = x }\n") ];
+  fires "closure per call" "hot-alloc"
+    [ ("lib/x/m.ml", "let hot xs = List.iter (fun x -> print_int x) xs\n") ];
+  fires "list cell per call" "hot-alloc"
+    [ ("lib/x/m.ml", "let hot x acc = x :: acc\n") ];
+  fires "ref cell per call" "hot-alloc"
+    [ ("lib/x/m.ml", "let hot n =\n  let i = ref n in\n  !i\n") ];
+  fires "string concatenation" "hot-alloc"
+    [ ("lib/x/m.ml", "let hot a b = a ^ b\n") ];
+  fires "array literal" "hot-alloc"
+    [ ("lib/x/m.ml", "let hot x = [| x |]\n") ];
+  fires "builder call" "hot-alloc"
+    [ ("lib/x/m.ml", "let hot n = Hashtbl.create n\n") ];
+  fires "sprintf builds a string" "hot-alloc"
+    [ ("lib/x/m.ml", "let hot n = Printf.sprintf \"%d\" n\n") ]
+
+let test_cold_code_is_quiet () =
+  (* Identical allocation sites, but the function is not on (or
+     reachable from) the roster: no findings at all. *)
+  clean "cold tuple" "hot-alloc"
+    [ ("lib/x/m.ml", "let cold x = (x, x + 1)\nlet hot x = x + 1\n") ];
+  clean "no roster match means nothing is hot" "hot-alloc"
+    ~roster:("tools/manethot/hotpaths.sexp", "")
+    [ ("lib/x/m.ml", "let f x = (x, x)\n") ];
+  (* Non-allocating hot code is clean. *)
+  clean "pure arithmetic" "hot-alloc"
+    [ ("lib/x/m.ml", "let hot a b = (a * 31) + b\n") ];
+  clean "empty array literal" "hot-alloc"
+    [ ("lib/x/m.ml", "let hot () = ([||] : int array)\n") ]
+
+(* --- hot-poly ------------------------------------------------------------ *)
+
+let test_hot_poly () =
+  fires "bare compare" "hot-poly"
+    [ ("lib/x/m.ml", "let hot a b = compare a b\n") ];
+  fires "Stdlib.min" "hot-poly"
+    [ ("lib/x/m.ml", "let hot a b = Stdlib.min a b\n") ];
+  fires "structural equality on a constructed operand" "hot-poly"
+    [ ("lib/x/m.ml", "let hot a b = a = (b, b)\n") ];
+  fires "generic Hashtbl op hashes polymorphically" "hot-poly"
+    [ ("lib/x/m.ml", "let hot tbl k = Hashtbl.find tbl k\n") ];
+  clean "functor instance is monomorphic by construction" "hot-poly"
+    [
+      ( "lib/x/m.ml",
+        "module Stbl = Hashtbl.Make (struct\n\
+        \  type t = string\n\n\
+        \  let equal = String.equal\n\
+        \  let hash = String.hash\n\
+         end)\n\n\
+         let hot tbl k = Stbl.find tbl k\n" );
+    ];
+  clean "monomorphic compare" "hot-poly"
+    [ ("lib/x/m.ml", "let hot a b = Int.compare a b\n") ];
+  clean "equality between plain variables is left alone" "hot-poly"
+    [ ("lib/x/m.ml", "let hot a b = a = b\n") ]
+
+(* --- hot-list ------------------------------------------------------------ *)
+
+let test_hot_list () =
+  fires "List.length is O(n)" "hot-list"
+    [ ("lib/x/m.ml", "let hot xs = List.length xs\n") ];
+  fires "List.assoc is O(n)" "hot-list"
+    [ ("lib/x/m.ml", "let hot k xs = List.assoc k xs\n") ];
+  fires "@ copies the left list" "hot-list"
+    [ ("lib/x/m.ml", "let hot a b = a @ b\n") ];
+  clean "array access is constant-time" "hot-list"
+    [ ("lib/x/m.ml", "let hot a i = Array.length a + a.(i)\n") ]
+
+(* --- hot-partial --------------------------------------------------------- *)
+
+let test_hot_partial () =
+  fires "partially applied callback rebuilt per call" "hot-partial"
+    [ ("lib/x/m.ml", "let g a b = a + b\nlet hot xs = List.iter (g 1) xs\n") ];
+  (* A direct function reference allocates nothing at the call. *)
+  clean "named callback is fine" "hot-partial"
+    [ ("lib/x/m.ml", "let g x = print_int x\nlet hot xs = List.iter g xs\n") ];
+  (* A literal lambda is a hot-alloc closure, not a hot-partial. *)
+  clean "literal lambda is hot-alloc, not hot-partial" "hot-partial"
+    [ ("lib/x/m.ml", "let hot xs = List.iter (fun x -> print_int x) xs\n") ]
+
+(* --- roster propagation -------------------------------------------------- *)
+
+let test_roster_propagation () =
+  (* hot calls helper, helper calls deep: all three are hot; lone is
+     not referenced and stays cold. *)
+  let files =
+    [
+      ( "lib/x/m.ml",
+        "let deep x = (x, x)\n\
+         let helper x = deep x\n\
+         let hot x = helper x\n\
+         let lone x = (x, x)\n" );
+    ]
+  in
+  Alcotest.(check (list (pair string string)))
+    "transitive callees are hot"
+    [ ("M", "deep"); ("M", "helper"); ("M", "hot") ]
+    (Hot.hot_set ~roster:"(M hot)\n" files);
+  (* The deep callee's allocation is reported even though only the
+     root is on the roster. *)
+  Alcotest.(check bool)
+    "deep allocation reported" true
+    (List.exists
+       (fun f -> f.Hot.rule = "hot-alloc" && f.Hot.line = 1)
+       (analyze files));
+  (* Cross-module propagation through a module alias. *)
+  let files2 =
+    [
+      ("lib/x/util.ml", "let pair x = (x, x)\n");
+      ("lib/x/m.ml", "module U = Util\nlet hot x = U.pair x\n");
+    ]
+  in
+  Alcotest.(check (list (pair string string)))
+    "alias-resolved cross-module callee is hot"
+    [ ("M", "hot"); ("Util", "pair") ]
+    (Hot.hot_set ~roster:"(M hot)\n" files2)
+
+let test_roster_errors () =
+  fires "stale roster entry" "roster"
+    [ ("lib/x/m.ml", "let hot x = x\n") ]
+    ~roster:("tools/manethot/hotpaths.sexp", "(M hot)\n(M gone)\n");
+  fires "roster entry naming a non-function value" "roster"
+    [ ("lib/x/m.ml", "let hot = 42\n") ];
+  fires "lowercase module name" "roster"
+    ~roster:("tools/manethot/hotpaths.sexp", "(m hot)\n")
+    [ ("lib/x/m.ml", "let hot x = x\n") ];
+  fires "malformed entry" "roster"
+    ~roster:("tools/manethot/hotpaths.sexp", "(M hot extra)\n")
+    [ ("lib/x/m.ml", "let hot x = x\n") ];
+  clean "comments and blank lines are fine" "roster"
+    ~roster:("tools/manethot/hotpaths.sexp", "; seeds\n\n(M hot)\n")
+    [ ("lib/x/m.ml", "let hot x = x + 1\n") ]
+
+(* --- annotations --------------------------------------------------------- *)
+
+let test_annotation_suppresses () =
+  clean "allow with rationale suppresses" "hot-alloc"
+    [
+      ( "lib/x/m.ml",
+        "let hot x =\n\
+        \  (* manethot: allow hot-alloc — boxed once per run, not per \
+         event. *)\n\
+        \  (x, x)\n" );
+    ];
+  clean "allow-file with rationale suppresses everywhere" "hot-alloc"
+    [
+      ( "lib/x/m.ml",
+        "(* manethot: allow-file hot-alloc — fixture: allocation is the \
+         point. *)\n\
+         let hot x = (x, x)\n\
+         let hot2 x = [ x ]\n" );
+    ]
+
+let test_annotation_requires_rationale () =
+  let files =
+    [
+      ( "lib/x/m.ml",
+        "let hot x =\n  (* manethot: allow hot-alloc *)\n  (x, x)\n" );
+    ]
+  in
+  fires "rationale-free allow is an annotation finding" "annotation" files;
+  fires "rationale-free allow does not suppress" "hot-alloc" files;
+  fires "annotation findings are unsuppressible" "annotation"
+    [
+      ( "lib/x/m.ml",
+        "(* manethot: allow-file annotation — because. *)\n\
+         (* manethot: allow hot-alloc *)\n\
+         let hot x = (x, x)\n" );
+    ]
+
+(* --- baseline plumbing --------------------------------------------------- *)
+
+let test_baseline () =
+  let files = [ ("lib/x/m.ml", "let hot x = (x, x)\n") ] in
+  let findings = analyze files in
+  Alcotest.(check bool) "fixture fires" true (findings <> []);
+  let baseline =
+    Sem.parse_baseline (Sem.render_baseline ~tool:"manethot" findings)
+  in
+  let fresh, stale = Sem.diff_baseline ~baseline findings in
+  Alcotest.(check int) "pinned findings are not fresh" 0 (List.length fresh);
+  Alcotest.(check int) "no stale keys while they fire" 0 (List.length stale);
+  let fresh', stale' = Sem.diff_baseline ~baseline [] in
+  Alcotest.(check int) "nothing fresh after the fix" 0 (List.length fresh');
+  Alcotest.(check int) "fixed finding leaves a stale key" 1
+    (List.length stale')
+
+let test_rule_catalogue () =
+  Alcotest.(check bool) "rule catalogue non-empty" true (Hot.rules <> []);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "annotation is not an allowable rule" true
+        (r <> "annotation"))
+    Hot.rules
+
+let suites =
+  [
+    ( "manethot",
+      [
+        Alcotest.test_case "hot-alloc fires" `Quick test_hot_alloc_fires;
+        Alcotest.test_case "cold code is quiet" `Quick test_cold_code_is_quiet;
+        Alcotest.test_case "hot-poly" `Quick test_hot_poly;
+        Alcotest.test_case "hot-list" `Quick test_hot_list;
+        Alcotest.test_case "hot-partial" `Quick test_hot_partial;
+        Alcotest.test_case "roster propagation" `Quick test_roster_propagation;
+        Alcotest.test_case "roster errors" `Quick test_roster_errors;
+        Alcotest.test_case "annotations suppress" `Quick
+          test_annotation_suppresses;
+        Alcotest.test_case "annotations need rationale" `Quick
+          test_annotation_requires_rationale;
+        Alcotest.test_case "baseline plumbing" `Quick test_baseline;
+        Alcotest.test_case "rule catalogue" `Quick test_rule_catalogue;
+      ] );
+  ]

@@ -4,5 +4,6 @@ let () =
    @ Test_binary.suites @ Test_dad_dns.suites @ Test_routing.suites
    @ Test_aodv.suites @ Test_faults.suites @ Test_integration.suites
    @ Test_obs.suites @ Test_audit.suites @ Test_lint.suites
-   @ Test_manetsem.suites @ Test_manetdom.suites @ Test_sweep.suites
+   @ Test_manetsem.suites @ Test_manetdom.suites @ Test_manethot.suites
+   @ Test_sweep.suites
    @ Test_scenario.suites @ Test_perf.suites)

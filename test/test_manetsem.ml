@@ -296,6 +296,23 @@ let test_suppression () =
       ( "lib/a.ml",
         "(* manetsem: allow-file determinism *)\n\n\
          let now () = Unix.gettimeofday ()\n" );
+    ];
+  (* Legacy-grammar pins: the move onto the shared analyzer runtime
+     must not tighten manetsem's historical allow grammar.  A rationale
+     stays optional (unlike manethot/manetdom)... *)
+  clean "rationale-free allow still suppresses" "determinism"
+    [
+      ( "lib/a.ml",
+        "(* manetsem: allow determinism *)\nlet now () = Unix.gettimeofday ()\n"
+      );
+    ];
+  (* ...and the directive must still open the comment: one buried
+     mid-prose is ignored rather than honoured. *)
+  fires "mid-comment directive is still ignored" "determinism"
+    [
+      ( "lib/a.ml",
+        "(* see also: manetsem: allow determinism *)\n\
+         let now () = Unix.gettimeofday ()\n" );
     ]
 
 (* --- baseline semantics ------------------------------------------------- *)

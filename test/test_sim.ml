@@ -16,23 +16,36 @@ let qtest ?(count = 200) name gen prop =
 (* Heap                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Read-then-drop against the SoA accessors, as the engine does. *)
+let pop h =
+  if Heap.is_empty h then None
+  else begin
+    let p = Heap.min_prio h and v = Heap.min_snd h in
+    Heap.drop_min h;
+    Some (p, v)
+  end
+
 let test_heap_basic () =
   let h = Heap.create () in
   Alcotest.(check bool) "empty" true (Heap.is_empty h);
-  Heap.push h 3.0 "c";
-  Heap.push h 1.0 "a";
-  Heap.push h 2.0 "b";
+  Heap.push h 3.0 () "c";
+  Heap.push h 1.0 () "a";
+  Heap.push h 2.0 () "b";
   Alcotest.(check int) "size" 3 (Heap.size h);
-  Alcotest.(check (option (pair (float 0.0) string))) "peek" (Some (1.0, "a")) (Heap.peek h);
-  Alcotest.(check (option (pair (float 0.0) string))) "pop a" (Some (1.0, "a")) (Heap.pop h);
-  Alcotest.(check (option (pair (float 0.0) string))) "pop b" (Some (2.0, "b")) (Heap.pop h);
-  Alcotest.(check (option (pair (float 0.0) string))) "pop c" (Some (3.0, "c")) (Heap.pop h);
-  Alcotest.(check (option (pair (float 0.0) string))) "pop empty" None (Heap.pop h)
+  Alcotest.(check (pair (float 0.0) string)) "peek" (1.0, "a")
+    (Heap.min_prio h, Heap.min_snd h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop a" (Some (1.0, "a")) (pop h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop b" (Some (2.0, "b")) (pop h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop c" (Some (3.0, "c")) (pop h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop empty" None (pop h);
+  Alcotest.check_raises "min_prio on empty"
+    (Invalid_argument "Heap.min_prio: empty heap") (fun () ->
+      ignore (Heap.min_prio h))
 
 let test_heap_fifo_ties () =
   let h = Heap.create () in
-  List.iter (fun v -> Heap.push h 1.0 v) [ 1; 2; 3; 4; 5 ];
-  let order = List.init 5 (fun _ -> match Heap.pop h with Some (_, v) -> v | None -> -1) in
+  List.iter (fun v -> Heap.push h 1.0 () v) [ 1; 2; 3; 4; 5 ];
+  let order = List.init 5 (fun _ -> match pop h with Some (_, v) -> v | None -> -1) in
   Alcotest.(check (list int)) "insertion order among ties" [ 1; 2; 3; 4; 5 ] order
 
 let prop_heap_sorts =
@@ -40,9 +53,9 @@ let prop_heap_sorts =
     QCheck.(list (float_bound_exclusive 1000.0))
     (fun floats ->
       let h = Heap.create () in
-      List.iter (fun f -> Heap.push h f ()) floats;
+      List.iter (fun f -> Heap.push h f () ()) floats;
       let rec drain acc =
-        match Heap.pop h with None -> List.rev acc | Some (p, ()) -> drain (p :: acc)
+        match pop h with None -> List.rev acc | Some (p, ()) -> drain (p :: acc)
       in
       let popped = drain [] in
       popped = List.sort compare floats)
@@ -55,11 +68,11 @@ let test_heap_interleaved () =
   for _ = 1 to 1000 do
     if Prng.bool g || !reference = [] then begin
       let p = Prng.float g 100.0 in
-      Heap.push h p ();
+      Heap.push h p () ();
       reference := List.merge compare [ p ] !reference
     end
     else begin
-      match (Heap.pop h, !reference) with
+      match (pop h, !reference) with
       | Some (p, ()), r :: rest ->
           Alcotest.(check (float 0.0)) "min matches" r p;
           reference := rest

@@ -1,0 +1,466 @@
+(* analyzer_common — the shared runtime of the AST analyzers
+   (manetsem, manetdom, manethot).  One comment scanner, one
+   allow-directive grammar (with per-tool strictness switches), one
+   parse/alias/binding toolkit over compiler-libs, and one baseline
+   fresh/stale/diff semantics, so every analyzer suppresses, pins and
+   reports findings identically.  See common.mli. *)
+
+open Parsetree
+
+type finding = { file : string; line : int; rule : string; msg : string }
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%s:%d: [%s] %s" f.file f.line f.rule f.msg
+
+let compare_findings a b =
+  match compare a.file b.file with
+  | 0 -> (
+      match compare a.line b.line with
+      | 0 -> (
+          match compare a.rule b.rule with 0 -> compare a.msg b.msg | c -> c)
+      | c -> c)
+  | c -> c
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Comment scanning.  The parser drops comments, so suppression
+   directives are collected lexically: strings (plain and {id|...|id}),
+   char literals and nested comments are tracked so that comment line
+   ranges are exact. *)
+
+let scan_comments src =
+  let n = String.length src in
+  let comments = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let l0 = !line in
+      let buf = Buffer.create 64 in
+      let depth = ref 1 in
+      i := !i + 2;
+      while !depth > 0 && !i < n do
+        if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
+          incr depth;
+          Buffer.add_string buf "(*";
+          i := !i + 2
+        end
+        else if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = ')' then begin
+          decr depth;
+          if !depth > 0 then Buffer.add_string buf "*)";
+          i := !i + 2
+        end
+        else begin
+          bump src.[!i];
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      comments := (Buffer.contents buf, l0, !line) :: !comments
+    end
+    else if c = '"' then begin
+      incr i;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        match src.[!i] with
+        | '\\' ->
+            if !i + 1 < n && src.[!i + 1] = '\n' then incr line;
+            i := !i + 2
+        | '"' ->
+            fin := true;
+            incr i
+        | ch ->
+            bump ch;
+            incr i
+      done
+    end
+    else if c = '{' then begin
+      let j = ref (!i + 1) in
+      while
+        !j < n && (match src.[!j] with 'a' .. 'z' | '_' -> true | _ -> false)
+      do
+        incr j
+      done;
+      if !j < n && src.[!j] = '|' then begin
+        let id = String.sub src (!i + 1) (!j - !i - 1) in
+        let close = "|" ^ id ^ "}" in
+        let cl = String.length close in
+        i := !j + 1;
+        let fin = ref false in
+        while (not !fin) && !i < n do
+          if !i + cl <= n && String.sub src !i cl = close then begin
+            fin := true;
+            i := !i + cl
+          end
+          else begin
+            bump src.[!i];
+            incr i
+          end
+        done
+      end
+      else begin
+        bump c;
+        incr i
+      end
+    end
+    else if c = '\'' then begin
+      if !i + 2 < n && src.[!i + 1] = '\\' then begin
+        let j = ref (!i + 2) in
+        while !j < n && src.[!j] <> '\'' && !j < !i + 6 do
+          incr j
+        done;
+        if !j < n && src.[!j] = '\'' then i := !j + 1 else incr i
+      end
+      else if !i + 2 < n && src.[!i + 2] = '\'' then begin
+        if src.[!i + 1] = '\n' then incr line;
+        i := !i + 3
+      end
+      else incr i
+    end
+    else begin
+      bump c;
+      incr i
+    end
+  done;
+  List.rev !comments
+
+let words_of s =
+  String.split_on_char '\n' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.filter (fun w -> w <> "")
+
+(* ------------------------------------------------------------------ *)
+(* Allow directives.  Two grammars share this scanner:
+
+   - legacy (manetsem): the directive must open the comment and needs no
+     rationale ([anywhere = false], [require_rationale = false]);
+   - strict (manetdom, manethot): the directive may sit anywhere inside
+     a comment — so one block can carry several tools' allows — and the
+     prose after the rule names (up to the next [tool:] marker) is
+     mandatory; a directive without it lands in [a_bad] instead of
+     suppressing.
+
+   An [allow] suppresses on the comment's own lines and on the line
+   directly below the comment's last line; [allow-file] suppresses
+   file-wide. *)
+
+type allows = {
+  a_ranges : (string * int * int) list; (* rule, first line, last line *)
+  a_whole : string list;
+  a_bad : int list; (* strict-mode directive lines missing their rationale *)
+}
+
+let no_allows = { a_ranges = []; a_whole = []; a_bad = [] }
+
+let rec drop n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
+
+let has_prose ws =
+  List.exists
+    (fun w ->
+      String.exists (function 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false) w)
+    ws
+
+let scan_allows ~tool ~rules ?(anywhere = false) ?(require_rationale = false)
+    src =
+  let marker = tool ^ ":" in
+  let rec take_rules = function
+    | w :: rest when List.mem w rules -> w :: take_rules rest
+    | _ -> []
+  in
+  let rec until_next acc = function
+    | [] -> List.rev acc
+    | w :: _ when w = marker -> List.rev acc
+    | w :: rest -> until_next (w :: acc) rest
+  in
+  let apply acc kw rest l0 l1 =
+    let rs = take_rules rest in
+    let tail = drop (List.length rs) rest in
+    let rationale = until_next [] tail in
+    if rs = [] || (require_rationale && not (has_prose rationale)) then
+      if require_rationale then { acc with a_bad = l0 :: acc.a_bad } else acc
+    else if kw = "allow-file" then { acc with a_whole = rs @ acc.a_whole }
+    else
+      {
+        acc with
+        a_ranges = List.map (fun r -> (r, l0, l1 + 1)) rs @ acc.a_ranges;
+      }
+  in
+  List.fold_left
+    (fun acc (text, l0, l1) ->
+      if anywhere then
+        let rec go acc = function
+          | [] -> acc
+          | w :: kw :: rest when w = marker && (kw = "allow" || kw = "allow-file")
+            ->
+              go (apply acc kw rest l0 l1) rest
+          | _ :: rest -> go acc rest
+        in
+        go acc (words_of text)
+      else
+        match words_of text with
+        | w :: kw :: rest when w = marker && (kw = "allow" || kw = "allow-file")
+          ->
+            apply acc kw rest l0 l1
+        | _ -> acc)
+    no_allows (scan_comments src)
+
+let suppressed ?(protect = []) allows f =
+  (not (List.mem f.rule protect))
+  && (List.mem f.rule allows.a_whole
+     || List.exists
+          (fun (r, a, b) -> r = f.rule && a <= f.line && f.line <= b)
+          allows.a_ranges)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing and per-file units. *)
+
+type parsed =
+  | Impl of structure
+  | Intf of signature
+  | Fail of int * string
+
+type unit_ = {
+  u_path : string;
+  u_mod : string;
+  u_parsed : parsed;
+  u_aliases : (string, string) Hashtbl.t;
+  u_allows : allows;
+  u_analyzed : bool;
+}
+
+let first_line s =
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let parse_file path content =
+  let lexbuf = Lexing.from_string content in
+  Lexing.set_filename lexbuf path;
+  try
+    if Filename.check_suffix path ".mli" then Intf (Parse.interface lexbuf)
+    else Impl (Parse.implementation lexbuf)
+  with exn ->
+    let line = (Lexing.lexeme_start_p lexbuf).Lexing.pos_lnum in
+    Fail (line, first_line (Printexc.to_string exn))
+
+let rec lid_last = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (_, s) -> s
+  | Longident.Lapply (_, l) -> lid_last l
+
+(* [resolve] maps a reference to an (optional module last-component,
+   name) pair.  Local [module X = A.B] aliases are chased one step; all
+   library module basenames in this tree are distinct, so the last
+   component identifies a module uniquely. *)
+let resolve aliases lid =
+  match lid with
+  | Longident.Lident x -> (None, x)
+  | Longident.Ldot (p, x) ->
+      let m =
+        match p with
+        | Longident.Lident m0 -> (
+            match Hashtbl.find_opt aliases m0 with Some r -> r | None -> m0)
+        | _ -> lid_last p
+      in
+      (Some m, x)
+  | Longident.Lapply (_, _) -> (None, lid_last lid)
+
+let rec collect_aliases str tbl =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_module
+          {
+            pmb_name = { txt = Some name; _ };
+            pmb_expr = { pmod_desc = Pmod_ident { txt; _ }; _ };
+            _;
+          } ->
+          Hashtbl.replace tbl name (lid_last txt)
+      | Pstr_module
+          { pmb_expr = { pmod_desc = Pmod_structure sub; _ }; _ } ->
+          collect_aliases sub tbl
+      | _ -> ())
+    str
+
+let mk_unit ?(analyzed = true) ~scan (path, content) =
+  let parsed = parse_file path content in
+  let aliases = Hashtbl.create 8 in
+  (match parsed with Impl str -> collect_aliases str aliases | _ -> ());
+  {
+    u_path = path;
+    u_mod =
+      String.capitalize_ascii
+        (Filename.remove_extension (Filename.basename path));
+    u_parsed = parsed;
+    u_aliases = aliases;
+    u_allows = (if analyzed then scan content else no_allows);
+    u_analyzed = analyzed;
+  }
+
+let parse_failures units =
+  List.filter_map
+    (fun u ->
+      match u.u_parsed with
+      | Fail (line, msg) when u.u_analyzed ->
+          Some
+            {
+              file = u.u_path;
+              line;
+              rule = "parse";
+              msg = "file does not parse: " ^ msg;
+            }
+      | _ -> None)
+    units
+
+let annotation_findings ~tool units =
+  List.concat_map
+    (fun u ->
+      List.map
+        (fun line ->
+          {
+            file = u.u_path;
+            line;
+            rule = "annotation";
+            msg =
+              tool
+              ^ " allow directive needs at least one known rule name and a \
+                 rationale (prose after the rule names)";
+          })
+        u.u_allows.a_bad)
+    units
+
+(* ------------------------------------------------------------------ *)
+(* Top-level bindings, nested modules included. *)
+
+type binding = {
+  b_unit : unit_;
+  b_mod : string; (* enclosing module: file module or submodule *)
+  b_name : string;
+  b_expr : expression;
+  b_line : int;
+}
+
+let rec binding_name p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (q, _) -> binding_name q
+  | _ -> None
+
+let collect_bindings u =
+  let out = ref [] in
+  let rec go modname items =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                match binding_name vb.pvb_pat with
+                | Some name ->
+                    out :=
+                      {
+                        b_unit = u;
+                        b_mod = modname;
+                        b_name = name;
+                        b_expr = vb.pvb_expr;
+                        b_line = vb.pvb_loc.Location.loc_start.Lexing.pos_lnum;
+                      }
+                      :: !out
+                | None -> ())
+              vbs
+        | Pstr_module
+            {
+              pmb_name = { txt = Some sub; _ };
+              pmb_expr = { pmod_desc = Pmod_structure str; _ };
+              _;
+            } ->
+            go sub str
+        | _ -> ())
+      items
+  in
+  (match u.u_parsed with Impl str -> go u.u_mod str | _ -> ());
+  List.rev !out
+
+(* One-level expression children, for generic traversal cases. *)
+let sub_expressions e =
+  let acc = ref [] in
+  let sub =
+    {
+      Ast_iterator.default_iterator with
+      expr = (fun _ x -> acc := x :: !acc);
+    }
+  in
+  Ast_iterator.default_iterator.expr sub e;
+  List.rev !acc
+
+let filter_suppressed ?protect units findings =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun u -> Hashtbl.replace tbl u.u_path u.u_allows) units;
+  let allows_for path =
+    match Hashtbl.find_opt tbl path with Some a -> a | None -> no_allows
+  in
+  findings
+  |> List.filter (fun f -> not (suppressed ?protect (allows_for f.file) f))
+  |> List.sort_uniq compare_findings
+
+(* ------------------------------------------------------------------ *)
+(* Baseline. *)
+
+let finding_key f = f.file ^ "|" ^ f.rule ^ "|" ^ f.msg
+
+let render_baseline ~tool findings =
+  let keys = List.sort_uniq compare (List.map finding_key findings) in
+  let header =
+    Printf.sprintf
+      "# %s baseline — accepted pre-existing findings.\n\
+       # One key per line: file|rule|message.  Regenerate with:\n\
+       #   dune exec tools/%s/main.exe -- --write-baseline\n"
+      tool tool
+  in
+  header ^ String.concat "" (List.map (fun k -> k ^ "\n") keys)
+
+let parse_baseline s =
+  String.split_on_char '\n' s
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+
+let diff_baseline ~baseline findings =
+  let fresh =
+    List.filter (fun f -> not (List.mem (finding_key f) baseline)) findings
+  in
+  let keys = List.map finding_key findings in
+  let stale = List.filter (fun k -> not (List.mem k keys)) baseline in
+  (fresh, stale)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ~baseline findings =
+  let obj f =
+    Printf.sprintf
+      "{\"file\":\"%s\",\"line\":%d,\"rule\":\"%s\",\"msg\":\"%s\",\"baselined\":%b}"
+      (json_escape f.file) f.line (json_escape f.rule) (json_escape f.msg)
+      (List.mem (finding_key f) baseline)
+  in
+  "[" ^ String.concat ",\n " (List.map obj findings) ^ "]\n"

@@ -1,0 +1,165 @@
+(** analyzer_common — shared runtime for the AST analyzers.
+
+    manetsem (PR 4), manetdom (PR 6) and manethot (PR 9) are all
+    compiler-libs analyzers with the same operational shape: parse
+    [lib/**/*.ml(i)], walk the AST, filter findings through in-source
+    allow directives, and diff against a committed baseline where both
+    fresh findings and stale pins fail the build.  This library owns
+    that shape once — the comment scanner, the allow grammar (with the
+    per-tool strictness switches), the parse/alias/binding toolkit and
+    the baseline machinery — so the analyzers contain only their rules.
+
+    {1 Findings} *)
+
+type finding = { file : string; line : int; rule : string; msg : string }
+
+val pp_finding : Format.formatter -> finding -> unit
+(** [file:line: [rule] msg] — one line, the format the CLIs print. *)
+
+val compare_findings : finding -> finding -> int
+(** Order by file, line, rule, msg — the order findings are reported. *)
+
+val contains : string -> string -> bool
+(** [contains s sub] — naive substring test (analyzer-time only). *)
+
+(** {1 Comment scanning} *)
+
+val scan_comments : string -> (string * int * int) list
+(** Every comment of an OCaml source, as (text, first line, last line).
+    Strings (plain and [{id|...|id}]), char literals and nested comments
+    are tracked lexically so the line ranges are exact. *)
+
+val words_of : string -> string list
+(** Whitespace-split words of a comment body. *)
+
+(** {1 Allow directives}
+
+    Two grammars share one scanner.  The legacy grammar (manetsem) puts
+    the directive at the start of the comment and needs no rationale.
+    The strict grammar (manetdom, manethot) finds the directive anywhere
+    inside a comment — one block can carry several tools' allows — and
+    requires prose after the rule names; a directive without it lands in
+    [a_bad] instead of suppressing. *)
+
+type allows = {
+  a_ranges : (string * int * int) list;  (** rule, first, last line *)
+  a_whole : string list;  (** file-wide allows *)
+  a_bad : int list;  (** strict directives missing their rationale *)
+}
+
+val no_allows : allows
+
+val scan_allows :
+  tool:string ->
+  rules:string list ->
+  ?anywhere:bool ->
+  ?require_rationale:bool ->
+  string ->
+  allows
+(** [scan_allows ~tool ~rules src] reads [tool:]-prefixed allow
+    directives from [src]'s comments.  [anywhere] (default [false])
+    selects the strict placement rule; [require_rationale] (default
+    [false]) the strict rationale rule.  An [allow] suppresses on the
+    comment's lines plus the line below its last line; [allow-file]
+    suppresses file-wide. *)
+
+val suppressed : ?protect:string list -> allows -> finding -> bool
+(** Whether [allows] suppresses the finding.  Rules in [protect]
+    (e.g. ["annotation"]) can never be suppressed. *)
+
+(** {1 Parsing and per-file units} *)
+
+type parsed =
+  | Impl of Parsetree.structure
+  | Intf of Parsetree.signature
+  | Fail of int * string
+
+type unit_ = {
+  u_path : string;
+  u_mod : string;  (** capitalized basename: the compilation unit name *)
+  u_parsed : parsed;
+  u_aliases : (string, string) Hashtbl.t;  (** local module aliases *)
+  u_allows : allows;
+  u_analyzed : bool;  (** false for reference-only (use-site) files *)
+}
+
+val parse_file : string -> string -> parsed
+(** Parse one source text; syntax errors become [Fail (line, msg)]. *)
+
+val mk_unit :
+  ?analyzed:bool -> scan:(string -> allows) -> string * string -> unit_
+(** Build a unit from (path, content).  [scan] is the tool's configured
+    {!scan_allows}; it only runs when [analyzed] (default [true]) —
+    reference files carry {!no_allows}. *)
+
+val parse_failures : unit_ list -> finding list
+(** One ["parse"] finding per analyzed unit that failed to parse. *)
+
+val annotation_findings : tool:string -> unit_ list -> finding list
+(** One unsuppressible ["annotation"] finding per rationale-free strict
+    directive ([a_bad]) across the units. *)
+
+val filter_suppressed :
+  ?protect:string list -> unit_ list -> finding list -> finding list
+(** Filter findings through each unit's allows, then sort and de-dup —
+    the shared tail of every analyzer's [analyze]. *)
+
+val lid_last : Longident.t -> string
+(** Last component of a long identifier. *)
+
+val resolve :
+  (string, string) Hashtbl.t -> Longident.t -> string option * string
+(** Map a reference to (optional module last-component, name), chasing
+    one step of local [module X = A.B] aliases.  Library module
+    basenames in this tree are distinct, so the last component
+    identifies a module uniquely. *)
+
+val collect_aliases : Parsetree.structure -> (string, string) Hashtbl.t -> unit
+(** Record [module X = A.B] aliases (nested structures included). *)
+
+(** {1 Top-level bindings} *)
+
+type binding = {
+  b_unit : unit_;
+  b_mod : string;  (** enclosing module: file module or submodule *)
+  b_name : string;
+  b_expr : Parsetree.expression;
+  b_line : int;
+}
+
+val binding_name : Parsetree.pattern -> string option
+(** The variable a pattern binds, looking through type constraints. *)
+
+val collect_bindings : unit_ -> binding list
+(** Every top-level [let] of an implementation, nested [module struct]s
+    included, in source order. *)
+
+val sub_expressions : Parsetree.expression -> Parsetree.expression list
+(** One-level expression children, for generic traversal cases. *)
+
+(** {1 Baseline}
+
+    A baseline pins accepted pre-existing findings so that [@lint] only
+    fails on {e new} ones.  Keys deliberately omit the line number so
+    unrelated edits do not invalidate the baseline. *)
+
+val finding_key : finding -> string
+(** Stable identity of a finding: ["file|rule|msg"]. *)
+
+val render_baseline : tool:string -> finding list -> string
+(** Serialize findings as a sorted, de-duplicated baseline file; [tool]
+    names the regeneration command in the header comment. *)
+
+val parse_baseline : string -> string list
+(** Keys from a baseline file's contents ([#] comments, blanks skipped). *)
+
+val diff_baseline :
+  baseline:string list -> finding list -> finding list * string list
+(** [(fresh, stale)]: findings whose key is not pinned, and pinned keys
+    that no longer fire.  Both are failures. *)
+
+val json_escape : string -> string
+
+val to_json : baseline:string list -> finding list -> string
+(** All findings as a JSON array (each with a ["baselined"] flag), for
+    the CI artifact. *)

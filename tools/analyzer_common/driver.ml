@@ -1,0 +1,103 @@
+(* Shared analyzer CLI driver.  Every analyzer executable is the same
+   program modulo its tool name and analyze function: walk the source
+   roots, run the rules, then either write the baseline or diff against
+   it, print fresh findings and stale keys, and exit 1 on either.  See
+   driver.mli. *)
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.filter (fun n -> n <> "_build" && n.[0] <> '.')
+    |> List.fold_left (fun acc n -> walk acc (Filename.concat path n)) acc
+  else if
+    Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then path :: acc
+  else acc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let gather roots =
+  roots
+  |> List.filter Sys.file_exists
+  |> List.fold_left walk []
+  |> List.sort compare
+  |> List.map (fun p -> (p, read_file p))
+
+let run ~tool ?(default_roots = [ "lib" ]) ?default_uses ?(options = [])
+    ~analyze () =
+  let roots = ref [] in
+  let uses = ref [] in
+  let baseline_path = ref ("tools/" ^ tool ^ "/baseline") in
+  let write_baseline = ref false in
+  let json_path = ref None in
+  let rec parse_args = function
+    | [] -> ()
+    | "--baseline" :: p :: rest ->
+        baseline_path := p;
+        parse_args rest
+    | "--write-baseline" :: rest ->
+        write_baseline := true;
+        parse_args rest
+    | "--json" :: p :: rest ->
+        json_path := Some p;
+        parse_args rest
+    | "--uses" :: d :: rest when default_uses <> None ->
+        uses := !uses @ [ d ];
+        parse_args rest
+    | flag :: v :: rest when List.mem_assoc flag options ->
+        List.assoc flag options := v;
+        parse_args rest
+    | arg :: rest ->
+        roots := !roots @ [ arg ];
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let roots = if !roots = [] then default_roots else !roots in
+  let uses =
+    match default_uses with
+    | None -> []
+    | Some d -> if !uses = [] then d else !uses
+  in
+  let findings = analyze ~uses:(gather uses) (gather roots) in
+  if !write_baseline then begin
+    let oc = open_out !baseline_path in
+    output_string oc (Common.render_baseline ~tool findings);
+    close_out oc;
+    Printf.printf "%s: wrote %d baseline entr%s to %s\n" tool
+      (List.length findings)
+      (if List.length findings = 1 then "y" else "ies")
+      !baseline_path
+  end
+  else begin
+    let baseline =
+      if Sys.file_exists !baseline_path then
+        Common.parse_baseline (read_file !baseline_path)
+      else []
+    in
+    (match !json_path with
+    | Some p ->
+        let oc = open_out p in
+        output_string oc (Common.to_json ~baseline findings);
+        close_out oc
+    | None -> ());
+    let fresh, stale = Common.diff_baseline ~baseline findings in
+    List.iter (fun f -> Format.printf "%a@." Common.pp_finding f) fresh;
+    List.iter
+      (fun k ->
+        Printf.printf
+          "%s: stale baseline entry (no longer fires); remove it or rerun \
+           --write-baseline\n"
+          k)
+      stale;
+    if fresh <> [] || stale <> [] then begin
+      Printf.printf "%s: %d new finding(s), %d stale baseline entr%s\n" tool
+        (List.length fresh) (List.length stale)
+        (if List.length stale = 1 then "y" else "ies");
+      exit 1
+    end
+  end

@@ -1,0 +1,37 @@
+(** Shared analyzer CLI driver.
+
+    Usage of every analyzer executable:
+    {v
+    main.exe [--baseline FILE] [--write-baseline] [--json FILE]
+             [--uses DIR]... [TOOL-OPTS] [ROOT]...
+    v}
+
+    ROOTs (default [lib]) are analyzed; [--uses] dirs (only accepted
+    when the tool declares [default_uses]) are parsed as reference
+    points only.  Exit 1 on any finding not pinned in the baseline, or
+    on stale baseline entries — a pinned key whose finding no longer
+    fires fails the build too, so fixed findings must leave the
+    baseline in the same commit. *)
+
+val read_file : string -> string
+(** Whole file contents, binary-safe. *)
+
+val gather : string list -> (string * string) list
+(** All [.ml]/[.mli] files under the given roots (skipping [_build] and
+    dotfiles), sorted, as (path, content) pairs. *)
+
+val run :
+  tool:string ->
+  ?default_roots:string list ->
+  ?default_uses:string list ->
+  ?options:(string * string ref) list ->
+  analyze:
+    (uses:(string * string) list ->
+    (string * string) list ->
+    Common.finding list) ->
+  unit ->
+  unit
+(** [run ~tool ~analyze ()] is the whole CLI.  The baseline default is
+    [tools/<tool>/baseline].  [options] declares extra one-argument
+    flags (e.g. manethot's [--hotpaths FILE]): the matched value is
+    stored in the given ref before [analyze] runs. *)

@@ -1,13 +1,15 @@
 (* manetdom — domain-safety analyzer.  See dom.mli for the rule
    catalogue.  Built on compiler-libs only (Parse + Parsetree +
-   Ast_iterator), sharing the comment scanner and baseline machinery
-   with manetsem so all three analyzers keep one suppression grammar and
-   one diff/stale semantics. *)
+   Ast_iterator); the comment scanner, strict allow grammar and baseline
+   machinery come from tools/analyzer_common, shared with manetsem and
+   manethot, so all analyzers keep one suppression grammar and one
+   diff/stale semantics. *)
 
 open Parsetree
-module Sem = Manetsem.Sem
+module C = Analyzer_common.Common
+open C
 
-type finding = Sem.finding = {
+type finding = C.finding = {
   file : string;
   line : int;
   rule : string;
@@ -29,160 +31,16 @@ let domain_allowlisted path =
 let domain_modules =
   [ "Domain"; "Atomic"; "Mutex"; "Condition"; "Semaphore"; "Thread" ]
 
-(* ------------------------------------------------------------------ *)
-(* Suppression.  Same scanner and line ranges as manetsem, with one
-   tightening: the directive must carry a rationale (prose after the
-   rule names), otherwise it does not suppress and instead yields an
-   "annotation" finding — which itself cannot be allowed away. *)
+(* Strict allow grammar: the directive may sit anywhere inside a
+   comment — so one comment can carry both a manetsem and a manetdom
+   allow when both analyzers flag the same binding — and the rationale
+   (prose between the rule names and the next [manetdom:] marker) is
+   mandatory; a directive without one yields an unsuppressible
+   "annotation" finding instead. *)
+let scan_allows =
+  C.scan_allows ~tool:"manetdom" ~rules ~anywhere:true ~require_rationale:true
 
-type allows = {
-  a_ranges : (string * int * int) list;
-  a_whole : string list;
-  a_bad : int list; (* directive lines missing their rationale *)
-}
-
-let no_allows = { a_ranges = []; a_whole = []; a_bad = [] }
-
-let words_of s =
-  String.split_on_char '\n' s
-  |> List.concat_map (String.split_on_char '\t')
-  |> List.concat_map (String.split_on_char ' ')
-  |> List.filter (fun w -> w <> "")
-
-let rec take_rules = function
-  | w :: rest when List.mem w rules -> w :: take_rules rest
-  | _ -> []
-
-let rec drop n l =
-  if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
-
-let has_prose ws =
-  List.exists
-    (fun w ->
-      String.exists (function 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false) w)
-    ws
-
-(* Unlike manetsem, the directive may sit anywhere inside a comment —
-   so one comment can carry both a manetsem and a manetdom allow when
-   both analyzers flag the same binding.  The rationale is the prose
-   between the rule names and the next [manetdom:] marker (or the
-   comment's end). *)
-let scan_allows src =
-  List.fold_left
-    (fun acc (text, l0, l1) ->
-      let rec until_next acc = function
-        | [] -> List.rev acc
-        | "manetdom:" :: _ -> List.rev acc
-        | w :: rest -> until_next (w :: acc) rest
-      in
-      let rec go acc = function
-        | [] -> acc
-        | "manetdom:" :: kw :: rest when kw = "allow" || kw = "allow-file" ->
-            let rs = take_rules rest in
-            let tail = drop (List.length rs) rest in
-            let rationale = until_next [] tail in
-            let acc =
-              if rs = [] || not (has_prose rationale) then
-                { acc with a_bad = l0 :: acc.a_bad }
-              else if kw = "allow-file" then
-                { acc with a_whole = rs @ acc.a_whole }
-              else
-                {
-                  acc with
-                  a_ranges =
-                    List.map (fun r -> (r, l0, l1 + 1)) rs @ acc.a_ranges;
-                }
-            in
-            go acc tail
-        | _ :: rest -> go acc rest
-      in
-      go acc (words_of text))
-    no_allows (Sem.scan_comments src)
-
-let suppressed allows f =
-  f.rule <> "annotation"
-  && (List.mem f.rule allows.a_whole
-     || List.exists
-          (fun (r, a, b) -> r = f.rule && a <= f.line && f.line <= b)
-          allows.a_ranges)
-
-(* ------------------------------------------------------------------ *)
-(* Parsing and per-file units. *)
-
-type parsed = Impl of structure | Intf of signature | Fail of int * string
-
-type unit_ = {
-  u_path : string;
-  u_mod : string;
-  u_parsed : parsed;
-  u_aliases : (string, string) Hashtbl.t;
-  u_allows : allows;
-}
-
-let first_line s =
-  match String.index_opt s '\n' with Some i -> String.sub s 0 i | None -> s
-
-let parse_file path content =
-  let lexbuf = Lexing.from_string content in
-  Lexing.set_filename lexbuf path;
-  try
-    if Filename.check_suffix path ".mli" then Intf (Parse.interface lexbuf)
-    else Impl (Parse.implementation lexbuf)
-  with exn ->
-    let line = (Lexing.lexeme_start_p lexbuf).Lexing.pos_lnum in
-    Fail (line, first_line (Printexc.to_string exn))
-
-let rec lid_last = function
-  | Longident.Lident s -> s
-  | Longident.Ldot (_, s) -> s
-  | Longident.Lapply (_, l) -> lid_last l
-
-(* Map a reference to (optional module last-component, name), chasing
-   one step of local [module X = A.B] aliases — the same resolution
-   contract as manetsem: library module basenames in this tree are
-   distinct, so the last component identifies a module. *)
-let resolve aliases lid =
-  match lid with
-  | Longident.Lident x -> (None, x)
-  | Longident.Ldot (p, x) ->
-      let m =
-        match p with
-        | Longident.Lident m0 -> (
-            match Hashtbl.find_opt aliases m0 with Some r -> r | None -> m0)
-        | _ -> lid_last p
-      in
-      (Some m, x)
-  | Longident.Lapply (_, _) -> (None, lid_last lid)
-
-let rec collect_aliases str tbl =
-  List.iter
-    (fun item ->
-      match item.pstr_desc with
-      | Pstr_module
-          {
-            pmb_name = { txt = Some name; _ };
-            pmb_expr = { pmod_desc = Pmod_ident { txt; _ }; _ };
-            _;
-          } ->
-          Hashtbl.replace tbl name (lid_last txt)
-      | Pstr_module { pmb_expr = { pmod_desc = Pmod_structure sub; _ }; _ } ->
-          collect_aliases sub tbl
-      | _ -> ())
-    str
-
-let mk_unit (path, content) =
-  let parsed = parse_file path content in
-  let aliases = Hashtbl.create 8 in
-  (match parsed with Impl str -> collect_aliases str aliases | _ -> ());
-  {
-    u_path = path;
-    u_mod =
-      String.capitalize_ascii
-        (Filename.remove_extension (Filename.basename path));
-    u_parsed = parsed;
-    u_aliases = aliases;
-    u_allows = scan_allows content;
-  }
+let mk_unit = C.mk_unit ~scan:scan_allows
 
 (* ------------------------------------------------------------------ *)
 (* Record mutability: collect (label set, has mutable field) for every
@@ -293,56 +151,7 @@ let rec mutable_alloc ~decls ~aliases ~returns_mut e =
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
-(* Top-level value summaries, nested modules included. *)
-
-type top = {
-  t_unit : unit_;
-  t_mod : string;
-  t_name : string;
-  t_expr : expression;
-  t_line : int;
-}
-
-let rec binding_name p =
-  match p.ppat_desc with
-  | Ppat_var { txt; _ } -> Some txt
-  | Ppat_constraint (q, _) -> binding_name q
-  | _ -> None
-
-let collect_tops u =
-  let out = ref [] in
-  let rec go modname items =
-    List.iter
-      (fun item ->
-        match item.pstr_desc with
-        | Pstr_value (_, vbs) ->
-            List.iter
-              (fun vb ->
-                match binding_name vb.pvb_pat with
-                | Some name ->
-                    out :=
-                      {
-                        t_unit = u;
-                        t_mod = modname;
-                        t_name = name;
-                        t_expr = vb.pvb_expr;
-                        t_line = vb.pvb_loc.Location.loc_start.Lexing.pos_lnum;
-                      }
-                      :: !out
-                | None -> ())
-              vbs
-        | Pstr_module
-            {
-              pmb_name = { txt = Some sub; _ };
-              pmb_expr = { pmod_desc = Pmod_structure str; _ };
-              _;
-            } ->
-            go sub str
-        | _ -> ())
-      items
-  in
-  (match u.u_parsed with Impl str -> go u.u_mod str | _ -> ());
-  List.rev !out
+(* Shape helpers over top-level bindings (Common.collect_bindings). *)
 
 let rec is_function e =
   match e.pexp_desc with
@@ -381,28 +190,28 @@ let returns_mut_fixpoint decls tops =
     changed := false;
     List.iter
       (fun t ->
-        if (not (Hashtbl.mem tbl (t.t_mod, t.t_name))) && is_function t.t_expr
+        if (not (Hashtbl.mem tbl (t.b_mod, t.b_name))) && is_function t.b_expr
         then begin
           let member c =
             match c with
-            | None, x -> Hashtbl.mem tbl (t.t_mod, x)
+            | None, x -> Hashtbl.mem tbl (t.b_mod, x)
             | Some m, x -> Hashtbl.mem tbl (m, x)
           in
-          let ret = peel_funs t.t_expr in
+          let ret = peel_funs t.b_expr in
           match
-            mutable_alloc ~decls ~aliases:t.t_unit.u_aliases
+            mutable_alloc ~decls ~aliases:t.b_unit.u_aliases
               ~returns_mut:member ret
           with
           | Some _ ->
-              Hashtbl.replace tbl (t.t_mod, t.t_name) ();
+              Hashtbl.replace tbl (t.b_mod, t.b_name) ();
               changed := true
           | None -> ()
         end)
       tops
   done;
-  fun t_mod c ->
+  fun b_mod c ->
     match c with
-    | None, x -> Hashtbl.mem tbl (t_mod, x)
+    | None, x -> Hashtbl.mem tbl (b_mod, x)
     | Some m, x -> Hashtbl.mem tbl (m, x)
 
 (* ------------------------------------------------------------------ *)
@@ -412,15 +221,15 @@ let returns_mut_fixpoint decls tops =
 let toplevel_findings decls returns_mut tops =
   let out = ref [] in
   let emit t line rule msg =
-    out := { file = t.t_unit.u_path; line; rule; msg } :: !out
+    out := { file = t.b_unit.u_path; line; rule; msg } :: !out
   in
   List.iter
     (fun t ->
       let alloc e =
-        mutable_alloc ~decls ~aliases:t.t_unit.u_aliases
-          ~returns_mut:(returns_mut t.t_mod) e
+        mutable_alloc ~decls ~aliases:t.b_unit.u_aliases
+          ~returns_mut:(returns_mut t.b_mod) e
       in
-      let e = peel_wrappers t.t_expr in
+      let e = peel_wrappers t.b_expr in
       (* A plain function value holds no state of its own; lets inside
          its body allocate per call. *)
       if not (is_function e) then begin
@@ -445,7 +254,7 @@ let toplevel_findings decls returns_mut tops =
                           (Printf.sprintf
                              "%s allocated at module init escapes into the \
                               closure %s.%s; every domain shares one table"
-                             what t.t_mod t.t_name)
+                             what t.b_mod t.b_name)
                   | None -> ())
                 vbs;
               memo_chain body
@@ -456,27 +265,27 @@ let toplevel_findings decls returns_mut tops =
         let final = peel_wrappers (strip_lets e) in
         match final.pexp_desc with
         | Pexp_lazy _ ->
-            emit t t.t_line "toplevel-lazy"
+            emit t t.b_line "toplevel-lazy"
               (Printf.sprintf
                  "top-level lazy %s.%s: forcing is not atomic across \
                   domains; make it a per-scenario value"
-                 t.t_mod t.t_name)
+                 t.b_mod t.b_name)
         | Pexp_ident { txt = Longident.Lident n; _ }
           when Hashtbl.mem mut_locals n ->
-            emit t t.t_line "toplevel-state"
+            emit t t.b_line "toplevel-state"
               (Printf.sprintf
                  "top-level mutable value %s.%s (%s bound in its own let \
                   chain) is shared by every domain"
-                 t.t_mod t.t_name (Hashtbl.find mut_locals n))
+                 t.b_mod t.b_name (Hashtbl.find mut_locals n))
         | _ when is_function final -> ()
         | _ -> (
             match alloc e with
             | Some what ->
-                emit t t.t_line "toplevel-state"
+                emit t t.b_line "toplevel-state"
                   (Printf.sprintf
                      "top-level mutable value %s.%s (%s) is shared by every \
                       domain; allocate it per scenario or prove it read-only"
-                     t.t_mod t.t_name what)
+                     t.b_mod t.b_name what)
             | None -> ())
       end)
     tops;
@@ -536,12 +345,12 @@ let rng_reach_findings units tops =
           (fun self e ->
             (match e.pexp_desc with
             | Pexp_ident { txt; _ } ->
-                acc := resolve t.t_unit.u_aliases txt :: !acc
+                acc := resolve t.b_unit.u_aliases txt :: !acc
             | _ -> ());
             Ast_iterator.default_iterator.expr self e);
       }
     in
-    it.expr it t.t_expr;
+    it.expr it t.b_expr;
     !acc
   in
   let direct = Hashtbl.create 16 in
@@ -553,7 +362,7 @@ let rng_reach_findings units tops =
             | Some "Random", _ | Some "State", "make_self_init" -> true
             | _ -> false)
           (idents_of t)
-      then Hashtbl.replace direct (t.t_mod, t.t_name) ())
+      then Hashtbl.replace direct (t.b_mod, t.b_name) ())
     tops;
   let reach = Hashtbl.copy direct in
   let changed = ref true in
@@ -562,14 +371,14 @@ let rng_reach_findings units tops =
     List.iter
       (fun t ->
         if
-          (not (Hashtbl.mem reach (t.t_mod, t.t_name)))
+          (not (Hashtbl.mem reach (t.b_mod, t.b_name)))
           && List.exists
                (function
-                 | None, x -> Hashtbl.mem reach (t.t_mod, x)
+                 | None, x -> Hashtbl.mem reach (t.b_mod, x)
                  | Some m, x -> Hashtbl.mem reach (m, x))
                (idents_of t)
         then begin
-          Hashtbl.replace reach (t.t_mod, t.t_name) ();
+          Hashtbl.replace reach (t.b_mod, t.b_name) ();
           changed := true
         end)
       tops
@@ -592,20 +401,20 @@ let rng_reach_findings units tops =
   List.filter_map
     (fun t ->
       if
-        Hashtbl.mem reach (t.t_mod, t.t_name)
-        && (not (Hashtbl.mem direct (t.t_mod, t.t_name)))
-        && Hashtbl.mem exported (t.t_mod, t.t_name)
+        Hashtbl.mem reach (t.b_mod, t.b_name)
+        && (not (Hashtbl.mem direct (t.b_mod, t.b_name)))
+        && Hashtbl.mem exported (t.b_mod, t.b_name)
       then
         Some
           {
-            file = t.t_unit.u_path;
-            line = t.t_line;
+            file = t.b_unit.u_path;
+            line = t.b_line;
             rule = "global-rng";
             msg =
               Printf.sprintf
                 "exported %s.%s reaches the process-global Random through \
                  its call graph; thread an engine Prng down instead"
-                t.t_mod t.t_name;
+                t.b_mod t.b_name;
           }
       else None)
     tops
@@ -678,35 +487,11 @@ let domain_findings u =
 (* ------------------------------------------------------------------ *)
 (* Assembly. *)
 
-let compare_findings a b =
-  match compare a.file b.file with
-  | 0 -> (
-      match compare a.line b.line with
-      | 0 -> (
-          match compare a.rule b.rule with 0 -> compare a.msg b.msg | c -> c)
-      | c -> c)
-  | c -> c
-
 let analyze files =
   let units = List.map mk_unit files in
   let decls = record_decls units in
-  let tops = List.concat_map collect_tops units in
+  let tops = List.concat_map collect_bindings units in
   let returns_mut = returns_mut_fixpoint decls tops in
-  let parse_failures =
-    List.filter_map
-      (fun u ->
-        match u.u_parsed with
-        | Fail (line, msg) ->
-            Some
-              {
-                file = u.u_path;
-                line;
-                rule = "parse";
-                msg = "file does not parse: " ^ msg;
-              }
-        | _ -> None)
-      units
-  in
   let rng_direct =
     List.concat_map
       (fun u ->
@@ -715,36 +500,12 @@ let analyze files =
           (global_rng_direct u))
       units
   in
-  let annotation_failures =
-    List.concat_map
-      (fun u ->
-        List.map
-          (fun line ->
-            {
-              file = u.u_path;
-              line;
-              rule = "annotation";
-              msg =
-                "manetdom allow directive needs at least one known rule name \
-                 and a rationale (prose after the rule names)";
-            })
-          u.u_allows.a_bad)
-      units
-  in
   let findings =
-    parse_failures
+    parse_failures units
     @ toplevel_findings decls returns_mut tops
     @ rng_direct
     @ rng_reach_findings units tops
     @ List.concat_map domain_findings units
-    @ annotation_failures
+    @ annotation_findings ~tool:"manetdom" units
   in
-  let allows_for =
-    let tbl = Hashtbl.create 64 in
-    List.iter (fun u -> Hashtbl.replace tbl u.u_path u.u_allows) units;
-    fun path ->
-      match Hashtbl.find_opt tbl path with Some a -> a | None -> no_allows
-  in
-  findings
-  |> List.filter (fun f -> not (suppressed (allows_for f.file) f))
-  |> List.sort_uniq compare_findings
+  filter_suppressed ~protect:[ "annotation" ] units findings

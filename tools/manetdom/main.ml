@@ -6,92 +6,10 @@
    ROOTs (default: lib) are analyzed.  Exit 1 on any finding not pinned
    in the baseline, or on stale baseline entries — a pinned key whose
    finding no longer fires fails the build too, so fixed findings must
-   leave the baseline in the same commit. *)
-
-let default_baseline = "tools/manetdom/baseline"
-
-let rec walk acc path =
-  if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list |> List.sort compare
-    |> List.filter (fun n -> n <> "_build" && n.[0] <> '.')
-    |> List.fold_left (fun acc n -> walk acc (Filename.concat path n)) acc
-  else if
-    Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
-  then path :: acc
-  else acc
-
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let gather roots =
-  roots
-  |> List.filter Sys.file_exists
-  |> List.fold_left walk []
-  |> List.sort compare
-  |> List.map (fun p -> (p, read_file p))
+   leave the baseline in the same commit.  The option parsing, file
+   walking and baseline semantics live in Analyzer_common.Driver. *)
 
 let () =
-  let roots = ref [] in
-  let baseline_path = ref default_baseline in
-  let write_baseline = ref false in
-  let json_path = ref None in
-  let rec parse_args = function
-    | [] -> ()
-    | "--baseline" :: p :: rest ->
-        baseline_path := p;
-        parse_args rest
-    | "--write-baseline" :: rest ->
-        write_baseline := true;
-        parse_args rest
-    | "--json" :: p :: rest ->
-        json_path := Some p;
-        parse_args rest
-    | arg :: rest ->
-        roots := !roots @ [ arg ];
-        parse_args rest
-  in
-  parse_args (List.tl (Array.to_list Sys.argv));
-  let roots = if !roots = [] then [ "lib" ] else !roots in
-  let findings = Manetdom.Dom.analyze (gather roots) in
-  let module Sem = Manetsem.Sem in
-  if !write_baseline then begin
-    let oc = open_out !baseline_path in
-    output_string oc (Sem.render_baseline ~tool:"manetdom" findings);
-    close_out oc;
-    Printf.printf "manetdom: wrote %d baseline entr%s to %s\n"
-      (List.length findings)
-      (if List.length findings = 1 then "y" else "ies")
-      !baseline_path
-  end
-  else begin
-    let baseline =
-      if Sys.file_exists !baseline_path then
-        Sem.parse_baseline (read_file !baseline_path)
-      else []
-    in
-    (match !json_path with
-    | Some p ->
-        let oc = open_out p in
-        output_string oc (Sem.to_json ~baseline findings);
-        close_out oc
-    | None -> ());
-    let fresh, stale = Sem.diff_baseline ~baseline findings in
-    List.iter (fun f -> Format.printf "%a@." Sem.pp_finding f) fresh;
-    List.iter
-      (fun k ->
-        Printf.printf
-          "%s: stale baseline entry (no longer fires); remove it or rerun \
-           --write-baseline\n"
-          k)
-      stale;
-    if fresh <> [] || stale <> [] then begin
-      Printf.printf "manetdom: %d new finding(s), %d stale baseline entr%s\n"
-        (List.length fresh) (List.length stale)
-        (if List.length stale = 1 then "y" else "ies");
-      exit 1
-    end
-  end
+  Analyzer_common.Driver.run ~tool:"manetdom"
+    ~analyze:(fun ~uses:_ files -> Manetdom.Dom.analyze files)
+    ()

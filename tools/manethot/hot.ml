@@ -1,0 +1,444 @@
+(* manethot — hot-path allocation & complexity analyzer.  See hot.mli
+   for the rule catalogue.  Built on compiler-libs only, over the shared
+   analyzer runtime (tools/analyzer_common): hotness is declared in a
+   committed hotpaths.sexp roster and propagated to transitive callees;
+   the rules then flag scale-hostile patterns — per-call allocation,
+   polymorphic compare/hash, O(n) list lookups, per-event partial
+   application — inside the hot set only. *)
+
+open Parsetree
+module C = Analyzer_common.Common
+open C
+
+type finding = C.finding = {
+  file : string;
+  line : int;
+  rule : string;
+  msg : string;
+}
+
+let rules =
+  [ "hot-alloc"; "hot-poly"; "hot-list"; "hot-partial"; "roster"; "parse" ]
+
+(* Strict allow grammar, like manetdom: the directive may sit anywhere
+   inside a comment and the rationale after the rule names is
+   mandatory; a directive without one yields an unsuppressible
+   "annotation" finding. *)
+let scan_allows =
+  C.scan_allows ~tool:"manethot" ~rules ~anywhere:true ~require_rationale:true
+
+let mk_unit = C.mk_unit ~scan:scan_allows
+
+(* ------------------------------------------------------------------ *)
+(* Roster: the committed hotpaths.sexp.  One (Module function) pair per
+   form; [;] starts a line comment.  Every entry must name an existing
+   top-level function — stale entries are findings, so the roster can
+   not silently rot as the tree is refactored. *)
+
+type token = Lp of int | Rp of int | Atom of string * int
+
+let tokenize text =
+  let toks = ref [] in
+  let line = ref 1 in
+  let n = String.length text in
+  let i = ref 0 in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      toks := Atom (Buffer.contents buf, !line) :: !toks;
+      Buffer.clear buf
+    end
+  in
+  while !i < n do
+    (match text.[!i] with
+    | ';' ->
+        flush ();
+        while !i < n && text.[!i] <> '\n' do
+          incr i
+        done;
+        decr i
+    | '(' ->
+        flush ();
+        toks := Lp !line :: !toks
+    | ')' ->
+        flush ();
+        toks := Rp !line :: !toks
+    | ' ' | '\t' | '\r' -> flush ()
+    | '\n' ->
+        flush ();
+        incr line
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  flush ();
+  List.rev !toks
+
+(* Returns (entries, errors): entries are (Module, fn, line). *)
+let parse_roster text =
+  let entries = ref [] and errors = ref [] in
+  let err line msg = errors := (line, msg) :: !errors in
+  let rec go = function
+    | [] -> ()
+    | Lp l :: Atom (m, _) :: Atom (f, _) :: Rp _ :: rest ->
+        if m = "" || not (m.[0] >= 'A' && m.[0] <= 'Z') then
+          err l (Printf.sprintf "module name %S must be capitalized" m)
+        else entries := (m, f, l) :: !entries;
+        go rest
+    | Lp l :: rest ->
+        err l "malformed entry: expected (Module function)";
+        let rec skip = function
+          | Rp _ :: r -> r
+          | _ :: r -> skip r
+          | [] -> []
+        in
+        go (skip rest)
+    | Atom (a, l) :: rest ->
+        err l (Printf.sprintf "stray atom %S outside an entry" a);
+        go rest
+    | Rp l :: rest ->
+        err l "unmatched )";
+        go rest
+  in
+  go (tokenize text);
+  (List.rev !entries, List.rev !errors)
+
+(* ------------------------------------------------------------------ *)
+(* Hot set: roster seeds plus transitive callees.  A reference from a
+   hot function to another analyzed top-level function makes the callee
+   hot too — calls, but also closures installed as callbacks, which is
+   exactly how event handlers reach the engine. *)
+
+let rec is_function e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ -> true
+  | Pexp_constraint (x, _) | Pexp_open (_, x) -> is_function x
+  | _ -> false
+
+let rec peel_params e =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, _, body) -> peel_params body
+  | Pexp_newtype (_, body) -> peel_params body
+  | Pexp_constraint (x, _) -> peel_params x
+  | _ -> e
+
+let referenced_fns fn_tbl b =
+  let out = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } ->
+              let key =
+                match resolve b.b_unit.u_aliases txt with
+                | Some m, x -> (m, x)
+                | None, x -> (b.b_mod, x)
+              in
+              if Hashtbl.mem fn_tbl key then out := key :: !out
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it b.b_expr;
+  !out
+
+let hot_fixpoint fn_tbl bindings seeds =
+  let hot = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace hot k ()) seeds;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if Hashtbl.mem hot (b.b_mod, b.b_name) then
+          List.iter
+            (fun k ->
+              if not (Hashtbl.mem hot k) then begin
+                Hashtbl.replace hot k ();
+                changed := true
+              end)
+            (referenced_fns fn_tbl b))
+      bindings
+  done;
+  hot
+
+(* ------------------------------------------------------------------ *)
+(* Rules.  All walks run over hot function bodies only. *)
+
+let list_linear =
+  [
+    "length"; "nth"; "mem"; "memq"; "assoc"; "assq"; "mem_assoc";
+    "mem_assq"; "find"; "find_opt"; "exists"; "append"; "rev_append";
+  ]
+
+(* Generic-[Hashtbl] operations that hash or compare keys with the
+   polymorphic primitives.  Functor instances ([Stbl.find] where
+   [module Stbl = Hashtbl.Make (String)]) resolve to the instance name
+   and are silent by construction — which is exactly the fix. *)
+let generic_tbl_ops =
+  [ "find"; "find_opt"; "mem"; "replace"; "add"; "remove"; "hash" ]
+
+let alloc_builders =
+  [
+    ("Array", [ "make"; "create"; "init"; "of_list"; "copy"; "append"; "sub" ]);
+    ("Bytes", [ "make"; "create"; "init"; "of_string"; "copy"; "sub" ]);
+    ("Buffer", [ "create" ]);
+    ("Queue", [ "create" ]);
+    ("Hashtbl", [ "create" ]);
+  ]
+
+(* Callback argument position of the higher-order sinks checked by
+   hot-partial: `First = first unlabelled argument, `Last = last. *)
+let hof_sinks =
+  [
+    (("Engine", "schedule"), `Last);
+    (("Engine", "schedule_at"), `Last);
+    (("List", "iter"), `First);
+    (("List", "map"), `First);
+    (("List", "fold_left"), `First);
+    (("Array", "iter"), `First);
+    (("Array", "iteri"), `First);
+    (("Hashtbl", "iter"), `First);
+    (("Queue", "iter"), `First);
+    (("Option", "iter"), `First);
+  ]
+
+let rec peel_wrap e =
+  match e.pexp_desc with
+  | Pexp_constraint (x, _) | Pexp_coerce (x, _, _) | Pexp_open (_, x) ->
+      peel_wrap x
+  | _ -> e
+
+(* A constructed operand makes [=]/[<>] a structural comparison for
+   sure; identifiers of unknown type are left alone. *)
+let structured_operand e =
+  match (peel_wrap e).pexp_desc with
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _ -> true
+  | Pexp_construct ({ txt; _ }, Some _) -> lid_last txt <> "()"
+  | Pexp_construct ({ txt; _ }, None) ->
+      List.mem (lid_last txt) [ "None"; "[]" ]
+  | _ -> false
+
+let nolabel_args args =
+  List.filter_map
+    (fun (lbl, a) ->
+      match lbl with Asttypes.Nolabel -> Some a | _ -> None)
+    args
+
+let analyze_binding ~emit b =
+  let who = b.b_mod ^ "." ^ b.b_name in
+  let aliases = b.b_unit.u_aliases in
+  let line_of loc = loc.Location.loc_start.Lexing.pos_lnum in
+  let alloc loc what advice =
+    emit (line_of loc) "hot-alloc"
+      (Printf.sprintf "%s allocates %s per call on the hot path; %s" who what
+         advice)
+  in
+  let check e =
+    match e.pexp_desc with
+    | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ ->
+        alloc e.pexp_loc "a closure"
+          "hoist it out of the per-event path or flatten the event \
+           representation"
+    | Pexp_tuple _ ->
+        alloc e.pexp_loc "a tuple"
+          "flatten it into separate arguments or parallel arrays"
+    | Pexp_record _ ->
+        alloc e.pexp_loc "a record"
+          "use a structure-of-arrays or reuse a preallocated cell"
+    | Pexp_array (_ :: _) ->
+        alloc e.pexp_loc "an array literal" "preallocate or reuse buffers"
+    | Pexp_construct ({ txt = Longident.Lident "::"; _ }, Some _) ->
+        alloc e.pexp_loc "a list cell"
+          "iterate the source directly instead of materializing a list"
+    | Pexp_lazy _ ->
+        alloc e.pexp_loc "a lazy block" "evaluate eagerly or precompute"
+    | Pexp_apply (head, args) -> (
+        match head.pexp_desc with
+        | Pexp_ident { txt; _ } -> (
+            let callee = resolve aliases txt in
+            (* hot-partial: a callback argument that is itself an
+               application builds a fresh closure at every call. *)
+            (match callee with
+            | Some m, x -> (
+                match List.assoc_opt (m, x) hof_sinks with
+                | Some pos -> (
+                    let cands = nolabel_args args in
+                    let cb =
+                      match (pos, cands) with
+                      | `First, a :: _ -> Some a
+                      | `Last, (_ :: _ as l) ->
+                          Some (List.nth l (List.length l - 1))
+                      | _, [] -> None
+                    in
+                    match cb with
+                    | Some a when
+                        (match (peel_wrap a).pexp_desc with
+                        | Pexp_apply _ -> true
+                        | _ -> false) ->
+                        emit (line_of a.pexp_loc) "hot-partial"
+                          (Printf.sprintf
+                             "%s passes a partially applied callback to \
+                              %s.%s; the closure is rebuilt every call — \
+                              bind it once outside the hot path"
+                             who m x)
+                    | _ -> ())
+                | None -> ())
+            | _ -> ());
+            match callee with
+            | None, "ref" ->
+                alloc head.pexp_loc "a ref cell"
+                  "use a mutable field or a preallocated cell"
+            | None, "^" ->
+                alloc head.pexp_loc "a string (^ concatenation)"
+                  "precompute the string or write into a reused Buffer"
+            | None, "@" ->
+                emit (line_of head.pexp_loc) "hot-list"
+                  (Printf.sprintf
+                     "%s appends lists with @ (O(n) copy) on the hot path; \
+                      accumulate differently or use an indexed structure"
+                     who)
+            | None, ("compare" | "min" | "max") ->
+                emit (line_of head.pexp_loc) "hot-poly"
+                  (Printf.sprintf
+                     "%s calls polymorphic %s on the hot path; use a \
+                      monomorphic comparison (Int.compare, Float.compare, \
+                      String.compare)"
+                     who (lid_last txt))
+            | Some "Stdlib", ("compare" | "min" | "max") ->
+                emit (line_of head.pexp_loc) "hot-poly"
+                  (Printf.sprintf
+                     "%s calls polymorphic Stdlib.%s on the hot path; use a \
+                      monomorphic comparison"
+                     who (lid_last txt))
+            | None, (("=" | "<>") as op)
+              when List.exists structured_operand (List.map snd args) ->
+                emit (line_of head.pexp_loc) "hot-poly"
+                  (Printf.sprintf
+                     "%s applies structural %s to a constructed value on the \
+                      hot path; match on the shape or compare fields \
+                      monomorphically"
+                     who op)
+            | Some "Hashtbl", op when List.mem op generic_tbl_ops ->
+                emit (line_of head.pexp_loc) "hot-poly"
+                  (Printf.sprintf
+                     "%s uses polymorphic-hash Hashtbl.%s on the hot path; \
+                      instantiate Hashtbl.Make over the key type"
+                     who op)
+            | Some "List", op when List.mem op list_linear ->
+                emit (line_of head.pexp_loc) "hot-list"
+                  (Printf.sprintf
+                     "%s calls List.%s (O(n)) on the hot path; use an \
+                      indexed or constant-time structure"
+                     who op)
+            | Some (("String" | "Printf" | "Format") as m), x
+              when (m = "String" && (x = "concat" || x = "cat"))
+                   || (m = "Printf" && x = "sprintf")
+                   || (m = "Format" && x = "asprintf") ->
+                alloc head.pexp_loc
+                  (Printf.sprintf "strings (%s.%s)" m x)
+                  "precompute the string or write into a reused Buffer"
+            | Some m, x
+              when List.exists
+                     (fun (bm, xs) -> bm = m && List.mem x xs)
+                     alloc_builders ->
+                alloc head.pexp_loc (m ^ "." ^ x)
+                  "preallocate once and reuse across calls"
+            | _ -> ())
+        | _ -> ())
+    | _ -> ()
+  in
+  let rec walk e =
+    check e;
+    match e.pexp_desc with
+    | Pexp_fun _ | Pexp_newtype _ -> walk (peel_params e)
+    | Pexp_function cases ->
+        List.iter
+          (fun c ->
+            (match c.pc_guard with Some g -> walk g | None -> ());
+            walk c.pc_rhs)
+          cases
+    | _ -> List.iter walk (sub_expressions e)
+  in
+  let body = peel_params b.b_expr in
+  match body.pexp_desc with
+  | Pexp_function cases ->
+      List.iter
+        (fun c ->
+          (match c.pc_guard with Some g -> walk g | None -> ());
+          walk c.pc_rhs)
+        cases
+  | _ -> walk body
+
+(* ------------------------------------------------------------------ *)
+(* Assembly. *)
+
+let fn_table bindings =
+  let fn_tbl = Hashtbl.create 256 in
+  List.iter
+    (fun b ->
+      if is_function b.b_expr then
+        Hashtbl.replace fn_tbl (b.b_mod, b.b_name) ())
+    bindings;
+  fn_tbl
+
+let seeds_of fn_tbl entries =
+  List.filter_map
+    (fun (m, f, _) -> if Hashtbl.mem fn_tbl (m, f) then Some (m, f) else None)
+    entries
+
+let analyze ~roster files =
+  let roster_path, roster_text = roster in
+  let units = List.map mk_unit files in
+  let bindings = List.concat_map collect_bindings units in
+  let fn_tbl = fn_table bindings in
+  let entries, roster_errors = parse_roster roster_text in
+  let roster_findings =
+    List.map
+      (fun (line, msg) ->
+        { file = roster_path; line; rule = "roster"; msg })
+      roster_errors
+    @ List.filter_map
+        (fun (m, f, line) ->
+          if Hashtbl.mem fn_tbl (m, f) then None
+          else
+            Some
+              {
+                file = roster_path;
+                line;
+                rule = "roster";
+                msg =
+                  Printf.sprintf
+                    "hotpaths entry %s.%s matches no top-level function in \
+                     the analyzed tree; remove or fix the entry"
+                    m f;
+              })
+        entries
+  in
+  let hot = hot_fixpoint fn_tbl bindings (seeds_of fn_tbl entries) in
+  let out = ref [] in
+  List.iter
+    (fun b ->
+      if Hashtbl.mem hot (b.b_mod, b.b_name) && is_function b.b_expr then
+        let emit line rule msg =
+          out := { file = b.b_unit.u_path; line; rule; msg } :: !out
+        in
+        analyze_binding ~emit b)
+    bindings;
+  let findings =
+    parse_failures units
+    @ roster_findings
+    @ !out
+    @ annotation_findings ~tool:"manethot" units
+  in
+  filter_suppressed ~protect:[ "annotation" ] units findings
+
+let hot_set ~roster files =
+  let units = List.map mk_unit files in
+  let bindings = List.concat_map collect_bindings units in
+  let fn_tbl = fn_table bindings in
+  let entries, _ = parse_roster roster in
+  let hot = hot_fixpoint fn_tbl bindings (seeds_of fn_tbl entries) in
+  Hashtbl.fold (fun k () acc -> k :: acc) hot []
+  |> List.sort compare

@@ -1,0 +1,37 @@
+; Hot-path roster for manethot (tools/manethot).
+;
+; One (Module function) form per entry.  These are the seed functions
+; of the per-event path: everything they transitively reference (call,
+; or install as a callback) in the analyzed tree is analyzed as hot
+; too, so only the roots need naming here.  Entries must match a
+; top-level function in the analyzed tree — a stale entry is a
+; "roster" finding and fails the lint.
+
+; Engine event dispatch: the pop/dispatch loop and the two schedulers
+; every event goes through.
+(Engine run)
+(Engine schedule)
+(Engine schedule_at)
+
+; Net delivery and neighbour scan: every frame crosses these.  The
+; scan iterates node indices directly through Topology.in_range;
+; Topology.neighbors (the list-materializing variant) stays off the
+; hot path for cold callers.
+(Net deliver)
+(Net broadcast)
+(Net unicast)
+(Topology in_range)
+
+; Crypto verify path: every signed message is hashed and checked here.
+(Sha256 digest)
+(Sha256 update)
+(Sha256 finalize)
+(Hmac hmac_sha256)
+(Hmac verify)
+(Rsa verify)
+
+; Hist/Perf record sites: called once per event / per crypto op.
+(Hist add)
+(Hist add_n)
+(Perf incr)
+(Perf crypto_op)

@@ -1,0 +1,22 @@
+(* manethot driver.
+
+   Usage:
+     main.exe [--hotpaths FILE] [--baseline FILE] [--write-baseline]
+              [--json FILE] [ROOT]...
+
+   ROOTs (default: lib) are analyzed against the hot-path roster
+   (default: tools/manethot/hotpaths.sexp).  Exit 1 on any finding not
+   pinned in the baseline, or on stale baseline entries.  Option
+   parsing, file walking and baseline semantics live in
+   Analyzer_common.Driver. *)
+
+let () =
+  let roster_path = ref "tools/manethot/hotpaths.sexp" in
+  Analyzer_common.Driver.run ~tool:"manethot"
+    ~options:[ ("--hotpaths", roster_path) ]
+    ~analyze:(fun ~uses:_ files ->
+      let path = !roster_path in
+      Manethot.Hot.analyze
+        ~roster:(path, Analyzer_common.Driver.read_file path)
+        files)
+    ()

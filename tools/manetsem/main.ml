@@ -7,99 +7,12 @@
    ROOTs (default: lib) are analyzed; --uses dirs (default: bin test
    bench examples tools, those that exist) are parsed only as reference
    points for the dead-export rule.  Exit 1 on any finding not pinned in
-   the baseline, or on stale baseline entries. *)
-
-let default_baseline = "tools/manetsem/baseline"
-
-let rec walk acc path =
-  if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list |> List.sort compare
-    |> List.filter (fun n -> n <> "_build" && n.[0] <> '.')
-    |> List.fold_left (fun acc n -> walk acc (Filename.concat path n)) acc
-  else if
-    Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
-  then path :: acc
-  else acc
-
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let gather roots =
-  roots
-  |> List.filter Sys.file_exists
-  |> List.fold_left walk []
-  |> List.sort compare
-  |> List.map (fun p -> (p, read_file p))
+   the baseline, or on stale baseline entries.  The option parsing,
+   file walking and baseline semantics live in Analyzer_common.Driver,
+   shared with manetdom and manethot. *)
 
 let () =
-  let roots = ref [] in
-  let uses = ref [] in
-  let baseline_path = ref default_baseline in
-  let write_baseline = ref false in
-  let json_path = ref None in
-  let rec parse_args = function
-    | [] -> ()
-    | "--baseline" :: p :: rest ->
-        baseline_path := p;
-        parse_args rest
-    | "--write-baseline" :: rest ->
-        write_baseline := true;
-        parse_args rest
-    | "--json" :: p :: rest ->
-        json_path := Some p;
-        parse_args rest
-    | "--uses" :: d :: rest ->
-        uses := !uses @ [ d ];
-        parse_args rest
-    | arg :: rest ->
-        roots := !roots @ [ arg ];
-        parse_args rest
-  in
-  parse_args (List.tl (Array.to_list Sys.argv));
-  let roots = if !roots = [] then [ "lib" ] else !roots in
-  let uses =
-    if !uses = [] then [ "bin"; "test"; "bench"; "examples"; "tools" ]
-    else !uses
-  in
-  let findings = Manetsem.Sem.analyze ~uses:(gather uses) (gather roots) in
-  if !write_baseline then begin
-    let oc = open_out !baseline_path in
-    output_string oc (Manetsem.Sem.render_baseline findings);
-    close_out oc;
-    Printf.printf "manetsem: wrote %d baseline entr%s to %s\n"
-      (List.length findings)
-      (if List.length findings = 1 then "y" else "ies")
-      !baseline_path
-  end
-  else begin
-    let baseline =
-      if Sys.file_exists !baseline_path then
-        Manetsem.Sem.parse_baseline (read_file !baseline_path)
-      else []
-    in
-    (match !json_path with
-    | Some p ->
-        let oc = open_out p in
-        output_string oc (Manetsem.Sem.to_json ~baseline findings);
-        close_out oc
-    | None -> ());
-    let fresh, stale = Manetsem.Sem.diff_baseline ~baseline findings in
-    List.iter (fun f -> Format.printf "%a@." Manetsem.Sem.pp_finding f) fresh;
-    List.iter
-      (fun k ->
-        Printf.printf
-          "%s: stale baseline entry (no longer fires); remove it or rerun \
-           --write-baseline\n"
-          k)
-      stale;
-    if fresh <> [] || stale <> [] then begin
-      Printf.printf "manetsem: %d new finding(s), %d stale baseline entr%s\n"
-        (List.length fresh) (List.length stale)
-        (if List.length stale = 1 then "y" else "ies");
-      exit 1
-    end
-  end
+  Analyzer_common.Driver.run ~tool:"manetsem"
+    ~default_uses:[ "bin"; "test"; "bench"; "examples"; "tools" ]
+    ~analyze:(fun ~uses files -> Manetsem.Sem.analyze ~uses files)
+    ()

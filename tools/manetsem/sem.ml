@@ -1,314 +1,31 @@
 (* manetsem — AST-level semantic analyzer.  See sem.mli for the rule
    catalogue.  Built on compiler-libs only (Parse + Parsetree +
-   Ast_iterator); no ppxlib. *)
+   Ast_iterator); the comment scanner, allow-directive grammar,
+   parse/alias/binding toolkit and baseline machinery live in
+   tools/analyzer_common, shared with manetdom and manethot. *)
 
 open Parsetree
+module C = Analyzer_common.Common
+open C
 
-type finding = { file : string; line : int; rule : string; msg : string }
+type finding = C.finding = {
+  file : string;
+  line : int;
+  rule : string;
+  msg : string;
+}
 
 let rules =
   [ "taint"; "dispatch"; "codec"; "determinism"; "dead-export"; "parse" ]
 
-let pp_finding fmt f =
-  Format.fprintf fmt "%s:%d: [%s] %s" f.file f.line f.rule f.msg
+let pp_finding = C.pp_finding
+let scan_comments = C.scan_comments
 
-let contains s sub =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  m = 0 || go 0
-
-(* ------------------------------------------------------------------ *)
-(* Suppression directives.  The parser drops comments, so they are
-   collected lexically: strings (plain and {id|...|id}), char literals
-   and nested comments are tracked so that comment line ranges are
-   exact.  An [allow] suppresses on the comment's own lines and on the
-   line directly below the comment's last line. *)
-
-type allows = {
-  a_ranges : (string * int * int) list; (* rule, first line, last line *)
-  a_whole : string list;
-}
-
-let no_allows = { a_ranges = []; a_whole = [] }
-
-let scan_comments src =
-  let n = String.length src in
-  let comments = ref [] in
-  let line = ref 1 in
-  let i = ref 0 in
-  let bump c = if c = '\n' then incr line in
-  while !i < n do
-    let c = src.[!i] in
-    if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
-      let l0 = !line in
-      let buf = Buffer.create 64 in
-      let depth = ref 1 in
-      i := !i + 2;
-      while !depth > 0 && !i < n do
-        if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
-          incr depth;
-          Buffer.add_string buf "(*";
-          i := !i + 2
-        end
-        else if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = ')' then begin
-          decr depth;
-          if !depth > 0 then Buffer.add_string buf "*)";
-          i := !i + 2
-        end
-        else begin
-          bump src.[!i];
-          Buffer.add_char buf src.[!i];
-          incr i
-        end
-      done;
-      comments := (Buffer.contents buf, l0, !line) :: !comments
-    end
-    else if c = '"' then begin
-      incr i;
-      let fin = ref false in
-      while (not !fin) && !i < n do
-        match src.[!i] with
-        | '\\' ->
-            if !i + 1 < n && src.[!i + 1] = '\n' then incr line;
-            i := !i + 2
-        | '"' ->
-            fin := true;
-            incr i
-        | ch ->
-            bump ch;
-            incr i
-      done
-    end
-    else if c = '{' then begin
-      let j = ref (!i + 1) in
-      while
-        !j < n && (match src.[!j] with 'a' .. 'z' | '_' -> true | _ -> false)
-      do
-        incr j
-      done;
-      if !j < n && src.[!j] = '|' then begin
-        let id = String.sub src (!i + 1) (!j - !i - 1) in
-        let close = "|" ^ id ^ "}" in
-        let cl = String.length close in
-        i := !j + 1;
-        let fin = ref false in
-        while (not !fin) && !i < n do
-          if !i + cl <= n && String.sub src !i cl = close then begin
-            fin := true;
-            i := !i + cl
-          end
-          else begin
-            bump src.[!i];
-            incr i
-          end
-        done
-      end
-      else begin
-        bump c;
-        incr i
-      end
-    end
-    else if c = '\'' then begin
-      if !i + 2 < n && src.[!i + 1] = '\\' then begin
-        let j = ref (!i + 2) in
-        while !j < n && src.[!j] <> '\'' && !j < !i + 6 do
-          incr j
-        done;
-        if !j < n && src.[!j] = '\'' then i := !j + 1 else incr i
-      end
-      else if !i + 2 < n && src.[!i + 2] = '\'' then begin
-        if src.[!i + 1] = '\n' then incr line;
-        i := !i + 3
-      end
-      else incr i
-    end
-    else begin
-      bump c;
-      incr i
-    end
-  done;
-  List.rev !comments
-
-let words_of s =
-  String.split_on_char '\n' s
-  |> List.concat_map (String.split_on_char '\t')
-  |> List.concat_map (String.split_on_char ' ')
-  |> List.filter (fun w -> w <> "")
-
-let rec take_rules = function
-  | w :: rest when List.mem w rules -> w :: take_rules rest
-  | _ -> []
-
-let scan_allows src =
-  List.fold_left
-    (fun acc (text, l0, l1) ->
-      match words_of text with
-      | "manetsem:" :: "allow-file" :: rest ->
-          { acc with a_whole = take_rules rest @ acc.a_whole }
-      | "manetsem:" :: "allow" :: rest ->
-          let rs = take_rules rest in
-          {
-            acc with
-            a_ranges = List.map (fun r -> (r, l0, l1 + 1)) rs @ acc.a_ranges;
-          }
-      | _ -> acc)
-    no_allows (scan_comments src)
-
-let suppressed allows f =
-  List.mem f.rule allows.a_whole
-  || List.exists
-       (fun (r, a, b) -> r = f.rule && a <= f.line && f.line <= b)
-       allows.a_ranges
-
-(* ------------------------------------------------------------------ *)
-(* Parsing and per-file units. *)
-
-type parsed =
-  | Impl of structure
-  | Intf of signature
-  | Fail of int * string
-
-type unit_ = {
-  u_path : string;
-  u_mod : string;
-  u_parsed : parsed;
-  u_aliases : (string, string) Hashtbl.t;
-  u_allows : allows;
-  u_analyzed : bool;
-}
-
-let first_line s =
-  match String.index_opt s '\n' with
-  | Some i -> String.sub s 0 i
-  | None -> s
-
-let parse_file path content =
-  let lexbuf = Lexing.from_string content in
-  Lexing.set_filename lexbuf path;
-  try
-    if Filename.check_suffix path ".mli" then Intf (Parse.interface lexbuf)
-    else Impl (Parse.implementation lexbuf)
-  with exn ->
-    let line = (Lexing.lexeme_start_p lexbuf).Lexing.pos_lnum in
-    Fail (line, first_line (Printexc.to_string exn))
-
-let rec lid_last = function
-  | Longident.Lident s -> s
-  | Longident.Ldot (_, s) -> s
-  | Longident.Lapply (_, l) -> lid_last l
-
-(* [resolve] maps a reference to an (optional module last-component,
-   name) pair.  Local [module X = A.B] aliases are chased one step; all
-   library module basenames in this tree are distinct, so the last
-   component identifies a module uniquely. *)
-let resolve aliases lid =
-  match lid with
-  | Longident.Lident x -> (None, x)
-  | Longident.Ldot (p, x) ->
-      let m =
-        match p with
-        | Longident.Lident m0 -> (
-            match Hashtbl.find_opt aliases m0 with Some r -> r | None -> m0)
-        | _ -> lid_last p
-      in
-      (Some m, x)
-  | Longident.Lapply (_, _) -> (None, lid_last lid)
-
-let rec collect_aliases str tbl =
-  List.iter
-    (fun item ->
-      match item.pstr_desc with
-      | Pstr_module
-          {
-            pmb_name = { txt = Some name; _ };
-            pmb_expr = { pmod_desc = Pmod_ident { txt; _ }; _ };
-            _;
-          } ->
-          Hashtbl.replace tbl name (lid_last txt)
-      | Pstr_module
-          { pmb_expr = { pmod_desc = Pmod_structure sub; _ }; _ } ->
-          collect_aliases sub tbl
-      | _ -> ())
-    str
-
-let mk_unit ~analyzed (path, content) =
-  let parsed = parse_file path content in
-  let aliases = Hashtbl.create 8 in
-  (match parsed with Impl str -> collect_aliases str aliases | _ -> ());
-  {
-    u_path = path;
-    u_mod =
-      String.capitalize_ascii
-        (Filename.remove_extension (Filename.basename path));
-    u_parsed = parsed;
-    u_aliases = aliases;
-    u_allows = (if analyzed then scan_allows content else no_allows);
-    u_analyzed = analyzed;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Top-level function summaries. *)
-
-type fn = {
-  f_unit : unit_;
-  f_mod : string; (* enclosing module: file module or submodule *)
-  f_name : string;
-  f_body : expression;
-  f_line : int;
-}
-
-let rec binding_name p =
-  match p.ppat_desc with
-  | Ppat_var { txt; _ } -> Some txt
-  | Ppat_constraint (q, _) -> binding_name q
-  | _ -> None
-
-let collect_fns u =
-  let out = ref [] in
-  let rec go modname items =
-    List.iter
-      (fun item ->
-        match item.pstr_desc with
-        | Pstr_value (_, vbs) ->
-            List.iter
-              (fun vb ->
-                match binding_name vb.pvb_pat with
-                | Some name ->
-                    out :=
-                      {
-                        f_unit = u;
-                        f_mod = modname;
-                        f_name = name;
-                        f_body = vb.pvb_expr;
-                        f_line = vb.pvb_loc.Location.loc_start.Lexing.pos_lnum;
-                      }
-                      :: !out
-                | None -> ())
-              vbs
-        | Pstr_module
-            {
-              pmb_name = { txt = Some sub; _ };
-              pmb_expr = { pmod_desc = Pmod_structure str; _ };
-              _;
-            } ->
-            go sub str
-        | _ -> ())
-      items
-  in
-  (match u.u_parsed with Impl str -> go u.u_mod str | _ -> ());
-  List.rev !out
-
-(* One-level expression children, for the generic traversal cases. *)
-let sub_expressions e =
-  let acc = ref [] in
-  let sub =
-    {
-      Ast_iterator.default_iterator with
-      expr = (fun _ x -> acc := x :: !acc);
-    }
-  in
-  Ast_iterator.default_iterator.expr sub e;
-  List.rev !acc
+(* manetsem keeps the legacy allow grammar: the directive opens the
+   comment and needs no rationale.  (manetdom and manethot use the
+   strict variant of the same scanner.) *)
+let scan_allows = C.scan_allows ~tool:"manetsem" ~rules
+let mk_unit ~analyzed = C.mk_unit ~analyzed ~scan:scan_allows
 
 (* ------------------------------------------------------------------ *)
 (* Verify-before-use taint. *)
@@ -512,8 +229,8 @@ let verifier_fixpoint fns =
     let hit = ref false in
     let env =
       {
-        sv_self = f.f_mod;
-        sv_aliases = f.f_unit.u_aliases;
+        sv_self = f.b_mod;
+        sv_aliases = f.b_unit.u_aliases;
         sv_is_verifier = member;
         sv_is_sinky = (fun _ -> false);
         sv_sink = (fun _ _ _ -> ());
@@ -533,7 +250,7 @@ let verifier_fixpoint fns =
             Ast_iterator.default_iterator.expr self e);
       }
     in
-    it.expr it f.f_body;
+    it.expr it f.b_expr;
     !hit
   in
   let changed = ref true in
@@ -541,9 +258,9 @@ let verifier_fixpoint fns =
     changed := false;
     List.iter
       (fun f ->
-        if (not (Hashtbl.mem vset (f.f_mod, f.f_name))) && body_verifies f
+        if (not (Hashtbl.mem vset (f.b_mod, f.b_name))) && body_verifies f
         then begin
-          Hashtbl.replace vset (f.f_mod, f.f_name) ();
+          Hashtbl.replace vset (f.b_mod, f.b_name) ();
           changed := true
         end)
       fns
@@ -568,14 +285,14 @@ let sinky_fixpoint fns vset =
     let hit = ref false in
     let env =
       {
-        sv_self = f.f_mod;
-        sv_aliases = f.f_unit.u_aliases;
+        sv_self = f.b_mod;
+        sv_aliases = f.b_unit.u_aliases;
         sv_is_verifier = is_verifier;
         sv_is_sinky = is_sinky;
         sv_sink = (fun _ _ _ -> hit := true);
       }
     in
-    ignore (scan env ~tainted:(Some "summary") false f.f_body);
+    ignore (scan env ~tainted:(Some "summary") false f.b_expr);
     !hit
   in
   let changed = ref true in
@@ -583,9 +300,9 @@ let sinky_fixpoint fns vset =
     changed := false;
     List.iter
       (fun f ->
-        if (not (Hashtbl.mem sinky (f.f_mod, f.f_name))) && body_sinks f
+        if (not (Hashtbl.mem sinky (f.b_mod, f.b_name))) && body_sinks f
         then begin
-          Hashtbl.replace sinky (f.f_mod, f.f_name) ();
+          Hashtbl.replace sinky (f.b_mod, f.b_name) ();
           changed := true
         end)
       fns
@@ -598,8 +315,8 @@ let taint_findings fns vset sinky =
     (fun f ->
       let env =
         {
-          sv_self = f.f_mod;
-          sv_aliases = f.f_unit.u_aliases;
+          sv_self = f.b_mod;
+          sv_aliases = f.b_unit.u_aliases;
           sv_is_verifier =
             (fun c ->
               match c with
@@ -614,7 +331,7 @@ let taint_findings fns vset sinky =
             (fun ctor loc desc ->
               out :=
                 {
-                  file = f.f_unit.u_path;
+                  file = f.b_unit.u_path;
                   line = loc.Location.loc_start.Lexing.pos_lnum;
                   rule = "taint";
                   msg =
@@ -624,7 +341,7 @@ let taint_findings fns vset sinky =
                 :: !out);
         }
       in
-      ignore (scan env ~tainted:None false f.f_body))
+      ignore (scan env ~tainted:None false f.b_expr))
     fns;
   !out
 
@@ -703,8 +420,8 @@ let dispatch_findings fns ctors =
   let out = ref [] in
   List.iter
     (fun f ->
-      if f.f_name = "handle" && in_dispatch_dir f.f_unit.u_path then
-        match dispatch_site f.f_body with
+      if f.b_name = "handle" && in_dispatch_dir f.b_unit.u_path then
+        match dispatch_site f.b_expr with
         | Some (loc, cases) ->
             let mentioned =
               List.concat_map (fun c -> pattern_ctors ctors c.pc_lhs) cases
@@ -718,7 +435,7 @@ let dispatch_findings fns ctors =
                 (fun c ->
                   out :=
                     {
-                      file = f.f_unit.u_path;
+                      file = f.b_unit.u_path;
                       line =
                         c.pc_lhs.ppat_loc.Location.loc_start.Lexing.pos_lnum;
                       rule = "dispatch";
@@ -741,7 +458,7 @@ let dispatch_findings fns ctors =
                 if missing <> [] then
                   out :=
                     {
-                      file = f.f_unit.u_path;
+                      file = f.b_unit.u_path;
                       line;
                       rule = "dispatch";
                       msg =
@@ -788,8 +505,8 @@ let fn_payload_uses f =
   let has_sign = ref false in
   let env =
     {
-      sv_self = f.f_mod;
-      sv_aliases = f.f_unit.u_aliases;
+      sv_self = f.b_mod;
+      sv_aliases = f.b_unit.u_aliases;
       sv_is_verifier = (fun _ -> false);
       sv_is_sinky = (fun _ -> false);
       sv_sink = (fun _ _ _ -> ());
@@ -802,7 +519,7 @@ let fn_payload_uses f =
         (fun self e ->
           (match e.pexp_desc with
           | Pexp_ident { txt; _ } ->
-              let _, x = resolve f.f_unit.u_aliases txt in
+              let _, x = resolve f.b_unit.u_aliases txt in
               if Filename.check_suffix x "_payload" then out := x :: !out
           | Pexp_apply (head, _) -> (
               match callee_of env head with
@@ -814,7 +531,7 @@ let fn_payload_uses f =
           Ast_iterator.default_iterator.expr self e);
     }
   in
-  it.expr it f.f_body;
+  it.expr it f.b_expr;
   (!out, !has_sign)
 
 let codec_findings fns vset units =
@@ -826,10 +543,10 @@ let codec_findings fns vset units =
     List.iter
       (fun f ->
         (* the builder's own definition does not count as a use *)
-        if not (Filename.check_suffix f.f_name "_payload") then begin
+        if not (Filename.check_suffix f.b_name "_payload") then begin
           let uses, has_sign = fn_payload_uses f in
           let in_verify =
-            Hashtbl.mem vset (f.f_mod, f.f_name) || name_is_verifier f.f_name
+            Hashtbl.mem vset (f.b_mod, f.b_name) || name_is_verifier f.b_name
           in
           List.iter
             (fun p ->
@@ -975,8 +692,8 @@ let determinism_findings fns =
     (fun f ->
       let env =
         {
-          sv_self = f.f_mod;
-          sv_aliases = f.f_unit.u_aliases;
+          sv_self = f.b_mod;
+          sv_aliases = f.b_unit.u_aliases;
           sv_is_verifier = (fun _ -> false);
           sv_is_sinky = (fun _ -> false);
           sv_sink = (fun _ _ _ -> ());
@@ -984,17 +701,17 @@ let determinism_findings fns =
       in
       let report_line line msg =
         out :=
-          { file = f.f_unit.u_path; line; rule = "determinism"; msg } :: !out
+          { file = f.b_unit.u_path; line; rule = "determinism"; msg } :: !out
       in
       let report loc msg =
         report_line loc.Location.loc_start.Lexing.pos_lnum msg
       in
-      if mutable_creation f.f_body then
-        report_line f.f_line
+      if mutable_creation f.b_expr then
+        report_line f.b_line
           (Printf.sprintf
              "top-level mutable value %s is shared across simulation runs"
-             f.f_name);
-      dwalk env report ~sorted:false f.f_body)
+             f.b_name);
+      dwalk env report ~sorted:false f.b_expr)
     fns;
   !out
 
@@ -1108,39 +825,15 @@ let dead_export_findings units =
 (* ------------------------------------------------------------------ *)
 (* Assembly. *)
 
-let compare_findings a b =
-  match compare a.file b.file with
-  | 0 -> (
-      match compare a.line b.line with
-      | 0 -> (
-          match compare a.rule b.rule with 0 -> compare a.msg b.msg | c -> c)
-      | c -> c)
-  | c -> c
-
 let analyze ?(uses = []) files =
   let analyzed = List.map (mk_unit ~analyzed:true) files in
   let reference = List.map (mk_unit ~analyzed:false) uses in
   let units = analyzed @ reference in
-  let fns = List.concat_map collect_fns analyzed in
+  let fns = List.concat_map collect_bindings analyzed in
   let vset = verifier_fixpoint fns in
   let sinky = sinky_fixpoint fns vset in
-  let parse_failures =
-    List.filter_map
-      (fun u ->
-        match u.u_parsed with
-        | Fail (line, msg) ->
-            Some
-              {
-                file = u.u_path;
-                line;
-                rule = "parse";
-                msg = "file does not parse: " ^ msg;
-              }
-        | _ -> None)
-      analyzed
-  in
   let findings =
-    parse_failures
+    parse_failures analyzed
     @ taint_findings fns vset sinky
     @ (match messages_ctors analyzed with
       | Some ctors -> dispatch_findings fns ctors
@@ -1149,68 +842,16 @@ let analyze ?(uses = []) files =
     @ determinism_findings fns
     @ dead_export_findings units
   in
-  let allows_for =
-    let tbl = Hashtbl.create 64 in
-    List.iter (fun u -> Hashtbl.replace tbl u.u_path u.u_allows) analyzed;
-    fun path ->
-      match Hashtbl.find_opt tbl path with
-      | Some a -> a
-      | None -> no_allows
-  in
-  findings
-  |> List.filter (fun f -> not (suppressed (allows_for f.file) f))
-  |> List.sort_uniq compare_findings
+  filter_suppressed analyzed findings
 
 (* ------------------------------------------------------------------ *)
-(* Baseline. *)
+(* Baseline (re-exported from the shared runtime for compatibility). *)
 
-let finding_key f = f.file ^ "|" ^ f.rule ^ "|" ^ f.msg
+let finding_key = C.finding_key
 
 let render_baseline ?(tool = "manetsem") findings =
-  let keys = List.sort_uniq compare (List.map finding_key findings) in
-  let header =
-    Printf.sprintf
-      "# %s baseline — accepted pre-existing findings.\n\
-       # One key per line: file|rule|message.  Regenerate with:\n\
-       #   dune exec tools/%s/main.exe -- --write-baseline\n"
-      tool tool
-  in
-  header ^ String.concat "" (List.map (fun k -> k ^ "\n") keys)
+  C.render_baseline ~tool findings
 
-let parse_baseline s =
-  String.split_on_char '\n' s
-  |> List.map String.trim
-  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
-
-let diff_baseline ~baseline findings =
-  let fresh =
-    List.filter (fun f -> not (List.mem (finding_key f) baseline)) findings
-  in
-  let keys = List.map finding_key findings in
-  let stale = List.filter (fun k -> not (List.mem k keys)) baseline in
-  (fresh, stale)
-
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let to_json ~baseline findings =
-  let obj f =
-    Printf.sprintf
-      "{\"file\":\"%s\",\"line\":%d,\"rule\":\"%s\",\"msg\":\"%s\",\"baselined\":%b}"
-      (json_escape f.file) f.line (json_escape f.rule) (json_escape f.msg)
-      (List.mem (finding_key f) baseline)
-  in
-  "[" ^ String.concat ",\n " (List.map obj findings) ^ "]\n"
+let parse_baseline = C.parse_baseline
+let diff_baseline = C.diff_baseline
+let to_json = C.to_json

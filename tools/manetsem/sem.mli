@@ -29,7 +29,7 @@
     line directly below the comment's {e last} line;
     [(* manetsem: allow-file <rules> *)] suppresses for the whole file. *)
 
-type finding = {
+type finding = Analyzer_common.Common.finding = {
   file : string;
   line : int;
   rule : string;
