@@ -33,10 +33,10 @@ perf:
 	dune exec bench/main.exe -- perf
 
 benchgate: perf
-	dune exec tools/benchgate/main.exe -- BENCH_8.json BENCH_9.json
+	dune exec tools/benchgate/main.exe -- BENCH_9.json BENCH_10.json
 
 benchtrend:
-	dune exec tools/benchtrend/main.exe -- BENCH_6.json BENCH_7.json BENCH_8.json BENCH_9.json
+	dune exec tools/benchtrend/main.exe -- BENCH_6.json BENCH_7.json BENCH_8.json BENCH_9.json BENCH_10.json
 
 clean:
 	dune clean

@@ -24,8 +24,11 @@ module Sha256 = Manetsec.Crypto.Sha256
 module Rsa = Manetsec.Crypto.Rsa
 module Suite = Manetsec.Crypto.Suite
 module Json = Manetsec.Obs_json
+module Obs = Manetsec.Obs
+module Timeline = Manetsec.Timeline
+module Flood = Manetsec.Flood
 
-let pr = 9
+let pr = 10
 let out_file = Printf.sprintf "BENCH_%d.json" pr
 
 (* Mean ns per call, timed over enough batches to fill [target_s] of
@@ -76,8 +79,11 @@ let hot_paths () =
   ]
 
 (* A representative secure run (30 nodes, traffic, 2 black holes) for
-   engine throughput and peak heap. *)
-let engine_run () =
+   engine throughput and peak heap.  [timeline] toggles the bucket
+   recorder: the bench runs the same workload off and on and checks the
+   deterministic perf export is byte-identical (recording observes, it
+   never perturbs) and the throughput cost stays small. *)
+let engine_run ~timeline () =
   let params =
     {
       Scenario.default_params with
@@ -89,6 +95,7 @@ let engine_run () =
     }
   in
   let s = Scenario.create params in
+  if not timeline then Timeline.set_enabled (Obs.timeline (Scenario.obs s)) false;
   Engine.set_profiling (Scenario.engine s) true;
   let g0 = Gc.quick_stat () in
   Scenario.bootstrap s;
@@ -101,18 +108,25 @@ let engine_run () =
   let minor_per_event =
     (g1.Gc.minor_words -. g0.Gc.minor_words) /. float_of_int events
   in
-  let scan_mean =
-    match Hist.mean (Net.scan_hist (Scenario.net s)) with
-    | Some m -> m
+  let scan_hist = Net.scan_hist (Scenario.net s) in
+  let scan_mean = match Hist.mean scan_hist with Some m -> m | None -> 0.0 in
+  let scan_p99 =
+    match Hist.percentile scan_hist 0.99 with
+    | Some v -> float_of_int v
     | None -> 0.0
   in
   ( Engine.events_per_sec (Scenario.engine s),
     (Gc.stat ()).Gc.top_heap_words,
     scan_mean,
-    minor_per_event )
+    scan_p99,
+    minor_per_event,
+    Scenario.perf_det_jsonl s )
 
-(* A small real-RSA run for the paper's E2-style cost metric: signature
-   verifications per delivered data message. *)
+(* A small real-RSA run for the paper's E2-style cost metrics:
+   signature verifications per delivered data message, plus the two
+   flood-provenance aggregates (redundant verifications per flood — the
+   work ROADMAP item 3's verification cache targets — and the broadcast
+   redundancy ratio). *)
 let rsa_cost_run () =
   let params =
     {
@@ -130,7 +144,10 @@ let rsa_cost_run () =
   Scenario.run s ~until:60.0;
   let delivered = Stats.get (Scenario.stats s) "data.delivered" in
   let verifies = (Scenario.suite s).Suite.verify_count in
-  float_of_int verifies /. float_of_int (max 1 delivered)
+  let fl = Obs.flood (Scenario.obs s) in
+  ( float_of_int verifies /. float_of_int (max 1 delivered),
+    Flood.duplicate_verifies_per_flood fl,
+    Flood.flood_redundancy_ratio fl )
 
 (* The sweep grid used for wall-clock scaling; small enough for CI,
    large enough that fan-out dominates scheduling overhead. *)
@@ -151,13 +168,26 @@ let sweep_wall ~domains =
 let run () =
   Util.heading (Printf.sprintf "perf -- BENCH_%d.json" pr);
   let cores = Parallel.default_domains () in
-  let events_per_sec, peak_heap, scan_mean, minor_per_event = engine_run () in
+  let off_events_per_sec, _, _, _, _, off_det = engine_run ~timeline:false () in
+  let events_per_sec, peak_heap, scan_mean, scan_p99, minor_per_event, on_det =
+    engine_run ~timeline:true ()
+  in
+  let timeline_clean = String.equal off_det on_det in
+  let timeline_overhead = 1.0 -. (events_per_sec /. off_events_per_sec) in
   Printf.printf "engine              %.0f events/s, peak heap %d words\n%!"
     events_per_sec peak_heap;
-  Printf.printf "neighbour scan      %.1f nodes/broadcast mean\n%!" scan_mean;
+  Printf.printf "timeline            %s, %.1f%% events/s overhead\n%!"
+    (if timeline_clean then "non-perturbing (det export byte-identical)"
+     else "PERTURBS THE RUN")
+    (timeline_overhead *. 100.0);
+  Printf.printf "neighbour scan      %.1f nodes/broadcast mean, p99 %.0f\n%!"
+    scan_mean scan_p99;
   Printf.printf "alloc               %.1f minor words/event\n%!" minor_per_event;
-  let rsa_per_msg = rsa_cost_run () in
+  let rsa_per_msg, dup_verifies, redundancy = rsa_cost_run () in
   Printf.printf "rsa cost            %.2f verifies/delivered msg\n%!" rsa_per_msg;
+  Printf.printf "floods              %.3f duplicate verifies/flood, %.3f \
+                 redundancy ratio\n%!"
+    dup_verifies redundancy;
   let hot = hot_paths () in
   List.iter
     (fun (name, j) ->
@@ -188,8 +218,18 @@ let run () =
         ("events_per_sec", Json.Float events_per_sec);
         ("peak_heap_words", Json.Int peak_heap);
         ("neighbour_scan_mean", Json.Float scan_mean);
+        ("neighbour_scan_p99", Json.Float scan_p99);
         ("gc_minor_words_per_event", Json.Float minor_per_event);
         ("rsa_verifies_per_delivered_msg", Json.Float rsa_per_msg);
+        ("duplicate_verifies_per_flood", Json.Float dup_verifies);
+        ("flood_redundancy_ratio", Json.Float redundancy);
+        ( "timeline",
+          Json.Obj
+            [
+              ("non_perturbing", Json.Bool timeline_clean);
+              ("overhead_frac", Json.Float timeline_overhead);
+              ("events_per_sec_off", Json.Float off_events_per_sec);
+            ] );
         ("hot_paths", Json.Obj hot);
         ( "sweep",
           Json.Obj

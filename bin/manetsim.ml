@@ -24,6 +24,7 @@ module Obs = Manetsec.Obs
 module Json = Manetsec.Obs_json
 module Obs_report = Manetsec.Obs_report
 module Perf = Manetsec.Perf
+module Timeline = Manetsec.Timeline
 module Audit = Manetsec.Audit
 module Metrics = Manetsec.Metrics
 module Detector = Manetsec.Detector
@@ -172,6 +173,29 @@ let perf_json_t =
            a wall-clock section (timings, GC/alloc words; excluded from \
            determinism gates).  Query it with the perf subcommand.")
 
+let timeline_jsonl_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "timeline-jsonl" ] ~docv:"FILE"
+        ~doc:
+          "Write time-resolved run telemetry as schema-versioned JSONL: one \
+           bucket line per active sim-second window (events, per-label \
+           rates, queue depth, deliveries/drops, per-kind crypto ops, audit \
+           rate) followed by per-flood propagation records — byte-identical \
+           across replays of the same seed.  Query it with the timeline \
+           subcommand.")
+
+let progress_t =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Emit a wall-clock heartbeat to stderr every ~2 seconds while the \
+           engine runs: events/sec, sim-time rate, queue depth and ETA, with \
+           a stall warning when sim time stops advancing.  Does not perturb \
+           the simulation or any deterministic export.")
+
 (* --- telemetry plumbing -------------------------------------------------- *)
 
 let write_file path contents =
@@ -201,8 +225,14 @@ let print_profile s =
     (Engine.wall_in_run engine *. 1000.0)
     (Engine.events_per_sec engine)
 
-let telemetry_end ?audit_jsonl ?metrics_csv ?metrics_prom ?perf_json s ~seed
-    ~profile ~jsonl_trace ~json_report =
+let telemetry_end ?audit_jsonl ?metrics_csv ?metrics_prom ?perf_json
+    ?timeline_jsonl s ~seed ~profile ~jsonl_trace ~json_report =
+  (match timeline_jsonl with
+  | Some path ->
+      write_file path
+        (Scenario.timeline_jsonl ~meta:[ ("seed", Json.Int seed) ] s);
+      Printf.printf "timeline jsonl      %s\n" path
+  | None -> ());
   (match perf_json with
   | Some path ->
       write_file path
@@ -318,7 +348,7 @@ let load_scenario path =
           Error (Printf.sprintf "%s:%d:%d: %s" path pos.Sexp.line pos.Sexp.col msg))
   | exception Sys_error msg -> Error msg
 
-let scenario_run file out_dir perf_json =
+let scenario_run file out_dir perf_json timeline_jsonl =
   match load_scenario file with
   | Error msg -> `Error (false, msg)
   | Ok scn ->
@@ -353,6 +383,18 @@ let scenario_run file out_dir perf_json =
             ^ "\n");
           Printf.printf "perf json           %s\n" path
       | None -> ());
+      (match timeline_jsonl with
+      | Some path ->
+          write_file path
+            (Scenario.timeline_jsonl
+               ~meta:
+                 [
+                   ("scenario", Json.String scn.Scn.name);
+                   ("seed", Json.Int scn.Scn.seed);
+                 ]
+               s);
+          Printf.printf "timeline jsonl      %s\n" path
+      | None -> ());
       `Ok ()
 
 let scenario_file_t =
@@ -363,7 +405,8 @@ let scenario_file_t =
         ~doc:
           "Run a declarative scenario file (see examples/scenarios/) instead \
            of a flag-built configuration; exports are the ones the file \
-           requests and every other run flag except --perf-json is ignored.")
+           requests and every other run flag except --perf-json and \
+           --timeline-jsonl is ignored.")
 
 let out_dir_t =
   Arg.(
@@ -375,7 +418,7 @@ let out_dir_t =
 
 let run_flags_cmd ~nodes ~seed ~protocol ~suite ~mobility ~blackholes ~spammers
     ~duration ~flows ~trace ~jsonl_trace ~json_report ~profile ~audit_jsonl
-    ~metrics_csv ~metrics_prom ~perf_json =
+    ~metrics_csv ~metrics_prom ~perf_json ~timeline_jsonl ~progress =
   let params =
     make_params ~nodes ~seed ~protocol ~suite ~mobility ~blackholes ~spammers
   in
@@ -383,6 +426,12 @@ let run_flags_cmd ~nodes ~seed ~protocol ~suite ~mobility ~blackholes ~spammers
   if trace then Trace.enable (Engine.trace (Scenario.engine s));
   telemetry_begin s ~profile ~jsonl_trace
     ~metrics:(metrics_csv <> None || metrics_prom <> None);
+  if progress then
+    Timeline.enable_progress
+      ~horizon:(duration +. 30.0)
+      (Obs.timeline (Scenario.obs s))
+      ~emit:(fun line -> Printf.eprintf "%s\n%!" line)
+      ();
   Printf.printf "bootstrapping %d nodes...\n%!" nodes;
   Scenario.bootstrap s;
   let g = Prng.create ~seed:(seed + 99) in
@@ -409,7 +458,7 @@ let run_flags_cmd ~nodes ~seed ~protocol ~suite ~mobility ~blackholes ~spammers
       Printf.printf "suspected nodes     %s\n"
         (String.concat ", " (List.map string_of_int suspects)));
   telemetry_end s ~seed ~profile ~jsonl_trace ~json_report ?audit_jsonl
-    ?metrics_csv ?metrics_prom ?perf_json;
+    ?metrics_csv ?metrics_prom ?perf_json ?timeline_jsonl;
   if trace then begin
     Printf.printf "\n-- trace --------------------------------------------\n";
     print_string (Trace.render (Engine.trace (Scenario.engine s)))
@@ -417,13 +466,14 @@ let run_flags_cmd ~nodes ~seed ~protocol ~suite ~mobility ~blackholes ~spammers
 
 let run_cmd scenario_file out_dir nodes seed protocol suite mobility blackholes
     spammers duration flows trace jsonl_trace json_report profile audit_jsonl
-    metrics_csv metrics_prom perf_json =
+    metrics_csv metrics_prom perf_json timeline_jsonl progress =
   match scenario_file with
-  | Some file -> scenario_run file out_dir perf_json
+  | Some file -> scenario_run file out_dir perf_json timeline_jsonl
   | None ->
       run_flags_cmd ~nodes ~seed ~protocol ~suite ~mobility ~blackholes
         ~spammers ~duration ~flows ~trace ~jsonl_trace ~json_report ~profile
-        ~audit_jsonl ~metrics_csv ~metrics_prom ~perf_json;
+        ~audit_jsonl ~metrics_csv ~metrics_prom ~perf_json ~timeline_jsonl
+        ~progress;
       `Ok ()
 
 let run_term =
@@ -433,7 +483,7 @@ let run_term =
      $ protocol_t $ suite_t $ mobility_t $ blackholes_t $ spammers_t
      $ duration_t $ flows_t $ trace_t $ jsonl_trace_t $ json_report_t
      $ profile_t $ audit_jsonl_t $ metrics_csv_t $ metrics_prom_t
-     $ perf_json_t))
+     $ perf_json_t $ timeline_jsonl_t $ progress_t))
 
 (* --- dad ------------------------------------------------------------------ *)
 
@@ -629,7 +679,7 @@ let run_field r name =
 let run_stat r name =
   match List.assoc_opt name r.Merge.stats with Some v -> v | None -> 0
 
-let write_merged ~stats_csv ~audit_out ~trace_out ~perf_out runs =
+let write_merged ~stats_csv ~audit_out ~trace_out ~perf_out ~timeline_out runs =
   (match stats_csv with
   | Some path ->
       write_file path (Merge.stats_csv runs);
@@ -645,14 +695,19 @@ let write_merged ~stats_csv ~audit_out ~trace_out ~perf_out runs =
       write_file path (Merge.stream_jsonl ~name:"trace" runs);
       Printf.printf "trace jsonl         %s\n" path
   | None -> ());
-  match perf_out with
+  (match perf_out with
   | Some path ->
       write_file path (Merge.stream_jsonl ~name:"perf" runs);
       Printf.printf "perf jsonl          %s\n" path
+  | None -> ());
+  match timeline_out with
+  | Some path ->
+      write_file path (Merge.stream_jsonl ~name:"timeline" runs);
+      Printf.printf "timeline jsonl      %s\n" path
   | None -> ()
 
 let sweep_scenario file ~domains ~seeds ~stats_csv ~audit_out ~trace_out
-    ~perf_out =
+    ~perf_out ~timeline_out =
   match load_scenario file with
   | Error msg -> `Error (false, msg)
   | Ok scn ->
@@ -670,16 +725,17 @@ let sweep_scenario file ~domains ~seeds ~stats_csv ~audit_out ~trace_out
             (run_stat r "attack.data_dropped"))
         runs;
       Printf.printf "wall clock          %.2f s\n" wall;
-      write_merged ~stats_csv ~audit_out ~trace_out ~perf_out runs;
+      write_merged ~stats_csv ~audit_out ~trace_out ~perf_out ~timeline_out
+        runs;
       `Ok ()
 
 let sweep_cmd scenario_file domains e1_fractions e1_nodes e1_duration e6_sizes
-    seeds stats_csv audit_out trace_out perf_out =
+    seeds stats_csv audit_out trace_out perf_out timeline_out =
   let domains = if domains <= 0 then Parallel.default_domains () else domains in
   match scenario_file with
   | Some file ->
       sweep_scenario file ~domains ~seeds ~stats_csv ~audit_out ~trace_out
-        ~perf_out
+        ~perf_out ~timeline_out
   | None ->
       let spec =
         { Sweep.e1_fractions; e1_nodes; e1_duration; e6_sizes; seeds }
@@ -703,7 +759,8 @@ let sweep_cmd scenario_file domains e1_fractions e1_nodes e1_duration e6_sizes
             (run_stat r "attack.data_dropped"))
         runs;
       Printf.printf "wall clock          %.2f s\n" wall;
-      write_merged ~stats_csv ~audit_out ~trace_out ~perf_out runs;
+      write_merged ~stats_csv ~audit_out ~trace_out ~perf_out ~timeline_out
+        runs;
       `Ok ()
 
 let domains_t =
@@ -778,6 +835,15 @@ let sweep_perf_t =
           "Write the merged deterministic perf sections of every run as \
            JSONL (byte-identical at any --domains value).")
 
+let sweep_timeline_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "timeline-jsonl" ] ~docv:"FILE"
+        ~doc:
+          "Write the merged time-resolved telemetry streams of every run as \
+           JSONL (byte-identical at any --domains value).")
+
 let sweep_scenario_t =
   Arg.(
     value
@@ -792,7 +858,7 @@ let sweep_term =
     ret
       (const sweep_cmd $ sweep_scenario_t $ domains_t $ e1_fractions_t
      $ e1_nodes_t $ e1_duration_t $ e6_sizes_t $ seeds_t $ sweep_stats_csv_t
-     $ sweep_audit_t $ sweep_trace_t $ sweep_perf_t))
+     $ sweep_audit_t $ sweep_trace_t $ sweep_perf_t $ sweep_timeline_t))
 
 (* --- scenario check --------------------------------------------------------- *)
 
@@ -841,6 +907,26 @@ let jpath doc path =
     (fun acc name -> Option.bind acc (Json.member name))
     (Some doc) path
 
+(* Nearest-rank percentile over exported histogram buckets, mirroring
+   {!Manetsec.Sim.Hist.percentile}: walk cumulative counts to the
+   crossing bucket and interpolate linearly inside it. *)
+let buckets_percentile buckets count q =
+  if count = 0 then None
+  else
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int count)) in
+      if r < 1 then 1 else if r > count then count else r
+    in
+    let rec find cum = function
+      | [] -> None
+      | (lo, hi, c) :: rest ->
+          if cum + c >= rank then
+            let pos = rank - cum in
+            Some (if c <= 1 then lo else lo + ((hi - lo) * (pos - 1) / (c - 1)))
+          else find (cum + c) rest
+    in
+    find 0 buckets
+
 let render_hist title j =
   let buckets =
     match Json.member "buckets" j with
@@ -861,8 +947,17 @@ let render_hist title j =
     | Some (Json.Int i) -> Printf.sprintf "%d.0" i
     | _ -> "-"
   in
+  (* Clamp like Hist.percentile: bucket interpolation can overshoot the
+     largest sample actually recorded. *)
+  let vmax = jmember_int "max" j in
+  let pct q =
+    match buckets_percentile buckets (jmember_int "count" j) q with
+    | Some v -> string_of_int (min v vmax)
+    | None -> "-"
+  in
   Printf.printf "samples %d  sum %d  mean %s  max %d\n" (jmember_int "count" j)
     (jmember_int "sum" j) mean (jmember_int "max" j);
+  Printf.printf "p50 %s  p95 %s  p99 %s\n" (pct 0.5) (pct 0.95) (pct 0.99);
   let cmax = List.fold_left (fun acc (_, _, c) -> max acc c) 1 buckets in
   List.iter
     (fun (lo, hi, c) ->
@@ -959,6 +1054,30 @@ let perf_render file doc top =
             (jmember_int "hash_blocks" v))
         kinds
   | _ -> ());
+  (* Flood provenance: the aggregate accounting the timeline stream
+     details per flood. *)
+  (match jpath det [ "floods" ] with
+  | Some f ->
+      let jf name =
+        match Json.member name f with
+        | Some v -> (
+            match Json.to_float_opt v with Some x -> x | None -> 0.0)
+        | None -> 0.0
+      in
+      Printf.printf "\n-- floods -------------------------------------------\n";
+      Printf.printf
+        "floods %d (areq %d, rreq %d)  sent %d  received %d  suppressed %d  \
+         verifies %d\n"
+        (jmember_int "count" f) (jmember_int "areq" f) (jmember_int "rreq" f)
+        (jmember_int "copies_sent" f)
+        (jmember_int "copies_received" f)
+        (jmember_int "duplicates_suppressed" f)
+        (jmember_int "verifies" f);
+      Printf.printf "duplicate verifies per flood   %.3f\n"
+        (jf "duplicate_verifies_per_flood");
+      Printf.printf "flood redundancy ratio         %.3f\n"
+        (jf "flood_redundancy_ratio")
+  | None -> ());
   (* GC/alloc: deterministic event counts per phase joined with the
      wall-clock allocation words for that phase. *)
   Printf.printf "\n-- gc / alloc ---------------------------------------\n";
@@ -1033,6 +1152,183 @@ let det_t =
 
 let perf_term = Term.(ret (const perf_cmd $ perf_file_t $ det_t $ top_t))
 
+(* --- timeline ----------------------------------------------------------------- *)
+
+let parse_jsonl_lines contents =
+  String.split_on_char '\n' contents
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map Json.parse
+
+(* Split a stream into runs.  A plain --timeline-jsonl file is one run
+   opened by its schema header; a sweep-merged file carries a stream
+   wrapper line, then per-run lines of the form
+   [{"run":N, <key...>, "source":<original header>}] — the embedded
+   source (which already carries the run's meta) becomes that run's
+   header. *)
+let split_timeline_runs lines =
+  List.fold_left
+    (fun acc j ->
+      match Json.member "source" j with
+      | Some src -> (src, []) :: acc
+      | None -> (
+          match Json.member "schema" j with
+          | Some (Json.String s) when s = Timeline.schema -> (j, []) :: acc
+          | Some _ -> acc (* the sweep stream wrapper line *)
+          | None -> (
+              match acc with
+              | (h, body) :: rest -> (h, j :: body) :: rest
+              | [] -> acc)))
+    [] lines
+  |> List.rev_map (fun (h, body) -> (h, List.rev body))
+
+let spark_levels = " .:-=+*#%@"
+
+(* ASCII sparkline: buckets grouped to at most 64 columns (sums within
+   a group), each column scaled against the series maximum. *)
+let sparkline values =
+  let n = Array.length values in
+  if n = 0 then ""
+  else begin
+    let group = (n + 63) / 64 in
+    let cols = (n + group - 1) / group in
+    let agg = Array.make cols 0 in
+    Array.iteri (fun i v -> agg.(i / group) <- (agg.(i / group) + v)) values;
+    let vmax = Array.fold_left max 1 agg in
+    String.init cols (fun i ->
+        let v = agg.(i) in
+        if v = 0 then ' ' else spark_levels.[min 9 (1 + (v * 8 / vmax))])
+  end
+
+let is_record kind j =
+  match Json.member "type" j with
+  | Some (Json.String s) -> String.equal s kind
+  | _ -> false
+
+let jfloat ?(default = 0.0) j =
+  match Json.to_float_opt j with Some f -> f | None -> default
+
+let jmember_float name j =
+  match Json.member name j with Some v -> jfloat v | None -> 0.0
+
+let render_timeline_run ~top header body =
+  let width =
+    match Json.member "width" header with
+    | Some w -> jfloat ~default:1.0 w
+    | None -> 1.0
+  in
+  let meta =
+    List.filter_map
+      (fun name ->
+        Option.map
+          (fun v -> Printf.sprintf "%s=%s" name (Json.to_string v))
+          (Json.member name header))
+      [ "scenario"; "experiment"; "n"; "fraction"; "seed" ]
+  in
+  let bucketsj = List.filter (is_record "bucket") body in
+  let floodsj = List.filter (is_record "flood") body in
+  let summaryj = List.find_opt (is_record "flood_summary") body in
+  let imax = List.fold_left (fun acc j -> max acc (jmember_int "i" j)) 0 bucketsj in
+  Printf.printf "run %s (width %gs, %d bucket(s), %d flood(s))\n"
+    (if meta = [] then "-" else String.concat " " meta)
+    width (List.length bucketsj) (List.length floodsj);
+  let series name =
+    let a = Array.make (imax + 1) 0 in
+    List.iter
+      (fun j -> a.(jmember_int "i" j) <- a.(jmember_int "i" j) + jmember_int name j)
+      bucketsj;
+    a
+  in
+  Printf.printf "\n-- series (per %gs window) --------------------------\n" width;
+  Printf.printf "%-13s %10s %8s\n" "series" "total" "max/w";
+  List.iter
+    (fun name ->
+      let a = series name in
+      let total = Array.fold_left ( + ) 0 a in
+      let vmax = Array.fold_left max 0 a in
+      if total > 0 then
+        Printf.printf "%-13s %10d %8d  |%s|\n" name total vmax (sparkline a))
+    [
+      "events"; "deliveries"; "transmissions"; "drops"; "signs"; "verifies";
+      "hash_blocks"; "audit";
+    ];
+  if floodsj <> [] then begin
+    (* Cost of a flood: radio copies it put on the air plus the crypto
+       verifications it triggered. *)
+    let cost j = jmember_int "received" j + jmember_int "verifies" j in
+    let tops =
+      List.filteri
+        (fun i _ -> i < top)
+        (List.sort (fun a b -> Int.compare (cost b) (cost a)) floodsj)
+    in
+    Printf.printf "\n-- top %d floods by cost (received + verifies) -------\n"
+      top;
+    Printf.printf "%4s %-5s %6s %9s %6s %6s %6s %7s %7s %6s\n" "id" "kind"
+      "origin" "start" "sent" "recv" "dup" "verify" "reached" "radius";
+    List.iter
+      (fun j ->
+        Printf.printf "%4d %-5s %6d %9.2f %6d %6d %6d %7d %7d %6d\n"
+          (jmember_int "id" j)
+          (match Json.member "kind" j with
+          | Some (Json.String s) -> s
+          | _ -> "?")
+          (jmember_int "origin" j)
+          (jmember_float "start" j)
+          (jmember_int "sent" j) (jmember_int "received" j)
+          (jmember_int "duplicates" j)
+          (jmember_int "verifies" j)
+          (jmember_int "reached" j)
+          (jmember_int "hop_radius" j))
+      tops
+  end;
+  (match summaryj with
+  | Some s -> (
+      match Json.member "floods" s with
+      | Some f ->
+          Printf.printf
+            "\nfloods %d  duplicate verifies per flood %.3f  redundancy \
+             ratio %.3f\n"
+            (jmember_int "count" f)
+            (jmember_float "duplicate_verifies_per_flood" f)
+            (jmember_float "flood_redundancy_ratio" f)
+      | None -> ())
+  | None -> ());
+  print_newline ()
+
+let timeline_cmd file top =
+  match In_channel.with_open_bin file In_channel.input_all with
+  | exception Sys_error msg -> `Error (false, msg)
+  | contents -> (
+      match parse_jsonl_lines contents with
+      | exception Json.Parse_error msg ->
+          `Error (false, Printf.sprintf "%s: %s" file msg)
+      | lines -> (
+          match split_timeline_runs lines with
+          | [] -> `Error (false, file ^ ": no timeline header line")
+          | runs ->
+              List.iter
+                (fun (h, _) ->
+                  match Json.member "schema" h with
+                  | Some (Json.String s) when s = Timeline.schema -> ()
+                  | _ ->
+                      prerr_endline
+                        (Printf.sprintf
+                           "warning: %s does not declare schema %s" file
+                           Timeline.schema))
+                runs;
+              Printf.printf "timeline %s  (%d run(s))\n\n" file
+                (List.length runs);
+              List.iter (fun (h, body) -> render_timeline_run ~top h body) runs;
+              `Ok ()))
+
+let timeline_file_t =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TIMELINE.jsonl"
+        ~doc:"A stream written by --timeline-jsonl (run or sweep).")
+
+let timeline_term = Term.(ret (const timeline_cmd $ timeline_file_t $ top_t))
+
 (* --- command tree ----------------------------------------------------------- *)
 
 let cmds =
@@ -1078,6 +1374,13 @@ let cmds =
             labels, neighbour-scan and fan-out histograms, GC/alloc \
             accounting.")
       perf_term;
+    Cmd.v
+      (Cmd.info "timeline"
+         ~doc:
+           "Query a --timeline-jsonl export: sparkline table per windowed \
+            series, top-k floods by propagation cost, flood aggregate \
+            metrics (handles sweep-merged streams).")
+      timeline_term;
     Cmd.v
       (Cmd.info "audit"
          ~doc:

@@ -40,6 +40,8 @@ module Obs = Manet_obs.Obs
 module Obs_json = Manet_obs.Json
 module Obs_report = Manet_obs.Report
 module Perf = Manet_obs.Perf
+module Timeline = Manet_obs.Timeline
+module Flood = Manet_obs.Flood
 module Merge = Manet_obs.Merge
 module Audit = Manet_obs.Audit
 module Metrics = Manet_obs.Metrics

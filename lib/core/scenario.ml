@@ -20,6 +20,8 @@ module Adversary = Manet_attacks.Adversary
 module Faults = Manet_faults.Faults
 module Obs = Manet_obs.Obs
 module Perf = Manet_obs.Perf
+module Timeline = Manet_obs.Timeline
+module Flood = Manet_obs.Flood
 module Detector = Manet_obs.Detector
 
 type topology_spec =
@@ -165,6 +167,12 @@ let create params =
      only bumps side counters, so it perturbs no event order, PRNG draw
      or export byte. *)
   Perf.subscribe (Obs.perf obs) suite;
+  (* The timeline rides the engine's per-event observer: counter-pure
+     bucket closes over the counters above, so it is equally
+     non-perturbing and its export equally byte-deterministic. *)
+  Timeline.attach (Obs.timeline obs) ~net ~suite ~perf:(Obs.perf obs)
+    ~audit:(Obs.audit obs);
+  Timeline.install (Obs.timeline obs);
   (* The misbehaviour detector rides the audit stream online: every
      event any node emits feeds it at emission time, so verdicts are
      available the moment the run stops (and are deterministic, being a
@@ -442,13 +450,21 @@ let crypto_ops t = (t.suite.Suite.sign_count, t.suite.Suite.verify_count)
 let mean_latency t =
   Option.map (fun s -> s.Stats.mean) (Stats.summary (stats t) "data.latency")
 
-(* --- perf export -------------------------------------------------------- *)
+(* --- perf / timeline export --------------------------------------------- *)
+
+(* The flood-provenance summary joins the perf export's deterministic
+   section: it is a pure fold over the seeded event sequence, so it
+   obeys the same byte-stability contract. *)
+let flood_extra t = [ ("floods", Flood.summary_json (Obs.flood t.obs)) ]
 
 let perf_json ?meta t =
-  Perf.to_json ?meta (Obs.perf t.obs) ~engine:t.engine ~net:t.net
-    ~suite:t.suite
+  Perf.to_json ?meta ~extra_det:(flood_extra t) (Obs.perf t.obs)
+    ~engine:t.engine ~net:t.net ~suite:t.suite
 
 let perf_det_jsonl ?meta t =
-  Perf.det_jsonl ?meta (Obs.perf t.obs) ~engine:t.engine ~net:t.net
-    ~suite:t.suite
+  Perf.det_jsonl ?meta ~extra_det:(flood_extra t) (Obs.perf t.obs)
+    ~engine:t.engine ~net:t.net ~suite:t.suite
+
+let timeline_jsonl ?meta t =
+  Timeline.to_jsonl ?meta (Obs.timeline t.obs) ~flood:(Obs.flood t.obs)
 

@@ -184,10 +184,18 @@ val mean_latency : t -> float option
 val perf_json : ?meta:(string * Manet_obs.Json.t) list -> t -> Manet_obs.Json.t
 (** The scenario's full performance export
     ({!Manet_obs.Perf.to_json}): schema header, [meta], a
-    byte-deterministic section and a wall-clock section. *)
+    byte-deterministic section (including the ["floods"] provenance
+    summary) and a wall-clock section. *)
 
 val perf_det_jsonl : ?meta:(string * Manet_obs.Json.t) list -> t -> string
 (** The sweep-mergeable deterministic-only perf stream
-    ({!Manet_obs.Perf.det_jsonl}); byte-identical across same-seed
-    replays and domain counts. *)
+    ({!Manet_obs.Perf.det_jsonl}), with the ["floods"] summary
+    appended; byte-identical across same-seed replays and domain
+    counts. *)
+
+val timeline_jsonl : ?meta:(string * Manet_obs.Json.t) list -> t -> string
+(** The scenario's time-resolved telemetry export
+    ({!Manet_obs.Timeline.to_jsonl}): sim-time-bucketed series plus the
+    per-flood provenance tail; byte-identical across same-seed replays
+    and domain counts. *)
 

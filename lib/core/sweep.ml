@@ -141,6 +141,7 @@ let run_point point =
         ("audit", Audit.to_jsonl ~meta:key (Obs.audit obs));
         ("trace", Obs.to_jsonl ~meta:key obs);
         ("perf", Scenario.perf_det_jsonl ~meta:key s);
+        ("timeline", Scenario.timeline_jsonl ~meta:key s);
       ];
   }
 

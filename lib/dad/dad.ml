@@ -10,6 +10,7 @@ module Identity = Manet_proto.Identity
 module Audit = Manet_obs.Audit
 module Engine = Manet_sim.Engine
 module Obs = Manet_obs.Obs
+module Flood = Manet_obs.Flood
 
 type config = {
   arep_wait : float;
@@ -93,6 +94,10 @@ let areq_key ~sip ~seq ~ch = Codec.addr sip ^ Codec.u32 seq ^ Codec.u64 ch
 
 let obs t = t.ctx.Ctx.obs
 
+(* The AREQ dedup key doubles as the flood-provenance id: both are pure
+   functions of (sip, seq, ch), so the registry needs no wire change. *)
+let floods t = Obs.flood (obs t)
+
 let finish_flood t outcome =
   match t.span_flood with
   | Some id ->
@@ -127,12 +132,15 @@ let rec begin_attempt t ~attempt ~dn =
   t.span_flood <- Some fl;
   Obs.correlate (obs t) (flood_key ~sip ~ch) fl;
   (* Ignore echoes of our own flood. *)
-  Hashtbl.replace t.seen_areq (areq_key ~sip ~seq:t.seq ~ch) ();
+  let fkey = areq_key ~sip ~seq:t.seq ~ch in
+  Hashtbl.replace t.seen_areq fkey ();
   Ctx.log ctx ~event:"dad.start"
     ~detail:
       (Printf.sprintf "sip=%s dn=%s attempt=%d" (Address.to_string sip)
          (Option.value ~default:"-" dn)
          attempt);
+  Flood.originate (floods t) ~kind:Flood.Areq ~key:fkey ~node:(Ctx.node_id ctx);
+  Flood.sent (floods t) ~kind:Flood.Areq ~key:fkey ~node:(Ctx.node_id ctx);
   Ctx.broadcast ctx (Messages.Areq { sip; seq = t.seq; dn; ch; rr = [] });
   Engine.schedule ctx.Ctx.engine ~label:"dad" ~delay:t.config.arep_wait (fun () ->
       match t.pending with
@@ -265,13 +273,18 @@ let answer_duplicate t (m : (* areq fields *) Address.t * int64 * Address.t list
   in
   Hashtbl.replace t.seen_warning sig_ ();
   Ctx.stat ctx "dad.warning_sent";
+  (* manetlint: allow flood-origin-label — the warning AREP is flooded
+     towards the DNS but is not an AREQ/RREQ flood; provenance tracks
+     address/route request storms only (§3.1). *)
   Ctx.broadcast ctx warning
 
-let handle_areq t msg =
+let handle_areq t ~src msg =
   match msg with
   | Messages.Areq { sip; seq; dn; ch; rr } ->
       let ctx = t.ctx in
       let key = areq_key ~sip ~seq ~ch in
+      Flood.received (floods t) ~kind:Flood.Areq ~key ~node:(Ctx.node_id ctx)
+        ~src ~hops:(List.length rr);
       if not (Hashtbl.mem t.seen_areq key) then begin
         Hashtbl.replace t.seen_areq key ();
         t.areq_observer msg;
@@ -283,8 +296,11 @@ let handle_areq t msg =
         let rr' = rr @ [ address t ] in
         let delay = Prng.float ctx.Ctx.rng t.config.flood_jitter in
         Engine.schedule ctx.Ctx.engine ~label:"dad" ~delay (fun () ->
+            Flood.sent (floods t) ~kind:Flood.Areq ~key
+              ~node:(Ctx.node_id ctx);
             Ctx.broadcast ctx (Messages.Areq { sip; seq; dn; ch; rr = rr' }))
       end
+      else Flood.duplicate (floods t) ~kind:Flood.Areq ~key
   | _ -> ()
 
 (* --- initiator verification ------------------------------------------- *)
@@ -375,13 +391,15 @@ let relay_warning t msg =
         Hashtbl.replace t.seen_warning sig_ ();
         let delay = Prng.float t.ctx.Ctx.rng t.config.flood_jitter in
         Engine.schedule t.ctx.Ctx.engine ~label:"dad" ~delay (fun () ->
+            (* manetlint: allow flood-origin-label — warning AREP relay,
+               not an AREQ/RREQ flood (see answer_duplicate). *)
             Ctx.broadcast t.ctx msg)
       end
   | _ -> ()
 
 let handle t ~src msg =
   match msg with
-  | Messages.Areq _ -> handle_areq t msg
+  | Messages.Areq _ -> handle_areq t ~src msg
   | Messages.Arep _ ->
       Ctx.deliver_up t.ctx ~src msg
         ~consume:(fun m -> consume_arep t m)

@@ -6,6 +6,7 @@ module Ctx = Manet_proto.Node_ctx
 module Audit = Manet_obs.Audit
 module Engine = Manet_sim.Engine
 module Obs = Manet_obs.Obs
+module Flood = Manet_obs.Flood
 
 type config = {
   discovery_timeout : float;
@@ -99,6 +100,9 @@ let create ?(config = default_config) ctx =
 let address t = Ctx.address t.ctx
 let now t = Ctx.now t.ctx
 let obs t = t.ctx.Ctx.obs
+
+(* The RREQ dedup key (sip, seq) doubles as the flood-provenance id. *)
+let floods t = Obs.flood (obs t)
 
 let cached_route t ~dst =
   (* Prefer the shortest known route, as DSR does. *)
@@ -217,7 +221,11 @@ and send_rreq t d =
   Obs.correlate (obs t) (rreq_corr ~sip:(address t) ~seq) fl;
   (* Plain DSR: route record carried in the SRR field with empty
      authentication. *)
-  Hashtbl.replace t.seen_rreq (fkey (address t) seq) ();
+  let fk = fkey (address t) seq in
+  Hashtbl.replace t.seen_rreq fk ();
+  Flood.originate (floods t) ~kind:Flood.Rreq ~key:fk
+    ~node:(Ctx.node_id t.ctx);
+  Flood.sent (floods t) ~kind:Flood.Rreq ~key:fk ~node:(Ctx.node_id t.ctx);
   Ctx.broadcast t.ctx
     (Messages.Rreq
        { sip = address t; dip = d.d_dst; seq; srr = []; sig_ = ""; spk = ""; srn = 0L });
@@ -362,7 +370,7 @@ let answer_from_cache t ~sip ~seq ~dip ~rr cached =
    arrives over a different path), giving the source route diversity. *)
 let max_replies_per_request = 3
 
-let handle_rreq t msg =
+let handle_rreq t ~src msg =
   match msg with
   (* Plain DSR is the deliberately unauthenticated baseline (§3.3 uses
      it as the point of comparison): requests carry signature fields on
@@ -372,6 +380,8 @@ let handle_rreq t msg =
       let key = fkey sip seq in
       let me = address t in
       let rr = srr_ips srr in
+      Flood.received (floods t) ~kind:Flood.Rreq ~key ~node:(Ctx.node_id t.ctx)
+        ~src ~hops:(List.length srr);
       if Address.equal dip me then begin
         if not (Address.equal sip me || List.exists (Address.equal me) rr) then begin
           let sent = Option.value ~default:0 (Hashtbl.find_opt t.reply_counts key) in
@@ -381,7 +391,9 @@ let handle_rreq t msg =
           end
         end
       end
-      else if not (Hashtbl.mem t.seen_rreq key) then begin
+      else if Hashtbl.mem t.seen_rreq key then
+        Flood.duplicate (floods t) ~kind:Flood.Rreq ~key
+      else begin
         Hashtbl.replace t.seen_rreq key ();
         if Address.equal sip me || List.exists (Address.equal me) rr then ()
         else begin
@@ -405,6 +417,8 @@ let handle_rreq t msg =
               in
               let delay = Prng.float t.ctx.Ctx.rng t.config.flood_jitter in
               Engine.schedule t.ctx.Ctx.engine ~label:"dsr" ~delay (fun () ->
+                  Flood.sent (floods t) ~kind:Flood.Rreq ~key
+                    ~node:(Ctx.node_id t.ctx);
                   Ctx.broadcast t.ctx relayed)
         end
       end
@@ -610,7 +624,7 @@ let consume_rerr t msg =
 
 let handle t ~src msg =
   match msg with
-  | Messages.Rreq _ -> handle_rreq t msg
+  | Messages.Rreq _ -> handle_rreq t ~src msg
   | Messages.Rrep _ ->
       Ctx.deliver_up t.ctx ~src msg ~consume:(consume_rrep t)
         ~forward:(fun ~next m -> Ctx.send_along t.ctx ~path:next m)

@@ -1,0 +1,102 @@
+(** Flood provenance: per-flood propagation accounting for AREQ and
+    RREQ broadcasts.
+
+    Every flood origin (a DAD address request or a route request, plain
+    or secured) registers under the protocol's own dedup key — AREQ:
+    [sip ^ seq ^ ch], RREQ: [sip ^ seq] — prefixed by a kind tag, and is
+    assigned a dense id in first-origination order.  Both the key and
+    the order are pure functions of the seeded event sequence, so ids,
+    counters and the exports below are byte-identical across same-seed
+    replays and sweep domain counts without any wire-format change.
+
+    Per flood the registry accounts the propagation tree: copies sent
+    (origin + rebroadcasts), copies received, duplicates suppressed by
+    the protocols' seen-tables, verification events (secure RREQ copies
+    cryptographically checked, per node), distinct nodes reached with
+    first-seen time / parent / hop distance, hop radius, and completion
+    (last-activity) time.
+
+    Two derived metrics are first-class because ROADMAP item 3's
+    verification cache is driven by them:
+
+    - [duplicate_verifies_per_flood]: mean verifications per flood
+      beyond one per verifying node — the redundant crypto work a
+      (PK, rn, digest)-keyed cache would eliminate;
+    - [flood_redundancy_ratio]: copies received per distinct node
+      reached — the broadcast-storm factor items 1 and 5 chart.
+
+    All recording is counter-pure (no clock reads, no PRNG draws, no
+    event scheduling): keeping it on perturbs nothing. *)
+
+module Engine = Manet_sim.Engine
+
+type t
+
+type kind = Areq | Rreq
+
+val kind_str : kind -> string
+
+val create : Engine.t -> t
+(** Fresh registry; sim times are read from the engine's clock. *)
+
+(** {1 Recording}
+
+    All of these take the protocol's raw dedup key; tagging by [kind]
+    is internal.  Unknown keys are registered lazily (with the acting
+    node as presumed origin) so accounting never raises. *)
+
+val originate : t -> kind:kind -> key:string -> node:int -> unit
+(** Register a flood at its origination site, before the first copy is
+    sent.  Idempotent for an already-known key. *)
+
+val sent : t -> kind:kind -> key:string -> node:int -> unit
+(** One copy broadcast (origination or rebroadcast) by [node]. *)
+
+val received : t -> kind:kind -> key:string -> node:int -> src:int -> hops:int -> unit
+(** One copy delivered to [node] from [src] at hop distance [hops],
+    counted before any dedup decision.  The first copy per node records
+    the propagation-tree edge (first-seen time, parent, hops). *)
+
+val duplicate : t -> kind:kind -> key:string -> unit
+(** The protocol's seen-table suppressed a received copy. *)
+
+val verified : t -> kind:kind -> key:string -> node:int -> unit
+(** [node] cryptographically verified one received copy. *)
+
+(** {1 Read side} *)
+
+type summary = {
+  id : int;
+  kind : kind;
+  origin : int;
+  start : float;
+  last : float;
+  sent : int;
+  received : int;
+  duplicates : int;
+  verifies : int;
+  verify_nodes : int;
+  reached : int;
+  hop_radius : int;
+}
+
+val summaries : t -> summary list
+(** All floods in id order. *)
+
+val tree : t -> id:int -> (int * (float * int * int * int)) list
+(** Propagation-tree cells of one flood, sorted by node:
+    [(node, (first_seen, parent, hops, verifies))].  [parent = -1] when
+    the sender was unknown. *)
+
+val flood_count : t -> int
+val duplicate_verifies_per_flood : t -> float
+val flood_redundancy_ratio : t -> float
+
+val summary_json : t -> Json.t
+(** Aggregate object (counts, totals, the two derived metrics) —
+    appended into the perf export's deterministic section as the
+    ["floods"] member. *)
+
+val append_jsonl : Buffer.t -> t -> unit
+(** One ["flood"] record line per flood in id order, then one
+    ["flood_summary"] line — the flood tail of the timeline JSONL. *)

@@ -41,6 +41,8 @@ type t = {
   audit : Audit.t;
   metrics : Metrics.t;
   perf : Perf.t;
+  timeline : Timeline.t;
+  flood : Flood.t;
 }
 
 let create ?(event_capacity = 200_000) engine =
@@ -67,11 +69,15 @@ let create ?(event_capacity = 200_000) engine =
     audit;
     metrics;
     perf = Perf.create ();
+    timeline = Timeline.create engine;
+    flood = Flood.create engine;
   }
 
 let audit t = t.audit
 let metrics t = t.metrics
 let perf t = t.perf
+let timeline t = t.timeline
+let flood t = t.flood
 
 
 (* --- spans -------------------------------------------------------------- *)

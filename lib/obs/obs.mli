@@ -67,6 +67,15 @@ val perf : t -> Perf.t
 (** The scenario-wide performance telemetry registry (always
     collecting; its deterministic counters perturb nothing). *)
 
+val timeline : t -> Timeline.t
+(** The scenario-wide time-resolved telemetry registry.  Created
+    enabled; it records nothing until the scenario installs it as the
+    engine's per-event observer and attaches its counter sources. *)
+
+val flood : t -> Flood.t
+(** The scenario-wide flood-provenance registry (always collecting;
+    counter-pure like {!perf}). *)
+
 (** {1 Spans} *)
 
 val start :

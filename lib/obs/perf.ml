@@ -201,6 +201,12 @@ let hist_of_array a n =
   done;
   h
 
+let kind_totals t =
+  Stbl.fold
+    (fun kind c acc -> (kind, (c.k_signs, c.k_verifies, c.k_hash_blocks)) :: acc)
+    t.by_kind []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let by_kind_json t =
   let kinds =
     Stbl.fold (fun kind c acc -> (kind, c) :: acc) t.by_kind []
@@ -226,11 +232,15 @@ let by_kind_json t =
    runtime's own internal allocations leak into [Gc.minor_words] — so
    every [Gc.quick_stat]-derived quantity is quarantined in
    {!wall_json}; only the per-phase *event* counts stay here. *)
-let deterministic_json t ~engine ~net ~suite =
+(* [extra_det] lets callers append further deterministic members (the
+   flood-provenance summary) without coupling this registry to the
+   modules that compute them; every appended value must obey the same
+   purity contract as the section it joins. *)
+let deterministic_json ?(extra_det = []) t ~engine ~net ~suite =
   let n = t.max_node + 1 in
   let ints a k = Json.List (List.init k (fun i -> Json.Int a.(i))) in
   Json.Obj
-    [
+    ([
       ( "events",
         Json.Obj
           [
@@ -284,6 +294,7 @@ let deterministic_json t ~engine ~net ~suite =
              (fun (name, p) -> (name, Json.Obj [ ("events", Json.Int p.ph_events) ]))
              (phases t)) );
     ]
+    @ extra_det)
 
 let wall_json t ~engine =
   let g = Gc.quick_stat () in
@@ -333,19 +344,19 @@ let header ?(meta = []) () =
     ([ ("schema", Json.String schema); ("version", Json.Int schema_version) ]
     @ meta)
 
-let to_json ?(meta = []) t ~engine ~net ~suite =
+let to_json ?(meta = []) ?extra_det t ~engine ~net ~suite =
   Json.Obj
     ([ ("schema", Json.String schema); ("version", Json.Int schema_version) ]
     @ meta
     @ [
-        ("deterministic", deterministic_json t ~engine ~net ~suite);
+        ("deterministic", deterministic_json ?extra_det t ~engine ~net ~suite);
         ("wall_clock", wall_json t ~engine);
       ])
 
 (* The sweep-mergeable form: one header line then one record holding
    only the deterministic section, so the merged stream stays
    byte-identical across domain counts and CI can cmp it directly. *)
-let det_jsonl ?meta t ~engine ~net ~suite =
+let det_jsonl ?meta ?extra_det t ~engine ~net ~suite =
   let buf = Buffer.create 1024 in
   Json.to_buffer buf (header ?meta ());
   Buffer.add_char buf '\n';
@@ -353,7 +364,7 @@ let det_jsonl ?meta t ~engine ~net ~suite =
     (Json.Obj
        [
          ("type", Json.String "det");
-         ("deterministic", deterministic_json t ~engine ~net ~suite);
+         ("deterministic", deterministic_json ?extra_det t ~engine ~net ~suite);
        ]);
   Buffer.add_char buf '\n';
   Buffer.contents buf

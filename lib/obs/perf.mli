@@ -73,6 +73,11 @@ val crypto_op : t -> op:Suite.op -> bytes:int -> unit
 val subscribe : t -> Suite.t -> unit
 (** Install this registry as the suite's per-operation subscriber. *)
 
+val kind_totals : t -> (string * (int * int * int)) list
+(** Per message kind [(signs, verifies, hash_blocks)] totals, sorted by
+    kind.  Deterministic; the timeline layer diffs these at bucket
+    boundaries to resolve crypto cost over sim time. *)
+
 (** {1 GC phase accounting} *)
 
 val phase : t -> engine:Engine.t -> string -> (unit -> 'a) -> 'a
@@ -82,9 +87,13 @@ val phase : t -> engine:Engine.t -> string -> (unit -> 'a) -> 'a
 
 (** {1 Export} *)
 
-val deterministic_json : t -> engine:Engine.t -> net:_ Net.t -> suite:Suite.t -> Json.t
+val deterministic_json :
+  ?extra_det:(string * Json.t) list ->
+  t -> engine:Engine.t -> net:_ Net.t -> suite:Suite.t -> Json.t
 (** The deterministic section: byte-identical across same-seed replays
-    and domain counts. *)
+    and domain counts.  [extra_det] members (e.g. the flood-provenance
+    summary) are appended verbatim and must obey the same purity
+    contract. *)
 
 val wall_json : t -> engine:Engine.t -> Json.t
 (** The wall-clock section: host timings and GC scheduling artefacts;
@@ -92,12 +101,14 @@ val wall_json : t -> engine:Engine.t -> Json.t
 
 val to_json :
   ?meta:(string * Json.t) list ->
+  ?extra_det:(string * Json.t) list ->
   t -> engine:Engine.t -> net:_ Net.t -> suite:Suite.t -> Json.t
 (** The full schema-versioned export: header fields, [meta], then
     ["deterministic"] and ["wall_clock"] members. *)
 
 val det_jsonl :
   ?meta:(string * Json.t) list ->
+  ?extra_det:(string * Json.t) list ->
   t -> engine:Engine.t -> net:_ Net.t -> suite:Suite.t -> string
 (** The sweep-mergeable form: one schema header line, then one record
     line carrying only the deterministic section — the ["perf"] stream

@@ -164,3 +164,4 @@ let export_kinds =
 let stream_audit = "audit"
 let stream_trace = "trace"
 let stream_perf = "perf"
+let stream_timeline = "timeline"

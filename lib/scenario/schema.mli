@@ -142,3 +142,4 @@ val export_kinds : string list
 val stream_audit : string
 val stream_trace : string
 val stream_perf : string
+val stream_timeline : string

@@ -985,6 +985,7 @@ let sweep ~domains ~seeds t =
           (Schema.stream_audit, Audit.to_jsonl ~meta:m (Obs.audit (Scenario.obs s)));
           (Schema.stream_trace, Obs.to_jsonl ~meta:m (Scenario.obs s));
           (Schema.stream_perf, Scenario.perf_det_jsonl ~meta:m s);
+          (Schema.stream_timeline, Scenario.timeline_jsonl ~meta:m s);
         ];
     }
   in

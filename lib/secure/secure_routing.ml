@@ -11,6 +11,7 @@ module Route_cache = Manet_dsr.Route_cache
 module Dsr = Manet_dsr.Dsr
 module Obs = Manet_obs.Obs
 module Audit = Manet_obs.Audit
+module Flood = Manet_obs.Flood
 
 type config = {
   discovery_timeout : float;
@@ -138,6 +139,10 @@ let create ?(config = default_config) ?(trusted = []) ctx =
 let address t = Ctx.address t.ctx
 let now t = Ctx.now t.ctx
 let obs t = t.ctx.Ctx.obs
+
+(* The RREQ dedup key (sip, seq) doubles as the flood-provenance id;
+   secured and plain RREQs share one key space by construction. *)
+let floods t = Obs.flood (obs t)
 let credits t = t.credits
 let identity t = t.ctx.Ctx.identity
 let suite t = Ctx.suite t.ctx
@@ -428,7 +433,11 @@ and send_rreq t d =
   d.d_flood <- Some fl;
   Obs.correlate (obs t) (Dsr.rreq_corr ~sip ~seq) fl;
   let sig_ = Identity.sign id (Codec.rreq_source_payload ~sip ~seq) in
-  Hashtbl.replace t.seen_rreq (fkey sip seq) ();
+  let fk = fkey sip seq in
+  Hashtbl.replace t.seen_rreq fk ();
+  Flood.originate (floods t) ~kind:Flood.Rreq ~key:fk
+    ~node:(Ctx.node_id t.ctx);
+  Flood.sent (floods t) ~kind:Flood.Rreq ~key:fk ~node:(Ctx.node_id t.ctx);
   Ctx.broadcast t.ctx
     (Messages.Rreq
        {
@@ -632,12 +641,14 @@ let note_rreq_seq t ~sip ~seq =
      to burn a victim's sequence space with junk requests. *)
   Hashtbl.replace t.last_rreq_seq (akey sip) seq
 
-let handle_rreq t msg =
+let handle_rreq t ~src msg =
   match msg with
   | Messages.Rreq { sip; dip; seq; srr; sig_; spk; srn } ->
       let key = fkey sip seq in
       let me = address t in
       let rr = srr_ips srr in
+      Flood.received (floods t) ~kind:Flood.Rreq ~key ~node:(Ctx.node_id t.ctx)
+        ~src ~hops:(List.length srr);
       if Address.equal dip me then begin
         (* Destination: every copy is considered (up to the diversity
            bound), each verified independently — a rushed poisoned copy
@@ -646,6 +657,12 @@ let handle_rreq t msg =
           let sent = Option.value ~default:0 (Hashtbl.find_opt t.reply_counts key) in
           if sent < max_replies_per_request && fresh_rreq_for_destination t ~sip ~seq
           then begin
+            (* Each verified copy — including duplicates of a flood the
+               destination already answered — is charged to the flood's
+               provenance: this is the duplicate-verification work the
+               item-3 cache is meant to eliminate. *)
+            Flood.verified (floods t) ~kind:Flood.Rreq ~key
+              ~node:(Ctx.node_id t.ctx);
             if verify_rreq t ~sip ~seq ~srr ~sig_ ~spk ~srn then begin
               note_rreq_seq t ~sip ~seq;
               Hashtbl.replace t.reply_counts key (sent + 1);
@@ -661,7 +678,9 @@ let handle_rreq t msg =
           end
         end
       end
-      else if not (Hashtbl.mem t.seen_rreq key) then begin
+      else if Hashtbl.mem t.seen_rreq key then
+        Flood.duplicate (floods t) ~kind:Flood.Rreq ~key
+      else begin
         Hashtbl.replace t.seen_rreq key ();
         if Address.equal sip me || List.exists (Address.equal me) rr then ()
         else begin
@@ -700,6 +719,8 @@ let handle_rreq t msg =
               in
               let delay = Prng.float t.ctx.Ctx.rng t.config.flood_jitter in
               Engine.schedule t.ctx.Ctx.engine ~label:"secure" ~delay (fun () ->
+                  Flood.sent (floods t) ~kind:Flood.Rreq ~key
+                    ~node:(Ctx.node_id t.ctx);
                   Ctx.broadcast t.ctx relayed)
         end
       end
@@ -1029,7 +1050,7 @@ let is_addr_suffix ~of_:full part =
 
 let handle t ~src msg =
   match msg with
-  | Messages.Rreq _ -> handle_rreq t msg
+  | Messages.Rreq _ -> handle_rreq t ~src msg
   | Messages.Rrep { sip; rr; _ } ->
       Ctx.deliver_up t.ctx ~src msg ~consume:(consume_rrep t ~src)
         ~forward:(fun ~next m ->

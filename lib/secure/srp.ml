@@ -5,6 +5,8 @@ module Messages = Manet_proto.Messages
 module Codec = Manet_proto.Codec
 module Ctx = Manet_proto.Node_ctx
 module Audit = Manet_obs.Audit
+module Obs = Manet_obs.Obs
+module Flood = Manet_obs.Flood
 module Engine = Manet_sim.Engine
 module Route_cache = Manet_dsr.Route_cache
 
@@ -173,7 +175,11 @@ and send_rreq t d =
   (* The end-to-end MAC rides in the message's signature field; no key
      material travels (both ends already share the association). *)
   let mac = rreq_mac ~key:(key_with t d.d_dst) ~sip ~dip:d.d_dst ~seq in
-  Hashtbl.replace t.seen_rreq (fkey sip seq) ();
+  let fk = fkey sip seq in
+  Hashtbl.replace t.seen_rreq fk ();
+  let fl = Obs.flood t.ctx.Ctx.obs in
+  Flood.originate fl ~kind:Flood.Rreq ~key:fk ~node:(Ctx.node_id t.ctx);
+  Flood.sent fl ~kind:Flood.Rreq ~key:fk ~node:(Ctx.node_id t.ctx);
   Ctx.broadcast t.ctx
     (Messages.Rreq { sip; dip = d.d_dst; seq; srr = []; sig_ = mac; spk = ""; srn = 0L });
   Engine.schedule t.ctx.Ctx.engine ~label:"srp"
@@ -243,12 +249,15 @@ let discover t ~dst ~on_route =
 let srr_ips srr = List.map (fun e -> e.Messages.ip) srr
 let max_replies_per_request = 3
 
-let handle_rreq t msg =
+let handle_rreq t ~src msg =
   match msg with
   | Messages.Rreq { sip; dip; seq; srr; sig_; _ } ->
       let key = fkey sip seq in
       let me = address t in
       let rr = srr_ips srr in
+      let fl = Obs.flood t.ctx.Ctx.obs in
+      Flood.received fl ~kind:Flood.Rreq ~key ~node:(Ctx.node_id t.ctx) ~src
+        ~hops:(List.length srr);
       if Address.equal dip me then begin
         if not (Address.equal sip me || List.exists (Address.equal me) rr) then begin
           let sent = Option.value ~default:0 (Hashtbl.find_opt t.reply_counts key) in
@@ -256,6 +265,7 @@ let handle_rreq t msg =
             (* End-to-end verification only: the pair MAC proves the
                request's origin; the collected hops are taken on faith —
                SRP's deliberate trade-off. *)
+            Flood.verified fl ~kind:Flood.Rreq ~key ~node:(Ctx.node_id t.ctx);
             let k_sd = key_with t sip in
             if String.equal sig_ (rreq_mac ~key:k_sd ~sip ~dip ~seq) then begin
               Hashtbl.replace t.reply_counts key (sent + 1);
@@ -280,7 +290,9 @@ let handle_rreq t msg =
           end
         end
       end
-      else if not (Hashtbl.mem t.seen_rreq key) then begin
+      else if Hashtbl.mem t.seen_rreq key then
+        Flood.duplicate fl ~kind:Flood.Rreq ~key
+      else begin
         Hashtbl.replace t.seen_rreq key ();
         if Address.equal sip me || List.exists (Address.equal me) rr then ()
         else begin
@@ -294,6 +306,7 @@ let handle_rreq t msg =
           in
           let delay = Prng.float t.ctx.Ctx.rng t.config.flood_jitter in
           Engine.schedule t.ctx.Ctx.engine ~label:"srp" ~delay (fun () ->
+              Flood.sent fl ~kind:Flood.Rreq ~key ~node:(Ctx.node_id t.ctx);
               Ctx.broadcast t.ctx relayed)
         end
       end
@@ -398,7 +411,7 @@ let consume_rerr t msg =
 
 let handle t ~src msg =
   match msg with
-  | Messages.Rreq _ -> handle_rreq t msg
+  | Messages.Rreq _ -> handle_rreq t ~src msg
   | Messages.Rrep _ ->
       Ctx.deliver_up t.ctx ~src msg ~consume:(consume_rrep t)
         ~forward:(fun ~next m -> Ctx.send_along t.ctx ~path:next m)

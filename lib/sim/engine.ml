@@ -47,6 +47,11 @@ type t = {
   mutable profiling : bool;
   prof : prof_cell Stbl.t;
   mutable wall_in_run : float;
+  (* Per-event observer (opt-in), called with the event's timestamp
+     immediately after the clock advances and before the event is
+     counted or run.  The timeline layer hangs its bucket boundaries
+     here; the hook itself must allocate nothing per event. *)
+  mutable on_event : (float -> unit) option;
 }
 
 let create ~seed () =
@@ -66,6 +71,7 @@ let create ~seed () =
     profiling = false;
     prof = Stbl.create 32;
     wall_in_run = 0.0;
+    on_event = None;
   }
 
 let now t = t.now
@@ -151,6 +157,7 @@ let rec run_loop t until budget =
         let f = Heap.min_snd t.queue in
         Heap.drop_min t.queue;
         t.now <- time;
+        (match t.on_event with Some hook -> hook time | None -> ());
         t.processed <- t.processed + 1;
         count_label t label;
         sample_occupancy t;
@@ -184,6 +191,7 @@ let max_pending t = t.max_pending
 
 let set_profiling t on = t.profiling <- on
 let profiling t = t.profiling
+let set_on_event t hook = t.on_event <- hook
 
 let profile t =
   Stbl.fold

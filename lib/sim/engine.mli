@@ -60,6 +60,16 @@ val occupancy_stride : t -> int
 val max_pending : t -> int
 (** High-water mark of the event queue depth. *)
 
+val set_on_event : t -> (float -> unit) option -> unit
+(** Install (or clear) a per-event observer.  The hook fires once per
+    processed event with the event's timestamp, after the clock advances
+    and before the event is counted or its closure runs — so an observer
+    closing a time bucket at event [e] sees counter state that excludes
+    [e] entirely.  The hook must be a pure function of the event
+    sequence if its output feeds a deterministic export, and must not
+    allocate per event (it sits on the manethot hot path).  The timeline
+    layer ([lib/obs/timeline.ml]) is the intended client. *)
+
 (** {1 Wall-clock profiling}
 
     Opt-in accounting of host time spent per event class.  The samples

@@ -61,6 +61,35 @@ let merge a b =
   Array.iteri (fun i v -> m.buckets.(i) <- v + b.buckets.(i)) a.buckets;
   m
 
+(* Nearest-rank percentile estimated from the bucket table: walk the
+   cumulative counts to the bucket containing rank ceil(q * count), then
+   interpolate linearly across that bucket's [lo, hi] range by the rank's
+   position inside it.  Integer arithmetic only, so the estimate is a
+   pure function of the bucket counts — byte-stable across replays,
+   domain counts and merge orders. *)
+let percentile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Hist.percentile: q outside [0, 1]";
+  if t.count = 0 then None
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int t.count)) in
+      if r < 1 then 1 else if r > t.count then t.count else r
+    in
+    let rec find i cum =
+      let n = t.buckets.(i) in
+      if cum + n >= rank then begin
+        let lo, hi = bounds i in
+        let pos = rank - cum in
+        if n <= 1 then lo else lo + ((hi - lo) * (pos - 1) / (n - 1))
+      end
+      else find (i + 1) (cum + n)
+    in
+    (* The interpolation assumes uniform spread inside the crossing
+       bucket, which can overshoot the largest sample actually seen —
+       clamp to the tracked maximum (and minimum, symmetrically). *)
+    Some (min t.vmax (max t.vmin (find 0 0)))
+  end
+
 let nonzero_buckets t =
   let acc = ref [] in
   for i = bucket_count - 1 downto 0 do

@@ -49,6 +49,13 @@ val bounds : int -> int * int
 (** Inclusive [(lo, hi)] range of a bucket index.  Raises
     [Invalid_argument] outside [0 .. 62]. *)
 
+val percentile : t -> float -> int option
+(** [percentile t q] estimates the [q]-quantile ([0.0 .. 1.0]) by
+    nearest rank over the bucket table, interpolating linearly inside
+    the crossing bucket.  Integer arithmetic only, so the estimate is
+    byte-stable across replays and merge orders.  [None] when empty;
+    raises [Invalid_argument] when [q] is outside [0, 1]. *)
+
 val nonzero_buckets : t -> (int * int * int) list
 (** [(lo, hi, count)] for every non-empty bucket, in ascending value
     order — the stable wire form the exports render. *)

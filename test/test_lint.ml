@@ -581,6 +581,52 @@ let arm t cb = Engine.schedule t.engine ~delay:0.1 cb|}
       );
     ]
 
+(* --- flood-origin-label ------------------------------------------------- *)
+
+let test_flood_origin_label_fires () =
+  fires "broadcast without flood recording" "flood-origin-label"
+    [
+      ( "lib/dsr/dsr.ml",
+        {|let send t msg = Ctx.broadcast t.ctx msg|} );
+    ];
+  fires "broadcast in lib/secure" "flood-origin-label"
+    [
+      ( "lib/secure/srp.ml",
+        {|let relay t msg = Ctx.broadcast t.ctx msg|} );
+    ]
+
+let test_flood_origin_label_clean () =
+  clean "recorded origination" "flood-origin-label"
+    [
+      ( "lib/dad/dad.ml",
+        {|let send t key msg =
+  Flood.originate (floods t) ~kind:Flood.Areq ~key ~node:0;
+  Flood.sent (floods t) ~kind:Flood.Areq ~key ~node:0;
+  Ctx.broadcast t.ctx msg|}
+      );
+    ];
+  clean "recorded relay inside the closure" "flood-origin-label"
+    [
+      ( "lib/secure/secure_routing.ml",
+        {|let relay t key msg =
+  Engine.schedule t.engine ~label:"secure" ~delay:0.01 (fun () ->
+      Flood.sent (floods t) ~kind:Flood.Rreq ~key ~node:0;
+      Ctx.broadcast t.ctx msg)|}
+      );
+    ];
+  clean "same code outside the flooding protocols" "flood-origin-label"
+    [ ("lib/attacks/adversary.ml", {|let x t msg = Ctx.broadcast t.ctx msg|}) ]
+
+let test_flood_origin_label_suppression () =
+  clean "annotated non-flood broadcast" "flood-origin-label"
+    [
+      ( "lib/dad/dad.ml",
+        {|let warn t msg =
+  (* manetlint: allow flood-origin-label — warning AREP, not a flood *)
+  Ctx.broadcast t.ctx msg|}
+      );
+    ]
+
 (* --- the repo itself is clean ------------------------------------------ *)
 
 let test_rule_names_documented () =
@@ -595,6 +641,7 @@ let test_rule_names_documented () =
       "proto-schema"; "security"; "placeholder-sig"; "determinism"; "obj-magic";
       "catch-all"; "failwith"; "mli-coverage"; "poly-compare"; "obs-no-printf";
       "audit-counter"; "scenario-keyword"; "schedule-label";
+      "flood-origin-label";
     ]
 
 let tc name f = Alcotest.test_case name `Quick f
@@ -632,6 +679,9 @@ let suites =
         tc "schedule-label fires" test_schedule_label_fires;
         tc "schedule-label clean" test_schedule_label_clean;
         tc "schedule-label suppression" test_schedule_label_suppression;
+        tc "flood-origin-label fires" test_flood_origin_label_fires;
+        tc "flood-origin-label clean" test_flood_origin_label_clean;
+        tc "flood-origin-label suppression" test_flood_origin_label_suppression;
         tc "rule registry" test_rule_names_documented;
       ] );
   ]

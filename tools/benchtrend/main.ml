@@ -56,9 +56,14 @@ let columns =
     ("heap_push_pop_ns", fun d -> hot d "heap_push_pop_ns");
     ("heap_cycle_ns", fun d -> hot d "heap_cycle_ns");
     ("neighbour_scan_mean", fun d -> fopt d "neighbour_scan_mean");
+    (* The flood-provenance fields appear from PR 10 on. *)
+    ("neighbour_scan_p99", fun d -> fopt d "neighbour_scan_p99");
     ("gc_minor_words_per_event", fun d -> fopt d "gc_minor_words_per_event");
     ( "rsa_verifies_per_delivered_msg",
       fun d -> fopt d "rsa_verifies_per_delivered_msg" );
+    ( "duplicate_verifies_per_flood",
+      fun d -> fopt d "duplicate_verifies_per_flood" );
+    ("flood_redundancy_ratio", fun d -> fopt d "flood_redundancy_ratio");
   ]
 
 let render_value = function

@@ -37,6 +37,7 @@ let rules =
     "audit-counter";
     "scenario-keyword";
     "schedule-label";
+    "flood-origin-label";
   ]
 
 let to_string f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.msg
@@ -724,6 +725,29 @@ let check_schedule_label add src =
         (occurrences code tok))
     [ "Engine.schedule"; "Engine.schedule_at" ]
 
+(* Every broadcast put on the air by the flooding protocols (DAD AREQ,
+   DSR / secure / SRP RREQ) must be visible to the flood-provenance
+   registry: a copy sent without a [Flood.] recording call makes the
+   per-flood propagation accounting under-count, which silently skews
+   the duplicate-verify and redundancy metrics that size ROADMAP item
+   3's verification cache.  Lexically: a [Ctx.broadcast] call under
+   lib/dad, lib/dsr or lib/secure must have a [Flood.] token within the
+   preceding window (the recording call directly precedes the broadcast,
+   inline or inside the relay closure); non-flood broadcasts carry a
+   one-line allow with the rationale, mirroring schedule-label. *)
+let check_flood_origin_label add src =
+  let code = src.code in
+  List.iter
+    (fun p ->
+      let start = max 0 (p - 400) in
+      let window = String.sub code start (p - start) in
+      if find_sub window "Flood." = None then
+        add src src.line_at.(p) "flood-origin-label"
+          "Ctx.broadcast without a preceding Flood. recording call: this \
+           copy is invisible to the flood provenance accounting; record it \
+           (Flood.originate/sent) or allow with a rationale")
+    (occurrences code "Ctx.broadcast")
+
 (* A counter whose name says "rejected", "replayed", "suspected", ...
    carries the same information as a security audit event but none of the
    structure: no subject, no cause, no entry in the JSONL stream the
@@ -1153,6 +1177,10 @@ let lint_files inputs =
         if List.exists (fun d -> under d src.path) audit_counter_dirs then
           check_audit_counter add src;
         if in_lib then check_schedule_label add src;
+        if
+          under "lib/dad" src.path || under "lib/dsr" src.path
+          || under "lib/secure" src.path
+        then check_flood_origin_label add src;
         if in_lib then check_security add src
       end)
     srcs;
